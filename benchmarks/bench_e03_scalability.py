@@ -1,0 +1,28 @@
+"""E3 — throughput scalability with client count.
+
+Claim validated: the one-sided data plane scales with added clients (no
+server CPU on the data path), and Gengar's advantage persists at scale.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e03_scalability
+
+
+def test_e03_scalability(benchmark):
+    result = run_experiment(benchmark, e03_scalability)
+    table = result.table("E3")
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Throughput increases monotonically with client count for both systems.
+    for name in ("gengar", "nvm-direct"):
+        values = rows[name]
+        assert all(b > a for a, b in zip(values, values[1:])), values
+    # Gengar stays ahead of NVM-direct at every scale point.
+    assert all(g > n for g, n in zip(rows["gengar"], rows["nvm-direct"]))
+    servers = result.table("E3b")
+    srows = {row[0]: row[1:] for row in servers.rows}
+    # Adding memory servers raises throughput for both systems...
+    for name in srows:
+        assert srows[name][-1] > srows[name][0]
+    # ...and Gengar's proxy advantage holds on the write-heavy mix.
+    assert all(g > n for g, n in zip(srows["gengar"], srows["nvm-direct"]))

@@ -1,0 +1,23 @@
+"""E4 — YCSB A-F throughput across systems (the headline <=70% claim).
+
+Claim validated: "Gengar significantly improves the performance of public
+benchmarks such as MapReduce and YCSB by up to 70% compared with
+state-of-the-art DSHM systems."  The largest gain lands on the write-heavy
+workload (A), driven by the proxy; read-heavy gains come from the cache.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e04_ycsb_throughput
+
+
+def test_e04_ycsb_throughput(benchmark):
+    result = run_experiment(benchmark, e04_ycsb_throughput)
+    gain = result.table("E4b")
+    speedups = dict(zip(gain.column("workload"), gain.column("speedup")))
+    # The headline: a substantial win on the update-heavy workload.
+    assert speedups["YCSB-A"] > 1.3
+    # Read-mostly workloads still benefit from the DRAM cache.
+    assert speedups["YCSB-B"] > 1.05
+    # No workload collapses (worst case stays within 30% of the baseline).
+    assert min(speedups.values()) > 0.7

@@ -1,0 +1,22 @@
+"""E5 — YCSB-A operation latency (mean / p99) across systems.
+
+Claim validated: the proxy cuts update latency and the cache cuts read
+latency relative to the NVM-direct DSHM design.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e05_ycsb_latency
+
+
+def test_e05_ycsb_latency(benchmark):
+    result = run_experiment(benchmark, e05_ycsb_latency)
+    table = result.table("E5")
+    rows = {row[0]: row[1:] for row in table.rows}
+    read_mean = {name: vals[0] for name, vals in rows.items()}
+    update_mean = {name: vals[2] for name, vals in rows.items()}
+    # Gengar improves both op types over NVM-direct.
+    assert read_mean["gengar"] < read_mean["nvm-direct"]
+    assert update_mean["gengar"] < update_mean["nvm-direct"]
+    # Cache-only pays the write-through coherence tax on updates.
+    assert update_mean["cache-only"] > update_mean["gengar"]

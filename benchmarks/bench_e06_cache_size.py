@@ -1,0 +1,21 @@
+"""E6 — sensitivity to the DRAM buffer size.
+
+Claim validated: the distributed DRAM buffer converts capacity into hit
+ratio until the hot working set fits, after which returns flatten.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e06_cache_size
+
+
+def test_e06_cache_size(benchmark):
+    result = run_experiment(benchmark, e06_cache_size)
+    table = result.table("E6")
+    hit_ratios = table.column("hit ratio")
+    # Hit ratio grows with cache size...
+    assert hit_ratios[0] < hit_ratios[-2]
+    # ...and saturates once the working set fits (last two within 5 points).
+    assert abs(hit_ratios[-1] - hit_ratios[-2]) < 0.05
+    # A working-set-sized cache delivers a solid majority of hits.
+    assert hit_ratios[-1] > 0.6

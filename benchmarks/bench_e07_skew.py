@@ -1,0 +1,23 @@
+"""E7 — sensitivity to access skew (zipfian theta sweep).
+
+Claim validated: hot-data caching pays off in proportion to skew — at low
+skew there is no stable hot set to cache; at YCSB-default skew (0.99) the
+cache captures a large fraction of accesses.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e07_skew
+
+
+def test_e07_skew(benchmark):
+    result = run_experiment(benchmark, e07_skew)
+    hits = result.table("E7b")
+    ratios = hits.column("hit ratio")
+    # Hit ratio rises monotonically with skew.
+    assert all(b > a for a, b in zip(ratios, ratios[1:])), ratios
+    table = result.table("E7 ")
+    rows = {row[0]: row[1:] for row in table.rows}
+    # At the highest skew Gengar's lead over NVM-direct is at its largest.
+    lead = [g / n for g, n in zip(rows["gengar"], rows["nvm-direct"])]
+    assert lead[-1] == max(lead)

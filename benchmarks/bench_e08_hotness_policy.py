@@ -1,0 +1,27 @@
+"""E8 — quality of RDMA-semantics hot-data identification.
+
+Claim validated: "we propose to exploit semantics of RDMA primitives to
+identify frequently-accessed data" — the epoch-decay policy fed by client
+access reports beats recency- and random-placement comparators, and decay
+keeps it competitive when the hot set shifts.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e08_hotness_policy
+
+
+def test_e08_hotness_policy(benchmark):
+    result = run_experiment(benchmark, e08_hotness_policy)
+    table = result.table("E8 ")
+    rows = {row[0]: (row[1], row[2]) for row in table.rows}
+    hit = {name: v[0] for name, v in rows.items()}
+    # Frequency-informed placement beats recency, random, and none.
+    assert hit["gengar-epoch-decay"] > hit["lru"]
+    assert hit["gengar-epoch-decay"] > 3 * hit["random"]
+    assert hit["no-cache"] == 0
+    # After a hot-set shift, decay keeps adapting (stays near the best).
+    shift = result.table("E8b")
+    s = dict(zip(shift.column("policy"), shift.column("phase-2 hit ratio")))
+    assert s["gengar-epoch-decay"] > s["random"] * 3
+    assert s["gengar-epoch-decay"] > 0.8 * max(s.values())

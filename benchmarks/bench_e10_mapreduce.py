@@ -1,0 +1,25 @@
+"""E10 — MapReduce job completion time (the second headline claim).
+
+Claim validated: iterative MapReduce over pool-resident input speeds up as
+Gengar promotes the re-read splits into server DRAM; the total pipeline
+beats the NVM-direct DSHM and approaches the DRAM-only bound.  Word counts
+are verified identical across systems (the data plane is functional).
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e10_mapreduce
+
+
+def test_e10_mapreduce(benchmark):
+    result = run_experiment(benchmark, e10_mapreduce)
+    summary = result.table("E10b")
+    sp = dict(zip(summary.column("system"), summary.column("speedup")))
+    assert sp["gengar"] > 1.05          # beats the NVM-direct DSHM
+    assert sp["dram-only"] > sp["gengar"]  # bounded by the DRAM ceiling
+    per_iter = result.table("E10 ")
+    rows = {row[0]: row[1:-1] for row in per_iter.rows}
+    # Gengar's later iterations run faster than its first (cache warmed);
+    # NVM-direct shows no such learning effect.
+    assert rows["gengar"][-1] < rows["gengar"][0]
+    assert abs(rows["nvm-direct"][-1] - rows["nvm-direct"][0]) < 0.2 * rows["nvm-direct"][0]

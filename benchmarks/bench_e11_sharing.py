@@ -1,0 +1,25 @@
+"""E11 — multi-user sharing / consistency overhead.
+
+Claim validated: "Gengar also supports memory sharing among multiple users
+with data consistency guarantee" — throughput degrades gracefully (and
+lock retries grow) as the fraction of lock-protected shared-object
+operations rises from 0 to 1.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e11_sharing
+
+
+def test_e11_sharing(benchmark):
+    result = run_experiment(benchmark, e11_sharing)
+    table = result.table("E11")
+    kops = table.column("kops/s")
+    retries = table.column("lock retries")
+    # Throughput decreases monotonically with the sharing ratio.
+    assert all(b < a for a, b in zip(kops, kops[1:])), kops
+    # Contention (retries) grows with sharing.
+    assert retries[0] == 0
+    assert retries[-1] > retries[1]
+    # Even full serialization makes progress (no livelock).
+    assert kops[-1] > 0

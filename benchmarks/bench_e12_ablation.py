@@ -1,0 +1,41 @@
+"""E12 — design-choice ablations.
+
+Claim validated: both mechanisms matter and they compose — the proxy
+carries write-heavy workloads, the cache carries read-heavy ones, the
+cache *without* the proxy loses its gains to write-through coherence, and
+short hotness epochs adapt faster than long ones.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import e12_ablation
+
+
+def test_e12_ablation(benchmark):
+    result = run_experiment(benchmark, e12_ablation)
+    mech = result.table("E12 ")
+    kops = dict(zip(mech.column("variant"), mech.column("kops/s")))
+    # On write-heavy YCSB-A: proxy variants dominate; cache alone hurts.
+    assert kops["gengar"] > kops["nvm-direct"] * 1.2
+    assert kops["proxy-only"] > kops["nvm-direct"] * 1.2
+    assert kops["cache-only"] < kops["nvm-direct"]
+    epochs = result.table("E12b")
+    ratios = epochs.column("hit ratio")
+    # Shorter epochs adapt faster (higher hit ratio within the run).
+    assert ratios[0] > ratios[-1]
+    rings = result.table("E12c")
+    lat = rings.column("avg ack latency (us)")
+    # Bigger rings absorb the burst better (monotone non-increasing).
+    assert lat[0] >= lat[1] >= lat[2]
+    meta = result.table("E12d")
+    kops_meta = dict(zip(meta.column("metadata cache"), meta.column("kops/s")))
+    lookups = dict(zip(meta.column("metadata cache"), meta.column("lookup RPCs")))
+    # Without the client metadata cache every op pays a lookup RPC.
+    assert kops_meta["on"] > kops_meta["off"] * 1.2
+    assert lookups["off"] > 5 * lookups["on"]
+    journal = result.table("E12e")
+    cost = dict(zip(journal.column("journal"),
+                    journal.column("gmalloc mean (us)")))
+    # Journaled allocation is measurably slower, but not catastrophically.
+    assert cost["on"] > cost["off"] * 1.2
+    assert cost["on"] < cost["off"] * 4

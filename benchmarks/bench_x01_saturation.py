@@ -1,0 +1,23 @@
+"""X1 — open-loop saturation (extension experiment, beyond the paper).
+
+Open-loop trace replay issues writes at their timestamps regardless of
+completions — the methodology that can expose queueing collapse, which the
+paper's closed-loop YCSB runs cannot.  Expected shape: Gengar's write p99
+sits below NVM-direct at every offered load, and both climb as the offered
+load approaches the shared NVM bandwidth ceiling.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import x01_open_loop_saturation
+
+
+def test_x01_open_loop_saturation(benchmark):
+    result = run_experiment(benchmark, x01_open_loop_saturation)
+    table = result.table("X1")
+    rows = {row[0]: row[1:] for row in table.rows}
+    # Gengar's write p99 is lower at every offered load.
+    assert all(g < n for g, n in zip(rows["gengar"], rows["nvm-direct"]))
+    # Latency rises with offered load for both (queueing is real).
+    for name in rows:
+        assert rows[name][-1] > rows[name][0]

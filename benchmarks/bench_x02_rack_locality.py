@@ -1,0 +1,30 @@
+"""X2 — rack locality on a two-tier fabric (extension, beyond the paper).
+
+The paper's testbed is a single switch; this extension asks what happens to
+a DSHM pool when clients sit across an oversubscribed core: throughput
+degrades and read latency grows with the oversubscription factor — the DRAM
+cache removes NVM time, not network time.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import x02_rack_locality
+
+
+def test_x02_rack_locality(benchmark):
+    result = run_experiment(benchmark, x02_rack_locality)
+    table = result.table("X2")
+    kops = table.column("kops/s")
+    lat = table.column("read mean (us)")
+    # Throughput: same rack > 2:1 cross rack > 8:1 cross rack.
+    assert kops[0] > kops[1] > kops[2]
+    # Latency: strictly the other way around.
+    assert lat[0] < lat[1] < lat[2]
+    placement = result.table("X2b")
+    kops = dict(zip(placement.column("placement"), placement.column("kops/s")))
+    msgs = dict(zip(placement.column("placement"),
+                    placement.column("inter-rack msgs")))
+    # Rack-local allocation wins the partitioned workload...
+    assert kops["rack-local"] > kops["round-robin"] * 1.1
+    # ...by actually keeping traffic off the core.
+    assert msgs["rack-local"] < msgs["round-robin"] / 2

@@ -1,0 +1,23 @@
+"""X3 — attributing the YCSB-F regression (extension, beyond the paper).
+
+E4 honestly reported Gengar losing YCSB-F to the NVM-direct baseline.  This
+ablation proves the cause: disable the release-time gsync (weakening the
+guarantee) and the proxy's advantage returns.  The regression is entirely
+the synchronous drain wait that release consistency puts back on the
+critical path — a real cost of combining async writes with strict sharing.
+"""
+
+from conftest import run_experiment
+
+from repro.bench.experiments import x03_release_consistency_tax
+
+
+def test_x03_release_consistency_tax(benchmark):
+    result = run_experiment(benchmark, x03_release_consistency_tax)
+    table = result.table("X3")
+    kops = dict(zip(table.column("variant"), table.column("kops/s")))
+    # The attribution: strict Gengar loses to the baseline on F...
+    assert kops["gengar (sync release)"] < kops["nvm-direct"]
+    # ...and removing only the release sync flips it decisively.
+    assert kops["gengar (unsafe release)"] > kops["nvm-direct"] * 1.1
+    assert kops["gengar (unsafe release)"] > kops["gengar (sync release)"] * 1.3

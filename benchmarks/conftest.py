@@ -1,0 +1,18 @@
+"""Benchmark harness configuration.
+
+Each benchmark regenerates one of the paper's tables/figures by running the
+corresponding experiment driver exactly once (macro-benchmarks are too large
+for statistical rounds) and printing the paper-style table.  Run with::
+
+    pytest benchmarks/ --benchmark-only
+"""
+
+import pytest
+
+
+def run_experiment(benchmark, driver):
+    """Execute one experiment under pytest-benchmark, single round."""
+    result = benchmark.pedantic(driver, rounds=1, iterations=1)
+    print()
+    print(result.render())
+    return result

@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Distributed PageRank with all graph state in the hybrid memory pool.
+
+Run with::
+
+    python examples/pagerank.py
+
+Every iteration re-reads the full rank vector from the pool — exactly the
+re-read-heavy pattern Gengar's hot-data cache targets.  The script runs the
+same graph on Gengar and on the NVM-direct baseline and compares both the
+(identical) results and the (different) virtual runtimes.
+"""
+
+import random
+
+from repro.apps.graph import PageRankEngine, reference_pagerank
+from repro.bench.experiments import bench_config, boot
+
+
+def random_graph(n=200, m=5000, seed=5):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        a, b = rng.randrange(n), rng.randrange(n)
+        if a != b:
+            edges.add((a, b))
+    return sorted(edges), n
+
+
+def run_on(system_name: str, edges, n, iterations=10):
+    system = boot(
+        system_name, seed=5, num_servers=2, num_clients=2,
+        config_overrides=bench_config(epoch_ns=50_000, report_every_ops=8,
+                                      promote_threshold=0.5,
+                                      demote_threshold=0.1),
+    )
+    sim = system.sim
+    engine = PageRankEngine(system.clients, num_partitions=4)
+
+    def app(sim):
+        yield from engine.load(system.clients[0], edges, n)
+        t0 = sim.now
+        ranks = yield from engine.run(iterations=iterations)
+        return ranks, sim.now - t0
+
+    ((ranks, elapsed),) = system.run(app(sim))
+    return ranks, elapsed
+
+
+def main() -> None:
+    edges, n = random_graph()
+    print(f"graph: {n} vertices, {len(edges)} edges, 10 iterations\n")
+
+    results = {}
+    for name in ("gengar", "nvm-direct"):
+        ranks, elapsed = run_on(name, edges, n)
+        results[name] = (ranks, elapsed)
+        print(f"{name:12s} finished in {elapsed / 1e6:.3f} ms (virtual)")
+
+    gengar_ranks = results["gengar"][0]
+    direct_ranks = results["nvm-direct"][0]
+    worst = max(abs(gengar_ranks[v] - direct_ranks[v]) for v in gengar_ranks)
+    print(f"\nresults identical across systems (max delta {worst:.2e})")
+
+    expected = reference_pagerank(edges, n, iterations=10)
+    worst_ref = max(abs(gengar_ranks[v] - expected[v]) for v in expected)
+    print(f"matches the local reference (max delta {worst_ref:.2e})")
+
+    top = sorted(gengar_ranks, key=gengar_ranks.get, reverse=True)[:5]
+    print("\ntop-5 vertices by rank:")
+    for v in top:
+        print(f"  vertex {v:3d}: {gengar_ranks[v]:.5f}")
+
+    speedup = results["nvm-direct"][1] / results["gengar"][1]
+    print(f"\nGengar speedup over NVM-direct: {speedup:.2f}x "
+          f"(rank vector promoted to DRAM after the first iterations)")
+
+
+if __name__ == "__main__":
+    main()

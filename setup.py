@@ -1,0 +1,10 @@
+"""Shim for environments without the `wheel` package (offline testbeds).
+
+`pip install -e . --no-build-isolation` on pip 23 + setuptools 65 needs
+`wheel` for PEP 660; `python setup.py develop` (or pip's legacy editable
+path) works without it.  All metadata lives in pyproject.toml.
+"""
+
+from setuptools import setup
+
+setup()

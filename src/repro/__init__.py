@@ -1,0 +1,16 @@
+"""Gengar: an RDMA-based distributed hybrid memory pool — reproduction.
+
+A functional discrete-event reproduction of the ICDCS 2021 paper.  The
+public surface most users need:
+
+* :class:`repro.core.GengarPool` — build and boot a deployment.
+* :class:`repro.core.GengarClient` — the application API.
+* :class:`repro.sim.Simulator` — the event loop everything runs on.
+* :func:`repro.baselines.build_system` — boot any comparator system.
+
+See README.md for a tour and EXPERIMENTS.md for the reproduced evaluation.
+"""
+
+__version__ = "1.0.0"
+
+__all__ = ["__version__"]

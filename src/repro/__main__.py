@@ -1,0 +1,114 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``info`` — version, systems, experiment ids.
+* ``demo`` — the quickstart walkthrough (same as examples/quickstart.py).
+* ``experiments [IDS...]`` — regenerate reconstructed tables/figures.
+* ``ycsb --workload A --system gengar`` — one YCSB run with knobs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from repro import __version__
+
+
+def _cmd_info(_args: argparse.Namespace) -> int:
+    from repro.baselines.common import SYSTEM_NAMES
+    from repro.bench.experiments import ALL_EXPERIMENTS
+    from repro.workloads.ycsb import WORKLOADS
+
+    print(f"gengar reproduction v{__version__}")
+    print(f"systems:     {', '.join(SYSTEM_NAMES)}")
+    print(f"workloads:   YCSB {', '.join(sorted(WORKLOADS))}")
+    print(f"experiments: {', '.join(ALL_EXPERIMENTS)}")
+    return 0
+
+
+def _cmd_demo(_args: argparse.Namespace) -> int:
+    from repro.core import GengarPool
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=1)
+    pool = GengarPool.build(sim, num_servers=2, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(1024)
+        yield from client.gwrite(gaddr, b"demo payload" + bytes(1012))
+        data = yield from client.gread(gaddr, length=12)
+        yield from client.gsync()
+        return gaddr, data
+
+    ((gaddr, data),) = pool.run(app(sim))
+    print(f"allocated {gaddr:#x}, wrote+read back: {data!r}")
+    print(f"virtual time elapsed: {sim.now / 1000:.1f} us")
+    for key, value in pool.metrics_snapshot().items():
+        print(f"  {key:24s} {value}")
+    return 0
+
+
+def _cmd_experiments(args: argparse.Namespace) -> int:
+    from repro.bench.run_all import main as run_all
+
+    return run_all(args.ids)
+
+
+def _cmd_ycsb(args: argparse.Namespace) -> int:
+    from repro.bench.experiments import bench_config, boot
+    from repro.bench.runner import YcsbRunner
+    from repro.workloads.ycsb import WORKLOADS
+
+    spec = WORKLOADS[args.workload.upper()].scaled(
+        record_count=args.records, value_size=args.value_size)
+    system = boot(args.system, seed=args.seed, num_servers=args.servers,
+                  num_clients=args.clients, config_overrides=bench_config())
+    runner = YcsbRunner(system, spec, num_workers=args.clients,
+                        ops_per_worker=args.ops)
+    runner.load()
+    result = runner.run()
+    print(f"system={result.system} workload=YCSB-{result.workload}")
+    print(f"throughput: {result.throughput_ops_s / 1000:.1f} kops/s "
+          f"({result.total_ops} ops in {result.elapsed_ns / 1e6:.2f} ms virtual)")
+    print(f"cache hit ratio: {result.cache_hit_ratio:.3f}")
+    for kind, snap in sorted(result.latency_ns.items()):
+        print(f"  {kind:8s} mean {snap['mean'] / 1000:7.2f} us   "
+              f"p99 {snap['p99'] / 1000:7.2f} us   n={snap['count']}")
+    return 0
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(prog="repro", description=__doc__)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("info", help="versions, systems, experiment ids")
+    sub.add_parser("demo", help="30-second pool walkthrough")
+
+    p_exp = sub.add_parser("experiments", help="regenerate tables/figures")
+    p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
+
+    p_ycsb = sub.add_parser("ycsb", help="one YCSB run")
+    p_ycsb.add_argument("--workload", default="A", choices=list("ABCDEFabcdef"))
+    p_ycsb.add_argument("--system", default="gengar")
+    p_ycsb.add_argument("--records", type=int, default=300)
+    p_ycsb.add_argument("--value-size", type=int, default=1024)
+    p_ycsb.add_argument("--servers", type=int, default=2)
+    p_ycsb.add_argument("--clients", type=int, default=2)
+    p_ycsb.add_argument("--ops", type=int, default=200)
+    p_ycsb.add_argument("--seed", type=int, default=1)
+
+    args = parser.parse_args(argv)
+    handler = {
+        "info": _cmd_info,
+        "demo": _cmd_demo,
+        "experiments": _cmd_experiments,
+        "ycsb": _cmd_ycsb,
+    }[args.command]
+    return handler(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

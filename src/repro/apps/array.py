@@ -1,0 +1,160 @@
+"""A distributed fixed-record array over the pool.
+
+The numerical-workload companion to the KV store: ``n`` records of
+``record_size`` bytes, packed into block objects spread round-robin across
+the pool's servers.  Single-record access touches one block; bulk ranges are
+fetched block-at-a-time (amortizing round trips), which is the access
+pattern of analytics scans and checkpoint/restore.
+
+Records are raw bytes; :class:`U64Array` adds an integer view with bulk
+reductions on top.
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Generator, List, Optional, Tuple
+
+
+class ArrayError(Exception):
+    """Bad geometry or out-of-range access."""
+
+
+class DistributedArray:
+    """``n`` fixed-size records in pool-resident blocks."""
+
+    def __init__(self, length: int, record_size: int, records_per_block: int,
+                 block_gaddrs: List[int]):
+        self.length = length
+        self.record_size = record_size
+        self.records_per_block = records_per_block
+        self.block_gaddrs = block_gaddrs
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, client, length: int, record_size: int,
+               records_per_block: int = 256) -> Generator[Any, Any, "DistributedArray"]:
+        """Allocate the blocks (zero-filled, thanks to calloc semantics)."""
+        if length < 1 or record_size < 1 or records_per_block < 1:
+            raise ArrayError("length, record size, and block factor must be positive")
+        num_blocks = (length + records_per_block - 1) // records_per_block
+        blocks: List[int] = []
+        for b in range(num_blocks):
+            in_block = min(records_per_block, length - b * records_per_block)
+            gaddr = yield from client.gmalloc(in_block * record_size)
+            blocks.append(gaddr)
+        return cls(length, record_size, records_per_block, blocks)
+
+    def _locate(self, index: int) -> Tuple[int, int]:
+        if not 0 <= index < self.length:
+            raise ArrayError(f"index {index} out of range [0, {self.length})")
+        block, slot = divmod(index, self.records_per_block)
+        return self.block_gaddrs[block], slot * self.record_size
+
+    # ------------------------------------------------------------------
+    def get(self, client, index: int) -> Generator[Any, Any, bytes]:
+        """Read one record."""
+        gaddr, offset = self._locate(index)
+        data = yield from client.gread(gaddr, offset=offset,
+                                       length=self.record_size)
+        return data
+
+    def set(self, client, index: int, record: bytes) -> Generator[Any, Any, None]:
+        """Write one record."""
+        if len(record) != self.record_size:
+            raise ArrayError(
+                f"record of {len(record)} bytes; array is fixed at "
+                f"{self.record_size}"
+            )
+        gaddr, offset = self._locate(index)
+        yield from client.gwrite(gaddr, record, offset=offset)
+
+    def read_range(self, client, start: int, count: int) -> Generator[Any, Any, List[bytes]]:
+        """Bulk-read ``count`` records from ``start``, block at a time."""
+        if count < 0 or start < 0 or start + count > self.length:
+            raise ArrayError(f"range [{start}, {start + count}) out of bounds")
+        records: List[bytes] = []
+        index = start
+        remaining = count
+        while remaining > 0:
+            block, slot = divmod(index, self.records_per_block)
+            in_block = min(remaining, self.records_per_block - slot)
+            raw = yield from client.gread(
+                self.block_gaddrs[block],
+                offset=slot * self.record_size,
+                length=in_block * self.record_size,
+            )
+            for i in range(in_block):
+                records.append(raw[i * self.record_size:(i + 1) * self.record_size])
+            index += in_block
+            remaining -= in_block
+        return records
+
+    def write_range(self, client, start: int,
+                    records: List[bytes]) -> Generator[Any, Any, None]:
+        """Bulk-write contiguous records from ``start``, block at a time."""
+        if start < 0 or start + len(records) > self.length:
+            raise ArrayError(f"range [{start}, {start + len(records)}) out of bounds")
+        for record in records:
+            if len(record) != self.record_size:
+                raise ArrayError("record size mismatch in bulk write")
+        index = start
+        pos = 0
+        while pos < len(records):
+            block, slot = divmod(index, self.records_per_block)
+            in_block = min(len(records) - pos, self.records_per_block - slot)
+            payload = b"".join(records[pos : pos + in_block])
+            yield from client.gwrite(
+                self.block_gaddrs[block], payload, offset=slot * self.record_size
+            )
+            index += in_block
+            pos += in_block
+
+    def destroy(self, client) -> Generator[Any, Any, None]:
+        """Free every block."""
+        for gaddr in self.block_gaddrs:
+            yield from client.gfree(gaddr)
+        self.block_gaddrs = []
+        self.length = 0
+
+
+class U64Array:
+    """An integer view over a :class:`DistributedArray` of u64 records."""
+
+    RECORD = struct.Struct("<Q")
+
+    def __init__(self, array: DistributedArray):
+        if array.record_size != 8:
+            raise ArrayError("U64Array needs 8-byte records")
+        self.array = array
+
+    @classmethod
+    def create(cls, client, length: int,
+               records_per_block: int = 512) -> Generator[Any, Any, "U64Array"]:
+        array = yield from DistributedArray.create(
+            client, length, record_size=8, records_per_block=records_per_block)
+        return cls(array)
+
+    @property
+    def length(self) -> int:
+        return self.array.length
+
+    def get(self, client, index: int) -> Generator[Any, Any, int]:
+        raw = yield from self.array.get(client, index)
+        return self.RECORD.unpack(raw)[0]
+
+    def set(self, client, index: int, value: int) -> Generator[Any, Any, None]:
+        yield from self.array.set(client, index, self.RECORD.pack(value % (1 << 64)))
+
+    def fill(self, client, values: List[int],
+             start: int = 0) -> Generator[Any, Any, None]:
+        yield from self.array.write_range(
+            client, start, [self.RECORD.pack(v % (1 << 64)) for v in values])
+
+    def sum_range(self, client, start: int = 0,
+                  count: Optional[int] = None) -> Generator[Any, Any, int]:
+        """Bulk reduction: sum of a record range (block-at-a-time reads)."""
+        if count is None:
+            count = self.length - start
+        records = yield from self.array.read_range(client, start, count)
+        return sum(self.RECORD.unpack(r)[0] for r in records)

@@ -1,0 +1,91 @@
+"""A multi-user shared append log (the consistency showcase).
+
+Several clients append records to one log concurrently.  The log is a pool
+data structure: a header object holding the tail index, plus a fixed array
+of record slots.  Appends are serialized by the header's write lock —
+Gengar's one-sided reader/writer locks — and the release-consistency
+guarantee makes every append visible to the next lock holder.
+
+This is the workload behind the sharing-overhead experiment (E11).
+"""
+
+from __future__ import annotations
+
+import struct
+from typing import Any, Generator, List
+
+_HEADER = struct.Struct("<Q")  # tail index
+
+
+class SharedLogError(Exception):
+    """Log full or malformed record."""
+
+
+class SharedLog:
+    """A bounded multi-writer log in the pool."""
+
+    def __init__(self, header_gaddr: int, slot_gaddrs: List[int], record_size: int):
+        self.header_gaddr = header_gaddr
+        self.slot_gaddrs = slot_gaddrs
+        self.record_size = record_size
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def create(cls, client, capacity: int, record_size: int) -> Generator[Any, Any, "SharedLog"]:
+        """Allocate the log's objects and zero the tail."""
+        if capacity < 1 or record_size < 1:
+            raise SharedLogError("capacity and record size must be positive")
+        header = yield from client.gmalloc(64)
+        yield from client.gwrite(header, _HEADER.pack(0) + bytes(56))
+        slots = []
+        for _ in range(capacity):
+            slots.append((yield from client.gmalloc(record_size)))
+        yield from client.gsync()
+        return cls(header, slots, record_size)
+
+    @property
+    def capacity(self) -> int:
+        return len(self.slot_gaddrs)
+
+    # ------------------------------------------------------------------
+    def append(self, client, record: bytes) -> Generator[Any, Any, int]:
+        """Append one record; returns its index.  Raises when full."""
+        if len(record) != self.record_size:
+            raise SharedLogError(
+                f"record of {len(record)} bytes; log is fixed at {self.record_size}"
+            )
+        yield from client.glock(self.header_gaddr, write=True)
+        try:
+            raw = yield from client.gread(self.header_gaddr, length=8)
+            tail = _HEADER.unpack(raw)[0]
+            if tail >= self.capacity:
+                raise SharedLogError("log full")
+            yield from client.gwrite(self.slot_gaddrs[tail], record)
+            yield from client.gwrite(self.header_gaddr, _HEADER.pack(tail + 1))
+        finally:
+            yield from client.gunlock(self.header_gaddr, write=True)
+        return tail
+
+    def length(self, client) -> Generator[Any, Any, int]:
+        """Current record count (shared-lock read of the tail)."""
+        yield from client.glock(self.header_gaddr, write=False)
+        try:
+            raw = yield from client.gread(self.header_gaddr, length=8)
+        finally:
+            yield from client.gunlock(self.header_gaddr, write=False)
+        return _HEADER.unpack(raw)[0]
+
+    def read(self, client, index: int) -> Generator[Any, Any, bytes]:
+        """Read one record by index."""
+        if not 0 <= index < self.capacity:
+            raise SharedLogError(f"index {index} out of range")
+        data = yield from client.gread(self.slot_gaddrs[index])
+        return data
+
+    def read_all(self, client) -> Generator[Any, Any, List[bytes]]:
+        """Snapshot every appended record, consistently."""
+        n = yield from self.length(client)
+        records = []
+        for i in range(n):
+            records.append((yield from self.read(client, i)))
+        return records

@@ -1,0 +1,22 @@
+"""Comparator systems.
+
+The paper evaluates Gengar against state-of-the-art DSHM designs.  We
+re-implement the relevant design points rather than mocking them:
+
+* ``nvm-direct`` — Octopus-class: one-sided RDMA straight to NVM, no DRAM
+  cache, no proxy (a :class:`~repro.core.config.GengarConfig` ablation).
+* ``dram-only`` — everything in server DRAM; the performance upper bound
+  with a capacity ceiling.
+* ``client-replica`` — Hotpot-class: clients keep lease-based local replicas
+  of objects they read; writes go straight to NVM.
+* ``gengar`` / ``cache-only`` / ``proxy-only`` — the paper's system and its
+  two single-mechanism ablations.
+
+All systems expose the same client operations, so application drivers
+(YCSB, MapReduce) are system-agnostic.
+"""
+
+from repro.baselines.client_replica import ReplicaClient
+from repro.baselines.common import SYSTEM_NAMES, BuiltSystem, build_system
+
+__all__ = ["build_system", "BuiltSystem", "SYSTEM_NAMES", "ReplicaClient"]

@@ -1,0 +1,105 @@
+"""The uniform DSHM system interface used by every benchmark.
+
+``build_system(name, sim, ...)`` boots the named system and returns a
+:class:`BuiltSystem` whose ``clients`` all speak the Gengar client API
+(``gmalloc``/``gfree``/``gread``/``gwrite``/``gsync``/``glock``/``gunlock``
+as generator methods).  Benchmarks never special-case a system beyond its
+name, which keeps the comparison apples to apples.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Callable, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+from repro.baselines.client_replica import ReplicaClient
+from repro.core.api import GengarPool
+from repro.core.config import (
+    CACHE_ONLY,
+    DRAM_ONLY,
+    FULL,
+    NVM_DIRECT,
+    PROXY_ONLY,
+    GengarConfig,
+)
+
+
+@dataclass
+class BuiltSystem:
+    """A booted system ready to run workloads."""
+
+    name: str
+    pool: GengarPool
+    clients: List  # objects speaking the Gengar client API
+
+    @property
+    def sim(self) -> "Simulator":
+        return self.pool.sim
+
+    def run(self, *generators, max_events: Optional[int] = None) -> list:
+        """Run application processes to completion (see GengarPool.run)."""
+        return self.pool.run(*generators, max_events=max_events)
+
+
+def _gengar_variant(config: GengarConfig) -> Callable:
+    def factory(sim, num_servers, num_clients, config_overrides=None, **kw):
+        cfg = config_overrides(config) if config_overrides else config
+        pool = GengarPool.build(sim, num_servers=num_servers,
+                                num_clients=num_clients, config=cfg, **kw)
+        return pool, list(pool.clients)
+
+    return factory
+
+
+def _client_replica(sim, num_servers, num_clients, config_overrides=None,
+                    lease_ns: int = 200_000, replica_bytes: int = 4 * 1024 * 1024, **kw):
+    cfg = config_overrides(NVM_DIRECT) if config_overrides else NVM_DIRECT
+    pool = GengarPool.build(sim, num_servers=num_servers,
+                            num_clients=num_clients, config=cfg, **kw)
+    clients = [
+        ReplicaClient(inner, lease_ns=lease_ns, capacity_bytes=replica_bytes)
+        for inner in pool.clients
+    ]
+    return pool, clients
+
+
+_FACTORIES: Dict[str, Callable] = {
+    "gengar": _gengar_variant(FULL),
+    "cache-only": _gengar_variant(CACHE_ONLY),
+    "proxy-only": _gengar_variant(PROXY_ONLY),
+    "nvm-direct": _gengar_variant(NVM_DIRECT),
+    "dram-only": _gengar_variant(DRAM_ONLY),
+    "client-replica": _client_replica,
+}
+
+#: All system names, in the order benchmark tables report them.
+SYSTEM_NAMES = tuple(_FACTORIES)
+
+
+def build_system(
+    name: str,
+    sim: "Simulator",
+    num_servers: int = 2,
+    num_clients: int = 2,
+    config_overrides: Optional[Callable[[GengarConfig], GengarConfig]] = None,
+    **kw,
+) -> BuiltSystem:
+    """Boot the named system.
+
+    Args:
+        name: one of :data:`SYSTEM_NAMES`.
+        config_overrides: optional function applied to the system's base
+            config (for sweeps: cache size, ring slots, thresholds) — it must
+            preserve the mechanism switches that define the system.
+        kw: forwarded to :meth:`GengarPool.build` (device specs, link, ...).
+    """
+    try:
+        factory = _FACTORIES[name]
+    except KeyError:
+        raise ValueError(f"unknown system {name!r}; choose from {SYSTEM_NAMES}") from None
+    pool, clients = factory(sim, num_servers, num_clients,
+                            config_overrides=config_overrides, **kw)
+    return BuiltSystem(name=name, pool=pool, clients=clients)

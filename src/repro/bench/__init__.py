@@ -1,0 +1,6 @@
+"""Benchmark harness: experiment drivers and paper-style reporting."""
+
+from repro.bench.report import Table, render_series, render_table
+from repro.bench.runner import YcsbResult, YcsbRunner
+
+__all__ = ["YcsbRunner", "YcsbResult", "Table", "render_table", "render_series"]

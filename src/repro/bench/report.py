@@ -1,0 +1,103 @@
+"""Paper-style result rendering.
+
+Every benchmark regenerates its table/figure as plain text: a :class:`Table`
+for tables and :func:`render_series` for line-plot figures (one column per
+x value, one row per series — the same rows the paper's plots encode).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Sequence
+
+
+def _fmt(value: Any) -> str:
+    if isinstance(value, float):
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+@dataclass
+class Table:
+    """A titled table with aligned text rendering."""
+
+    title: str
+    headers: Sequence[str]
+    rows: List[Sequence[Any]] = field(default_factory=list)
+    notes: List[str] = field(default_factory=list)
+
+    def add_row(self, *cells: Any) -> None:
+        if len(cells) != len(self.headers):
+            raise ValueError(
+                f"row has {len(cells)} cells; table {self.title!r} has "
+                f"{len(self.headers)} columns"
+            )
+        self.rows.append(cells)
+
+    def column(self, name: str) -> List[Any]:
+        """Extract one column by header name (for assertions in tests)."""
+        try:
+            idx = list(self.headers).index(name)
+        except ValueError:
+            raise KeyError(f"no column {name!r} in {list(self.headers)}") from None
+        return [row[idx] for row in self.rows]
+
+    def render(self) -> str:
+        cells = [[_fmt(c) for c in row] for row in self.rows]
+        widths = [
+            max(len(str(h)), *(len(r[i]) for r in cells)) if cells else len(str(h))
+            for i, h in enumerate(self.headers)
+        ]
+        lines = [f"== {self.title} =="]
+        lines.append("  ".join(str(h).ljust(w) for h, w in zip(self.headers, widths)))
+        lines.append("  ".join("-" * w for w in widths))
+        for row in cells:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        for note in self.notes:
+            lines.append(f"  note: {note}")
+        return "\n".join(lines)
+
+    def __str__(self) -> str:  # pragma: no cover - convenience
+        return self.render()
+
+
+def render_table(title: str, headers: Sequence[str], rows: List[Sequence[Any]],
+                 notes: Sequence[str] = ()) -> str:
+    """One-shot table rendering."""
+    table = Table(title=title, headers=headers)
+    for row in rows:
+        table.add_row(*row)
+    table.notes.extend(notes)
+    return table.render()
+
+
+def render_series(title: str, x_label: str, x_values: Sequence[Any],
+                  series: Dict[str, Sequence[Any]], notes: Sequence[str] = ()) -> str:
+    """Render a figure's data: one row per named series over the x values."""
+    headers = [x_label] + [_fmt(x) for x in x_values]
+    table = Table(title=title, headers=headers)
+    for name, values in series.items():
+        if len(values) != len(x_values):
+            raise ValueError(
+                f"series {name!r} has {len(values)} points for "
+                f"{len(x_values)} x values"
+            )
+        table.add_row(name, *values)
+    table.notes.extend(notes)
+    return table.render()
+
+
+def speedup(baseline: float, improved: float) -> float:
+    """Relative improvement of ``improved`` over ``baseline`` (1.0 = equal).
+
+    For throughput-like metrics (higher is better): improved / baseline.
+    """
+    if baseline <= 0:
+        return 0.0
+    return improved / baseline

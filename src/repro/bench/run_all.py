@@ -1,0 +1,33 @@
+"""Regenerate every reconstructed table/figure in one go.
+
+Run with::
+
+    python -m repro.bench.run_all            # all experiments
+    python -m repro.bench.run_all E4 E10     # a subset
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+
+from repro.bench.experiments import ALL_EXPERIMENTS
+
+
+def main(argv: list[str]) -> int:
+    wanted = [a.upper() for a in argv] or list(ALL_EXPERIMENTS)
+    unknown = [w for w in wanted if w not in ALL_EXPERIMENTS]
+    if unknown:
+        print(f"unknown experiment ids: {unknown}; have {list(ALL_EXPERIMENTS)}")
+        return 2
+    for exp_id in wanted:
+        start = time.time()
+        result = ALL_EXPERIMENTS[exp_id]()
+        print(result.render())
+        print(f"[{exp_id} regenerated in {time.time() - start:.1f}s wall]")
+        print()
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main(sys.argv[1:]))

@@ -1,0 +1,6 @@
+"""Cluster substrate: nodes and topology construction."""
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.node import Node, NodeSpec
+
+__all__ = ["Node", "NodeSpec", "Cluster", "ClusterSpec"]

@@ -1,0 +1,191 @@
+"""Extent allocators for NVM data regions and DRAM cache buffers.
+
+A first-fit free-list allocator with coalescing on free.  It is used in two
+places: the master's per-server view of NVM (backing ``gmalloc``), and each
+server's DRAM cache buffer (backing promotions).  Allocations are aligned so
+device accesses stay naturally aligned.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+
+class OutOfMemory(Exception):
+    """No extent large enough for the request."""
+
+
+class AllocatorError(Exception):
+    """Invalid free / double free / corruption."""
+
+
+class ExtentAllocator:
+    """First-fit allocator over ``[0, capacity)`` with coalescing free."""
+
+    def __init__(self, capacity: int, alignment: int = 64):
+        if capacity <= 0:
+            raise ValueError("capacity must be positive")
+        if alignment < 1 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.capacity = capacity
+        self.alignment = alignment
+        # Sorted list of (offset, length) free extents.
+        self._free: List[Tuple[int, int]] = [(0, capacity)]
+        # offset -> allocated length, for validation and usage accounting.
+        self._allocated: Dict[int, int] = {}
+        self.allocated_bytes = 0
+
+    # ------------------------------------------------------------------
+    def _round_up(self, size: int) -> int:
+        a = self.alignment
+        return (size + a - 1) & ~(a - 1)
+
+    def alloc(self, size: int) -> int:
+        """Allocate ``size`` bytes; returns the offset.
+
+        Raises :class:`OutOfMemory` when no extent fits (the caller decides
+        whether to evict, spill to another server, or fail).
+        """
+        if size <= 0:
+            raise ValueError(f"allocation size must be positive, got {size}")
+        need = self._round_up(size)
+        for i, (off, length) in enumerate(self._free):
+            if length >= need:
+                if length == need:
+                    del self._free[i]
+                else:
+                    self._free[i] = (off + need, length - need)
+                self._allocated[off] = need
+                self.allocated_bytes += need
+                return off
+        raise OutOfMemory(f"no extent of {need} bytes (free: {self.free_bytes})")
+
+    def alloc_at(self, offset: int, size: int) -> None:
+        """Claim a specific extent (journal replay during recovery).
+
+        The range must lie entirely inside one free extent; raises
+        :class:`AllocatorError` otherwise (a corrupt or duplicated journal).
+        """
+        if size <= 0:
+            raise ValueError("allocation size must be positive")
+        if offset % self.alignment:
+            raise AllocatorError(f"replayed offset {offset:#x} is misaligned")
+        need = self._round_up(size)
+        for i, (free_off, free_len) in enumerate(self._free):
+            if free_off <= offset and offset + need <= free_off + free_len:
+                del self._free[i]
+                if free_off < offset:
+                    self._free.insert(i, (free_off, offset - free_off))
+                    i += 1
+                tail = (free_off + free_len) - (offset + need)
+                if tail:
+                    self._free.insert(i, (offset + need, tail))
+                self._allocated[offset] = need
+                self.allocated_bytes += need
+                return
+        raise AllocatorError(
+            f"cannot replay allocation [{offset:#x}, {offset + need:#x}): "
+            "range is not free"
+        )
+
+    def free(self, offset: int) -> None:
+        """Return an allocation, coalescing with neighbouring free extents."""
+        length = self._allocated.pop(offset, None)
+        if length is None:
+            raise AllocatorError(f"free of unallocated offset {offset:#x}")
+        self.allocated_bytes -= length
+        # Insert in sorted position, then merge with neighbours.
+        lo, hi = 0, len(self._free)
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._free[mid][0] < offset:
+                lo = mid + 1
+            else:
+                hi = mid
+        self._free.insert(lo, (offset, length))
+        self._coalesce_around(lo)
+
+    def _coalesce_around(self, idx: int) -> None:
+        # Merge with the next extent.
+        if idx + 1 < len(self._free):
+            off, length = self._free[idx]
+            noff, nlen = self._free[idx + 1]
+            if off + length == noff:
+                self._free[idx] = (off, length + nlen)
+                del self._free[idx + 1]
+        # Merge with the previous extent.
+        if idx > 0:
+            poff, plen = self._free[idx - 1]
+            off, length = self._free[idx]
+            if poff + plen == off:
+                self._free[idx - 1] = (poff, plen + length)
+                del self._free[idx]
+
+    # ------------------------------------------------------------------
+    @property
+    def free_bytes(self) -> int:
+        return sum(length for _, length in self._free)
+
+    @property
+    def largest_free_extent(self) -> int:
+        return max((length for _, length in self._free), default=0)
+
+    def size_of(self, offset: int) -> Optional[int]:
+        """Rounded size of the allocation at ``offset`` (None if not live)."""
+        return self._allocated.get(offset)
+
+    def check_invariants(self) -> None:
+        """Structural self-check, used by property tests."""
+        total_free = 0
+        prev_end = -1
+        for off, length in self._free:
+            assert length > 0, "empty free extent"
+            assert off > prev_end, "free list unsorted or overlapping"
+            prev_end = off + length - 1
+            total_free += length
+        assert total_free + self.allocated_bytes == self.capacity, (
+            f"leak: free {total_free} + allocated {self.allocated_bytes} "
+            f"!= capacity {self.capacity}"
+        )
+        # Adjacent free extents must have been coalesced.
+        for (off_a, len_a), (off_b, _len_b) in zip(self._free, self._free[1:]):
+            assert off_a + len_a < off_b, "uncoalesced adjacent free extents"
+
+
+class PoolAllocationPolicy:
+    """Chooses a home server for each new object.
+
+    Capacity-aware round robin: rotate across servers but skip those that
+    cannot fit the request, so a nearly-full server stops receiving objects
+    before it overflows.
+    """
+
+    def __init__(self, allocators: Dict[int, ExtentAllocator]):
+        if not allocators:
+            raise ValueError("need at least one server allocator")
+        self.allocators = allocators
+        self._order = sorted(allocators)
+        self._next = 0
+
+    def choose(self, size: int, preferred=None) -> int:
+        """Pick a server id for a ``size``-byte object.
+
+        ``preferred`` (an iterable of server ids) is tried first — used by
+        rack-local placement — before falling back to the global rotation.
+        Raises :class:`OutOfMemory` when no server can fit it.
+        """
+        if preferred:
+            wanted = [sid for sid in self._order if sid in set(preferred)]
+            n = len(wanted)
+            for step in range(n):
+                server_id = wanted[(self._next + step) % n]
+                if self.allocators[server_id].largest_free_extent >= size:
+                    self._next = (self._next + step + 1) % len(self._order)
+                    return server_id
+        n = len(self._order)
+        for step in range(n):
+            server_id = self._order[(self._next + step) % n]
+            if self.allocators[server_id].largest_free_extent >= size:
+                self._next = (self._next + step + 1) % n
+                return server_id
+        raise OutOfMemory(f"no server has {size} contiguous free bytes")

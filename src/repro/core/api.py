@@ -1,0 +1,236 @@
+"""The public façade: build and boot a Gengar deployment in one call.
+
+:class:`GengarPool` assembles the cluster (master node, memory servers,
+client nodes), wires every RDMA connection, and runs the bootstrap handshake
+(master registration, client attach, proxy ring setup).  After
+:meth:`GengarPool.build`, the pool's clients are ready for
+``gmalloc``/``gread``/``gwrite``/``glock``.
+
+Typical usage::
+
+    from repro.core import GengarPool
+    from repro.sim import Simulator
+
+    sim = Simulator(seed=1)
+    pool = GengarPool.build(sim, num_servers=2, num_clients=2)
+
+    def app(sim, client):
+        gaddr = yield from client.gmalloc(4096)
+        yield from client.gwrite(gaddr, b"hello pool")
+        data = yield from client.gread(gaddr, length=10)
+        return data
+
+    proc = sim.spawn(app(sim, pool.clients[0]))
+    sim.run()
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+from repro.cluster.cluster import Cluster, ClusterSpec
+from repro.cluster.node import NodeSpec
+from repro.core.client import GengarClient
+from repro.core.config import GengarConfig
+from repro.core.master import Master
+from repro.core.server import MemoryServer
+from repro.hardware.specs import (
+    CONNECTX5_NIC,
+    DDR4_DRAM,
+    DEFAULT_LINK,
+    OPTANE_NVM,
+    LinkSpec,
+    MemorySpec,
+    NicSpec,
+)
+from repro.rdma.endpoint import connect
+from repro.rdma.rpc import RpcClient
+
+#: DRAM reserved on clients/master for each RPC connection's rings.
+_RPC_SPAN = 2 * 16 * 4096
+
+
+class GengarPool:
+    """A booted Gengar deployment: master + servers + attached clients."""
+
+    def __init__(self, sim: "Simulator", cluster: Cluster, master: Master,
+                 servers: Dict[int, MemoryServer], clients: List[GengarClient],
+                 config: GengarConfig):
+        self.sim = sim
+        self.cluster = cluster
+        self.master = master
+        self.servers = servers
+        self.clients = clients
+        self.config = config
+
+    # ------------------------------------------------------------------
+    @classmethod
+    def build(
+        cls,
+        sim: "Simulator",
+        num_servers: int = 2,
+        num_clients: int = 2,
+        config: Optional[GengarConfig] = None,
+        dram: MemorySpec = DDR4_DRAM,
+        nvm: MemorySpec = OPTANE_NVM,
+        nic: NicSpec = CONNECTX5_NIC,
+        link: LinkSpec = DEFAULT_LINK,
+        client_cores: int = 16,
+        policy_factory=None,
+        rack_plan: Optional[Dict[str, str]] = None,
+    ) -> "GengarPool":
+        """Construct the cluster, wire it, and run the bootstrap handshake.
+
+        The simulator is run (synchronously) until the handshake completes;
+        virtual time spent booting is realistic RPC time.
+        """
+        if num_servers < 1 or num_clients < 1:
+            raise ValueError("need at least one server and one client")
+        config = config or GengarConfig()
+
+        rack_plan = rack_plan or {}
+        node_specs = [NodeSpec(name="master", dram=dram, nvm=None,
+                               rack=rack_plan.get("master"))]
+        for i in range(num_servers):
+            node_specs.append(NodeSpec(name=f"server{i}", dram=dram, nvm=nvm,
+                                       rack=rack_plan.get(f"server{i}")))
+        for i in range(num_clients):
+            node_specs.append(
+                NodeSpec(name=f"client{i}", dram=dram, nvm=None,
+                         cores=client_cores, rack=rack_plan.get(f"client{i}"))
+            )
+        cluster = Cluster(sim, ClusterSpec(nodes=tuple(node_specs), link=link))
+
+        master = Master(cluster.node("master"), config, policy_factory=policy_factory)
+        servers: Dict[int, MemoryServer] = {}
+        for sid in range(num_servers):
+            server_node = cluster.node(f"server{sid}")
+            servers[sid] = MemoryServer(server_node, sid, config)
+
+        # Master <-> server control connections.
+        master_node = cluster.node("master")
+        for sid, server in servers.items():
+            qp_m, qp_s = connect(master_node.endpoint, server.node.endpoint)
+            server.serve_control(qp_s)
+            rpc_base = master.carve_rpc_span()
+            rpc = RpcClient(master_node.endpoint, qp_m, master_node.dram, base=rpc_base,
+                            name=f"master->server{sid}")
+            master.add_server(server.descriptor(), rpc,
+                              data_capacity=server.data_capacity)
+
+        # Clients: control to master, control + data to each server.
+        clients: List[GengarClient] = []
+        for cid in range(num_clients):
+            client_node = cluster.node(f"client{cid}")
+            client = GengarClient(client_node, name=f"client{cid}")
+            qp_c, qp_m = connect(client_node.endpoint, master_node.endpoint)
+            master.serve_control(qp_m)
+            client.master_rpc = RpcClient(
+                client_node.endpoint, qp_c, client_node.dram,
+                base=client.carve_dram(_RPC_SPAN, "rpc.master"),
+                name=f"{client.name}->master",
+            )
+            for sid, server in servers.items():
+                ctrl_c, ctrl_s = connect(client_node.endpoint, server.node.endpoint)
+                server.serve_control(ctrl_s)
+                server_rpc = RpcClient(
+                    client_node.endpoint, ctrl_c, client_node.dram,
+                    base=client.carve_dram(_RPC_SPAN, f"rpc.server{sid}"),
+                    name=f"{client.name}->server{sid}",
+                )
+                data_c, _data_s = connect(client_node.endpoint, server.node.endpoint)
+                client.add_server_conn(server.descriptor(), data_c, server_rpc)
+            clients.append(client)
+
+        # Bootstrap handshake: attach every client, then start the planner.
+        def bootstrap(sim):
+            for client in clients:
+                yield from client.attach()
+            master.start_planner()
+
+        sim.run_until_complete(sim.spawn(bootstrap(sim), name="bootstrap"))
+        return cls(sim, cluster, master, servers, clients, config)
+
+    # ------------------------------------------------------------------
+    def run(self, *generators, max_events: Optional[int] = None) -> list:
+        """Spawn application processes and run until all of them finish.
+
+        Background service loops (proxy drains, the hotness planner) keep
+        the event queue non-empty forever, so callers should use this rather
+        than ``sim.run()``.  Returns the processes' values in order; raises
+        the first failure.
+        """
+        procs = [self.sim.spawn(g) for g in generators]
+        self.sim.run_until_complete(self.sim.all_of(procs), max_events=max_events)
+        return [p.value for p in procs]
+
+    def server_for(self, gaddr: int) -> MemoryServer:
+        """The memory server homing ``gaddr``."""
+        from repro.core.addressing import server_of
+
+        return self.servers[server_of(gaddr)]
+
+    def describe(self) -> Dict[str, object]:
+        """Structured operator snapshot of the whole deployment.
+
+        Complements :meth:`metrics_snapshot` (flat pool-wide counters) with
+        per-component state: directory occupancy, per-server cache/proxy
+        status, and per-client session state.
+        """
+        m = self.sim.metrics
+        servers = {}
+        for sid, server in self.servers.items():
+            servers[f"server{sid}"] = {
+                "alive": server.is_alive,
+                "cached_objects": len(server.cached),
+                "cache_used_bytes": server.cache_used_bytes,
+                "drained_writes": server.drained_writes.count,
+                "peak_ring_occupancy": server.ring_occupancy.peak,
+                "promotions": server.promotions.count,
+                "demotions": server.demotions.count,
+                "crashes": server.crashes,
+                "journal_records": getattr(server, "_journal_count", 0)
+                if server.journal_base is not None else None,
+            }
+        clients = {}
+        for client in self.clients:
+            clients[client.name] = {
+                "uid": client.uid,
+                "pending_overlay_writes": len(client._overlay),
+                "cached_metadata_entries": len(client._meta_cache),
+            }
+        return {
+            "virtual_time_ns": self.sim.now,
+            "objects": len(self.master.directory),
+            "master": {
+                "allocations": self.master.allocations.count,
+                "reports": self.master.reports.count,
+                "promotions": self.master.promote_ops.count,
+                "demotions": self.master.demote_ops.count,
+            },
+            "servers": servers,
+            "clients": clients,
+            "locks": {
+                "acquires": m.counter("pool.lock_acquires").count,
+                "retries": m.counter("pool.lock_retries").count,
+            },
+        }
+
+    def metrics_snapshot(self) -> Dict[str, float]:
+        """Pool-wide counters most benchmarks report."""
+        m = self.sim.metrics
+        reads = m.counter("pool.reads")
+        hits = m.counter("pool.cache_hits")
+        return {
+            "reads": reads.count,
+            "writes": m.counter("pool.writes").count,
+            "cache_hits": hits.count,
+            "cache_hit_ratio": hits.count / reads.count if reads.count else 0.0,
+            "proxy_writes": m.counter("pool.proxy_writes").count,
+            "direct_writes": m.counter("pool.direct_writes").count,
+            "read_latency_mean_ns": m.histogram("pool.read_latency").mean,
+            "write_latency_mean_ns": m.histogram("pool.write_latency").mean,
+        }

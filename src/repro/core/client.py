@@ -1,0 +1,612 @@
+"""The Gengar client library.
+
+All application access to the pool goes through this class, which is exactly
+what lets Gengar harvest access semantics for free: every ``gread``/``gwrite``
+the library posts is also an access record, batched and piggybacked to the
+master (see :mod:`repro.core.hotness`).
+
+Data-plane routing per operation:
+
+* **read, object cached** → one RDMA READ of the home server's DRAM cache
+  slot (self-verifying tag; a mismatch means stale metadata, triggering a
+  lookup and retry),
+* **read, uncached** → one RDMA READ of the NVM home,
+* **write, proxy on** → one RDMA WRITE_WITH_IMM into the client's private
+  ring in server DRAM; completion at DRAM latency, NVM updated by the
+  server's drain loop off the critical path,
+* **write, proxy off** → RDMA WRITE to NVM (plus a verified cache update
+  when a DRAM copy exists).
+
+Reads of objects with still-undrained proxy writes are served from the
+client's local overlay, so every client observes its own writes.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.rdma.qp import QueuePair
+    from repro.rdma.rpc import RpcClient
+
+from repro.core.config import GengarConfig
+from repro.core.consistency import LockOps
+from repro.core.layout import DramCarver
+from repro.core.protocol import (
+    CACHE_TAG_BYTES,
+    ObjectMeta,
+    RingDescriptor,
+    ServerDescriptor,
+    pack_proxy_slot,
+    proxy_payload_capacity,
+    tag_matches,
+)
+from repro.rdma.mr import AccessFlags
+from repro.rdma.wr import Opcode, WorkRequest
+from repro.sim.resources import Store
+from repro.sim.trace import trace
+
+
+class ClientError(Exception):
+    """Invalid client operation or unrecoverable protocol failure."""
+
+
+@dataclass
+class _PendingWrite:
+    """Read-your-writes overlay entry for one object."""
+
+    offset: int
+    data: bytes
+    server_id: int
+    seq: int  # the ring sequence number of the staging write
+
+
+@dataclass
+class _ServerConn:
+    """Client-side state for one memory server."""
+
+    desc: ServerDescriptor
+    data_qp: "QueuePair"
+    rpc: "RpcClient"
+    ring: Optional[RingDescriptor] = None
+    written: int = 0  # proxy writes issued
+    drained_known: int = 0  # last drained-counter value observed
+
+
+#: Scratch bounce buffers for RDMA payloads.
+_SCRATCH_SLOTS = 16
+_SCRATCH_SLOT_SIZE = 256 * 1024
+#: Retries after self-verification failures before declaring thrash.
+_MAX_META_RETRIES = 4
+
+
+class GengarClient:
+    """One application's handle on the pool.
+
+    All public operations are *process helpers*: call them with
+    ``yield from`` inside a simulation process.
+    """
+
+    def __init__(self, node: "Node", name: str = ""):
+        self.node = node
+        self.sim = node.sim
+        self.name = name or node.name
+        self.config: GengarConfig = GengarConfig()  # replaced at attach
+        self.master_rpc: Optional["RpcClient"] = None  # wired by bootstrap
+        self._conns: Dict[int, _ServerConn] = {}
+        self._meta_cache: Dict[int, ObjectMeta] = {}
+        self._overlay: Dict[int, _PendingWrite] = {}
+        self._access_counts: Dict[int, list] = {}  # gaddr -> [reads, writes]
+        self._ops_since_report = 0
+        self._report_inflight = False
+        self.locks = LockOps(self)
+        self._attached = False
+        #: Unique id assigned by the master at attach; tags write locks so
+        #: abandoned ones are attributable and recoverable.
+        self.uid = 0
+
+        # Local scratch buffers for DMA sources/destinations.
+        self._carver = DramCarver(node.dram)
+        self._scratch_base: Optional[int] = None
+        self._scratch_mr = None
+        self._scratch_free: Optional[Store] = None
+
+        m = self.sim.metrics
+        self.m_reads = m.counter("pool.reads")
+        self.m_writes = m.counter("pool.writes")
+        self.m_cache_hits = m.counter("pool.cache_hits")
+        self.m_nvm_reads = m.counter("pool.nvm_reads")
+        self.m_overlay_hits = m.counter("pool.overlay_hits")
+        self.m_tag_misses = m.counter("pool.tag_misses")
+        self.m_proxy_writes = m.counter("pool.proxy_writes")
+        self.m_direct_writes = m.counter("pool.direct_writes")
+        self.m_lookups = m.counter("pool.lookups")
+        self.h_read = m.histogram("pool.read_latency")
+        self.h_write = m.histogram("pool.write_latency")
+
+    # ------------------------------------------------------------------
+    # Wiring + attach (called by the deployment bootstrap)
+    # ------------------------------------------------------------------
+    def carve_dram(self, nbytes: int, label: str) -> int:
+        """Reserve client DRAM for connection buffers (bootstrap helper)."""
+        return self._carver.carve(nbytes, label)
+
+    def add_server_conn(self, desc: ServerDescriptor, data_qp: "QueuePair",
+                        rpc: "RpcClient") -> None:
+        self._conns[desc.server_id] = _ServerConn(desc=desc, data_qp=data_qp, rpc=rpc)
+
+    def attach(self) -> Generator[Any, Any, None]:
+        """Join the pool: fetch config from the master, set up proxy rings."""
+        if self.master_rpc is None:
+            raise ClientError("client not wired to a master")
+        info = yield from self.master_rpc.call("attach", {"client": self.name})
+        self.config = info["config"]
+        self.uid = info["client_id"]
+
+        scratch_span = _SCRATCH_SLOTS * _SCRATCH_SLOT_SIZE
+        self._scratch_base = self._carver.carve(scratch_span, "scratch")
+        self._scratch_mr = self.node.endpoint.register_mr(
+            self.node.dram, self._scratch_base, scratch_span,
+            access=AccessFlags.ALL, name=f"{self.name}.scratch",
+        )
+        self._scratch_free = Store(self.sim, name=f"{self.name}.scratch_free")
+        for i in range(_SCRATCH_SLOTS):
+            self._scratch_free.put(i * _SCRATCH_SLOT_SIZE)
+
+        for desc in info["servers"]:
+            conn = self._conns.get(desc.server_id)
+            if conn is None:
+                raise ClientError(
+                    f"master lists server {desc.server_id} but no QP was wired"
+                )
+            if self.config.enable_proxy:
+                conn.ring = yield from conn.rpc.call(
+                    "attach",
+                    {"client": self.name, "qp_num": conn.data_qp.remote.qp_num},
+                )
+        self._attached = True
+
+    # ------------------------------------------------------------------
+    # Public API
+    # ------------------------------------------------------------------
+    def gmalloc(self, size: int) -> Generator[Any, Any, int]:
+        """Allocate an object in the pool; returns its global address.
+
+        Fresh objects read as zeros (calloc semantics): freed extents are
+        scrubbed server-side before reuse, so no allocation can observe a
+        previous object's bytes.
+        """
+        self._require_attached()
+        meta = yield from self.master_rpc.call(
+            "gmalloc", {"size": size, "client": self.name})
+        if self.config.metadata_cache:
+            self._meta_cache[meta.gaddr] = meta
+        return meta.gaddr
+
+    def gfree(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Free a pool object.  Outstanding writes are synced first."""
+        self._require_attached()
+        if gaddr in self._overlay:
+            yield from self.gsync(server_id=self._overlay[gaddr].server_id)
+        yield from self.master_rpc.call("gfree", {"gaddr": gaddr})
+        self._meta_cache.pop(gaddr, None)
+        self._access_counts.pop(gaddr, None)
+
+    def gread(self, gaddr: int, offset: int = 0,
+              length: Optional[int] = None) -> Generator[Any, Any, bytes]:
+        """Read ``length`` bytes of an object (defaults to the whole object)."""
+        self._require_attached()
+        start = self.sim.now
+        meta = yield from self._meta(gaddr)
+        if length is None:
+            length = meta.size - offset
+        self._check_bounds(meta, offset, length)
+        yield from self.node.cpu_work()
+        self.m_reads.add()
+
+        # Read-your-writes: serve from the overlay when it covers the range.
+        pending = self._overlay.get(gaddr)
+        if pending is not None:
+            if (pending.offset <= offset
+                    and offset + length <= pending.offset + len(pending.data)):
+                self.m_overlay_hits.add()
+                self._note_access(gaddr, read=True)
+                self.h_read.record(self.sim.now - start)
+                lo = offset - pending.offset
+                return pending.data[lo : lo + length]
+            # Partial overlap: force the write down before reading remotely.
+            yield from self.gsync(server_id=pending.server_id)
+
+        data = yield from self._remote_read(gaddr, meta, offset, length)
+        self._note_access(gaddr, read=True)
+        self.h_read.record(self.sim.now - start)
+        return data
+
+    def gwrite(self, gaddr: int, data: bytes, offset: int = 0) -> Generator[Any, Any, None]:
+        """Write ``data`` into an object at ``offset``."""
+        self._require_attached()
+        if not data:
+            raise ClientError("empty write")
+        start = self.sim.now
+        meta = yield from self._meta(gaddr)
+        self._check_bounds(meta, offset, len(data))
+        yield from self.node.cpu_work()
+        self.m_writes.add()
+
+        conn = self._conns[meta.server_id]
+        use_proxy = (
+            self.config.enable_proxy
+            and conn.ring is not None
+            and len(data) <= proxy_payload_capacity(conn.ring.slot_size)
+        )
+        if use_proxy:
+            yield from self._proxy_write(conn, gaddr, offset, data)
+            self.m_proxy_writes.add(len(data))
+        else:
+            yield from self._direct_write(conn, gaddr, meta, offset, data)
+            self.m_direct_writes.add(len(data))
+        self._note_access(gaddr, read=False)
+        self.h_write.record(self.sim.now - start)
+
+    def gsync(self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
+        """Block until outstanding proxy writes have drained to NVM.
+
+        With ``server_id=None``, syncs every server.
+        """
+        self._require_attached()
+        targets = [server_id] if server_id is not None else sorted(self._conns)
+        for sid in targets:
+            conn = self._conns[sid]
+            if conn.ring is None or conn.written <= conn.drained_known:
+                continue
+            backoff = 0
+            while conn.drained_known < conn.written:
+                yield from self._poll_drained(conn)
+                if conn.drained_known < conn.written:
+                    backoff = min(backoff + 1, 5)
+                    yield self.sim.timeout(500 * (1 << backoff))
+            self._prune_overlay(sid)
+
+    def reattach_server(self, server_id: int) -> Generator[Any, Any, list]:
+        """Re-establish state with a recovered server.
+
+        Returns the global addresses of this client's writes that were still
+        staged in the (lost) proxy ring — the data that did NOT survive the
+        crash.  Applications decide whether to replay them.
+        """
+        self._require_attached()
+        conn = self._conns[server_id]
+        lost = sorted(
+            g for g, p in self._overlay.items() if p.server_id == server_id
+        )
+        for g in lost:
+            del self._overlay[g]
+        conn.written = 0
+        conn.drained_known = 0
+        # Location metadata for that server's objects is stale (the DRAM
+        # cache is empty now); drop it and re-learn lazily.
+        for g in [g for g, m in self._meta_cache.items()
+                  if m.server_id == server_id]:
+            self._meta_cache.pop(g)
+        if self.config.enable_proxy:
+            conn.ring = yield from conn.rpc.call(
+                "attach",
+                {"client": self.name, "qp_num": conn.data_qp.remote.qp_num},
+            )
+        return lost
+
+    # Batched operations --------------------------------------------------
+    def gread_many(self, gaddrs) -> Generator[Any, Any, list]:
+        """Issue many reads concurrently (doorbell batching); results in
+        argument order.  The first failure propagates."""
+        self._require_attached()
+        procs = [self.sim.spawn(self.gread(g), name=f"{self.name}.batchr")
+                 for g in gaddrs]
+        yield self.sim.all_of(procs)
+        return [p.value for p in procs]
+
+    def gwrite_many(self, writes) -> Generator[Any, Any, None]:
+        """Issue many ``(gaddr, data)`` writes concurrently."""
+        self._require_attached()
+        procs = [self.sim.spawn(self.gwrite(g, data), name=f"{self.name}.batchw")
+                 for g, data in writes]
+        yield self.sim.all_of(procs)
+        for p in procs:
+            _ = p.value  # surface failures
+
+    # Lock API (delegates to the consistency layer) ----------------------
+    def glock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
+        """Acquire the object's lock (exclusive by default, shared if not)."""
+        if write:
+            yield from self.locks.acquire_write(gaddr)
+        else:
+            yield from self.locks.acquire_read(gaddr)
+
+    def gunlock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
+        """Release the object's lock.  Write unlocks sync first."""
+        if write:
+            yield from self.locks.release_write(gaddr)
+        else:
+            yield from self.locks.release_read(gaddr)
+
+    # ------------------------------------------------------------------
+    # Metadata
+    # ------------------------------------------------------------------
+    def _require_attached(self) -> None:
+        if not self._attached:
+            raise ClientError(f"client {self.name} is not attached; run attach() first")
+
+    def _meta(self, gaddr: int) -> Generator[Any, Any, ObjectMeta]:
+        meta = self._meta_cache.get(gaddr)
+        if meta is not None:
+            return meta
+        meta = yield from self.master_rpc.call("lookup", {"gaddr": gaddr})
+        self.m_lookups.add()
+        if self.config.metadata_cache:
+            self._meta_cache[gaddr] = meta
+        return meta
+
+    def _invalidate_meta(self, gaddr: int) -> None:
+        self._meta_cache.pop(gaddr, None)
+
+    @staticmethod
+    def _check_bounds(meta: ObjectMeta, offset: int, length: int) -> None:
+        if offset < 0 or length < 0 or offset + length > meta.size:
+            raise ClientError(
+                f"access [{offset}, {offset + length}) outside object "
+                f"{meta.gaddr:#x} of size {meta.size}"
+            )
+
+    # ------------------------------------------------------------------
+    # Read path
+    # ------------------------------------------------------------------
+    def _remote_read(self, gaddr: int, meta: ObjectMeta, offset: int,
+                     length: int) -> Generator[Any, Any, bytes]:
+        for _attempt in range(_MAX_META_RETRIES):
+            conn = self._conns[meta.server_id]
+            if self.config.enable_cache and meta.cached:
+                # One READ covering the tag and the requested range.
+                span = CACHE_TAG_BYTES + offset + length
+                raw = yield from self._rdma_read(
+                    conn, conn.desc.cache_rkey, meta.cache_offset, span
+                )
+                if tag_matches(raw, gaddr):
+                    self.m_cache_hits.add()
+                    trace(self.sim, "cache", "read hit", client=self.name,
+                          gaddr=hex(gaddr), bytes=length)
+                    return raw[CACHE_TAG_BYTES + offset : CACHE_TAG_BYTES + offset + length]
+                # Stale metadata (object demoted / slot reused): refresh.
+                self.m_tag_misses.add()
+                trace(self.sim, "cache", "tag mismatch -> refresh",
+                      client=self.name, gaddr=hex(gaddr))
+                self._invalidate_meta(gaddr)
+                meta = yield from self._meta(gaddr)
+                continue
+            data = yield from self._rdma_read(
+                conn, conn.desc.data_rkey, meta.nvm_offset + offset, length
+            )
+            self.m_nvm_reads.add()
+            trace(self.sim, "read", "nvm read", client=self.name,
+                  gaddr=hex(gaddr), bytes=length)
+            return data
+        raise ClientError(f"metadata thrash reading {gaddr:#x}")
+
+    # ------------------------------------------------------------------
+    # Write paths
+    # ------------------------------------------------------------------
+    def _proxy_write(self, conn: _ServerConn, gaddr: int, offset: int,
+                     data: bytes) -> Generator[Any, Any, None]:
+        ring = conn.ring
+        if conn.written - conn.drained_known >= ring.slots:
+            yield from self._await_ring_space(conn)
+        # Reserve the sequence number *before* any further yield so
+        # concurrent writers (gwrite_many) never collide on a ring slot.
+        seq = conn.written
+        conn.written += 1
+        slot = seq % ring.slots
+        payload = pack_proxy_slot(gaddr, offset, data)
+        wr = WorkRequest(
+            opcode=Opcode.RDMA_WRITE_IMM,
+            remote_rkey=ring.ring_rkey,
+            remote_offset=slot * ring.slot_size,
+            imm_data=slot,
+        )
+        if self.node.nic.is_inline(len(payload)):
+            wr.inline_data = payload
+            wr.length = len(payload)
+            wc = yield conn.data_qp.post_send(wr)
+        else:
+            scratch_off = yield self._scratch_free.get()
+            try:
+                self._scratch_mr.poke(scratch_off, payload)
+                wr.local_mr = self._scratch_mr
+                wr.local_offset = scratch_off
+                wr.length = len(payload)
+                wc = yield conn.data_qp.post_send(wr)
+            finally:
+                self._scratch_free.put(scratch_off)
+        if not wc.ok:
+            raise ClientError(f"proxy write failed: {wc.status}")
+        trace(self.sim, "proxy", "staged write", client=self.name,
+              gaddr=hex(gaddr), slot=slot, bytes=len(data))
+        # The drained counter is 1-based: write #seq is drained once the
+        # counter reaches seq + 1.
+        self._overlay[gaddr] = _PendingWrite(
+            offset=offset, data=data, server_id=conn.desc.server_id, seq=seq + 1
+        )
+
+    def _direct_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
+                      offset: int, data: bytes) -> Generator[Any, Any, None]:
+        yield from self._rdma_write(
+            conn, conn.desc.data_rkey, meta.nvm_offset + offset, data
+        )
+        if self.config.enable_cache and meta.cached:
+            fresh = yield from self._verified_cache_write(conn, gaddr, meta, offset, data)
+            if not fresh:
+                self._invalidate_meta(gaddr)
+
+    def _verified_cache_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
+                              offset: int, data: bytes) -> Generator[Any, Any, bool]:
+        """Update the DRAM copy of a cached object, verifying the tag first.
+
+        Without the proxy this costs an extra round trip per write — the
+        coherence tax the proxy design eliminates (drains update the cache
+        server-side for free).
+        """
+        raw = yield from self._rdma_read(
+            conn, conn.desc.cache_rkey, meta.cache_offset, CACHE_TAG_BYTES
+        )
+        if not tag_matches(raw, gaddr):
+            self.m_tag_misses.add()
+            return False
+        yield from self._rdma_write(
+            conn, conn.desc.cache_rkey,
+            meta.cache_offset + CACHE_TAG_BYTES + offset, data,
+        )
+        return True
+
+    # ------------------------------------------------------------------
+    # Proxy flow control
+    # ------------------------------------------------------------------
+    def _poll_drained(self, conn: _ServerConn) -> Generator[Any, Any, None]:
+        """Fetch the server-side drained counter with one 8-byte READ."""
+        raw = yield from self._rdma_read(
+            conn, conn.ring.ring_rkey, conn.ring.counter_offset, 8
+        )
+        value = int.from_bytes(raw, "little")
+        if value > conn.drained_known:
+            conn.drained_known = value
+            self._prune_overlay(conn.desc.server_id)
+
+    def _await_ring_space(self, conn: _ServerConn) -> Generator[Any, Any, None]:
+        backoff = 0
+        while conn.written - conn.drained_known >= conn.ring.slots:
+            yield from self._poll_drained(conn)
+            if conn.written - conn.drained_known >= conn.ring.slots:
+                backoff = min(backoff + 1, 5)
+                yield self.sim.timeout(500 * (1 << backoff))
+
+    def _prune_overlay(self, server_id: int) -> None:
+        conn = self._conns[server_id]
+        stale = [
+            g for g, p in self._overlay.items()
+            if p.server_id == server_id and p.seq <= conn.drained_known
+        ]
+        for g in stale:
+            del self._overlay[g]
+
+    # ------------------------------------------------------------------
+    # Raw verb helpers
+    # ------------------------------------------------------------------
+    def _rdma_read(self, conn: _ServerConn, rkey: int, remote_offset: int,
+                   nbytes: int) -> Generator[Any, Any, bytes]:
+        if nbytes > _SCRATCH_SLOT_SIZE:
+            # Transparent chunking: huge reads issue sequential scratch-sized
+            # verbs (one WQE each), like a real library's segmented SGE path.
+            parts: list[bytes] = []
+            pos = 0
+            while pos < nbytes:
+                chunk = min(_SCRATCH_SLOT_SIZE, nbytes - pos)
+                part = yield from self._rdma_read(conn, rkey,
+                                                  remote_offset + pos, chunk)
+                parts.append(part)
+                pos += chunk
+            return b"".join(parts)
+        scratch_off = yield self._scratch_free.get()
+        try:
+            wc = yield conn.data_qp.post_send(WorkRequest(
+                opcode=Opcode.RDMA_READ,
+                local_mr=self._scratch_mr, local_offset=scratch_off, length=nbytes,
+                remote_rkey=rkey, remote_offset=remote_offset,
+            ))
+            if not wc.ok:
+                raise ClientError(f"RDMA read failed: {wc.status}")
+            return self._scratch_mr.peek(scratch_off, nbytes)
+        finally:
+            self._scratch_free.put(scratch_off)
+
+    def _rdma_write(self, conn: _ServerConn, rkey: int, remote_offset: int,
+                    data: bytes) -> Generator[Any, Any, None]:
+        if len(data) > _SCRATCH_SLOT_SIZE:
+            pos = 0
+            while pos < len(data):
+                chunk = data[pos : pos + _SCRATCH_SLOT_SIZE]
+                yield from self._rdma_write(conn, rkey, remote_offset + pos, chunk)
+                pos += len(chunk)
+            return
+        wr = WorkRequest(
+            opcode=Opcode.RDMA_WRITE, remote_rkey=rkey, remote_offset=remote_offset,
+        )
+        if self.node.nic.is_inline(len(data)):
+            wr.inline_data = data
+            wr.length = len(data)
+            wc = yield conn.data_qp.post_send(wr)
+        else:
+            scratch_off = yield self._scratch_free.get()
+            try:
+                self._scratch_mr.poke(scratch_off, data)
+                wr.local_mr = self._scratch_mr
+                wr.local_offset = scratch_off
+                wr.length = len(data)
+                wc = yield conn.data_qp.post_send(wr)
+            finally:
+                self._scratch_free.put(scratch_off)
+        if not wc.ok:
+            raise ClientError(f"RDMA write failed: {wc.status}")
+
+    def _atomic_cas(self, server_id: int, lock_offset: int, compare: int,
+                    swap: int) -> Generator[Any, Any, int]:
+        conn = self._conns[server_id]
+        wc = yield conn.data_qp.post_send(WorkRequest(
+            opcode=Opcode.ATOMIC_CAS,
+            remote_rkey=conn.desc.lock_rkey, remote_offset=lock_offset,
+            compare=compare, swap=swap,
+        ))
+        if not wc.ok:
+            raise ClientError(f"atomic CAS failed: {wc.status}")
+        return wc.atomic_value
+
+    def _atomic_faa(self, server_id: int, lock_offset: int,
+                    add: int) -> Generator[Any, Any, int]:
+        conn = self._conns[server_id]
+        wc = yield conn.data_qp.post_send(WorkRequest(
+            opcode=Opcode.ATOMIC_FAA,
+            remote_rkey=conn.desc.lock_rkey, remote_offset=lock_offset,
+            add=add,
+        ))
+        if not wc.ok:
+            raise ClientError(f"atomic FAA failed: {wc.status}")
+        return wc.atomic_value
+
+    # ------------------------------------------------------------------
+    # Hotness reporting (the RDMA-semantics harvest)
+    # ------------------------------------------------------------------
+    def _note_access(self, gaddr: int, read: bool) -> None:
+        counts = self._access_counts.get(gaddr)
+        if counts is None:
+            counts = [0, 0]
+            self._access_counts[gaddr] = counts
+        counts[0 if read else 1] += 1
+        self._ops_since_report += 1
+        if (self._ops_since_report >= self.config.report_every_ops
+                and not self._report_inflight):
+            self._report_inflight = True
+            self.sim.spawn(self._send_report(), name=f"{self.name}.report")
+
+    def _send_report(self) -> Generator[Any, Any, None]:
+        entries = []
+        for gaddr, (reads, writes) in self._access_counts.items():
+            believed = self._meta_cache.get(gaddr)
+            entries.append((gaddr, reads, writes, bool(believed and believed.cached)))
+        self._access_counts.clear()
+        self._ops_since_report = 0
+        try:
+            updates = yield from self.master_rpc.call("report", {"entries": entries})
+            for gaddr, cached, cache_offset in updates:
+                meta = self._meta_cache.get(gaddr)
+                if meta is not None:
+                    self._meta_cache[gaddr] = meta.with_cache(cached, cache_offset)
+        finally:
+            self._report_inflight = False

@@ -1,0 +1,120 @@
+"""Tunables for the Gengar pool.
+
+The two headline mechanisms (hot-data DRAM caching and proxy-staged writes)
+are independently switchable, which is how the paper's ablations and the
+NVM-direct baseline are expressed:
+
+* full Gengar: ``enable_cache=True, enable_proxy=True``
+* cache-only ablation: ``enable_proxy=False``
+* proxy-only ablation: ``enable_cache=False``
+* NVM-direct baseline (Octopus-class DSHM): both off.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+
+from repro.sim.units import KIB, MIB
+
+
+@dataclass(frozen=True)
+class GengarConfig:
+    """Configuration of one Gengar deployment."""
+
+    # ---- headline mechanisms -------------------------------------------
+    #: Cache hot objects in the home server's DRAM buffer.
+    enable_cache: bool = True
+    #: Stage writes in a server DRAM ring and drain to NVM asynchronously.
+    enable_proxy: bool = True
+
+    # ---- DRAM cache ------------------------------------------------------
+    #: DRAM bytes per server dedicated to the hot-object cache.
+    cache_capacity: int = 4 * MIB
+    #: Bytes prepended to each cache slot for the self-verifying tag.
+    cache_tag_bytes: int = 16
+
+    # ---- write proxy -----------------------------------------------------
+    #: Ring slots per attached client.
+    proxy_ring_slots: int = 32
+    #: Payload capacity of one ring slot (larger writes bypass the proxy).
+    proxy_slot_size: int = 4 * KIB
+
+    # ---- hotness tracking -------------------------------------------------
+    #: Client reports its access counts to the master every this many ops.
+    report_every_ops: int = 128
+    #: Master re-plans promotions/demotions every epoch (simulated ns).
+    epoch_ns: int = 200_000
+    #: Exponential decay applied to scores at each epoch boundary.
+    hotness_decay: float = 0.5
+    #: Minimum decayed score for promotion into DRAM.
+    promote_threshold: float = 4.0
+    #: Cached objects falling below this score are demoted (hysteresis).
+    demote_threshold: float = 1.0
+
+    # ---- placement ---------------------------------------------------------
+    #: Store primary data in DRAM instead of NVM (the DRAM-only upper bound).
+    data_in_dram: bool = False
+    #: Home-server selection for new objects: "round-robin" spreads evenly;
+    #: "rack-local" prefers servers in the allocating client's rack (falling
+    #: back to round robin when none fit) — pairs with two-tier fabrics.
+    placement: str = "round-robin" 
+
+    # ---- consistency --------------------------------------------------------
+    #: Sync outstanding proxy writes before releasing a write lock (release
+    #: consistency).  Turning this off trades the next lock holder's
+    #: freshness guarantee for faster unlocks — quantified in extension
+    #: experiment X3.
+    sync_on_release: bool = True
+    #: Lock words per server (one per live object at most).
+    lock_table_entries: int = 65536
+    #: Client backoff between lock retries.
+    lock_retry_ns: int = 2_000
+
+    # ---- metadata durability ---------------------------------------------
+    #: Journal every allocation/free into a reserved NVM region on the home
+    #: server, so the master's directory can be rebuilt after a full restart
+    #: (at the price of one extra RPC + NVM write per gmalloc/gfree).
+    metadata_journal: bool = False
+    #: Capacity of the journal, in records (32 B each).
+    journal_entries: int = 65536
+
+    # ---- client ---------------------------------------------------------------
+    #: Client-side metadata cache (gaddr -> location); disable to force a
+    #: lookup RPC per access (for overhead experiments).
+    metadata_cache: bool = True
+
+    def __post_init__(self) -> None:
+        if self.cache_capacity < 0:
+            raise ValueError("cache_capacity must be non-negative")
+        if self.proxy_ring_slots < 1:
+            raise ValueError("need at least one proxy ring slot")
+        if self.proxy_slot_size < 64:
+            raise ValueError("proxy slots must hold at least a header + small payload")
+        if not 0.0 <= self.hotness_decay <= 1.0:
+            raise ValueError("decay must be in [0, 1]")
+        if self.demote_threshold > self.promote_threshold:
+            raise ValueError("demote threshold must not exceed promote threshold")
+        if self.report_every_ops < 1 or self.epoch_ns < 1:
+            raise ValueError("reporting cadence must be positive")
+        if self.journal_entries < 1:
+            raise ValueError("journal needs at least one entry")
+        if self.placement not in ("round-robin", "rack-local"):
+            raise ValueError(f"unknown placement policy {self.placement!r}")
+
+    # Convenience ablation constructors -----------------------------------
+    def ablate(self, *, cache: bool | None = None, proxy: bool | None = None) -> "GengarConfig":
+        """A copy with mechanisms toggled (None keeps the current value)."""
+        return replace(
+            self,
+            enable_cache=self.enable_cache if cache is None else cache,
+            enable_proxy=self.enable_proxy if proxy is None else proxy,
+        )
+
+
+#: The paper's system.
+FULL = GengarConfig()
+#: Ablations and the NVM-direct comparator, used across benchmarks.
+CACHE_ONLY = GengarConfig(enable_proxy=False)
+PROXY_ONLY = GengarConfig(enable_cache=False)
+NVM_DIRECT = GengarConfig(enable_cache=False, enable_proxy=False)
+DRAM_ONLY = GengarConfig(enable_cache=False, enable_proxy=False, data_in_dram=True)

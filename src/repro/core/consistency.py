@@ -1,0 +1,131 @@
+"""Multi-user sharing with data consistency.
+
+Gengar guarantees consistency for shared objects through per-object
+reader/writer locks driven entirely by one-sided RDMA atomics against lock
+words in server DRAM — the server CPU is never involved.
+
+Lock word protocol (see :mod:`repro.core.protocol`):
+
+* the word starts at 0 (free);
+* a writer acquires with ``CAS(0 -> (uid << 32) | 1)`` — the word carries
+  the owner's id, which makes abandoned locks attributable — and retries
+  with backoff on failure;
+* a reader acquires with ``FAA(+2)``; if the prior value had the writer bit
+  set, it undoes itself with ``FAA(-2)`` and backs off;
+* releases subtract exactly what acquire added, which is correct even when
+  other parties' increments are in flight.
+
+**Release consistency.** Unlocking a write lock first syncs the client's
+outstanding proxy writes (``gsync``), so any reader that subsequently
+acquires the lock observes all writes made under it: proxy drains update
+both the DRAM-cached copy and the NVM home before the drained counter
+advances, and the writer's release happens only after that counter catches
+up.  Unlocked (plain) accesses get relaxed consistency: a read may briefly
+observe data older than an unsynced write, bounded by the proxy drain lag.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import GengarClient
+
+from repro.core.protocol import READER_UNIT, WRITER_BIT, lock_reader_count, write_lock_word
+
+#: 64-bit two's complement constant for the shared-lock decrement.
+_MINUS_READER = (1 << 64) - READER_UNIT
+
+
+class LockError(Exception):
+    """Invalid lock usage (double release, unlock of unheld lock)."""
+
+
+class LockOps:
+    """Lock acquire/release state machines, bound to one client.
+
+    Kept separate from the client so the protocol is unit-testable and the
+    backoff policy is swappable.
+    """
+
+    def __init__(self, client: "GengarClient"):
+        self.client = client
+        self.sim = client.sim
+        self._rng = self.sim.rng.stream(f"{client.name}.lockjitter")
+        m = self.sim.metrics
+        self.acquires = m.counter("pool.lock_acquires")
+        self.retries = m.counter("pool.lock_retries")
+
+    # ------------------------------------------------------------------
+    def _backoff(self, attempt: int) -> Generator[Any, Any, None]:
+        base = self.client.config.lock_retry_ns
+        # Capped exponential backoff with jitter to break convoys.
+        delay = min(base * (1 << min(attempt, 6)), 64 * base)
+        yield self.sim.timeout(self._rng.randrange(base, delay + 1))
+
+    def _word_offset(self, lock_idx: int) -> int:
+        return lock_idx * 8
+
+    # ------------------------------------------------------------------
+    def acquire_write(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Take the exclusive lock on ``gaddr`` (blocks until acquired)."""
+        meta = yield from self.client._meta(gaddr)
+        offset = self._word_offset(meta.lock_idx)
+        word = write_lock_word(self.client.uid)
+        attempt = 0
+        while True:
+            old = yield from self.client._atomic_cas(
+                meta.server_id, offset, compare=0, swap=word
+            )
+            if old == 0:
+                self.acquires.add()
+                return
+            self.retries.add()
+            yield from self._backoff(attempt)
+            attempt += 1
+
+    def release_write(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Release the exclusive lock, after syncing outstanding writes."""
+        meta = yield from self.client._meta(gaddr)
+        # Release consistency: all writes issued under the lock must be
+        # durable (and cache-visible) before anyone else can acquire it.
+        # (Disabled by config.sync_on_release=False at the cost of the
+        # next holder's freshness guarantee.)
+        if self.client.config.sync_on_release:
+            yield from self.client.gsync(server_id=meta.server_id)
+        # Subtract exactly what acquire installed (owner id + writer bit);
+        # correct even while readers' +2 increments are in flight.
+        word = write_lock_word(self.client.uid)
+        old = yield from self.client._atomic_faa(
+            meta.server_id, self._word_offset(meta.lock_idx),
+            add=(1 << 64) - word,
+        )
+        if not old & WRITER_BIT:
+            raise LockError(f"write-unlock of {gaddr:#x} which was not write-locked")
+
+    def acquire_read(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Take a shared lock on ``gaddr`` (blocks until acquired)."""
+        meta = yield from self.client._meta(gaddr)
+        offset = self._word_offset(meta.lock_idx)
+        attempt = 0
+        while True:
+            old = yield from self.client._atomic_faa(
+                meta.server_id, offset, add=READER_UNIT
+            )
+            if not old & WRITER_BIT:
+                self.acquires.add()
+                return
+            # A writer holds it: undo our increment and back off.
+            yield from self.client._atomic_faa(meta.server_id, offset, add=_MINUS_READER)
+            self.retries.add()
+            yield from self._backoff(attempt)
+            attempt += 1
+
+    def release_read(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Drop a shared lock."""
+        meta = yield from self.client._meta(gaddr)
+        old = yield from self.client._atomic_faa(
+            meta.server_id, self._word_offset(meta.lock_idx), add=_MINUS_READER
+        )
+        if lock_reader_count(old) == 0:
+            raise LockError(f"read-unlock of {gaddr:#x} which had no readers")

@@ -1,0 +1,48 @@
+"""DRAM layout carving.
+
+Servers and clients slice their DRAM device into non-overlapping windows
+(RPC rings, lock table, cache buffer, proxy rings, scratch buffers).  The
+carver is a simple bump allocator with alignment — regions live for the
+deployment's lifetime, so nothing is ever returned.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.memory import MemoryDevice
+
+
+class LayoutError(Exception):
+    """Device too small for the requested layout."""
+
+
+class DramCarver:
+    """Hands out aligned, non-overlapping windows of one device."""
+
+    def __init__(self, device: "MemoryDevice", alignment: int = 64):
+        if alignment < 1 or (alignment & (alignment - 1)):
+            raise ValueError("alignment must be a positive power of two")
+        self.device = device
+        self.alignment = alignment
+        self._next = 0
+
+    def carve(self, nbytes: int, label: str = "") -> int:
+        """Reserve ``nbytes``; returns the window's base offset."""
+        if nbytes <= 0:
+            raise ValueError("carve size must be positive")
+        a = self.alignment
+        base = (self._next + a - 1) & ~(a - 1)
+        end = base + nbytes
+        if end > self.device.capacity:
+            raise LayoutError(
+                f"cannot carve {nbytes} bytes for {label or 'region'}: "
+                f"{self.device.name} has {self.device.capacity - base} left"
+            )
+        self._next = end
+        return base
+
+    @property
+    def used(self) -> int:
+        return self._next

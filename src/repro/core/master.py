@@ -1,0 +1,426 @@
+"""The Gengar master: allocation, directory, and the hotness planner.
+
+The master is control plane only.  It owns the global allocator and object
+directory, receives the clients' piggybacked access reports, and every epoch
+asks the placement policy for promotions/demotions, which it executes by RPC
+against the home servers.  No data ever moves through the master.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.rdma.qp import QueuePair
+    from repro.rdma.rpc import RpcClient
+
+from repro.core.allocator import ExtentAllocator, OutOfMemory, PoolAllocationPolicy
+from repro.core.config import GengarConfig
+from repro.core.directory import Directory
+from repro.core.hotness import EpochDecayPolicy, NeverCachePolicy
+from repro.core.layout import DramCarver
+from repro.core.protocol import (
+    CACHE_TAG_BYTES,
+    JOURNAL_OP_ALLOC,
+    JOURNAL_OP_FREE,
+    ObjectMeta,
+    ServerDescriptor,
+)
+from repro.rdma.rpc import RpcError, RpcServer
+
+_RPC_BUFFERS = 16
+_RPC_BUFFER_SIZE = 4096
+
+
+class MasterError(Exception):
+    """Invalid master-side operation."""
+
+
+class _ServerHandle:
+    """Master's view of one memory server."""
+
+    def __init__(self, descriptor: ServerDescriptor, rpc: "RpcClient", data_capacity: int,
+                 lock_entries: int):
+        self.descriptor = descriptor
+        self.rpc = rpc
+        self.allocator = ExtentAllocator(data_capacity)
+        self._lock_free: List[int] = []
+        self._lock_next = 0
+        self._lock_entries = lock_entries
+
+    def alloc_lock_idx(self) -> int:
+        if self._lock_free:
+            return self._lock_free.pop()
+        if self._lock_next >= self._lock_entries:
+            raise OutOfMemory("lock table exhausted")
+        idx = self._lock_next
+        self._lock_next += 1
+        return idx
+
+    def free_lock_idx(self, idx: int) -> None:
+        self._lock_free.append(idx)
+
+
+class Master:
+    """Runtime state of the Gengar master."""
+
+    def __init__(self, node: "Node", config: GengarConfig, policy_factory=None):
+        self.node = node
+        self.sim = node.sim
+        self.config = config
+        self.directory = Directory()
+        self._servers: Dict[int, _ServerHandle] = {}
+        self._alloc_policy: Optional[PoolAllocationPolicy] = None
+        if policy_factory is None:
+            if config.enable_cache:
+                policy_factory = lambda: EpochDecayPolicy(  # noqa: E731
+                    decay=config.hotness_decay,
+                    promote_threshold=config.promote_threshold,
+                    demote_threshold=config.demote_threshold,
+                )
+            else:
+                policy_factory = NeverCachePolicy
+        self._policy_factory = policy_factory
+        self._policies: Dict[int, Any] = {}
+
+        carver = DramCarver(node.dram)
+        rpc_base = carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc")
+        self._carver = carver
+        self.rpc = RpcServer(
+            node.endpoint, node.dram, base=rpc_base,
+            num_buffers=_RPC_BUFFERS, buffer_size=_RPC_BUFFER_SIZE,
+            name=f"{node.name}.rpc",
+        )
+        self._client_uids: Dict[str, int] = {}
+        self._next_uid = 1
+        self.rpc.register("gmalloc", self._handle_gmalloc)
+        self.rpc.register("gfree", self._handle_gfree)
+        self.rpc.register("lookup", self._handle_lookup)
+        self.rpc.register("report", self._handle_report)
+        self.rpc.register("attach", self._handle_attach)
+
+        m = self.sim.metrics
+        self.allocations = m.counter("master.allocations")
+        self.reports = m.counter("master.reports")
+        self.promote_ops = m.counter("master.promotions")
+        self.demote_ops = m.counter("master.demotions")
+        self._planner_started = False
+
+    # ------------------------------------------------------------------
+    # Wiring (called by the deployment bootstrap)
+    # ------------------------------------------------------------------
+    def add_server(self, descriptor: ServerDescriptor, rpc_client: "RpcClient",
+                   data_capacity: int) -> None:
+        """Register a memory server with its control-plane connection."""
+        sid = descriptor.server_id
+        if sid in self._servers:
+            raise MasterError(f"server {sid} already registered")
+        self._servers[sid] = _ServerHandle(
+            descriptor, rpc_client, data_capacity, self.config.lock_table_entries
+        )
+        self._policies[sid] = self._policy_factory()
+        self._alloc_policy = PoolAllocationPolicy(
+            {s: h.allocator for s, h in self._servers.items()}
+        )
+
+    def serve_control(self, qp: "QueuePair") -> None:
+        """Start serving a client's control connection."""
+        self.rpc.serve(qp)
+
+    def _corack_servers(self, client_name: str) -> list:
+        """Server ids sharing the client's rack ([] on a flat fabric)."""
+        fabric = self.node.endpoint.fabric
+        rack = fabric.rack_of(client_name)
+        if not rack:
+            return []
+        return [sid for sid, h in self._servers.items()
+                if fabric.rack_of(h.descriptor.node_name) == rack]
+
+    def carve_rpc_span(self) -> int:
+        """Reserve master DRAM for one outbound RPC client's buffer rings."""
+        return self._carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc-client")
+
+    def start_planner(self) -> None:
+        """Launch the periodic promotion/demotion planner."""
+        if not self._planner_started and self.config.enable_cache:
+            self._planner_started = True
+            self.sim.spawn(self._planner_loop(), name="master.planner")
+
+    @property
+    def servers(self) -> Dict[int, ServerDescriptor]:
+        return {sid: h.descriptor for sid, h in self._servers.items()}
+
+    # ------------------------------------------------------------------
+    # RPC handlers
+    # ------------------------------------------------------------------
+    def _handle_gmalloc(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
+        size = request["size"]
+        if size <= 0:
+            raise MasterError(f"gmalloc size must be positive, got {size}")
+        if self._alloc_policy is None:
+            raise MasterError("no memory servers registered")
+        yield from self.node.cpu_work()
+        preferred = None
+        if self.config.placement == "rack-local":
+            preferred = self._corack_servers(request.get("client", ""))
+        server_id = self._alloc_policy.choose(size, preferred=preferred)
+        handle = self._servers[server_id]
+        nvm_offset = handle.allocator.alloc(size)
+        lock_idx = handle.alloc_lock_idx()
+        record = self.directory.add(server_id, nvm_offset, size, lock_idx)
+        self._policies[server_id].track(record.gaddr, size)
+        self.allocations.add(size)
+        if self.config.metadata_journal:
+            # Durability before visibility: the allocation is journaled in
+            # the home server's NVM before the client learns the address.
+            yield from handle.rpc.call("journal_append", {
+                "op": JOURNAL_OP_ALLOC, "lock_idx": lock_idx,
+                "gaddr": record.gaddr, "size": size,
+            })
+        return record.to_meta()
+
+    def _handle_gfree(self, request: dict) -> Generator[Any, Any, bool]:
+        gaddr = request["gaddr"]
+        yield from self.node.cpu_work()
+        record = self.directory.remove(gaddr)
+        handle = self._servers[record.server_id]
+        if self.config.metadata_journal:
+            yield from handle.rpc.call("journal_append", {
+                "op": JOURNAL_OP_FREE, "lock_idx": record.lock_idx,
+                "gaddr": gaddr, "size": record.size,
+            })
+        if record.cached:
+            yield from handle.rpc.call("demote", {"gaddr": gaddr})
+        # Scrub before reuse: a later gmalloc of this extent must read as
+        # zeros (calloc semantics), never as the previous object's bytes.
+        yield from handle.rpc.call(
+            "scrub", {"offset": record.nvm_offset, "size": record.size}
+        )
+        handle.allocator.free(record.nvm_offset)
+        handle.free_lock_idx(record.lock_idx)
+        self._policies[record.server_id].on_freed(gaddr)
+        return True
+
+    def _handle_lookup(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
+        yield from self.node.cpu_work()
+        return self.directory.get(request["gaddr"]).to_meta()
+
+    def _handle_report(self, request: dict) -> Generator[Any, Any, List[Tuple[int, bool, int]]]:
+        """Fold a client's access report; reply with location updates.
+
+        The reply piggybacks, for every reported object, its current cache
+        location *if* it differs from what the client believes — this is how
+        clients learn about promotions without polling.
+        """
+        yield from self.node.cpu_work()
+        updates: List[Tuple[int, bool, int]] = []
+        for gaddr, reads, writes, believed_cached in request["entries"]:
+            record = self.directory.lookup(gaddr)
+            if record is None:
+                continue  # freed concurrently
+            self._policies[record.server_id].record(gaddr, reads, writes)
+            if record.cached != believed_cached:
+                updates.append((gaddr, record.cached, record.cache_offset))
+        self.reports.add()
+        return updates
+
+    def _handle_attach(self, request: dict) -> Generator[Any, Any, dict]:
+        yield from self.node.cpu_work()
+        name = request["client"]
+        uid = self._client_uids.get(name)
+        if uid is None:
+            uid = self._next_uid
+            self._next_uid += 1
+            self._client_uids[name] = uid
+        return {
+            "servers": [h.descriptor for h in self._servers.values()],
+            "config": self.config,
+            "client_id": uid,
+        }
+
+    # ------------------------------------------------------------------
+    # Admin API: pin/unpin an object in DRAM (used by microbenchmarks and
+    # operators who know an object is hot regardless of observed traffic).
+    # ------------------------------------------------------------------
+    def pin(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Force-promote an object into its home server's DRAM cache and
+        keep it there regardless of observed hotness (until unpinned)."""
+        record = self.directory.get(gaddr)
+        handle = self._servers[record.server_id]
+        yield from self._promote(handle, self._policies[record.server_id], gaddr)
+        record.pinned = True
+
+    def unpin(self, gaddr: int) -> Generator[Any, Any, None]:
+        """Release a pin and demote the object out of DRAM."""
+        record = self.directory.get(gaddr)
+        record.pinned = False
+        handle = self._servers[record.server_id]
+        yield from self._demote(handle, self._policies[record.server_id], gaddr)
+
+    def evict_client(self, client_name: str) -> Generator[Any, Any, int]:
+        """Recovery: clear every write lock a (dead) client still holds.
+
+        Uses the owner id embedded in the lock word, so only that client's
+        locks are touched; readers and other writers are unaffected.
+        Returns the number of locks recovered.
+        """
+        uid = self._client_uids.get(client_name)
+        if uid is None:
+            raise MasterError(f"unknown client {client_name!r}")
+        recovered = 0
+        for record in list(self.directory.objects()):
+            handle = self._servers[record.server_id]
+            cleared = yield from handle.rpc.call(
+                "clear_lock_if_owner",
+                {"lock_idx": record.lock_idx, "owner": uid},
+            )
+            if cleared:
+                recovered += 1
+        return recovered
+
+    def reset_volatile_state(self) -> None:
+        """Simulate a master restart: forget everything not in NVM.
+
+        The directory, allocators, lock bookkeeping, and hotness state are
+        all DRAM-resident.  With the metadata journal enabled,
+        :meth:`rebuild` restores the directory from the servers' NVM.
+        """
+        self.directory = Directory()
+        for sid, handle in self._servers.items():
+            handle.allocator = ExtentAllocator(handle.allocator.capacity)
+            handle._lock_free = []
+            handle._lock_next = 0
+            self._policies[sid] = self._policy_factory()
+
+    def rebuild(self) -> Generator[Any, Any, int]:
+        """Restore the directory from the NVM metadata journals.
+
+        Replays every server's journal in order (alloc/free records), then
+        reconstructs each server's lock-index bookkeeping.  Returns the
+        number of live objects recovered.  Requires
+        ``config.metadata_journal``.
+        """
+        if not self.config.metadata_journal:
+            raise MasterError("metadata journal disabled; nothing to rebuild from")
+        from repro.core.addressing import offset_of
+
+        for sid in sorted(self._servers):
+            handle = self._servers[sid]
+            records = yield from handle.rpc.call("journal_read", {})
+            live_locks = set()
+            for rec in records:
+                if rec["op"] == JOURNAL_OP_ALLOC:
+                    handle.allocator.alloc_at(offset_of(rec["gaddr"]), rec["size"])
+                    self.directory.add(sid, offset_of(rec["gaddr"]),
+                                       rec["size"], rec["lock_idx"])
+                    self._policies[sid].track(rec["gaddr"], rec["size"])
+                    live_locks.add(rec["lock_idx"])
+                else:  # free
+                    self.directory.remove(rec["gaddr"])
+                    handle.allocator.free(offset_of(rec["gaddr"]))
+                    self._policies[sid].on_freed(rec["gaddr"])
+                    live_locks.discard(rec["lock_idx"])
+            # Lock-index bookkeeping: everything below the high-water mark
+            # that is not live goes back on the free list.
+            used = [rec["lock_idx"] for rec in records
+                    if rec["op"] == JOURNAL_OP_ALLOC]
+            high = max(used, default=-1) + 1
+            handle._lock_next = high
+            handle._lock_free = [i for i in range(high) if i not in live_locks]
+        return len(self.directory)
+
+    def on_server_recovered(self, server_id: int) -> int:
+        """Reconcile the directory after a server restart.
+
+        Every DRAM copy that server held is gone, so its cached objects
+        revert to NVM-only (pins are cleared too: the pinned copy no longer
+        exists and must be re-pinned deliberately).  Returns the number of
+        objects reconciled.
+        """
+        dropped = 0
+        policy = self._policies[server_id]
+        for record in self.directory.objects():
+            if record.server_id != server_id:
+                continue
+            if record.cached:
+                self.directory.mark_uncached(record.gaddr)
+                policy.on_demoted(record.gaddr)
+                dropped += 1
+            record.pinned = False
+        return dropped
+
+    def force_unlock(self, gaddr: int) -> Generator[Any, Any, int]:
+        """Recovery: clear an object's lock word after a client failure.
+
+        Returns the abandoned lock word (0 means it was already free).
+        Only safe once the failed client is known to be gone - a live
+        holder's critical section would lose its exclusion.
+        """
+        record = self.directory.get(gaddr)
+        handle = self._servers[record.server_id]
+        prior = yield from handle.rpc.call("clear_lock",
+                                           {"lock_idx": record.lock_idx})
+        return prior
+
+    # ------------------------------------------------------------------
+    # Hotness planner
+    # ------------------------------------------------------------------
+    def _planner_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            yield self.sim.timeout(self.config.epoch_ns)
+            for sid in sorted(self._servers):
+                yield from self._plan_server(sid)
+
+    def _plan_server(self, sid: int) -> Generator[Any, Any, None]:
+        policy = self._policies[sid]
+        handle = self._servers[sid]
+        # Account the per-slot tag overhead against capacity so the server's
+        # slot allocator cannot be overcommitted by the plan.
+        plan = policy.plan(
+            capacity=max(0, self.config.cache_capacity - self._tag_overhead(sid)),
+            used=self.directory.cached_bytes(sid),
+        )
+        if plan.is_noop:
+            return
+        for gaddr in plan.demotions:
+            record = self.directory.lookup(gaddr)
+            if record is not None and record.pinned:
+                continue  # pinned objects are exempt from planner demotion
+            yield from self._demote(handle, policy, gaddr)
+        for gaddr in plan.promotions:
+            yield from self._promote(handle, policy, gaddr)
+
+    def _tag_overhead(self, sid: int) -> int:
+        cached_count = sum(
+            1 for r in self.directory.objects() if r.server_id == sid and r.cached
+        )
+        # Reserve headroom for tags: one per currently cached object plus a
+        # small margin for this epoch's promotions.
+        return (cached_count + 16) * CACHE_TAG_BYTES * 4
+
+    def _promote(self, handle: _ServerHandle, policy, gaddr: int) -> Generator[Any, Any, None]:
+        record = self.directory.lookup(gaddr)
+        if record is None or record.cached:
+            return
+        try:
+            cache_offset = yield from handle.rpc.call(
+                "promote", {"gaddr": gaddr, "size": record.size}
+            )
+        except RpcError:
+            return  # server-side allocation failed (fragmentation); skip
+        self.directory.mark_cached(gaddr, cache_offset)
+        policy.on_promoted(gaddr)
+        self.promote_ops.add()
+
+    def _demote(self, handle: _ServerHandle, policy, gaddr: int) -> Generator[Any, Any, None]:
+        record = self.directory.lookup(gaddr)
+        if record is None or not record.cached:
+            return
+        try:
+            yield from handle.rpc.call("demote", {"gaddr": gaddr})
+        except RpcError:
+            return
+        self.directory.mark_uncached(gaddr)
+        policy.on_demoted(gaddr)
+        self.demote_ops.add()

@@ -1,0 +1,192 @@
+"""Wire formats shared by Gengar clients and servers.
+
+Three little-endian binary layouts travel over one-sided verbs and therefore
+must be bit-exact on both ends:
+
+* **Proxy ring slot**: ``[gaddr u64][obj_offset u32][length u32][payload]``.
+  A client stages a write here with one RDMA WRITE_WITH_IMM; the immediate
+  carries the slot index.
+* **Cache slot tag**: ``[gaddr u64][flags u64]`` prepended to every cached
+  object.  Reads are self-verifying: a client that reads a slot whose tag
+  does not match the gaddr it expected knows its metadata is stale.
+* **Lock word**: a u64 reader/writer lock driven purely by RDMA atomics —
+  bit 0 is the writer bit, bits 1+ count readers in units of 2.
+"""
+
+from __future__ import annotations
+
+import struct
+from dataclasses import dataclass
+
+# ---------------------------------------------------------------------------
+# Proxy ring slots
+# ---------------------------------------------------------------------------
+_SLOT_HEADER = struct.Struct("<QII")
+PROXY_HEADER_BYTES = _SLOT_HEADER.size  # 16
+
+
+def pack_proxy_slot(gaddr: int, obj_offset: int, payload: bytes) -> bytes:
+    """Serialize one staged write."""
+    return _SLOT_HEADER.pack(gaddr, obj_offset, len(payload)) + payload
+
+
+def unpack_proxy_header(raw: bytes) -> tuple[int, int, int]:
+    """Parse ``(gaddr, obj_offset, length)`` from a slot's first 16 bytes."""
+    return _SLOT_HEADER.unpack_from(raw)
+
+
+def proxy_payload_capacity(slot_size: int) -> int:
+    """Largest write a slot of ``slot_size`` bytes can stage."""
+    return slot_size - PROXY_HEADER_BYTES
+
+
+# ---------------------------------------------------------------------------
+# Cache slot tags
+# ---------------------------------------------------------------------------
+_TAG = struct.Struct("<QQ")
+CACHE_TAG_BYTES = _TAG.size  # 16
+#: Tag flag: slot holds a live object.
+TAG_LIVE = 1
+
+
+def pack_cache_tag(gaddr: int, flags: int = TAG_LIVE) -> bytes:
+    return _TAG.pack(gaddr, flags)
+
+
+def unpack_cache_tag(raw: bytes) -> tuple[int, int]:
+    """Parse ``(gaddr, flags)`` from a cache slot's first 16 bytes."""
+    return _TAG.unpack_from(raw)
+
+
+def tag_matches(raw: bytes, gaddr: int) -> bool:
+    """True if the slot's tag names ``gaddr`` and is live."""
+    tag_gaddr, flags = unpack_cache_tag(raw)
+    return tag_gaddr == gaddr and bool(flags & TAG_LIVE)
+
+
+# ---------------------------------------------------------------------------
+# Persistent metadata journal (optional, lives at the tail of each server's
+# NVM).  Record layout, 32 bytes little-endian:
+#   [magic u16][op u16][lock_idx u32][gaddr u64][size u64][reserved u64]
+# ---------------------------------------------------------------------------
+_JOURNAL = struct.Struct("<HHIQQQ")
+JOURNAL_RECORD_BYTES = _JOURNAL.size  # 32
+JOURNAL_MAGIC = 0x4721
+JOURNAL_OP_ALLOC = 1
+JOURNAL_OP_FREE = 2
+#: Bytes reserved at the journal base for the record-count header word.
+JOURNAL_HEADER_BYTES = 64
+
+
+def pack_journal_record(op: int, lock_idx: int, gaddr: int, size: int) -> bytes:
+    if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE):
+        raise ValueError(f"unknown journal op {op}")
+    return _JOURNAL.pack(JOURNAL_MAGIC, op, lock_idx, gaddr, size, 0)
+
+
+def unpack_journal_record(raw: bytes) -> tuple[int, int, int, int]:
+    """Parse ``(op, lock_idx, gaddr, size)``; raises on a bad magic."""
+    magic, op, lock_idx, gaddr, size, _reserved = _JOURNAL.unpack_from(raw)
+    if magic != JOURNAL_MAGIC:
+        raise ValueError(f"corrupt journal record (magic {magic:#x})")
+    return op, lock_idx, gaddr, size
+
+
+# ---------------------------------------------------------------------------
+# Lock words
+#
+# Layout (64 bits):
+#   bit 0        writer bit
+#   bits 1-31    reader count, in units of 2 (reader FAAs never carry into
+#                the owner field at any realistic reader count)
+#   bits 32-63   writer owner id (the client uid), 0 unless write-locked
+#
+# A writer acquires with CAS(0 -> (uid << 32) | 1) and releases with
+# FAA(-((uid << 32) | 1)), which is correct even while reader increments are
+# in flight.  The owner field is what makes abandoned locks *recoverable*:
+# the master can identify and clear exactly the locks a dead client held.
+# ---------------------------------------------------------------------------
+WRITER_BIT = 1
+READER_UNIT = 2
+LOCK_WORD_BYTES = 8
+_OWNER_SHIFT = 32
+_LOW_MASK = (1 << _OWNER_SHIFT) - 1
+
+
+def write_lock_word(owner_uid: int) -> int:
+    """The word a writer installs: owner id + writer bit."""
+    if not 0 < owner_uid < (1 << 32):
+        raise ValueError(f"owner uid out of range: {owner_uid}")
+    return (owner_uid << _OWNER_SHIFT) | WRITER_BIT
+
+
+def lock_is_write_locked(word: int) -> bool:
+    return bool(word & WRITER_BIT)
+
+
+def lock_owner(word: int) -> int:
+    """The writer's uid (0 when not write-locked)."""
+    return word >> _OWNER_SHIFT
+
+
+def lock_reader_count(word: int) -> int:
+    return (word & _LOW_MASK) >> 1
+
+
+def lock_is_free(word: int) -> bool:
+    return word == 0
+
+
+# ---------------------------------------------------------------------------
+# Object metadata exchanged over RPC (plain dataclass; pickled by the RPC
+# layer with realistic size accounting).
+# ---------------------------------------------------------------------------
+@dataclass(frozen=True)
+class ObjectMeta:
+    """What a client needs to reach an object with one-sided verbs."""
+
+    gaddr: int
+    size: int
+    server_id: int
+    nvm_offset: int
+    lock_idx: int
+    cached: bool
+    cache_offset: int  # valid only when cached
+
+    def with_cache(self, cached: bool, cache_offset: int = 0) -> "ObjectMeta":
+        return ObjectMeta(
+            gaddr=self.gaddr,
+            size=self.size,
+            server_id=self.server_id,
+            nvm_offset=self.nvm_offset,
+            lock_idx=self.lock_idx,
+            cached=cached,
+            cache_offset=cache_offset,
+        )
+
+
+@dataclass(frozen=True)
+class ServerDescriptor:
+    """Everything a client needs to talk to one memory server.
+
+    Returned by the master at attach time: rkeys for the data region, the
+    DRAM cache, and the lock table, so the client's data plane never touches
+    the master again.
+    """
+
+    server_id: int
+    node_name: str
+    data_rkey: int
+    cache_rkey: int
+    lock_rkey: int
+
+
+@dataclass(frozen=True)
+class RingDescriptor:
+    """A client's private proxy ring on one server."""
+
+    ring_rkey: int
+    slots: int
+    slot_size: int
+    #: Region-relative offset of the drained-counter u64 (readable one-sided).
+    counter_offset: int

@@ -1,0 +1,464 @@
+"""The Gengar memory server.
+
+A memory server contributes its NVM to the pool and dedicates slices of its
+DRAM to the three server-side mechanisms:
+
+* the **lock table** — one-sided reader/writer lock words,
+* the **DRAM cache** — tagged slots holding promoted hot objects,
+* per-client **proxy rings** — staging buffers that absorb writes at DRAM
+  latency and drain to NVM in the background.
+
+The data plane is entirely one-sided: clients READ the data/cache regions
+and WRITE_WITH_IMM into their rings; the only CPU work here is the drain
+loop and the (rare) promote/demote RPC handlers driven by the master.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.cluster.node import Node
+    from repro.rdma.qp import QueuePair
+
+from repro.core.addressing import offset_of
+from repro.core.allocator import ExtentAllocator, OutOfMemory
+from repro.core.config import GengarConfig
+from repro.core.layout import DramCarver
+from repro.core.protocol import (
+    CACHE_TAG_BYTES,
+    JOURNAL_HEADER_BYTES,
+    JOURNAL_RECORD_BYTES,
+    PROXY_HEADER_BYTES,
+    RingDescriptor,
+    ServerDescriptor,
+    pack_cache_tag,
+    pack_journal_record,
+    unpack_journal_record,
+    unpack_proxy_header,
+)
+from repro.rdma.mr import AccessFlags
+from repro.rdma.rpc import RpcServer
+from repro.sim.trace import trace
+
+
+class ServerError(Exception):
+    """Invalid server-side operation (bad promote/demote, unknown client)."""
+
+
+@dataclass
+class _CacheEntry:
+    cache_offset: int  # slot base (tag included) within the cache region
+    size: int
+
+
+@dataclass
+class _ClientRing:
+    ring_base: int  # DRAM offset of the ring window
+    mr: object  # ring MemoryRegion
+    counter_offset: int  # region-relative offset of the drained counter
+    drained: int = 0
+
+
+#: RPC footprint: buffers for control traffic (attach/promote/demote).
+_RPC_BUFFERS = 16
+_RPC_BUFFER_SIZE = 4096
+
+
+class MemoryServer:
+    """Runtime state of one memory server."""
+
+    def __init__(self, node: "Node", server_id: int, config: GengarConfig):
+        if config.data_in_dram:
+            data_device = node.dram
+        else:
+            if node.nvm is None:
+                raise ServerError(f"node {node.name} has no NVM to contribute")
+            data_device = node.nvm
+        self.node = node
+        self.sim = node.sim
+        self.server_id = server_id
+        self.config = config
+        self.data_device = data_device
+
+        carver = DramCarver(node.dram)
+        self._carver = carver
+
+        # Control plane.
+        rpc_base = carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc")
+        self.rpc = RpcServer(
+            node.endpoint, node.dram, base=rpc_base,
+            num_buffers=_RPC_BUFFERS, buffer_size=_RPC_BUFFER_SIZE,
+            name=f"{node.name}.rpc",
+        )
+        self.rpc.register("promote", self._handle_promote)
+        self.rpc.register("demote", self._handle_demote)
+        self.rpc.register("attach", self._handle_attach)
+        self.rpc.register("clear_lock", self._handle_clear_lock)
+        self.rpc.register("scrub", self._handle_scrub)
+        self.rpc.register("clear_lock_if_owner", self._handle_clear_lock_if_owner)
+        self.rpc.register("journal_append", self._handle_journal_append)
+        self.rpc.register("journal_read", self._handle_journal_read)
+
+        # Lock table.
+        lock_bytes = config.lock_table_entries * 8
+        lock_base = carver.carve(lock_bytes, "locks")
+        self.lock_mr = node.endpoint.register_mr(
+            node.dram, lock_base, lock_bytes,
+            access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_ATOMIC,
+            name=f"{node.name}.locks",
+        )
+
+        # DRAM cache. When data itself lives in DRAM the cache is pointless;
+        # the config presets disable it there, but guard anyway.
+        self.cache_enabled = config.enable_cache and not config.data_in_dram
+        if self.cache_enabled:
+            cache_base = carver.carve(config.cache_capacity, "cache")
+            self.cache_mr = node.endpoint.register_mr(
+                node.dram, cache_base, config.cache_capacity,
+                access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE,
+                name=f"{node.name}.cache",
+            )
+            self.cache_alloc = ExtentAllocator(config.cache_capacity)
+        else:
+            self.cache_mr = None
+            self.cache_alloc = None
+
+        # Optional persistent metadata journal at the tail of NVM.
+        if config.metadata_journal:
+            journal_span = (JOURNAL_HEADER_BYTES
+                            + config.journal_entries * JOURNAL_RECORD_BYTES)
+            self.journal_base = data_device.capacity - journal_span
+            self.data_capacity = self.journal_base
+            self._journal_count = 0
+        else:
+            self.journal_base = None
+            self.data_capacity = data_device.capacity
+
+        # Data region: the contributed device minus the journal tail.
+        self.data_mr = node.endpoint.register_mr(
+            data_device, 0, data_device.capacity,
+            access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE,
+            name=f"{node.name}.data",
+        )
+
+        #: Locally cached objects: gaddr -> entry (the drain loop consults it).
+        self.cached: Dict[int, _CacheEntry] = {}
+        self._rings: Dict[str, _ClientRing] = {}
+        self._drain_loops: list = []  # (process, qp) pairs
+        self._drain_proc_by_client: Dict[str, object] = {}
+        self.crashes = 0
+
+        m = self.sim.metrics
+        self.drained_writes = m.counter(f"{node.name}.proxy.drained")
+        self.drained_bytes = m.counter(f"{node.name}.proxy.drained_bytes")
+        self.ring_occupancy = m.level(f"{node.name}.proxy.occupancy")
+        self.promotions = m.counter(f"{node.name}.cache.promotions")
+        self.demotions = m.counter(f"{node.name}.cache.demotions")
+
+    # ------------------------------------------------------------------
+    def descriptor(self) -> ServerDescriptor:
+        """What clients need to reach this server one-sided."""
+        return ServerDescriptor(
+            server_id=self.server_id,
+            node_name=self.node.name,
+            data_rkey=self.data_mr.rkey,
+            cache_rkey=self.cache_mr.rkey if self.cache_mr else 0,
+            lock_rkey=self.lock_mr.rkey,
+        )
+
+    def serve_control(self, qp: "QueuePair") -> None:
+        """Start serving RPC on a control connection (master or client)."""
+        self.rpc.serve(qp)
+
+    # ------------------------------------------------------------------
+    # RPC handlers (invoked by the master / clients)
+    # ------------------------------------------------------------------
+    def _handle_promote(self, request: dict) -> Generator[Any, Any, int]:
+        """Copy an object from NVM into a tagged DRAM cache slot.
+
+        Returns the slot's cache-region offset.  Idempotent: promoting an
+        already-cached object returns the existing slot.
+        """
+        if not self.cache_enabled:
+            raise ServerError("cache disabled on this server")
+        gaddr, size = request["gaddr"], request["size"]
+        existing = self.cached.get(gaddr)
+        if existing is not None:
+            return existing.cache_offset
+        slot_offset = self.cache_alloc.alloc(CACHE_TAG_BYTES + size)  # may raise OutOfMemory
+        nvm_offset = offset_of(gaddr)
+        yield from self.node.cpu_work()
+        data = yield from self.data_device.read(nvm_offset, size)
+        yield from self.cache_mr.write(slot_offset, pack_cache_tag(gaddr) + data)
+        # Publish locally *after* the copy so the drain loop never updates a
+        # half-initialized slot that it then gets overwritten by stale data.
+        self.cached[gaddr] = _CacheEntry(cache_offset=slot_offset, size=size)
+        self.promotions.add()
+        trace(self.sim, "cache", "promoted", server=self.node.name,
+              gaddr=hex(gaddr), bytes=size)
+        return slot_offset
+
+    def _handle_demote(self, request: dict) -> Generator[Any, Any, bool]:
+        """Drop a cached object: invalidate its tag, free the slot.
+
+        The cache is clean by construction (every write path updates NVM as
+        well), so no writeback is needed.
+        """
+        gaddr = request["gaddr"]
+        entry = self.cached.pop(gaddr, None)
+        if entry is None:
+            return False  # already demoted (idempotent)
+        yield from self.node.cpu_work()
+        # Kill the tag first so stale clients fail self-verification.
+        yield from self.cache_mr.write(entry.cache_offset, pack_cache_tag(0, flags=0))
+        self.cache_alloc.free(entry.cache_offset)
+        self.demotions.add()
+        trace(self.sim, "cache", "demoted", server=self.node.name,
+              gaddr=hex(gaddr))
+        return True
+
+    def _handle_attach(self, request: dict) -> Generator[Any, Any, RingDescriptor]:
+        """Set up a client's private proxy ring and start its drain loop."""
+        client_name = request["client"]
+        if client_name in self._rings:
+            raise ServerError(f"client {client_name!r} already attached")
+        # A previous incarnation's drain loop (pre-crash) must have fully
+        # exited before a new one shares the QP's completion stream, or the
+        # two would steal each other's doorbells.
+        old_proc = self._drain_proc_by_client.get(client_name)
+        if old_proc is not None and old_proc.is_alive:
+            yield old_proc
+        qp = self._find_qp(request["qp_num"])
+        slots = self.config.proxy_ring_slots
+        slot_size = self.config.proxy_slot_size
+        span = slots * slot_size + 64  # slots + drained counter word
+        ring_base = self._carver.carve(span, f"ring:{client_name}")
+        mr = self.node.endpoint.register_mr(
+            self.node.dram, ring_base, span,
+            access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE,
+            name=f"{self.node.name}.ring.{client_name}",
+        )
+        counter_offset = slots * slot_size
+        mr.write_u64(counter_offset, 0)
+        ring = _ClientRing(ring_base=ring_base, mr=mr, counter_offset=counter_offset)
+        self._rings[client_name] = ring
+        # Pre-post one doorbell recv per slot; the drain loop reposts.
+        for _ in range(slots):
+            qp.post_recv(mr, offset=counter_offset, length=0)
+        proc = self.sim.spawn(
+            self._drain_loop(qp, ring), name=f"{self.node.name}.drain.{client_name}"
+        )
+        self._drain_loops.append((proc, qp))
+        self._drain_proc_by_client[client_name] = proc
+        yield from self.node.cpu_work()
+        return RingDescriptor(
+            ring_rkey=mr.rkey, slots=slots, slot_size=slot_size,
+            counter_offset=counter_offset,
+        )
+
+    def _handle_scrub(self, request: dict) -> Generator[Any, Any, bool]:
+        """Zero a freed data extent so reallocations read as fresh memory.
+
+        Gengar gives gmalloc calloc semantics; the cost is paid off the
+        allocation critical path, at free time.
+        """
+        offset, size = request["offset"], request["size"]
+        yield from self.node.cpu_work()
+        zeros = bytes(min(size, 64 * 1024))
+        pos = 0
+        while pos < size:
+            chunk = min(len(zeros), size - pos)
+            yield from self.data_device.write(offset + pos, zeros[:chunk])
+            pos += chunk
+        return True
+
+    def _handle_journal_append(self, request: dict) -> Generator[Any, Any, int]:
+        """Durably journal one allocation/free into NVM.
+
+        Write-ahead ordering: the record lands before the count header
+        advances, so a crash between the two leaves the record invisible
+        rather than half-valid.  Returns the new record count.
+        """
+        if self.journal_base is None:
+            raise ServerError("metadata journal disabled on this server")
+        if self._journal_count >= self.config.journal_entries:
+            raise ServerError("metadata journal full")
+        record = pack_journal_record(
+            request["op"], request["lock_idx"], request["gaddr"], request["size"]
+        )
+        yield from self.node.cpu_work()
+        offset = (self.journal_base + JOURNAL_HEADER_BYTES
+                  + self._journal_count * JOURNAL_RECORD_BYTES)
+        yield from self.data_device.write(offset, record)
+        self._journal_count += 1
+        yield from self.data_device.write(
+            self.journal_base, self._journal_count.to_bytes(8, "little")
+        )
+        return self._journal_count
+
+    def _handle_journal_read(self, request: dict) -> Generator[Any, Any, list]:
+        """Read the whole journal back (recovery).  Returns decoded records.
+
+        Reads the persisted count header rather than trusting volatile
+        state, so it works on a freshly restarted server process.
+        """
+        if self.journal_base is None:
+            raise ServerError("metadata journal disabled on this server")
+        raw_count = yield from self.data_device.read(self.journal_base, 8)
+        count = int.from_bytes(raw_count, "little")
+        self._journal_count = count
+        if count == 0:
+            return []
+        raw = yield from self.data_device.read(
+            self.journal_base + JOURNAL_HEADER_BYTES,
+            count * JOURNAL_RECORD_BYTES,
+        )
+        records = []
+        for i in range(count):
+            op, lock_idx, gaddr, size = unpack_journal_record(
+                raw[i * JOURNAL_RECORD_BYTES:(i + 1) * JOURNAL_RECORD_BYTES]
+            )
+            records.append({"op": op, "lock_idx": lock_idx,
+                            "gaddr": gaddr, "size": size})
+        return records
+
+    def _handle_clear_lock(self, request: dict) -> Generator[Any, Any, int]:
+        """Admin path: forcibly zero a lock word (recovery after a client
+        failure).  Returns the prior word so operators can audit what was
+        abandoned."""
+        lock_idx = request["lock_idx"]
+        yield from self.node.cpu_work()
+        prior = self.lock_mr.read_u64(lock_idx * 8)
+        yield from self.lock_mr.write(lock_idx * 8, (0).to_bytes(8, "little"))
+        return prior
+
+    def _handle_clear_lock_if_owner(self, request: dict) -> Generator[Any, Any, bool]:
+        """Recovery: clear the writer bits of a lock word iff the embedded
+        owner id matches.  Serialized against inbound NIC atomics through
+        the endpoint's atomic gate, so a concurrent CAS/FAA never interleaves
+        with the read-modify-write."""
+        from repro.core.protocol import lock_is_write_locked, lock_owner, write_lock_word
+
+        lock_idx, owner = request["lock_idx"], request["owner"]
+        yield from self.node.cpu_work()
+        with (yield from self.node.endpoint.atomic_gate.acquire()):
+            word = self.lock_mr.read_u64(lock_idx * 8)
+            if not (lock_is_write_locked(word) and lock_owner(word) == owner):
+                return False
+            # Preserve in-flight reader increments; drop only the writer part.
+            new = word - write_lock_word(owner)
+            yield from self.lock_mr.write(lock_idx * 8, new.to_bytes(8, "little"))
+        return True
+
+    def _find_qp(self, qp_num: int) -> "QueuePair":
+        # The client names the *server-side* QP of its data connection by
+        # number (it learned it from qp.remote at connect time), so control
+        # and data connections to the same client are never confused.
+        for qp in self.node.endpoint.qps:
+            if qp.qp_num == qp_num:
+                return qp
+        raise ServerError(f"no local QP numbered {qp_num}")
+
+    # ------------------------------------------------------------------
+    # The proxy drain loop — the heart of the write-latency redesign
+    # ------------------------------------------------------------------
+    def _drain_loop(self, qp: "QueuePair", ring: _ClientRing) -> Generator[Any, Any, None]:
+        """Apply staged writes to NVM (and the DRAM cache) in arrival order.
+
+        The client already got its completion when the payload landed in the
+        ring (DRAM latency); this loop pays the NVM cost off the critical
+        path.  Per-client FIFO draining preserves program order.
+        """
+        slot_size = self.config.proxy_slot_size
+        while True:
+            wc = yield from qp.recv_cq.wait()
+            if wc.context.get("poison"):
+                return  # server crashed: staged-but-undrained writes are lost
+            slot = wc.imm_data
+            self.ring_occupancy.adjust(+1)
+            yield from self.node.cpu_work()  # parse the doorbell + header
+            base = slot * slot_size
+            header = ring.mr.peek(base, PROXY_HEADER_BYTES)
+            gaddr, obj_offset, length = unpack_proxy_header(header)
+            payload = ring.mr.peek(base + PROXY_HEADER_BYTES, length)
+
+            # Freshen the cached copy first so hot readers see it as early
+            # as possible; then persist to the NVM home.
+            entry = self.cached.get(gaddr)
+            if entry is not None and obj_offset + length <= entry.size:
+                yield from self.cache_mr.write(
+                    entry.cache_offset + CACHE_TAG_BYTES + obj_offset, payload
+                )
+            yield from self.data_device.write(offset_of(gaddr) + obj_offset, payload)
+
+            ring.drained += 1
+            trace(self.sim, "proxy", "drained", server=self.node.name,
+                  gaddr=hex(gaddr), bytes=length, seq=ring.drained)
+            ring.mr.write_u64(ring.counter_offset, ring.drained)
+            qp.post_recv(ring.mr, offset=ring.counter_offset, length=0)
+            self.drained_writes.add()
+            self.drained_bytes.add(length)
+            self.ring_occupancy.adjust(-1)
+
+    # ------------------------------------------------------------------
+    # Failure injection
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail the server process: DRAM contents are lost, NVM survives.
+
+        Models a machine power cycle: the DRAM cache, the proxy rings
+        (including any staged-but-undrained writes!), and the lock table all
+        vanish; data that reached NVM (everything a client ``gsync``'ed) is
+        durable.  In-flight and subsequent verbs targeting this node
+        complete with ``RETRY_EXCEEDED``.
+        """
+        if not self.node.endpoint.alive:
+            return
+        self.node.endpoint.alive = False
+        self.crashes += 1
+        # DRAM is gone: invalidate every cached slot's tag and the rings.
+        for entry in self.cached.values():
+            self.cache_mr.poke(entry.cache_offset,
+                               bytes(CACHE_TAG_BYTES + entry.size))
+        self.cached.clear()
+        if self.cache_alloc is not None:
+            self.cache_alloc = ExtentAllocator(self.config.cache_capacity)
+        for ring in self._rings.values():
+            ring.mr.poke(0, bytes(ring.mr.length))
+        self._rings.clear()
+        # Stop the drain loops with poison completions (a poisoned wait is
+        # consumed by the dying loop, so no live completion is ever lost to
+        # a stale queue entry).
+        from repro.rdma.wr import Opcode, WorkCompletion
+
+        for _proc, qp in self._drain_loops:
+            qp.recv_cq.push(WorkCompletion(
+                wr_id=0, opcode=Opcode.RECV, context={"poison": True},
+            ))
+        self._drain_loops.clear()
+        # The lock table lived in DRAM: every lock is implicitly released.
+        self.lock_mr.poke(0, bytes(self.lock_mr.length))
+        trace(self.sim, "fault", "server crashed", server=self.node.name)
+
+    def recover(self) -> None:
+        """Restart the server process (empty DRAM state, NVM intact).
+
+        Clients must re-attach (:meth:`GengarClient.reattach_server`) to get
+        fresh proxy rings, and the master must be told via
+        :meth:`Master.on_server_recovered` so the directory drops the lost
+        DRAM copies.
+        """
+        self.node.endpoint.alive = True
+        trace(self.sim, "fault", "server recovered", server=self.node.name)
+
+    @property
+    def is_alive(self) -> bool:
+        return self.node.endpoint.alive
+
+    # ------------------------------------------------------------------
+    @property
+    def cache_used_bytes(self) -> int:
+        """Bytes currently allocated in the DRAM cache (tags included)."""
+        return self.cache_alloc.allocated_bytes if self.cache_alloc else 0

@@ -1,0 +1,36 @@
+"""Hardware models: hybrid memory devices, RDMA NICs, and the fabric.
+
+The models are *queued cost models*: every operation acquires the physical
+resource it contends for (a memory channel, a NIC pipeline slot, link
+serialization time) and holds it for a latency derived from published device
+characteristics.  The defaults in :mod:`repro.hardware.specs` encode the
+DRAM/Optane asymmetry that motivates Gengar's design.
+"""
+
+from repro.hardware.memory import MemoryDevice
+from repro.hardware.network import Fabric
+from repro.hardware.nic import Nic
+from repro.hardware.specs import (
+    CONNECTX5_NIC,
+    DDR4_DRAM,
+    DEFAULT_LINK,
+    OPTANE_NVM,
+    LinkSpec,
+    MemorySpec,
+    NicSpec,
+    SLOW_NVM,
+)
+
+__all__ = [
+    "MemoryDevice",
+    "Nic",
+    "Fabric",
+    "MemorySpec",
+    "NicSpec",
+    "LinkSpec",
+    "DDR4_DRAM",
+    "OPTANE_NVM",
+    "SLOW_NVM",
+    "CONNECTX5_NIC",
+    "DEFAULT_LINK",
+]

@@ -1,0 +1,177 @@
+"""Queued memory device model backing real byte storage.
+
+A :class:`MemoryDevice` is both a *cost model* (requests contend for a fixed
+number of channels, each serving ``latency + bytes/channel_bw``) and a
+*functional store* (a ``bytearray`` that RDMA operations actually copy in and
+out of).  Keeping both in one object lets tests assert data integrity and
+performance shape on the same run.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator
+
+from repro.sim.resources import Resource
+from repro.sim.stats import Histogram
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+from repro.hardware.specs import MemorySpec
+
+
+class MemoryAccessError(Exception):
+    """Out-of-bounds or otherwise invalid device access."""
+
+
+class SparseBuffer:
+    """A page-granular sparse byte store.
+
+    Device specs describe capacities far beyond what a host bytearray should
+    eagerly allocate (an Optane DIMM is 128 GiB); pages materialize only when
+    written.  Reads of untouched ranges return zeros, matching fresh memory.
+    """
+
+    PAGE_SIZE = 64 * 1024
+
+    def __init__(self, capacity: int):
+        self.capacity = capacity
+        self._pages: dict[int, bytearray] = {}
+
+    def read(self, offset: int, nbytes: int) -> bytes:
+        """Copy ``nbytes`` out, zero-filling unmaterialized pages."""
+        out = bytearray(nbytes)
+        pos = 0
+        while pos < nbytes:
+            page_no, page_off = divmod(offset + pos, self.PAGE_SIZE)
+            chunk = min(nbytes - pos, self.PAGE_SIZE - page_off)
+            page = self._pages.get(page_no)
+            if page is not None:
+                out[pos : pos + chunk] = page[page_off : page_off + chunk]
+            pos += chunk
+        return bytes(out)
+
+    def write(self, offset: int, payload: bytes) -> None:
+        """Copy ``payload`` in, materializing pages as needed."""
+        pos = 0
+        nbytes = len(payload)
+        while pos < nbytes:
+            page_no, page_off = divmod(offset + pos, self.PAGE_SIZE)
+            chunk = min(nbytes - pos, self.PAGE_SIZE - page_off)
+            page = self._pages.get(page_no)
+            if page is None:
+                page = bytearray(self.PAGE_SIZE)
+                self._pages[page_no] = page
+            page[page_off : page_off + chunk] = payload[pos : pos + chunk]
+            pos += chunk
+
+    @property
+    def resident_bytes(self) -> int:
+        """Host memory actually materialized (for introspection/tests)."""
+        return len(self._pages) * self.PAGE_SIZE
+
+
+class MemoryDevice:
+    """A DRAM or NVM device with channel queuing and real backing bytes.
+
+    Access methods are process helpers::
+
+        data = yield from device.read(offset, nbytes)
+        yield from device.write(offset, payload)
+
+    Timing model per request: a channel is held for
+    ``latency + nbytes / (bw / channels)``; requests beyond the channel count
+    queue FIFO, which reproduces bandwidth saturation (the mechanism behind
+    the Optane write wall that Gengar's proxy works around).
+    """
+
+    def __init__(self, sim: "Simulator", spec: MemorySpec, name: str = ""):
+        self.sim = sim
+        self.spec = spec
+        self.name = name or spec.name
+        self._data = SparseBuffer(spec.capacity_bytes)
+        self._channels = Resource(sim, capacity=spec.channels, name=f"{self.name}.channels")
+        self._per_channel_read_bw = spec.read_bw / spec.channels
+        self._per_channel_write_bw = spec.write_bw / spec.channels
+        m = sim.metrics
+        self.bytes_read = m.counter(f"{self.name}.bytes_read")
+        self.bytes_written = m.counter(f"{self.name}.bytes_written")
+        self.read_latency: Histogram = m.histogram(f"{self.name}.read_latency")
+        self.write_latency: Histogram = m.histogram(f"{self.name}.write_latency")
+        self.queue_depth = m.level(f"{self.name}.queue_depth")
+
+    # ------------------------------------------------------------------
+    @property
+    def capacity(self) -> int:
+        """Total device capacity in bytes."""
+        return self.spec.capacity_bytes
+
+    @property
+    def is_persistent(self) -> bool:
+        """True for NVM devices (contents survive 'power loss')."""
+        return self.spec.kind == "nvm"
+
+    def _check_range(self, offset: int, nbytes: int) -> None:
+        if offset < 0 or nbytes < 0 or offset + nbytes > self.capacity:
+            raise MemoryAccessError(
+                f"{self.name}: access [{offset}, {offset + nbytes}) outside "
+                f"capacity {self.capacity}"
+            )
+
+    def read_service_time(self, nbytes: int) -> int:
+        """Channel hold time for a read of ``nbytes``."""
+        return self.spec.read_latency_ns + round(nbytes / self._per_channel_read_bw)
+
+    def write_service_time(self, nbytes: int) -> int:
+        """Channel hold time for a write of ``nbytes``."""
+        return self.spec.write_latency_ns + round(nbytes / self._per_channel_write_bw)
+
+    # ------------------------------------------------------------------
+    # Timed, functional access (process helpers)
+    # ------------------------------------------------------------------
+    def read(self, offset: int, nbytes: int) -> Generator[Any, Any, bytes]:
+        """Read ``nbytes`` at ``offset``; returns the bytes."""
+        self._check_range(offset, nbytes)
+        start = self.sim.now
+        self.queue_depth.adjust(+1)
+        try:
+            with (yield from self._channels.acquire()):
+                yield self.sim.timeout(self.read_service_time(nbytes))
+        finally:
+            self.queue_depth.adjust(-1)
+        self.bytes_read.add(nbytes)
+        self.read_latency.record(self.sim.now - start)
+        return self._data.read(offset, nbytes)
+
+    def write(self, offset: int, payload: bytes) -> Generator[Any, Any, None]:
+        """Write ``payload`` at ``offset``."""
+        nbytes = len(payload)
+        self._check_range(offset, nbytes)
+        start = self.sim.now
+        self.queue_depth.adjust(+1)
+        try:
+            with (yield from self._channels.acquire()):
+                yield self.sim.timeout(self.write_service_time(nbytes))
+        finally:
+            self.queue_depth.adjust(-1)
+        self._data.write(offset, payload)
+        self.bytes_written.add(nbytes)
+        self.write_latency.record(self.sim.now - start)
+
+    # ------------------------------------------------------------------
+    # Instant access (zero simulated cost)
+    # ------------------------------------------------------------------
+    # Used by the NIC's DMA engine when the timing is accounted elsewhere,
+    # and by tests that need to inspect or seed contents.
+    def peek(self, offset: int, nbytes: int) -> bytes:
+        """Untimed read of device contents."""
+        self._check_range(offset, nbytes)
+        return self._data.read(offset, nbytes)
+
+    def poke(self, offset: int, payload: bytes) -> None:
+        """Untimed write of device contents."""
+        self._check_range(offset, len(payload))
+        self._data.write(offset, payload)
+
+    def __repr__(self) -> str:  # pragma: no cover
+        return f"<MemoryDevice {self.name} {self.spec.kind} {self.capacity >> 20} MiB>"

@@ -1,0 +1,189 @@
+"""Fabric model: an RDMA network, flat or two-tier.
+
+Each attached node owns an egress and an ingress port of ``LinkSpec.bandwidth``.
+A unicast reserves the sender's egress and the receiver's ingress for the
+message's serialization time (cut-through, so large transfers are not
+double-serialized), then pays one propagation delay.  Contention therefore
+appears exactly where it does physically: many-to-one traffic queues at the
+receiver's ingress port (incast), and a single sender cannot exceed its
+uplink.
+
+**Two-tier mode.**  Assigning nodes to racks (:meth:`Fabric.assign_rack`)
+and configuring the core (:meth:`Fabric.set_core`) turns on rack locality:
+intra-rack traffic behaves as before, while inter-rack traffic additionally
+serializes through the source rack's core uplink and the destination rack's
+core downlink (each of ``core_bandwidth``, i.e. oversubscribed when that is
+below the sum of member ports) and pays an extra hop of latency.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Generator
+
+from repro.sim.resources import Resource
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+from repro.hardware.specs import LinkSpec
+
+
+class FabricError(Exception):
+    """Raised for unknown ports or invalid transfers."""
+
+
+class _Port:
+    """One direction of a link: a rate-limited FIFO gate.
+
+    ``bandwidth=None`` means "use the fabric's edge link rate"; rack core
+    ports carry their own (typically oversubscribed) rate.
+    """
+
+    def __init__(self, sim: "Simulator", name: str, bandwidth: float = None):
+        self.gate = Resource(sim, capacity=1, name=name)
+        self.bandwidth = bandwidth
+        self.bytes_moved = 0
+
+
+class Fabric:
+    """The cluster interconnect.
+
+    Usage::
+
+        fabric = Fabric(sim, DEFAULT_LINK)
+        fabric.attach("node0")
+        fabric.attach("node1")
+        yield from fabric.unicast("node0", "node1", nbytes=4096)
+    """
+
+    def __init__(self, sim: "Simulator", spec: LinkSpec):
+        self.sim = sim
+        self.spec = spec
+        self._egress: Dict[str, _Port] = {}
+        self._ingress: Dict[str, _Port] = {}
+        self._rack_of: Dict[str, str] = {}
+        self._core_up: Dict[str, _Port] = {}
+        self._core_down: Dict[str, _Port] = {}
+        self._core_bandwidth: float = 0.0
+        self._core_hop_ns: int = 0
+        self.messages = sim.metrics.counter("fabric.messages")
+        self.payload_bytes = sim.metrics.counter("fabric.payload_bytes")
+        self.inter_rack_messages = sim.metrics.counter("fabric.inter_rack")
+
+    def attach(self, node_name: str) -> None:
+        """Register a node; idempotent."""
+        if node_name not in self._egress:
+            self._egress[node_name] = _Port(self.sim, f"fabric.{node_name}.egress")
+            self._ingress[node_name] = _Port(self.sim, f"fabric.{node_name}.ingress")
+
+    def is_attached(self, node_name: str) -> bool:
+        return node_name in self._egress
+
+    # ------------------------------------------------------------------
+    # Two-tier topology
+    # ------------------------------------------------------------------
+    def set_core(self, bandwidth: float, hop_ns: int = 200) -> None:
+        """Configure the rack-uplink tier (bytes/ns per rack direction)."""
+        if bandwidth <= 0:
+            raise FabricError("core bandwidth must be positive")
+        if hop_ns < 0:
+            raise FabricError("core hop latency must be non-negative")
+        self._core_bandwidth = bandwidth
+        self._core_hop_ns = hop_ns
+        for rack in set(self._rack_of.values()):
+            self._ensure_rack_ports(rack)
+
+    def assign_rack(self, node_name: str, rack: str) -> None:
+        """Place a node in a rack (call after :meth:`attach`)."""
+        if node_name not in self._egress:
+            raise FabricError(f"attach {node_name!r} before assigning a rack")
+        self._rack_of[node_name] = rack
+        if self._core_bandwidth:
+            self._ensure_rack_ports(rack)
+
+    def _ensure_rack_ports(self, rack: str) -> None:
+        if rack not in self._core_up:
+            self._core_up[rack] = _Port(
+                self.sim, f"fabric.rack.{rack}.up", self._core_bandwidth)
+            self._core_down[rack] = _Port(
+                self.sim, f"fabric.rack.{rack}.down", self._core_bandwidth)
+
+    def rack_of(self, node_name: str) -> str:
+        """The node's rack ('' when unassigned / flat fabric)."""
+        return self._rack_of.get(node_name, "")
+
+    def _crosses_core(self, src: str, dst: str) -> bool:
+        if not self._core_bandwidth:
+            return False
+        src_rack = self._rack_of.get(src)
+        dst_rack = self._rack_of.get(dst)
+        return src_rack is not None and dst_rack is not None and src_rack != dst_rack
+
+    def wire_time(self, nbytes: int) -> int:
+        """Serialization time for a payload of ``nbytes`` plus headers."""
+        wire_bytes = nbytes + self.spec.header_bytes
+        return max(1, round(wire_bytes / self.spec.bandwidth))
+
+    def min_latency(self, nbytes: int) -> int:
+        """Uncontended one-way latency (for analytical test baselines)."""
+        return self.wire_time(nbytes) + self.spec.propagation_ns
+
+    def unicast(self, src: str, dst: str, nbytes: int) -> Generator[Any, Any, None]:
+        """Move ``nbytes`` from ``src`` to ``dst``; returns at delivery time.
+
+        Reserves both the sender's egress and the receiver's ingress for the
+        serialization window; the egress is always acquired first so flows
+        cannot deadlock (each flow's first lock is private to its sender).
+        """
+        if src == dst:
+            raise FabricError(f"loopback unicast on {src!r}; handle locally instead")
+        try:
+            egress = self._egress[src]
+            ingress = self._ingress[dst]
+        except KeyError as exc:
+            raise FabricError(f"unknown fabric port: {exc}") from None
+        if nbytes < 0:
+            raise FabricError("negative transfer size")
+
+        wire_bytes = nbytes + self.spec.header_bytes
+        if self._crosses_core(src, dst):
+            # Inter-rack: edge serialization, then the (possibly slower)
+            # shared core path, then an extra hop of latency.
+            up = self._core_up[self._rack_of[src]]
+            down = self._core_down[self._rack_of[dst]]
+            core_time = max(1, round(wire_bytes / self._core_bandwidth))
+            with (yield from egress.gate.acquire()):
+                yield self.sim.timeout(self.wire_time(nbytes))
+                egress.bytes_moved += wire_bytes
+            with (yield from up.gate.acquire()):
+                with (yield from down.gate.acquire()):
+                    yield self.sim.timeout(core_time)
+                    up.bytes_moved += wire_bytes
+                    down.bytes_moved += wire_bytes
+            with (yield from ingress.gate.acquire()):
+                yield self.sim.timeout(self.wire_time(nbytes))
+                ingress.bytes_moved += wire_bytes
+            yield self.sim.timeout(self.spec.propagation_ns + self._core_hop_ns)
+            self.inter_rack_messages.add()
+        else:
+            with (yield from egress.gate.acquire()):
+                with (yield from ingress.gate.acquire()):
+                    yield self.sim.timeout(self.wire_time(nbytes))
+                    egress.bytes_moved += wire_bytes
+                    ingress.bytes_moved += wire_bytes
+            yield self.sim.timeout(self.spec.propagation_ns)
+        self.messages.add()
+        self.payload_bytes.add(nbytes)
+
+    def egress_bytes(self, node_name: str) -> int:
+        """Wire bytes sent by ``node_name`` so far."""
+        return self._egress[node_name].bytes_moved
+
+    def ingress_bytes(self, node_name: str) -> int:
+        """Wire bytes received by ``node_name`` so far."""
+        return self._ingress[node_name].bytes_moved
+
+    def core_bytes(self, rack: str) -> int:
+        """Wire bytes that left ``rack`` through its core uplink."""
+        port = self._core_up.get(rack)
+        return port.bytes_moved if port else 0

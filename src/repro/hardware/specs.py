@@ -1,0 +1,192 @@
+"""Device specifications with published performance characteristics.
+
+The paper's testbed pairs DDR4 DRAM with Intel Optane DC Persistent Memory
+DIMMs over an RDMA fabric.  The numbers below follow widely published
+measurements of that hardware generation:
+
+* DDR4 DRAM: ~80 ns loaded access latency, tens of GiB/s per socket.
+* Optane DC PMM (Apache Pass, 256 GB modules): ~300 ns random read latency,
+  writes land in the on-DIMM write-pending queue quickly (~100 ns visible
+  latency) but *sustained* write bandwidth is only ~2.3 GiB/s per DIMM versus
+  ~6.6 GiB/s reads — a 3x read/write asymmetry and roughly 6x below DRAM.
+  (See Izraelevitz et al., "Basic Performance Measurements of the Intel
+  Optane DC Persistent Memory Module", arXiv:1903.05714.)
+* Mellanox ConnectX-5, 100 Gbps: ~0.6 us half-round-trip, ~200M msgs/s on
+  the wire but a few-hundred-ns per-WQE processing cost per side.
+
+Gengar's two key mechanisms — DRAM caching of hot objects and proxy-staged
+writes — exist precisely because of the NVM read latency gap and the NVM
+write bandwidth wall these specs encode.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, replace
+from typing import Optional
+
+from repro.sim.units import GIB, MIB, gbps_to_bytes_per_ns, gib_per_s_to_bytes_per_ns
+
+
+@dataclass(frozen=True)
+class MemorySpec:
+    """A byte-addressable memory device's cost model.
+
+    Attributes:
+        name: human-readable label used in metrics.
+        kind: ``"dram"`` or ``"nvm"``.
+        capacity_bytes: usable capacity exposed to the pool.
+        read_latency_ns: per-request access latency for reads.
+        write_latency_ns: per-request visible latency for writes (for NVM
+            this is the ADR/WPQ buffered latency, *not* media latency —
+            sustained load is bounded by ``write_bw`` instead).
+        read_bw: aggregate read bandwidth in bytes/ns.
+        write_bw: aggregate *sustained* write bandwidth in bytes/ns.
+        channels: independent channels; each serves one request at a time at
+            ``bw / channels`` so the device saturates realistically.
+    """
+
+    name: str
+    kind: str
+    capacity_bytes: int
+    read_latency_ns: int
+    write_latency_ns: int
+    read_bw: float
+    write_bw: float
+    channels: int = 4
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("dram", "nvm"):
+            raise ValueError(f"unknown memory kind: {self.kind!r}")
+        if self.capacity_bytes <= 0:
+            raise ValueError("capacity must be positive")
+        if self.read_latency_ns < 0 or self.write_latency_ns < 0:
+            raise ValueError("latencies must be non-negative")
+        if self.read_bw <= 0 or self.write_bw <= 0:
+            raise ValueError("bandwidths must be positive")
+        if self.channels < 1:
+            raise ValueError("need at least one channel")
+
+    def with_capacity(self, capacity_bytes: int) -> "MemorySpec":
+        """The same device scaled to a different capacity."""
+        return replace(self, capacity_bytes=capacity_bytes)
+
+
+@dataclass(frozen=True)
+class NicSpec:
+    """An RDMA NIC's cost model.
+
+    Attributes:
+        name: label.
+        processing_ns: per-work-element pipeline cost (doorbell, WQE fetch,
+            DMA setup) paid on each side of every verb.
+        message_rate_per_ns: sustained message rate cap (token bucket).
+        message_burst: burst depth of the message-rate limiter.
+        max_inline_bytes: payloads up to this size ride inside the WQE
+            (saving the DMA read on the requester side).
+    """
+
+    name: str
+    processing_ns: int
+    message_rate_per_ns: float
+    message_burst: float = 32.0
+    max_inline_bytes: int = 220
+
+    def __post_init__(self) -> None:
+        if self.processing_ns < 0:
+            raise ValueError("processing cost must be non-negative")
+        if self.message_rate_per_ns <= 0:
+            raise ValueError("message rate must be positive")
+
+
+@dataclass(frozen=True)
+class LinkSpec:
+    """A fabric link / switch path cost model.
+
+    Attributes:
+        bandwidth: bytes/ns of each node's edge port.
+        propagation_ns: one-way cable + switch latency.
+        header_bytes: per-message wire overhead (headers, CRC).
+        core_bandwidth: bytes/ns of each rack's core uplink/downlink; None
+            keeps the fabric flat (full bisection).  A value below the sum
+            of a rack's member ports models oversubscription.
+        core_hop_ns: extra one-way latency for inter-rack traffic.
+    """
+
+    bandwidth: float
+    propagation_ns: int
+    header_bytes: int = 60
+    core_bandwidth: Optional[float] = None
+    core_hop_ns: int = 200
+
+    def __post_init__(self) -> None:
+        if self.bandwidth <= 0:
+            raise ValueError("bandwidth must be positive")
+        if self.propagation_ns < 0:
+            raise ValueError("propagation must be non-negative")
+        if self.core_bandwidth is not None and self.core_bandwidth <= 0:
+            raise ValueError("core bandwidth must be positive")
+        if self.core_hop_ns < 0:
+            raise ValueError("core hop latency must be non-negative")
+
+
+# ---------------------------------------------------------------------------
+# Presets (the reproduction's "testbed")
+# ---------------------------------------------------------------------------
+
+#: DDR4-2666, one socket's worth, as the DRAM side of the hybrid pool.
+DDR4_DRAM = MemorySpec(
+    name="ddr4",
+    kind="dram",
+    capacity_bytes=16 * GIB,
+    read_latency_ns=80,
+    write_latency_ns=80,
+    read_bw=gib_per_s_to_bytes_per_ns(15.0),
+    write_bw=gib_per_s_to_bytes_per_ns(15.0),
+    channels=4,
+)
+
+#: Intel Optane DC PMM: slow random reads, fast buffered writes, and a hard
+#: sustained-write bandwidth wall — the asymmetry Gengar is built around.
+OPTANE_NVM = MemorySpec(
+    name="optane",
+    kind="nvm",
+    capacity_bytes=128 * GIB,
+    read_latency_ns=300,
+    write_latency_ns=100,
+    read_bw=gib_per_s_to_bytes_per_ns(6.6),
+    write_bw=gib_per_s_to_bytes_per_ns(2.3),
+    channels=4,
+)
+
+#: A pessimistic NVM variant (early-generation / heavily loaded DIMM) used by
+#: sensitivity experiments.
+SLOW_NVM = MemorySpec(
+    name="slow-nvm",
+    kind="nvm",
+    capacity_bytes=128 * GIB,
+    read_latency_ns=600,
+    write_latency_ns=150,
+    read_bw=gib_per_s_to_bytes_per_ns(3.0),
+    write_bw=gib_per_s_to_bytes_per_ns(1.0),
+    channels=2,
+)
+
+#: ConnectX-5-class RNIC.
+CONNECTX5_NIC = NicSpec(
+    name="cx5",
+    processing_ns=250,
+    message_rate_per_ns=0.075,  # 75 M msgs/s sustained
+    message_burst=64.0,
+    max_inline_bytes=220,
+)
+
+#: 100 Gbps fabric with a single switch hop.
+DEFAULT_LINK = LinkSpec(
+    bandwidth=gbps_to_bytes_per_ns(100.0),
+    propagation_ns=500,
+    header_bytes=60,
+)
+
+#: Small-capacity presets for unit tests (fast to simulate, same ratios).
+TEST_DRAM = DDR4_DRAM.with_capacity(64 * MIB)
+TEST_NVM = OPTANE_NVM.with_capacity(256 * MIB)

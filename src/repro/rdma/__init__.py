@@ -1,0 +1,47 @@
+"""A functional ibverbs-like RDMA layer over the simulated hardware.
+
+This is a faithful-in-structure model of the verbs API that Gengar's
+protocols are written against:
+
+* :class:`~repro.rdma.mr.MemoryRegion` — registered windows of a node's
+  memory devices, addressed remotely by ``(rkey, offset)``.
+* :class:`~repro.rdma.qp.QueuePair` — reliable-connected queue pairs with
+  one-sided READ/WRITE/WRITE_WITH_IMM, two-sided SEND/RECV, and 8-byte
+  CAS/FAA atomics.  One-sided verbs never involve the target's CPU — only
+  its NIC and memory device — exactly the property Gengar's design exploits.
+* :class:`~repro.rdma.cq.CompletionQueue` — completion delivery.
+* :class:`~repro.rdma.endpoint.RdmaEndpoint` /
+  :func:`~repro.rdma.endpoint.connect` — per-node verbs context and the
+  connection manager.
+* :class:`~repro.rdma.rpc.RpcServer` / :class:`~repro.rdma.rpc.RpcClient`
+  — a small two-sided RPC layer used by control planes (allocation,
+  metadata); the data plane stays one-sided.
+
+All payloads are real bytes copied between simulated memory devices, so data
+integrity is testable end to end.
+"""
+
+from repro.rdma.cq import CompletionQueue
+from repro.rdma.endpoint import RdmaEndpoint, connect
+from repro.rdma.mr import AccessFlags, MemoryRegion, MrError
+from repro.rdma.qp import QpError, QueuePair
+from repro.rdma.rpc import RpcClient, RpcError, RpcServer
+from repro.rdma.wr import Opcode, WcStatus, WorkCompletion, WorkRequest
+
+__all__ = [
+    "MemoryRegion",
+    "AccessFlags",
+    "MrError",
+    "QueuePair",
+    "QpError",
+    "CompletionQueue",
+    "RdmaEndpoint",
+    "connect",
+    "Opcode",
+    "WcStatus",
+    "WorkRequest",
+    "WorkCompletion",
+    "RpcServer",
+    "RpcClient",
+    "RpcError",
+]

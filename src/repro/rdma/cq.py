@@ -1,0 +1,51 @@
+"""Completion queues."""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Generator, List
+
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+from repro.rdma.wr import WorkCompletion
+
+
+class CompletionQueue:
+    """Delivery channel for work completions.
+
+    Supports both polling (``poll``) and process-blocking consumption
+    (``yield from cq.wait()``), mirroring busy-poll vs event-mode usage of a
+    real CQ.
+    """
+
+    def __init__(self, sim: "Simulator", name: str = "cq"):
+        self.sim = sim
+        self.name = name
+        self._store = Store(sim, name=name)
+        self.completions = sim.metrics.counter(f"{name}.completions")
+
+    def push(self, wc: WorkCompletion) -> None:
+        """Deliver a completion (called by the QP machinery)."""
+        wc.timestamp = self.sim.now
+        self.completions.add()
+        self._store.put(wc)
+
+    def poll(self, max_entries: int = 16) -> List[WorkCompletion]:
+        """Drain up to ``max_entries`` completions without blocking."""
+        out: List[WorkCompletion] = []
+        while len(out) < max_entries:
+            ok, wc = self._store.try_get()
+            if not ok:
+                break
+            out.append(wc)
+        return out
+
+    def wait(self) -> Generator[Any, Any, WorkCompletion]:
+        """Process helper: block until the next completion arrives."""
+        wc = yield self._store.get()
+        return wc
+
+    def __len__(self) -> int:
+        return len(self._store)

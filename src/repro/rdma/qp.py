@@ -1,0 +1,293 @@
+"""Reliable-connected queue pairs: the verb state machines.
+
+Each verb is executed as a simulation process that walks the same phases the
+real protocol does — initiator NIC, fabric, target NIC, target memory,
+response — copying real bytes at the placement step.  One-sided verbs touch
+only the target's NIC and memory device; no target-side process is scheduled,
+preserving the CPU-bypass property Gengar builds on.
+
+Ordering: a per-QP send gate serializes WQEs through local DMA and fabric
+injection, so two writes posted back-to-back are placed in order at the
+target (RC ordering).  Response phases overlap, so reads still pipeline.
+"""
+
+from __future__ import annotations
+
+import itertools
+from typing import TYPE_CHECKING, Any, Generator, Optional
+
+from repro.sim.primitives import Event
+from repro.sim.resources import Resource, Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.rdma.endpoint import RdmaEndpoint
+
+from repro.rdma.mr import AccessFlags, MemoryRegion, MrError
+from repro.rdma.wr import (
+    ATOMIC_OPERAND_BYTES,
+    ATOMIC_REQUEST_BYTES,
+    ATOMIC_RESPONSE_BYTES,
+    Opcode,
+    WcStatus,
+    WorkCompletion,
+    WorkRequest,
+)
+
+#: Wire payload of a READ request (remote address + length + rkey).
+READ_REQUEST_BYTES = 16
+#: Modelled RC retransmission timeout before a dead peer surfaces as
+#: RETRY_EXCEEDED (real defaults are much larger; this keeps tests fast).
+RETRY_TIMEOUT_NS = 50_000
+
+_qp_ids = itertools.count(1)
+
+
+class QpError(Exception):
+    """Invalid queue-pair usage (posting errors, unconnected QP)."""
+
+
+class _RecvDescriptor:
+    """One posted receive buffer."""
+
+    __slots__ = ("wr_id", "mr", "offset", "length")
+
+    def __init__(self, wr_id: int, mr: MemoryRegion, offset: int, length: int):
+        self.wr_id = wr_id
+        self.mr = mr
+        self.offset = offset
+        self.length = length
+
+
+class QueuePair:
+    """One end of a reliable connection.
+
+    Created via :func:`repro.rdma.endpoint.connect`; not directly.
+    """
+
+    def __init__(self, endpoint: "RdmaEndpoint", send_cq, recv_cq, name: str = ""):
+        self.endpoint = endpoint
+        self.sim = endpoint.sim
+        self.qp_num = next(_qp_ids)
+        self.name = name or f"qp{self.qp_num}"
+        self.send_cq = send_cq
+        self.recv_cq = recv_cq
+        self.remote: Optional["QueuePair"] = None
+        self._recv_queue: Store = Store(self.sim, name=f"{self.name}.rq")
+        self._send_gate = Resource(self.sim, capacity=1, name=f"{self.name}.sq")
+
+    # ------------------------------------------------------------------
+    @property
+    def is_connected(self) -> bool:
+        return self.remote is not None
+
+    def post_recv(self, mr: MemoryRegion, offset: int = 0, length: Optional[int] = None, wr_id: int = 0) -> None:
+        """Post a receive buffer for an incoming SEND (or WRITE_IMM notice)."""
+        if length is None:
+            length = mr.length - offset
+        mr.check(offset, length, AccessFlags.LOCAL)
+        self._recv_queue.put(_RecvDescriptor(wr_id, mr, offset, length))
+
+    def post_send(self, wr: WorkRequest) -> Event:
+        """Post a send-queue work request.
+
+        Returns an event that fires with the :class:`WorkCompletion` when the
+        verb finishes; the same completion is also pushed to ``send_cq``.
+        Protocol-level failures surface as completions with a non-success
+        status (like real verbs), while local usage errors raise
+        :class:`QpError` immediately.
+        """
+        if not self.is_connected:
+            raise QpError(f"{self.name} is not connected")
+        if wr.opcode is Opcode.RECV:
+            raise QpError("post RECV via post_recv()")
+        if wr.inline_data is not None and not self.endpoint.nic.is_inline(len(wr.inline_data)):
+            raise QpError(
+                f"inline payload of {len(wr.inline_data)} bytes exceeds the "
+                f"NIC inline limit {self.endpoint.nic.spec.max_inline_bytes}"
+            )
+        if wr.is_atomic and wr.length not in (0, ATOMIC_OPERAND_BYTES):
+            raise QpError("atomics operate on exactly 8 bytes")
+        done = self.sim.event(name=f"{self.name}.wr{wr.wr_id}")
+        self.sim.spawn(self._execute(wr, done), name=f"{self.name}.exec")
+        return done
+
+    # ------------------------------------------------------------------
+    # Verb execution
+    # ------------------------------------------------------------------
+    def _complete(self, wr: WorkRequest, done: Event, status: WcStatus, **fields: Any) -> None:
+        wc = WorkCompletion(wr_id=wr.wr_id, opcode=wr.opcode, status=status, **fields)
+        wc.timestamp = self.sim.now
+        self.send_cq.push(wc)
+        done.succeed(wc)
+
+    def _execute(self, wr: WorkRequest, done: Event) -> Generator[Any, Any, None]:
+        local = self.endpoint
+        remote_ep = self.remote.endpoint  # type: ignore[union-attr]
+
+        # ---- Initiator phase: gather payload, inject into the fabric -----
+        payload: bytes = b""
+        request_wire_bytes = 0
+        with (yield from self._send_gate.acquire()):
+            yield from local.nic.tx_process()
+            try:
+                payload = yield from self._gather_payload(wr)
+            except MrError:
+                self._complete(wr, done, WcStatus.LOCAL_PROTECTION_ERROR)
+                return
+            request_wire_bytes = self._request_wire_bytes(wr, payload)
+            yield from local.fabric.unicast(local.name, remote_ep.name, request_wire_bytes)
+
+        # ---- Target phase ------------------------------------------------
+        if not remote_ep.alive:
+            # The request is retransmitted into silence until the QP's
+            # retry budget expires.
+            yield self.sim.timeout(RETRY_TIMEOUT_NS)
+            self._complete(wr, done, WcStatus.RETRY_EXCEEDED)
+            return
+        yield from remote_ep.nic.rx_process()
+        try:
+            response_bytes = yield from self._apply_at_target(wr, payload, remote_ep, done)
+        except _RemoteFault as fault:
+            self._complete(wr, done, fault.status)
+            return
+        if done.triggered:  # _apply_at_target completed with an error
+            return
+
+        # ---- Response / ack phase ----------------------------------------
+        yield from local.fabric.unicast(remote_ep.name, local.name, response_bytes[0])
+        yield from local.nic.rx_process()
+
+        if wr.opcode is Opcode.RDMA_READ:
+            try:
+                wr.local_mr.check(wr.local_offset, wr.length, AccessFlags.LOCAL)  # type: ignore[union-attr]
+            except (MrError, AttributeError):
+                self._complete(wr, done, WcStatus.LOCAL_PROTECTION_ERROR)
+                return
+            # Place the fetched bytes into local registered memory (DMA).
+            yield from wr.local_mr.write(wr.local_offset, response_bytes[1])  # type: ignore[union-attr]
+            self._complete(wr, done, WcStatus.SUCCESS, byte_len=wr.length)
+        elif wr.is_atomic:
+            self._complete(
+                wr, done, WcStatus.SUCCESS,
+                byte_len=ATOMIC_OPERAND_BYTES,
+                atomic_value=int.from_bytes(response_bytes[1], "little"),
+            )
+        else:
+            self._complete(wr, done, WcStatus.SUCCESS, byte_len=len(payload))
+
+    def _gather_payload(self, wr: WorkRequest) -> Generator[Any, Any, bytes]:
+        """Collect the outbound payload (inline or local DMA read)."""
+        if wr.opcode in (Opcode.RDMA_READ, Opcode.ATOMIC_CAS, Opcode.ATOMIC_FAA):
+            return b""
+        if wr.inline_data is not None:
+            return wr.inline_data
+        if wr.local_mr is None:
+            return b""
+        if self.endpoint.nic.is_inline(wr.length):
+            # Small payloads are copied into the WQE by the CPU; no DMA read.
+            return wr.local_mr.peek(wr.local_offset, wr.length)
+        data = yield from wr.local_mr.read(wr.local_offset, wr.length)
+        return data
+
+    @staticmethod
+    def _request_wire_bytes(wr: WorkRequest, payload: bytes) -> int:
+        if wr.opcode is Opcode.RDMA_READ:
+            return READ_REQUEST_BYTES
+        if wr.is_atomic:
+            return ATOMIC_REQUEST_BYTES
+        return len(payload)
+
+    def _apply_at_target(
+        self, wr: WorkRequest, payload: bytes, remote_ep: "RdmaEndpoint", done: Event
+    ) -> Generator[Any, Any, tuple[int, bytes]]:
+        """Execute the target-side effect; returns (response_wire_bytes, data)."""
+        if wr.opcode is Opcode.SEND:
+            desc: _RecvDescriptor = yield self.remote._recv_queue.get()  # type: ignore[union-attr]
+            if len(payload) > desc.length:
+                # Buffer too small: receiver sees a local error, sender a
+                # remote-invalid-request; keep it simple and fail the sender.
+                raise _RemoteFault(WcStatus.REMOTE_INVALID_REQUEST)
+            yield from desc.mr.write(desc.offset, payload)
+            self.remote.recv_cq.push(  # type: ignore[union-attr]
+                WorkCompletion(
+                    wr_id=desc.wr_id,
+                    opcode=Opcode.RECV,
+                    byte_len=len(payload),
+                    imm_data=wr.imm_data,
+                    recv_mr=desc.mr,
+                    recv_offset=desc.offset,
+                    context={"src_qp": self.qp_num},
+                )
+            )
+            return (0, b"")
+
+        # One-sided verbs: resolve the remote region through the target MPT.
+        mr = remote_ep.resolve_rkey(wr.remote_rkey)
+        if mr is None:
+            raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR)
+
+        if wr.opcode is Opcode.RDMA_READ:
+            try:
+                mr.check(wr.remote_offset, wr.length, AccessFlags.REMOTE_READ)
+            except MrError:
+                raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR) from None
+            data = yield from mr.read(wr.remote_offset, wr.length, need=AccessFlags.REMOTE_READ)
+            return (wr.length, data)
+
+        if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_IMM):
+            try:
+                mr.check(wr.remote_offset, len(payload), AccessFlags.REMOTE_WRITE)
+            except MrError:
+                raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR) from None
+            yield from mr.write(wr.remote_offset, payload, need=AccessFlags.REMOTE_WRITE)
+            if wr.opcode is Opcode.RDMA_WRITE_IMM:
+                # Consumes a posted RECV at the target and raises a completion
+                # there — after the data is globally visible (RC ordering).
+                desc = yield self.remote._recv_queue.get()  # type: ignore[union-attr]
+                self.remote.recv_cq.push(  # type: ignore[union-attr]
+                    WorkCompletion(
+                        wr_id=desc.wr_id,
+                        opcode=Opcode.RECV,
+                        byte_len=len(payload),
+                        imm_data=wr.imm_data,
+                        context={"src_qp": self.qp_num, "write_imm": True},
+                    )
+                )
+            return (0, b"")
+
+        if wr.is_atomic:
+            try:
+                mr.check(wr.remote_offset, ATOMIC_OPERAND_BYTES, AccessFlags.REMOTE_ATOMIC)
+            except MrError:
+                raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR) from None
+            # The target NIC serializes atomics; model with a per-endpoint gate.
+            with (yield from remote_ep.atomic_gate.acquire()):
+                old_bytes = yield from mr.read(
+                    wr.remote_offset, ATOMIC_OPERAND_BYTES, need=AccessFlags.REMOTE_ATOMIC
+                )
+                old = int.from_bytes(old_bytes, "little")
+                if wr.opcode is Opcode.ATOMIC_CAS:
+                    new = wr.swap if old == wr.compare else old
+                else:  # ATOMIC_FAA
+                    new = (old + wr.add) % (1 << 64)
+                if new != old:
+                    yield from mr.write(
+                        wr.remote_offset,
+                        new.to_bytes(8, "little"),
+                        need=AccessFlags.REMOTE_ATOMIC,
+                    )
+            return (ATOMIC_RESPONSE_BYTES, old_bytes)
+
+        raise QpError(f"unsupported opcode {wr.opcode}")  # pragma: no cover
+
+    def __repr__(self) -> str:  # pragma: no cover
+        peer = self.remote.name if self.remote else "∅"
+        return f"<QP {self.name} ({self.endpoint.name} ↔ {peer})>"
+
+
+class _RemoteFault(Exception):
+    """Internal: target-side protection fault, surfaced as a completion."""
+
+    def __init__(self, status: WcStatus):
+        super().__init__(status)
+        self.status = status

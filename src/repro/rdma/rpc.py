@@ -1,0 +1,224 @@
+"""A small two-sided RPC layer over SEND/RECV.
+
+Gengar keeps its *data plane* one-sided, but the *control plane* (allocation,
+metadata lookups, lock service fallbacks, epoch reports) is classic
+request/response over SEND/RECV.  This module provides that: a method
+registry on the server, request/response framing with pickle, buffer ring
+management, and concurrent outstanding calls matched by request id.
+
+Payloads are serialized to real bytes and travel through the verbs layer, so
+RPC cost scales with message size exactly as it would on the wire.
+"""
+
+from __future__ import annotations
+
+import itertools
+import pickle
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator
+
+from repro.sim.primitives import Event
+from repro.sim.resources import Store
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.hardware.memory import MemoryDevice
+
+from repro.rdma.endpoint import RdmaEndpoint
+from repro.rdma.mr import AccessFlags
+from repro.rdma.qp import QueuePair
+from repro.rdma.wr import Opcode, WorkRequest
+
+_req_ids = itertools.count(1)
+
+#: Default RPC buffer size: enough for metadata messages, small enough that
+#: bulk data clearly does not belong on this path.
+DEFAULT_BUFFER_SIZE = 4096
+
+
+class RpcError(Exception):
+    """Remote handler failure or local framing problem."""
+
+
+def _encode(obj: Any, limit: int) -> bytes:
+    data = pickle.dumps(obj, protocol=pickle.HIGHEST_PROTOCOL)
+    if len(data) > limit:
+        raise RpcError(f"rpc payload of {len(data)} bytes exceeds buffer size {limit}")
+    return data
+
+
+class _BufferRing:
+    """A ring of fixed-size slots in one registered region."""
+
+    def __init__(self, endpoint: RdmaEndpoint, device: "MemoryDevice", base: int,
+                 slots: int, slot_size: int, name: str):
+        self.slot_size = slot_size
+        self.mr = endpoint.register_mr(
+            device, base, slots * slot_size, access=AccessFlags.ALL, name=name
+        )
+        self.free: Store = Store(endpoint.sim, name=f"{name}.free")
+        for i in range(slots):
+            self.free.put(i)
+
+    def offset(self, slot: int) -> int:
+        return slot * self.slot_size
+
+
+class RpcServer:
+    """Serves registered methods to any number of connected clients.
+
+    Handlers are either plain callables ``handler(request) -> response`` or
+    generator functions ``handler(request) -> (yield ...)`` when the handler
+    itself needs simulated time (e.g. touching a memory device).
+    """
+
+    def __init__(
+        self,
+        endpoint: RdmaEndpoint,
+        device: "MemoryDevice",
+        base: int,
+        num_buffers: int = 16,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        name: str = "",
+    ):
+        self.sim = endpoint.sim
+        self.endpoint = endpoint
+        self.name = name or f"{endpoint.name}.rpc"
+        self._handlers: Dict[str, Callable] = {}
+        # Receive ring + response staging ring share the device window.
+        span = num_buffers * buffer_size
+        self._recv_ring = _BufferRing(endpoint, device, base, num_buffers, buffer_size, f"{self.name}.rx")
+        self._resp_ring = _BufferRing(endpoint, device, base + span, num_buffers, buffer_size, f"{self.name}.tx")
+        self.buffer_size = buffer_size
+        self.requests = self.sim.metrics.counter(f"{self.name}.requests")
+
+    def register(self, method: str, handler: Callable) -> None:
+        """Expose ``handler`` under ``method``."""
+        self._handlers[method] = handler
+
+    def serve(self, qp: QueuePair) -> None:
+        """Start serving requests arriving on ``qp`` (one loop per client)."""
+        self.sim.spawn(self._serve_loop(qp), name=f"{self.name}.loop")
+
+    # ------------------------------------------------------------------
+    def _serve_loop(self, qp: QueuePair) -> Generator[Any, Any, None]:
+        while True:
+            slot = yield self._recv_ring.free.get()
+            qp.post_recv(self._recv_ring.mr, self._recv_ring.offset(slot),
+                         self.buffer_size, wr_id=slot)
+            wc = yield from qp.recv_cq.wait()
+            if wc.opcode is not Opcode.RECV:  # our own response completions
+                continue
+            raw = self._recv_ring.mr.peek(wc.recv_offset, wc.byte_len)
+            self._recv_ring.free.put(wc.wr_id)
+            # Handle concurrently so a slow handler doesn't block the ring.
+            self.sim.spawn(self._handle(qp, raw), name=f"{self.name}.handler")
+
+    def _handle(self, qp: QueuePair, raw: bytes) -> Generator[Any, Any, None]:
+        req_id, method, request = pickle.loads(raw)
+        self.requests.add()
+        handler = self._handlers.get(method)
+        if handler is None:
+            reply = ("err", f"no such method: {method}")
+        else:
+            try:
+                result = handler(request)
+                if hasattr(result, "send"):  # generator-style handler
+                    result = yield from result
+                reply = ("ok", result)
+            except Exception as exc:  # noqa: BLE001 - faults travel to caller
+                reply = ("err", f"{type(exc).__name__}: {exc}")
+        payload = _encode((req_id, reply), self.buffer_size)
+        slot = yield self._resp_ring.free.get()
+        offset = self._resp_ring.offset(slot)
+        self._resp_ring.mr.poke(offset, payload)
+        wr = WorkRequest(
+            opcode=Opcode.SEND,
+            local_mr=self._resp_ring.mr,
+            local_offset=offset,
+            length=len(payload),
+        )
+        done = qp.post_send(wr)
+        yield done
+        self._resp_ring.free.put(slot)
+
+
+class RpcClient:
+    """Issues calls to one :class:`RpcServer` over a connected QP.
+
+    Supports multiple outstanding calls; responses are demultiplexed by
+    request id so concurrent client processes can share one instance.
+    """
+
+    def __init__(
+        self,
+        endpoint: RdmaEndpoint,
+        qp: QueuePair,
+        device: "MemoryDevice",
+        base: int,
+        num_buffers: int = 16,
+        buffer_size: int = DEFAULT_BUFFER_SIZE,
+        name: str = "",
+    ):
+        self.sim = endpoint.sim
+        self.endpoint = endpoint
+        self.qp = qp
+        self.name = name or f"{endpoint.name}.rpcc"
+        self.buffer_size = buffer_size
+        span = num_buffers * buffer_size
+        self._recv_ring = _BufferRing(endpoint, device, base, num_buffers, buffer_size, f"{self.name}.rx")
+        self._send_ring = _BufferRing(endpoint, device, base + span, num_buffers, buffer_size, f"{self.name}.tx")
+        self._pending: Dict[int, Event] = {}
+        self._demux_running = False
+
+    # ------------------------------------------------------------------
+    def call(self, method: str, request: Any = None) -> Generator[Any, Any, Any]:
+        """Process helper: invoke ``method`` and return its result.
+
+        Raises :class:`RpcError` if the remote handler failed.
+        """
+        req_id = next(_req_ids)
+        payload = _encode((req_id, method, request), self.buffer_size)
+
+        # Post a reply buffer *before* sending, so the response can never
+        # find the receive queue empty.
+        recv_slot = yield self._recv_ring.free.get()
+        self.qp.post_recv(self._recv_ring.mr, self._recv_ring.offset(recv_slot),
+                          self.buffer_size, wr_id=recv_slot)
+
+        reply_event = self.sim.event(name=f"{self.name}.req{req_id}")
+        self._pending[req_id] = reply_event
+        if not self._demux_running:
+            self._demux_running = True
+            self.sim.spawn(self._demux_loop(), name=f"{self.name}.demux")
+
+        send_slot = yield self._send_ring.free.get()
+        offset = self._send_ring.offset(send_slot)
+        self._send_ring.mr.poke(offset, payload)
+        wr = WorkRequest(
+            opcode=Opcode.SEND,
+            local_mr=self._send_ring.mr,
+            local_offset=offset,
+            length=len(payload),
+        )
+        send_done = self.qp.post_send(wr)
+        send_wc = yield send_done
+        self._send_ring.free.put(send_slot)
+        if not send_wc.ok:
+            self._pending.pop(req_id, None)
+            raise RpcError(f"rpc transport failed: {send_wc.status.value}")
+
+        status, result = yield reply_event
+        if status == "err":
+            raise RpcError(result)
+        return result
+
+    def _demux_loop(self) -> Generator[Any, Any, None]:
+        while True:
+            wc = yield from self.qp.recv_cq.wait()
+            if wc.opcode is not Opcode.RECV:
+                continue
+            raw = self._recv_ring.mr.peek(wc.recv_offset, wc.byte_len)
+            self._recv_ring.free.put(wc.wr_id)
+            req_id, reply = pickle.loads(raw)
+            waiter = self._pending.pop(req_id, None)
+            if waiter is not None and not waiter.triggered:
+                waiter.succeed(reply)

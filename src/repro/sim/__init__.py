@@ -1,0 +1,66 @@
+"""Discrete-event simulation kernel.
+
+This subpackage provides the deterministic, nanosecond-resolution event loop
+that every hardware and protocol model in the reproduction runs on.  It is a
+small, dependency-free engine in the style of SimPy:
+
+* :class:`~repro.sim.kernel.Simulator` — the event loop and clock.
+* :class:`~repro.sim.primitives.Event` / :class:`~repro.sim.primitives.Timeout`
+  — waitable primitives yielded by process generators.
+* :class:`~repro.sim.resources.Resource`, :class:`~repro.sim.resources.Store`,
+  :class:`~repro.sim.resources.FifoChannel` — contention primitives.
+* :mod:`~repro.sim.stats` — streaming metrics (counters, histograms).
+* :mod:`~repro.sim.rng` — named deterministic random streams.
+
+Processes are plain Python generators that ``yield`` waitables; the kernel
+resumes them when the waitable fires.  All simulated time is kept as integer
+nanoseconds so long runs never accumulate floating-point drift.
+"""
+
+from repro.sim.kernel import Simulator, Process, SimulationError
+from repro.sim.primitives import (
+    AllOf,
+    AnyOf,
+    Event,
+    Interrupt,
+    Timeout,
+)
+from repro.sim.resources import FifoChannel, Resource, Store, TokenBucket
+from repro.sim.rng import RngRegistry
+from repro.sim.stats import Counter, Histogram, MetricRegistry, TimeWeightedStat
+from repro.sim.sync import Barrier, Mutex, Semaphore
+from repro.sim.trace import TraceEvent, Tracer, trace
+from repro.sim.units import KIB, MIB, GIB, US, MS, SEC, gbps_to_bytes_per_ns
+
+__all__ = [
+    "Simulator",
+    "Process",
+    "SimulationError",
+    "Event",
+    "Timeout",
+    "Interrupt",
+    "AllOf",
+    "AnyOf",
+    "Resource",
+    "Store",
+    "FifoChannel",
+    "TokenBucket",
+    "RngRegistry",
+    "Barrier",
+    "Semaphore",
+    "Mutex",
+    "Tracer",
+    "TraceEvent",
+    "trace",
+    "Counter",
+    "Histogram",
+    "TimeWeightedStat",
+    "MetricRegistry",
+    "KIB",
+    "MIB",
+    "GIB",
+    "US",
+    "MS",
+    "SEC",
+    "gbps_to_bytes_per_ns",
+]

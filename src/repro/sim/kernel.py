@@ -1,0 +1,251 @@
+"""The discrete-event loop and process scheduler.
+
+:class:`Simulator` owns a priority queue of ``(time, sequence, callable)``
+entries.  Equal-time entries run in scheduling order (the monotonically
+increasing sequence number breaks ties), which makes every run with the same
+seed bit-for-bit reproducible.
+
+:class:`Process` adapts a Python generator into the event system: each value
+the generator yields must be an :class:`~repro.sim.primitives.Event` (or a
+``Process``, which is itself an event that fires when the generator returns).
+"""
+
+from __future__ import annotations
+
+import heapq
+import itertools
+from typing import Any, Callable, Generator, Optional
+
+from repro.sim.primitives import Event, Interrupt, Timeout
+
+
+class SimulationError(RuntimeError):
+    """Raised when the simulation reaches an inconsistent state."""
+
+
+# First resume of a generator must be send(None); this sentinel marks it so a
+# legitimate event *value* that happens to be an Event is not misinterpreted.
+_BOOTSTRAP = object()
+
+
+#: The generator type a process function must return.
+ProcessGenerator = Generator[Event, Any, Any]
+
+
+class Process(Event):
+    """A running simulation process.
+
+    A ``Process`` is also an :class:`Event`: it succeeds with the generator's
+    return value when the generator finishes, and fails with the exception if
+    the generator raises.  This lets processes wait on each other by yielding
+    a process object ("join").
+    """
+
+    __slots__ = ("_generator", "_waiting_on")
+
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+        super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
+        if not hasattr(generator, "send"):
+            raise TypeError(
+                f"spawn() needs a generator, got {type(generator).__name__}; "
+                "did you call a plain function instead of a generator function?"
+            )
+        self._generator = generator
+        self._waiting_on: Optional[Event] = None
+        # Kick off the first step from the loop, not inline.
+        sim.schedule(0, self._step, _BOOTSTRAP, False)
+
+    # ------------------------------------------------------------------
+    @property
+    def is_alive(self) -> bool:
+        """True while the underlying generator has not finished."""
+        return not self.triggered
+
+    def interrupt(self, cause: Any = None) -> None:
+        """Throw :class:`Interrupt` into the process at the current instant.
+
+        Interrupting a finished process is a silent no-op, matching the
+        common pattern of cancelling a worker that may have already exited.
+        """
+        if not self.is_alive:
+            return
+        self.sim.schedule(0, self._deliver_interrupt, cause)
+
+    def _deliver_interrupt(self, cause: Any) -> None:
+        if not self.is_alive:
+            return
+        # Detach from whatever we were waiting on; the stale callback will
+        # notice _waiting_on no longer matches and do nothing.
+        self._waiting_on = None
+        self._step(Interrupt(cause), is_exception=True)
+
+    # ------------------------------------------------------------------
+    def _on_wait_complete(self, event: Event) -> None:
+        if self._waiting_on is not event:
+            return  # stale wake-up after an interrupt
+        self._waiting_on = None
+        if event.ok:
+            self._step(event._value, is_exception=False)
+        else:
+            self._step(event.exception, is_exception=True)
+
+    def _step(self, payload: Any, is_exception: bool) -> None:
+        if self.triggered:
+            return
+        try:
+            if is_exception:
+                target = self._generator.throw(payload)
+            else:
+                target = self._generator.send(None if payload is _BOOTSTRAP else payload)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as exc:  # noqa: BLE001 - propagate to joiners
+            if isinstance(exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(exc)
+            return
+
+        if not isinstance(target, Event):
+            self._generator.close()
+            self.fail(
+                SimulationError(
+                    f"process {self.name!r} yielded {target!r}; "
+                    "processes may only yield Event instances"
+                )
+            )
+            return
+        if target.sim is not self.sim:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        target.add_callback(self._on_wait_complete)
+
+
+class Simulator:
+    """The event loop: a virtual clock plus a priority queue of callbacks.
+
+    Typical usage::
+
+        sim = Simulator(seed=7)
+
+        def worker(sim):
+            yield sim.timeout(100)
+            return "done"
+
+        proc = sim.spawn(worker(sim))
+        sim.run()
+        assert proc.value == "done"
+    """
+
+    def __init__(self, seed: int = 0):
+        self._now = 0
+        self._heap: list[tuple[int, int, Callable, tuple]] = []
+        self._sequence = itertools.count()
+        self.seed = seed
+        # Imported lazily to avoid a cycle at module import time.
+        from repro.sim.rng import RngRegistry
+        from repro.sim.stats import MetricRegistry
+
+        self.rng = RngRegistry(seed)
+        self.metrics = MetricRegistry(self)
+        #: Optional protocol tracer (see repro.sim.trace).
+        self.tracer = None
+
+    # ------------------------------------------------------------------
+    @property
+    def now(self) -> int:
+        """Current virtual time in nanoseconds."""
+        return self._now
+
+    def schedule(self, delay: int, fn: Callable, *args: Any) -> None:
+        """Run ``fn(*args)`` after ``delay`` ns of virtual time."""
+        if delay < 0:
+            raise ValueError(f"cannot schedule into the past (delay={delay})")
+        heapq.heappush(self._heap, (self._now + int(delay), next(self._sequence), fn, args))
+
+    # ------------------------------------------------------------------
+    # Factories
+    # ------------------------------------------------------------------
+    def event(self, name: str = "") -> Event:
+        """Create a fresh untriggered :class:`Event`."""
+        return Event(self, name=name)
+
+    def timeout(self, delay: int, value: Any = None) -> Timeout:
+        """Create an event that fires ``delay`` ns from now."""
+        return Timeout(self, int(delay), value)
+
+    def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
+        """Start a new process from a generator; returns the joinable handle."""
+        return Process(self, generator, name=name)
+
+    def all_of(self, events) -> Event:
+        """Event that fires when every event in ``events`` has succeeded."""
+        from repro.sim.primitives import AllOf
+
+        return AllOf(self, events)
+
+    def any_of(self, events) -> Event:
+        """Event that fires when the first event in ``events`` succeeds."""
+        from repro.sim.primitives import AnyOf
+
+        return AnyOf(self, events)
+
+    # ------------------------------------------------------------------
+    # Execution
+    # ------------------------------------------------------------------
+    def run(self, until: Optional[int] = None, max_events: Optional[int] = None) -> int:
+        """Drain the event queue.
+
+        Args:
+            until: stop once virtual time would exceed this instant (the clock
+                is left at ``until``).  ``None`` runs until the queue empties.
+            max_events: safety valve for tests; raises
+                :class:`SimulationError` when exceeded.
+
+        Returns:
+            The virtual time at which execution stopped.
+        """
+        dispatched = 0
+        while self._heap:
+            when, _seq, fn, args = self._heap[0]
+            if until is not None and when > until:
+                self._now = until
+                return self._now
+            heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+            dispatched += 1
+            if max_events is not None and dispatched > max_events:
+                raise SimulationError(
+                    f"exceeded max_events={max_events}; likely a livelock"
+                )
+        if until is not None and until > self._now:
+            self._now = until
+        return self._now
+
+    def run_until_complete(self, process: Event, max_events: Optional[int] = None) -> Any:
+        """Run until ``process`` (any event, e.g. a Process or an AllOf)
+        triggers; return its value (or raise its failure)."""
+        dispatched = 0
+        while not process.triggered:
+            if not self._heap:
+                raise SimulationError(
+                    f"deadlock: process {process.name!r} is waiting but the "
+                    "event queue is empty"
+                )
+            when, _seq, fn, args = heapq.heappop(self._heap)
+            self._now = when
+            fn(*args)
+            dispatched += 1
+            if max_events is not None and dispatched > max_events:
+                raise SimulationError(f"exceeded max_events={max_events}")
+        return process.value
+
+    def peek(self) -> Optional[int]:
+        """Time of the next scheduled entry, or None if the queue is empty."""
+        return self._heap[0][0] if self._heap else None
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"<Simulator t={self._now}ns queued={len(self._heap)}>"

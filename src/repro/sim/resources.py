@@ -1,0 +1,242 @@
+"""Contention primitives: resources, stores, and bandwidth channels.
+
+These model the queuing behaviour that makes the hardware models realistic:
+memory channels serve one request at a time, NIC pipelines admit a bounded
+number of in-flight work elements, and links serialize bytes at a fixed rate.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator, Optional
+
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Request(Event):
+    """The event returned by :meth:`Resource.request`.
+
+    Usable as a context manager inside a process so the slot is released even
+    if the process body raises::
+
+        with resource.request() as req:
+            yield req
+            ...critical section...
+    """
+
+    __slots__ = ("resource", "_released")
+
+    def __init__(self, sim: "Simulator", resource: "Resource"):
+        super().__init__(sim, name=f"request({resource.name})")
+        self.resource = resource
+        self._released = False
+
+    def release(self) -> None:
+        """Give the slot back (idempotent)."""
+        if not self._released:
+            self._released = True
+            self.resource._release(self)
+
+    def __enter__(self) -> "Request":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.release()
+
+
+class Resource:
+    """A FIFO resource with ``capacity`` identical slots.
+
+    Waiters are granted strictly in request order, which both matches the
+    hardware being modelled (memory channel queues, NIC SQ processing) and
+    keeps runs deterministic.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 1, name: str = "resource"):
+        if capacity < 1:
+            raise ValueError(f"capacity must be >= 1, got {capacity}")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._in_use = 0
+        self._queue: Deque[Request] = deque()
+
+    @property
+    def in_use(self) -> int:
+        """Slots currently held."""
+        return self._in_use
+
+    @property
+    def queued(self) -> int:
+        """Requests waiting for a slot."""
+        return len(self._queue)
+
+    def request(self) -> Request:
+        """Ask for a slot; the returned event fires when granted."""
+        req = Request(self.sim, self)
+        if self._in_use < self.capacity:
+            self._in_use += 1
+            req.succeed(req)
+        else:
+            self._queue.append(req)
+        return req
+
+    def _release(self, _req: Request) -> None:
+        # Hand the slot directly to the next waiter, if any.
+        while self._queue:
+            nxt = self._queue.popleft()
+            if nxt.triggered:  # cancelled/failed waiter; skip it
+                continue
+            nxt.succeed(nxt)
+            return
+        self._in_use -= 1
+        if self._in_use < 0:
+            raise RuntimeError(f"resource {self.name!r} over-released")
+
+    def acquire(self) -> Generator[Event, Any, Request]:
+        """Process-style helper: ``req = yield from resource.acquire()``."""
+        req = self.request()
+        yield req
+        return req
+
+
+class Store:
+    """An unbounded-or-bounded FIFO queue of items between processes.
+
+    ``put`` blocks only when a ``capacity`` is set and reached; ``get`` blocks
+    while the store is empty.  Delivery order is FIFO on both sides.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: Optional[int] = None, name: str = "store"):
+        if capacity is not None and capacity < 1:
+            raise ValueError("capacity must be >= 1 or None")
+        self.sim = sim
+        self.capacity = capacity
+        self.name = name
+        self._items: Deque[Any] = deque()
+        self._getters: Deque[Event] = deque()
+        self._putters: Deque[tuple[Event, Any]] = deque()
+
+    def __len__(self) -> int:
+        return len(self._items)
+
+    def put(self, item: Any) -> Event:
+        """Offer ``item``; the returned event fires once it is accepted."""
+        ev = Event(self.sim, name=f"put({self.name})")
+        if self.capacity is not None and len(self._items) >= self.capacity:
+            self._putters.append((ev, item))
+            return ev
+        self._accept(item)
+        ev.succeed(None)
+        return ev
+
+    def get(self) -> Event:
+        """Take the oldest item; the returned event fires with the item."""
+        ev = Event(self.sim, name=f"get({self.name})")
+        if self._items:
+            ev.succeed(self._items.popleft())
+            self._admit_blocked_putter()
+        else:
+            self._getters.append(ev)
+        return ev
+
+    def try_get(self) -> tuple[bool, Any]:
+        """Non-blocking take: ``(True, item)`` or ``(False, None)``."""
+        if self._items:
+            item = self._items.popleft()
+            self._admit_blocked_putter()
+            return True, item
+        return False, None
+
+    def _accept(self, item: Any) -> None:
+        while self._getters:
+            getter = self._getters.popleft()
+            if getter.triggered:
+                continue
+            getter.succeed(item)
+            return
+        self._items.append(item)
+
+    def _admit_blocked_putter(self) -> None:
+        if self._putters and (self.capacity is None or len(self._items) < self.capacity):
+            ev, item = self._putters.popleft()
+            self._accept(item)
+            if not ev.triggered:
+                ev.succeed(None)
+
+
+class FifoChannel:
+    """A byte pipe with finite rate: transfers serialize FIFO.
+
+    Models a link or bus where a transfer of ``n`` bytes occupies the channel
+    for ``n / rate`` ns.  Concurrent transfers queue behind each other, which
+    is exactly the head-of-line behaviour of a physical serial link.
+    """
+
+    def __init__(self, sim: "Simulator", bytes_per_ns: float, name: str = "channel"):
+        if bytes_per_ns <= 0:
+            raise ValueError("rate must be positive")
+        self.sim = sim
+        self.bytes_per_ns = bytes_per_ns
+        self.name = name
+        self._gate = Resource(sim, capacity=1, name=f"{name}.gate")
+        self.bytes_moved = 0
+
+    def busy_time(self, nbytes: int) -> int:
+        """Serialization time for ``nbytes``, at least 1 ns for any payload."""
+        if nbytes <= 0:
+            return 0
+        return max(1, round(nbytes / self.bytes_per_ns))
+
+    def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
+        """Process helper: occupy the channel for the payload's wire time."""
+        with (yield from self._gate.acquire()):
+            if nbytes > 0:
+                yield self.sim.timeout(self.busy_time(nbytes))
+                self.bytes_moved += nbytes
+
+    @property
+    def queued(self) -> int:
+        """Transfers waiting behind the current one."""
+        return self._gate.queued
+
+
+class TokenBucket:
+    """Rate limiter with burst capacity, for message-rate caps.
+
+    Tokens accrue at ``rate_per_ns`` up to ``burst``; :meth:`consume` yields
+    until the requested tokens are available.  Used to model a NIC's finite
+    message rate independent of its bandwidth.
+    """
+
+    def __init__(self, sim: "Simulator", rate_per_ns: float, burst: float, name: str = "bucket"):
+        if rate_per_ns <= 0 or burst <= 0:
+            raise ValueError("rate and burst must be positive")
+        self.sim = sim
+        self.rate = rate_per_ns
+        self.burst = burst
+        self.name = name
+        self._tokens = burst
+        self._last_refill = sim.now
+        self._gate = Resource(sim, capacity=1, name=f"{name}.gate")
+
+    def _refill(self) -> None:
+        now = self.sim.now
+        self._tokens = min(self.burst, self._tokens + (now - self._last_refill) * self.rate)
+        self._last_refill = now
+
+    def consume(self, tokens: float = 1.0) -> Generator[Event, Any, None]:
+        """Process helper: wait until ``tokens`` are available, then take them."""
+        if tokens > self.burst:
+            raise ValueError(f"cannot consume {tokens} > burst {self.burst}")
+        # Serialize consumers so arrival order is honoured.
+        with (yield from self._gate.acquire()):
+            self._refill()
+            if self._tokens < tokens:
+                deficit = tokens - self._tokens
+                yield self.sim.timeout(max(1, round(deficit / self.rate)))
+                self._refill()
+            self._tokens -= tokens

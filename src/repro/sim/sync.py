@@ -1,0 +1,132 @@
+"""Process-level synchronization utilities.
+
+These coordinate *simulation processes inside one node* (worker pools,
+phase barriers); they are infinitely fast compared with the pool's
+distributed locks, which coordinate *clients across machines* through RDMA
+atomics (:mod:`repro.core.consistency`).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import TYPE_CHECKING, Any, Deque, Generator
+
+from repro.sim.primitives import Event
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+class Barrier:
+    """A reusable N-party barrier.
+
+    The ``parties``-th arrival releases everyone and resets the barrier for
+    the next round.  Arrivals get the round index they completed.
+    """
+
+    def __init__(self, sim: "Simulator", parties: int, name: str = "barrier"):
+        if parties < 1:
+            raise ValueError("parties must be >= 1")
+        self.sim = sim
+        self.parties = parties
+        self.name = name
+        self._round = 0
+        self._waiting = 0
+        self._gate = sim.event(f"{name}.r0")
+
+    @property
+    def waiting(self) -> int:
+        """Processes currently blocked at the barrier."""
+        return self._waiting
+
+    def wait(self) -> Generator[Any, Any, int]:
+        """Arrive; resumes when all parties have arrived.  Returns the round."""
+        this_round = self._round
+        self._waiting += 1
+        if self._waiting == self.parties:
+            gate, self._gate = self._gate, self.sim.event(
+                f"{self.name}.r{this_round + 1}"
+            )
+            self._waiting = 0
+            self._round += 1
+            gate.succeed(this_round)
+            return this_round
+        gate = self._gate
+        result = yield gate
+        return result
+
+
+class Semaphore:
+    """A counting semaphore with FIFO wakeup."""
+
+    def __init__(self, sim: "Simulator", value: int = 1, name: str = "sem"):
+        if value < 0:
+            raise ValueError("initial value must be non-negative")
+        self.sim = sim
+        self.name = name
+        self._value = value
+        self._waiters: Deque[Event] = deque()
+
+    @property
+    def value(self) -> int:
+        return self._value
+
+    def acquire(self) -> Generator[Any, Any, None]:
+        """Take one unit, blocking while the count is zero."""
+        if self._value > 0:
+            self._value -= 1
+            return
+        waiter = self.sim.event(f"{self.name}.wait")
+        self._waiters.append(waiter)
+        yield waiter
+
+    def release(self) -> None:
+        """Return one unit, waking the oldest waiter if any."""
+        while self._waiters:
+            waiter = self._waiters.popleft()
+            if not waiter.triggered:
+                waiter.succeed(None)
+                return
+        self._value += 1
+
+    def held(self) -> "_SemaphoreContext":
+        """Context-manager-style helper::
+
+            with (yield from sem.held()):
+                ...critical section...
+        """
+        return _SemaphoreContext(self)
+
+
+class _SemaphoreContext:
+    def __init__(self, sem: Semaphore):
+        self.sem = sem
+        self._entered = False
+
+    def __iter__(self):  # supports `yield from sem.held()`
+        yield from self.sem.acquire()
+        self._entered = True
+        return self
+
+    def __enter__(self) -> "_SemaphoreContext":
+        return self
+
+    def __exit__(self, *exc: Any) -> None:
+        if self._entered:
+            self._entered = False
+            self.sem.release()
+
+
+class Mutex(Semaphore):
+    """A binary semaphore with lock/unlock vocabulary."""
+
+    def __init__(self, sim: "Simulator", name: str = "mutex"):
+        super().__init__(sim, value=1, name=name)
+
+    def lock(self) -> Generator[Any, Any, None]:
+        yield from self.acquire()
+
+    def unlock(self) -> None:
+        if self._value > 0 and not self._waiters:
+            raise RuntimeError(f"unlock of unlocked mutex {self.name!r}")
+        self.release()

@@ -1,0 +1,94 @@
+"""Opt-in protocol tracing.
+
+Attach a :class:`Tracer` to a simulator (``sim.tracer = Tracer(sim)``) and
+instrumented components emit timestamped events at key protocol points —
+read-route decisions, proxy drains, promotions/demotions.  With no tracer
+attached the emit helper is a cheap no-op, so production runs pay (almost)
+nothing.
+
+Typical debugging session::
+
+    sim.tracer = Tracer(sim, categories={"proxy", "cache"})
+    ...run the workload...
+    print(sim.tracer.render(limit=50))
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Any, Deque, Dict, Iterable, List, Optional, Set
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+
+@dataclass(frozen=True)
+class TraceEvent:
+    """One recorded protocol event."""
+
+    time_ns: int
+    category: str
+    message: str
+    fields: Dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        extras = " ".join(f"{k}={v}" for k, v in self.fields.items())
+        return f"[{self.time_ns / 1000:10.2f} us] {self.category:8s} {self.message}" + (
+            f" ({extras})" if extras else ""
+        )
+
+
+class Tracer:
+    """A bounded in-memory event recorder with category filtering."""
+
+    def __init__(self, sim: "Simulator", capacity: int = 10_000,
+                 categories: Optional[Iterable[str]] = None):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self._filter: Optional[Set[str]] = set(categories) if categories else None
+        self._events: Deque[TraceEvent] = deque(maxlen=capacity)
+        self.dropped = 0
+        self.recorded = 0
+
+    def wants(self, category: str) -> bool:
+        """True if this tracer records the category."""
+        return self._filter is None or category in self._filter
+
+    def emit(self, category: str, message: str, **fields: Any) -> None:
+        """Record one event (silently filtered by category)."""
+        if not self.wants(category):
+            return
+        if len(self._events) == self.capacity:
+            self.dropped += 1
+        self._events.append(TraceEvent(self.sim.now, category, message, fields))
+        self.recorded += 1
+
+    def events(self, category: Optional[str] = None) -> List[TraceEvent]:
+        """Recorded events, optionally restricted to one category."""
+        if category is None:
+            return list(self._events)
+        return [e for e in self._events if e.category == category]
+
+    def clear(self) -> None:
+        self._events.clear()
+
+    def render(self, limit: int = 100) -> str:
+        """The most recent ``limit`` events as a timeline."""
+        tail = list(self._events)[-limit:]
+        lines = [e.render() for e in tail]
+        if self.dropped:
+            lines.append(f"... ({self.dropped} earlier events dropped)")
+        return "\n".join(lines)
+
+    def __len__(self) -> int:
+        return len(self._events)
+
+
+def trace(sim: "Simulator", category: str, message: str, **fields: Any) -> None:
+    """Emit an event if (and only if) a tracer is attached to ``sim``."""
+    tracer = getattr(sim, "tracer", None)
+    if tracer is not None:
+        tracer.emit(category, message, **fields)

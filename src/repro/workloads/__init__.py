@@ -1,0 +1,53 @@
+"""Workload generators: YCSB-style key-value mixes and text corpora."""
+
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.traces import (
+    ReplayResult,
+    TraceOp,
+    TraceReplayer,
+    dump_trace,
+    generate_trace,
+    load_trace,
+)
+from repro.workloads.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WORKLOADS,
+    Op,
+    WorkloadSpec,
+    YcsbGenerator,
+)
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+)
+
+__all__ = [
+    "ZipfianGenerator",
+    "ScrambledZipfianGenerator",
+    "UniformGenerator",
+    "LatestGenerator",
+    "WorkloadSpec",
+    "YcsbGenerator",
+    "Op",
+    "WORKLOAD_A",
+    "WORKLOAD_B",
+    "WORKLOAD_C",
+    "WORKLOAD_D",
+    "WORKLOAD_E",
+    "WORKLOAD_F",
+    "WORKLOADS",
+    "CorpusGenerator",
+    "TraceOp",
+    "TraceReplayer",
+    "ReplayResult",
+    "generate_trace",
+    "dump_trace",
+    "load_trace",
+]

@@ -1,0 +1,63 @@
+"""Synthetic text corpus for the MapReduce experiments.
+
+Real MapReduce evaluations run wordcount/grep/sort over text; we generate a
+deterministic corpus whose word popularity is zipfian (like natural
+language), so the reduce-side key distribution is realistically skewed and
+the word counts are exactly verifiable.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+from repro.workloads.zipf import ZipfianGenerator
+
+_CONSONANTS = "bcdfghjklmnprstvwz"
+_VOWELS = "aeiou"
+
+
+def _make_word(idx: int) -> str:
+    """A pronounceable, unique word for vocabulary slot ``idx``."""
+    chars = []
+    n = idx
+    while True:
+        chars.append(_CONSONANTS[n % len(_CONSONANTS)])
+        n //= len(_CONSONANTS)
+        chars.append(_VOWELS[n % len(_VOWELS)])
+        n //= len(_VOWELS)
+        if n == 0:
+            break
+    return "".join(chars)
+
+
+class CorpusGenerator:
+    """Deterministic zipfian-text generator."""
+
+    def __init__(self, vocab_size: int = 500, theta: float = 0.9, rng=None):
+        if vocab_size < 1:
+            raise ValueError("vocabulary must be non-empty")
+        if rng is None:
+            raise ValueError("pass an explicit rng for determinism")
+        self.vocab: List[str] = [_make_word(i) for i in range(vocab_size)]
+        if len(set(self.vocab)) != vocab_size:
+            raise AssertionError("vocabulary collision")  # _make_word is injective
+        self._zipf = ZipfianGenerator(vocab_size, theta, rng)
+        self.rng = rng
+
+    def words(self, count: int) -> List[str]:
+        """Draw ``count`` words."""
+        return [self.vocab[self._zipf.next()] for _ in range(count)]
+
+    def chunk(self, approx_bytes: int) -> bytes:
+        """One input split of roughly ``approx_bytes`` of text."""
+        parts: List[str] = []
+        size = 0
+        while size < approx_bytes:
+            word = self.vocab[self._zipf.next()]
+            parts.append(word)
+            size += len(word) + 1
+        return " ".join(parts).encode()
+
+    def chunks(self, num_chunks: int, approx_bytes: int) -> List[bytes]:
+        """A whole input: ``num_chunks`` splits."""
+        return [self.chunk(approx_bytes) for _ in range(num_chunks)]

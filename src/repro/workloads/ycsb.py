@@ -1,0 +1,155 @@
+"""YCSB core workloads A-F.
+
+Op mixes, record/value sizing, and request distributions follow the YCSB
+core-workload definitions:
+
+====  =============================  =======================  ============
+name  mix                            distribution             paper's use
+====  =============================  =======================  ============
+A     50% read / 50% update          zipfian                  update-heavy
+B     95% read / 5% update           zipfian                  read-mostly
+C     100% read                      zipfian                  read-only
+D     95% read / 5% insert           latest                   read-latest
+E     95% scan / 5% insert           zipfian (scan starts)    short scans
+F     50% read / 50% read-mod-write  zipfian                  RMW
+====  =============================  =======================  ============
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Iterator, Tuple
+
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+)
+
+
+class Op(enum.Enum):
+    """One YCSB operation kind."""
+
+    READ = "read"
+    UPDATE = "update"
+    INSERT = "insert"
+    SCAN = "scan"
+    RMW = "rmw"
+
+
+@dataclass(frozen=True)
+class WorkloadSpec:
+    """One YCSB core workload's parameters."""
+
+    name: str
+    read_prop: float = 0.0
+    update_prop: float = 0.0
+    insert_prop: float = 0.0
+    scan_prop: float = 0.0
+    rmw_prop: float = 0.0
+    distribution: str = "zipfian"  # zipfian | uniform | latest
+    record_count: int = 1000
+    value_size: int = 1024
+    max_scan_len: int = 16
+    zipf_theta: float = 0.99
+
+    def __post_init__(self) -> None:
+        total = (self.read_prop + self.update_prop + self.insert_prop
+                 + self.scan_prop + self.rmw_prop)
+        if abs(total - 1.0) > 1e-9:
+            raise ValueError(f"workload {self.name}: op mix sums to {total}, not 1")
+        if self.distribution not in ("zipfian", "uniform", "latest"):
+            raise ValueError(f"unknown distribution {self.distribution!r}")
+        if self.record_count < 1 or self.value_size < 1:
+            raise ValueError("record count and value size must be positive")
+
+    def scaled(self, record_count: int = None, value_size: int = None,
+               zipf_theta: float = None) -> "WorkloadSpec":
+        """A copy with different sizing (for sweeps)."""
+        from dataclasses import replace
+
+        kw = {}
+        if record_count is not None:
+            kw["record_count"] = record_count
+        if value_size is not None:
+            kw["value_size"] = value_size
+        if zipf_theta is not None:
+            kw["zipf_theta"] = zipf_theta
+        return replace(self, **kw)
+
+
+WORKLOAD_A = WorkloadSpec(name="A", read_prop=0.5, update_prop=0.5)
+WORKLOAD_B = WorkloadSpec(name="B", read_prop=0.95, update_prop=0.05)
+WORKLOAD_C = WorkloadSpec(name="C", read_prop=1.0)
+WORKLOAD_D = WorkloadSpec(name="D", read_prop=0.95, insert_prop=0.05,
+                          distribution="latest")
+WORKLOAD_E = WorkloadSpec(name="E", scan_prop=0.95, insert_prop=0.05)
+WORKLOAD_F = WorkloadSpec(name="F", read_prop=0.5, rmw_prop=0.5)
+
+WORKLOADS = {w.name: w for w in
+             (WORKLOAD_A, WORKLOAD_B, WORKLOAD_C, WORKLOAD_D, WORKLOAD_E, WORKLOAD_F)}
+
+
+class YcsbGenerator:
+    """Streams ``(op, key_id, scan_len)`` tuples for one worker.
+
+    Each worker gets its own generator (seeded independently) so concurrent
+    workers don't interleave draws nondeterministically.
+    """
+
+    def __init__(self, spec: WorkloadSpec, rng):
+        self.spec = spec
+        self.rng = rng
+        self._inserted = spec.record_count
+        if spec.distribution == "zipfian":
+            self._keygen = ScrambledZipfianGenerator(spec.record_count,
+                                                     spec.zipf_theta, rng)
+        elif spec.distribution == "uniform":
+            self._keygen = UniformGenerator(spec.record_count, rng)
+        else:  # latest
+            self._keygen = LatestGenerator(spec.record_count, spec.zipf_theta, rng)
+
+    @property
+    def inserted(self) -> int:
+        """Total records including dynamic inserts."""
+        return self._inserted
+
+    def next_op(self) -> Tuple[Op, int, int]:
+        """Draw one operation: ``(op, key_id, scan_len)``."""
+        spec = self.spec
+        r = self.rng.random()
+        if r < spec.read_prop:
+            return (Op.READ, self._next_key(), 0)
+        r -= spec.read_prop
+        if r < spec.update_prop:
+            return (Op.UPDATE, self._next_key(), 0)
+        r -= spec.update_prop
+        if r < spec.rmw_prop:
+            return (Op.RMW, self._next_key(), 0)
+        r -= spec.rmw_prop
+        if r < spec.scan_prop:
+            scan_len = self.rng.randrange(1, spec.max_scan_len + 1)
+            return (Op.SCAN, self._next_key(), scan_len)
+        # insert
+        key = self._inserted
+        self._inserted += 1
+        if isinstance(self._keygen, LatestGenerator):
+            self._keygen.advance()
+        return (Op.INSERT, key, 0)
+
+    def _next_key(self) -> int:
+        key = self._keygen.next()
+        # Inserts grow the space; clamp reads into what exists.
+        return min(key, self._inserted - 1)
+
+    def ops(self, count: int) -> Iterator[Tuple[Op, int, int]]:
+        """Stream ``count`` operations."""
+        for _ in range(count):
+            yield self.next_op()
+
+    def value(self, key_id: int, version: int = 0) -> bytes:
+        """A deterministic value body for ``key_id`` (verifiable in tests)."""
+        stamp = f"k{key_id}v{version}|".encode()
+        reps = self.spec.value_size // len(stamp) + 1
+        return (stamp * reps)[: self.spec.value_size]

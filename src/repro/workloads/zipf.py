@@ -1,0 +1,128 @@
+"""Key-distribution generators, matching YCSB's semantics.
+
+* :class:`ZipfianGenerator` — the Gray et al. rejection-free algorithm YCSB
+  uses, favouring low-numbered items with skew ``theta``.
+* :class:`ScrambledZipfianGenerator` — zipfian popularity spread over the
+  key space by hashing, so hot keys are not clustered (YCSB's default).
+* :class:`UniformGenerator` — uniform over the key space.
+* :class:`LatestGenerator` — zipfian over recency: the most recently
+  inserted keys are hottest (YCSB workload D).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+_FNV_OFFSET = 0xCBF29CE484222325
+_FNV_PRIME = 0x100000001B3
+
+
+def fnv1a_64(value: int) -> int:
+    """FNV-1a hash of an integer's 8 bytes (YCSB's key scrambler)."""
+    h = _FNV_OFFSET
+    for _ in range(8):
+        h ^= value & 0xFF
+        h = (h * _FNV_PRIME) % (1 << 64)
+        value >>= 8
+    return h
+
+
+# zeta(n, theta) is O(n); memoize since sweeps rebuild generators often.
+_zeta_cache: Dict[Tuple[int, float], float] = {}
+
+
+def zeta(n: int, theta: float) -> float:
+    """The generalized harmonic number sum_{i=1..n} 1/i^theta."""
+    key = (n, theta)
+    cached = _zeta_cache.get(key)
+    if cached is not None:
+        return cached
+    total = 0.0
+    for i in range(1, n + 1):
+        total += 1.0 / (i**theta)
+    _zeta_cache[key] = total
+    return total
+
+
+class ZipfianGenerator:
+    """Draws items 0..n-1 with zipfian popularity (item 0 hottest)."""
+
+    def __init__(self, n: int, theta: float = 0.99, rng=None):
+        if n < 1:
+            raise ValueError("need at least one item")
+        if not 0.0 < theta < 1.0:
+            raise ValueError("theta must be in (0, 1)")
+        if rng is None:
+            raise ValueError("pass an explicit rng for determinism")
+        self.n = n
+        self.theta = theta
+        self.rng = rng
+        self._zetan = zeta(n, theta)
+        self._alpha = 1.0 / (1.0 - theta)
+        if n > 2:
+            zeta2 = zeta(2, theta)
+            self._eta = (1.0 - (2.0 / n) ** (1.0 - theta)) / (1.0 - zeta2 / self._zetan)
+        else:
+            # Unused: for n <= 2 the first branches of next() cover the
+            # whole space (zetan == 1 + 0.5**theta when n == 2), and the
+            # eta formula degenerates to 0/0 there.
+            self._eta = 0.0
+
+    def next(self) -> int:
+        """One draw in [0, n)."""
+        if self.n == 1:
+            return 0
+        u = self.rng.random()
+        uz = u * self._zetan
+        if uz < 1.0:
+            return 0
+        if uz < 1.0 + 0.5**self.theta:
+            return 1
+        return int(self.n * ((self._eta * u - self._eta + 1.0) ** self._alpha))
+
+
+class ScrambledZipfianGenerator:
+    """Zipfian popularity scattered across the key space by FNV hashing."""
+
+    def __init__(self, n: int, theta: float = 0.99, rng=None):
+        self.n = n
+        self._zipf = ZipfianGenerator(n, theta, rng)
+
+    def next(self) -> int:
+        return fnv1a_64(self._zipf.next()) % self.n
+
+
+class UniformGenerator:
+    """Uniform draws over [0, n)."""
+
+    def __init__(self, n: int, rng=None):
+        if n < 1:
+            raise ValueError("need at least one item")
+        if rng is None:
+            raise ValueError("pass an explicit rng for determinism")
+        self.n = n
+        self.rng = rng
+
+    def next(self) -> int:
+        return self.rng.randrange(self.n)
+
+
+class LatestGenerator:
+    """Zipfian over recency: item ``max_item`` is hottest (YCSB 'latest').
+
+    Call :meth:`advance` whenever an insert extends the key space.
+    """
+
+    def __init__(self, n: int, theta: float = 0.99, rng=None):
+        self._zipf = ZipfianGenerator(n, theta, rng)
+        self.max_item = n - 1
+
+    def advance(self) -> int:
+        """Register one insert; returns the new hottest item id."""
+        self.max_item += 1
+        return self.max_item
+
+    def next(self) -> int:
+        # Distance-from-latest is zipfian; clamp into the live range.
+        back = self._zipf.next()
+        return max(0, self.max_item - back)

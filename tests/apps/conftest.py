@@ -1,0 +1,41 @@
+"""Fixtures for application tests: built systems over the test rig."""
+
+import pytest
+
+from repro.baselines import build_system
+from repro.core.config import GengarConfig
+from repro.hardware.specs import TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+from repro.sim.units import KIB
+
+
+def app_config(**overrides):
+    defaults = dict(
+        cache_capacity=512 * KIB,
+        epoch_ns=100_000,
+        report_every_ops=16,
+        proxy_ring_slots=16,
+        proxy_slot_size=4 * KIB,
+        lock_table_entries=4096,
+    )
+    defaults.update(overrides)
+    return GengarConfig(**defaults)
+
+
+def boot(name="gengar", seed=1, num_servers=2, num_clients=2, **kw):
+    sim = Simulator(seed=seed)
+    system = build_system(
+        name, sim, num_servers=num_servers, num_clients=num_clients,
+        config_overrides=lambda cfg: app_config(
+            enable_cache=cfg.enable_cache,
+            enable_proxy=cfg.enable_proxy,
+            data_in_dram=cfg.data_in_dram,
+        ),
+        dram=TEST_DRAM, nvm=TEST_NVM, **kw,
+    )
+    return sim, system
+
+
+@pytest.fixture
+def gengar2x2():
+    return boot()

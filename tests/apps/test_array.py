@@ -1,0 +1,168 @@
+"""Tests for the distributed array."""
+
+import pytest
+
+from repro.apps.array import ArrayError, DistributedArray, U64Array
+
+from tests.apps.conftest import boot
+
+
+def make_array(sim, system, length=40, record_size=32, records_per_block=16):
+    holder = {}
+
+    def creator(sim):
+        holder["arr"] = yield from DistributedArray.create(
+            system.clients[0], length, record_size, records_per_block)
+
+    system.run(creator(sim))
+    return holder["arr"]
+
+
+def test_create_spreads_blocks_across_servers(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=64, records_per_block=8)
+    assert len(arr.block_gaddrs) == 8
+    from repro.core import server_of
+
+    assert {server_of(g) for g in arr.block_gaddrs} == {0, 1}
+
+
+def test_fresh_array_reads_zero(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system)
+    client = system.clients[0]
+
+    def app(sim):
+        rec = yield from arr.get(client, 17)
+        return rec
+
+    (rec,) = system.run(app(sim))
+    assert rec == bytes(32)
+
+
+def test_set_get_roundtrip_across_blocks(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=40, records_per_block=16)
+    client = system.clients[0]
+
+    def app(sim):
+        for i in (0, 15, 16, 39):  # block boundaries and edges
+            yield from arr.set(client, i, bytes([i]) * 32)
+        yield from client.gsync()
+        out = []
+        for i in (0, 15, 16, 39):
+            out.append((yield from arr.get(client, i)))
+        return out
+
+    (values,) = system.run(app(sim))
+    assert values == [bytes([i]) * 32 for i in (0, 15, 16, 39)]
+
+
+def test_read_range_spans_blocks(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=40, records_per_block=16)
+    client = system.clients[0]
+
+    def app(sim):
+        yield from arr.write_range(
+            client, 10, [bytes([i]) * 32 for i in range(10, 30)])
+        yield from client.gsync()
+        records = yield from arr.read_range(client, 10, 20)
+        return records
+
+    (records,) = system.run(app(sim))
+    assert records == [bytes([i]) * 32 for i in range(10, 30)]
+
+
+def test_bulk_read_cheaper_than_pointwise(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=64, records_per_block=32)
+    client = system.clients[0]
+
+    def app(sim):
+        t0 = sim.now
+        for i in range(32):
+            yield from arr.get(client, i)
+        pointwise = sim.now - t0
+        t0 = sim.now
+        yield from arr.read_range(client, 0, 32)
+        bulk = sim.now - t0
+        return pointwise, bulk
+
+    (result,) = system.run(app(sim))
+    pointwise, bulk = result
+    assert bulk < pointwise / 4
+
+
+def test_bounds_checked(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=10)
+    client = system.clients[0]
+    with pytest.raises(ArrayError):
+        next(arr.get(client, 10))
+    with pytest.raises(ArrayError):
+        next(arr.get(client, -1))
+    with pytest.raises(ArrayError):
+        next(arr.set(client, 0, b"short"))
+    with pytest.raises(ArrayError):
+        next(arr.read_range(client, 5, 6))
+    with pytest.raises(ArrayError):
+        DistributedArray(0, 0, 0, []) if False else None
+        next(DistributedArray.create(client, 0, 8))
+
+
+def test_destroy_frees_blocks(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, length=32, records_per_block=16)
+    before = len(system.pool.master.directory)
+    client = system.clients[0]
+
+    def app(sim):
+        yield from arr.destroy(client)
+
+    system.run(app(sim))
+    assert len(system.pool.master.directory) == before - 2
+    assert arr.length == 0
+
+
+def test_u64_array_sum(gengar2x2):
+    sim, system = gengar2x2
+    client = system.clients[0]
+    holder = {}
+
+    def app(sim):
+        arr = yield from U64Array.create(client, 100, records_per_block=32)
+        yield from arr.fill(client, list(range(100)))
+        yield from client.gsync()
+        total = yield from arr.sum_range(client)
+        partial = yield from arr.sum_range(client, start=10, count=5)
+        value = yield from arr.get(client, 99)
+        holder["arr"] = arr
+        return total, partial, value
+
+    (result,) = system.run(app(sim))
+    total, partial, value = result
+    assert total == sum(range(100))
+    assert partial == 10 + 11 + 12 + 13 + 14
+    assert value == 99
+
+
+def test_u64_array_wraps_like_hardware(gengar2x2):
+    sim, system = gengar2x2
+    client = system.clients[0]
+
+    def app(sim):
+        arr = yield from U64Array.create(client, 4)
+        yield from arr.set(client, 0, (1 << 64) + 5)  # wraps to 5
+        value = yield from arr.get(client, 0)
+        return value
+
+    (value,) = system.run(app(sim))
+    assert value == 5
+
+
+def test_u64_requires_8_byte_records(gengar2x2):
+    sim, system = gengar2x2
+    arr = make_array(sim, system, record_size=32)
+    with pytest.raises(ArrayError):
+        U64Array(arr)

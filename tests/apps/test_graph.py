@@ -1,0 +1,105 @@
+"""Tests for distributed PageRank over the pool."""
+
+import random
+
+import networkx as nx
+import pytest
+
+from repro.apps.graph import GraphError, PageRankEngine, reference_pagerank
+
+from tests.apps.conftest import boot
+
+
+def random_graph(n=24, m=80, seed=3):
+    rng = random.Random(seed)
+    edges = set()
+    while len(edges) < m:
+        src, dst = rng.randrange(n), rng.randrange(n)
+        if src != dst:
+            edges.add((src, dst))
+    return sorted(edges), n
+
+
+def run_engine(system_name="gengar", iterations=8, num_partitions=3, seed=3):
+    sim, system = boot(name=system_name, num_servers=2, num_clients=2)
+    edges, n = random_graph(seed=seed)
+    engine = PageRankEngine(system.clients, num_partitions=num_partitions)
+
+    def app(sim):
+        yield from engine.load(system.clients[0], edges, n)
+        ranks = yield from engine.run(iterations=iterations)
+        return ranks
+
+    (ranks,) = system.run(app(sim))
+    return edges, n, ranks
+
+
+def test_pagerank_matches_reference_exactly():
+    edges, n, ranks = run_engine()
+    expected = reference_pagerank(edges, n, iterations=8)
+    assert set(ranks) == set(expected)
+    for v in ranks:
+        assert ranks[v] == pytest.approx(expected[v], rel=1e-12)
+
+
+def test_pagerank_mass_conserved():
+    _edges, _n, ranks = run_engine()
+    assert sum(ranks.values()) == pytest.approx(1.0, rel=1e-9)
+
+
+def test_pagerank_ordering_agrees_with_networkx():
+    """Top vertices by our PageRank match networkx's (same damping)."""
+    edges, n, ranks = run_engine(iterations=30)
+    g = nx.DiGraph()
+    g.add_nodes_from(range(n))
+    g.add_edges_from(edges)
+    nx_ranks = nx.pagerank(g, alpha=0.85)
+    ours_top = sorted(ranks, key=ranks.get, reverse=True)[:5]
+    nx_top = sorted(nx_ranks, key=nx_ranks.get, reverse=True)[:5]
+    assert ours_top[0] == nx_top[0]
+    assert len(set(ours_top) & set(nx_top)) >= 4
+
+
+def test_pagerank_same_result_on_every_system():
+    _e, _n, gengar_ranks = run_engine("gengar")
+    _e, _n, direct_ranks = run_engine("nvm-direct")
+    for v in gengar_ranks:
+        assert gengar_ranks[v] == pytest.approx(direct_ranks[v], rel=1e-12)
+
+
+def test_pagerank_handles_dangling_vertices():
+    # Vertex 2 has no out-edges: its rank must be redistributed, not lost.
+    edges = [(0, 1), (1, 2), (0, 2)]
+    sim, system = boot(num_servers=1, num_clients=1)
+    engine = PageRankEngine(system.clients, num_partitions=2)
+
+    def app(sim):
+        yield from engine.load(system.clients[0], edges, 3)
+        ranks = yield from engine.run(iterations=20)
+        return ranks
+
+    (ranks,) = system.run(app(sim))
+    expected = reference_pagerank(edges, 3, iterations=20)
+    for v in ranks:
+        assert ranks[v] == pytest.approx(expected[v], rel=1e-12)
+    assert sum(ranks.values()) == pytest.approx(1.0, rel=1e-9)
+    assert ranks[2] > ranks[1]  # sink of two paths ranks highest
+
+
+def test_engine_validation():
+    sim, system = boot(num_servers=1, num_clients=1)
+    with pytest.raises(GraphError):
+        PageRankEngine([], num_partitions=2)
+    with pytest.raises(GraphError):
+        PageRankEngine(system.clients, num_partitions=0)
+    with pytest.raises(GraphError):
+        PageRankEngine(system.clients, damping=1.5)
+    engine = PageRankEngine(system.clients)
+    with pytest.raises(GraphError):
+        next(engine.run(1))  # no graph loaded
+
+    def bad_edge(sim):
+        yield from engine.load(system.clients[0], [(0, 99)], 3)
+
+    with pytest.raises(GraphError):
+        system.run(bad_edge(sim))

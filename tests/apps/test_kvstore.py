@@ -1,0 +1,171 @@
+"""Tests for the KV store over various DSHM systems."""
+
+import pytest
+
+from repro.apps.kvstore import KvError, KvStore
+from repro.baselines.common import SYSTEM_NAMES
+
+from tests.apps.conftest import boot
+
+
+def load_store(sim, system, n=20, value_size=256):
+    store = KvStore(value_size)
+    client = system.clients[0]
+
+    def loader(sim):
+        yield from store.load(client, range(n), lambda k: bytes([k % 256]) * value_size)
+
+    system.run(loader(sim))
+    return store
+
+
+def test_load_then_get(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system)
+    client = system.clients[1]  # a different client reads
+
+    def reader(sim):
+        out = []
+        for k in (0, 7, 19):
+            out.append((yield from store.get(client, k)))
+        return out
+
+    (values,) = system.run(reader(sim))
+    for k, v in zip((0, 7, 19), values):
+        assert v == bytes([k]) * 256
+
+
+def test_put_updates_value(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system)
+    client = system.clients[0]
+
+    def writer(sim):
+        yield from store.put(client, 5, b"\xff" * 256)
+        yield from client.gsync()
+        data = yield from store.get(client, 5)
+        return data
+
+    (data,) = system.run(writer(sim))
+    assert data == b"\xff" * 256
+
+
+def test_scan_returns_key_order(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system, n=30)
+    client = system.clients[0]
+
+    def scanner(sim):
+        rows = yield from store.scan(client, start_key=10, count=5)
+        return rows
+
+    (rows,) = system.run(scanner(sim))
+    assert len(rows) == 5
+    assert [r[0] for r in rows] == [10, 11, 12, 13, 14]
+
+
+def test_scan_clips_at_end(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system, n=10)
+    client = system.clients[0]
+
+    def scanner(sim):
+        rows = yield from store.scan(client, start_key=8, count=10)
+        return rows
+
+    (rows,) = system.run(scanner(sim))
+    assert len(rows) == 2
+
+
+def test_rmw_is_atomic_across_clients(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system, n=1, value_size=64)
+    a, b = system.clients
+    per_client = 10
+
+    def bump(old: bytes) -> bytes:
+        value = int.from_bytes(old[:8], "little") + 1
+        return value.to_bytes(8, "little") + old[8:]
+
+    def setup(sim):
+        yield from store.put(a, 0, bytes(64))
+        yield from a.gsync()
+
+    system.run(setup(sim))
+
+    def worker(sim, client):
+        for _ in range(per_client):
+            yield from store.read_modify_write(client, 0, bump)
+
+    system.run(worker(sim, a), worker(sim, b))
+
+    def check(sim):
+        data = yield from store.get(a, 0)
+        return int.from_bytes(data[:8], "little")
+
+    (total,) = system.run(check(sim))
+    assert total == 2 * per_client
+
+
+def test_delete_frees_object(gengar2x2):
+    sim, system = gengar2x2
+    store = load_store(sim, system, n=5)
+    client = system.clients[0]
+
+    def deleter(sim):
+        yield from store.delete(client, 2)
+
+    system.run(deleter(sim))
+    assert 2 not in store
+    assert len(store) == 4
+    with pytest.raises(KvError):
+        store.gaddr_of(2)
+
+    def scanner(sim):
+        rows = yield from store.scan(client, start_key=0, count=5)
+        return rows
+
+    (rows,) = system.run(scanner(sim))
+    assert [r[0] for r in rows] == [0, 1, 3, 4]
+
+
+def test_errors():
+    sim, system = boot(num_servers=1, num_clients=1)
+    store = KvStore(64)
+    client = system.clients[0]
+
+    def app(sim):
+        yield from store.insert(client, 1, bytes(64))
+        try:
+            yield from store.insert(client, 1, bytes(64))
+        except KvError:
+            pass
+        else:
+            raise AssertionError("duplicate insert must fail")
+        try:
+            yield from store.put(client, 1, bytes(32))
+        except KvError:
+            return "ok"
+
+    (outcome,) = system.run(app(sim))
+    assert outcome == "ok"
+    with pytest.raises(ValueError):
+        KvStore(0)
+
+
+@pytest.mark.parametrize("system_name", SYSTEM_NAMES)
+def test_kv_roundtrip_on_every_system(system_name):
+    """The store behaves identically (functionally) on every comparator."""
+    sim, system = boot(name=system_name, num_servers=1, num_clients=2)
+    store = KvStore(128)
+    writer, reader = system.clients
+
+    def app(sim):
+        yield from store.load(writer, range(6), lambda k: bytes([k + 1]) * 128)
+        out = []
+        for k in range(6):
+            out.append((yield from store.get(reader, k)))
+        return out
+
+    (values,) = system.run(app(sim))
+    assert values == [bytes([k + 1]) * 128 for k in range(6)]

@@ -1,0 +1,174 @@
+"""Tests for the comparator systems and the uniform system interface."""
+
+import pytest
+
+from repro.baselines import build_system
+from repro.baselines.client_replica import ReplicaClient
+from repro.baselines.common import SYSTEM_NAMES
+from repro.hardware.specs import TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+
+from tests.apps.conftest import boot
+
+
+def test_system_registry_names():
+    assert set(SYSTEM_NAMES) == {
+        "gengar", "cache-only", "proxy-only", "nvm-direct", "dram-only",
+        "client-replica",
+    }
+
+
+def test_unknown_system_rejected():
+    with pytest.raises(ValueError):
+        build_system("memcached", Simulator())
+
+
+@pytest.mark.parametrize("name", SYSTEM_NAMES)
+def test_every_system_boots_and_roundtrips(name):
+    sim, system = boot(name=name, num_servers=1, num_clients=1)
+    client = system.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(512)
+        yield from client.gwrite(gaddr, b"R" * 512)
+        data = yield from client.gread(gaddr, length=4)
+        return data
+
+    (data,) = system.run(app(sim))
+    assert data == b"RRRR"
+
+
+def test_mechanism_switches_match_system():
+    checks = {
+        "gengar": (True, True, False),
+        "cache-only": (True, False, False),
+        "proxy-only": (False, True, False),
+        "nvm-direct": (False, False, False),
+        "dram-only": (False, False, True),
+    }
+    for name, (cache, proxy, in_dram) in checks.items():
+        sim, system = boot(name=name, num_servers=1, num_clients=1)
+        cfg = system.pool.config
+        assert cfg.enable_cache == cache, name
+        assert cfg.enable_proxy == proxy, name
+        assert cfg.data_in_dram == in_dram, name
+
+
+def test_dram_only_reads_faster_than_nvm_direct():
+    def read_latency(name):
+        sim, system = boot(name=name, num_servers=1, num_clients=1, seed=5)
+        client = system.clients[0]
+
+        def app(sim):
+            gaddr = yield from client.gmalloc(4096)
+            yield from client.gwrite(gaddr, b"d" * 4096)
+            yield from client.gsync()
+            t0 = sim.now
+            for _ in range(20):
+                yield from client.gread(gaddr)
+            return (sim.now - t0) / 20
+
+        (avg,) = system.run(app(sim))
+        return avg
+
+    assert read_latency("dram-only") < read_latency("nvm-direct")
+
+
+# ---------------------------------------------------------------------------
+# Client-replica baseline specifics
+# ---------------------------------------------------------------------------
+def test_replica_repeat_reads_are_local():
+    sim, system = boot(name="client-replica", num_servers=1, num_clients=1)
+    client = system.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(1024)
+        yield from client.gwrite(gaddr, b"rep" + bytes(1021))
+        yield from client.gsync()
+        first_t0 = sim.now
+        first = yield from client.gread(gaddr, length=3)
+        first_dt = sim.now - first_t0
+        second_t0 = sim.now
+        second = yield from client.gread(gaddr, length=3)
+        second_dt = sim.now - second_t0
+        return first, first_dt, second, second_dt
+
+    (result,) = system.run(app(sim))
+    first, first_dt, second, second_dt = result
+    assert first == second == b"rep"
+    assert second_dt < first_dt / 2  # replica hit is near-local
+
+
+def test_replica_lease_expiry_forces_refetch():
+    sim, system = boot(name="client-replica", num_servers=1, num_clients=2)
+    a, b = system.clients
+
+    def app(sim):
+        gaddr = yield from a.gmalloc(128)
+        yield from a.gwrite(gaddr, b"v1" + bytes(126))
+        yield from a.gsync()
+        stale = yield from b.gread(gaddr, length=2)  # b caches v1
+        yield from a.gwrite(gaddr, b"v2" + bytes(126))
+        yield from a.gsync()
+        within_lease = yield from b.gread(gaddr, length=2)
+        yield sim.timeout(b.lease_ns + 1)
+        after_lease = yield from b.gread(gaddr, length=2)
+        return stale, within_lease, after_lease
+
+    (result,) = system.run(app(sim))
+    stale, within_lease, after_lease = result
+    assert stale == b"v1"
+    assert within_lease == b"v1"  # lease-bounded staleness, by design
+    assert after_lease == b"v2"
+
+
+def test_replica_locks_give_coherence():
+    """Under locks, the replica baseline must be coherent (replica dropped)."""
+    sim, system = boot(name="client-replica", num_servers=1, num_clients=2)
+    a, b = system.clients
+
+    def app(sim):
+        gaddr = yield from a.gmalloc(128)
+        yield from a.gwrite(gaddr, b"v1" + bytes(126))
+        yield from a.gsync()
+        _ = yield from b.gread(gaddr, length=2)  # b caches v1
+        yield from a.glock(gaddr)
+        yield from a.gwrite(gaddr, b"v2" + bytes(126))
+        yield from a.gunlock(gaddr)
+        yield from b.glock(gaddr, write=False)
+        fresh = yield from b.gread(gaddr, length=2)
+        yield from b.gunlock(gaddr, write=False)
+        return fresh
+
+    (fresh,) = system.run(app(sim))
+    assert fresh == b"v2"
+
+
+def test_replica_capacity_evicts_lru():
+    sim, system = boot(name="client-replica", num_servers=1, num_clients=1)
+    client = system.clients[0]
+    client.capacity_bytes = 2048  # room for two 1 KiB objects
+
+    def app(sim):
+        addrs = []
+        for i in range(3):
+            g = yield from client.gmalloc(1024)
+            yield from client.gwrite(g, bytes([i]) * 1024)
+            addrs.append(g)
+        yield from client.gsync()
+        for g in addrs:
+            yield from client.gread(g)
+        return addrs
+
+    (addrs,) = system.run(app(sim))
+    assert len(client._replicas) == 2
+    assert addrs[0] not in client._replicas  # LRU victim
+    assert addrs[2] in client._replicas
+
+
+def test_replica_validation():
+    sim, system = boot(name="gengar", num_servers=1, num_clients=1)
+    with pytest.raises(ValueError):
+        ReplicaClient(system.clients[0], lease_ns=0)
+    with pytest.raises(ValueError):
+        ReplicaClient(system.clients[0], capacity_bytes=0)

@@ -1,0 +1,165 @@
+"""Calibration: the simulator must track the closed-form cost models.
+
+Each test measures an uncontended operation end to end through the full
+stack (client library -> verbs -> NIC -> fabric -> devices) and compares it
+with the analytic path model.  A drift beyond tolerance means some protocol
+path double-charges or drops a cost component.
+"""
+
+import pytest
+
+from repro.bench.calibration import (
+    PathModel,
+    calibration_report,
+    expected_atomic_ns,
+    expected_cold_read_ns,
+    expected_direct_write_ns,
+    expected_hot_read_ns,
+    expected_proxy_write_ns,
+    expected_rdma_read_ns,
+)
+from repro.hardware.specs import CONNECTX5_NIC, DEFAULT_LINK, TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+
+from tests.core.conftest import build_pool, fast_config
+
+MODEL = PathModel(
+    nic=CONNECTX5_NIC,
+    link=DEFAULT_LINK,
+    client_dram=TEST_DRAM,
+    server_dram=TEST_DRAM,
+    server_nvm=TEST_NVM,
+)
+
+#: The simulator may differ from closed form by rounding and the message-rate
+#: token bucket; the tolerance is deliberately tight.
+TOL = 0.06
+
+
+def measure(op_factory, sim, reps=5):
+    total = {"ns": 0}
+
+    def proc(sim):
+        for _ in range(reps):
+            t0 = sim.now
+            yield from op_factory()
+            total["ns"] += sim.now - t0
+            yield sim.timeout(20_000)  # keep every rep uncontended
+
+    p = sim.spawn(proc(sim))
+    sim.run_until_complete(p)
+    return total["ns"] / reps
+
+
+@pytest.mark.parametrize("size", [64, 1024, 4096, 65536])
+def test_cold_read_matches_model(size):
+    sim, pool = build_pool(num_servers=1, num_clients=1,
+                           config=fast_config(enable_cache=False,
+                                              enable_proxy=False))
+    client = pool.clients[0]
+    holder = {}
+
+    def setup(sim):
+        holder["g"] = yield from client.gmalloc(size)
+        yield from client.gwrite(holder["g"], b"x" * size)
+        yield from client.gread(holder["g"])  # warm metadata
+
+    pool.run(setup(sim))
+    measured = measure(lambda: client.gread(holder["g"]), sim)
+    expected = expected_cold_read_ns(MODEL, size)
+    assert measured == pytest.approx(expected, rel=TOL), (size, measured, expected)
+
+
+@pytest.mark.parametrize("size", [64, 1024, 16384])
+def test_hot_read_matches_model(size):
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+    holder = {}
+
+    def setup(sim):
+        g = yield from client.gmalloc(size)
+        yield from client.gwrite(g, b"h" * size)
+        yield from client.gsync()
+        yield from pool.master.pin(g)
+        client._invalidate_meta(g)
+        yield from client.gread(g, length=1)  # warm metadata
+        holder["g"] = g
+
+    pool.run(setup(sim))
+    measured = measure(lambda: client.gread(holder["g"]), sim)
+    expected = expected_hot_read_ns(MODEL, size)
+    assert measured == pytest.approx(expected, rel=TOL), (size, measured, expected)
+
+
+@pytest.mark.parametrize("size", [512, 2048])
+def test_proxy_write_matches_model(size):
+    sim, pool = build_pool(num_servers=1, num_clients=1,
+                           config=fast_config(proxy_ring_slots=64))
+    client = pool.clients[0]
+    holder = {}
+
+    def setup(sim):
+        holder["g"] = yield from client.gmalloc(size)
+
+    pool.run(setup(sim))
+    measured = measure(lambda: client.gwrite(holder["g"], b"p" * size), sim)
+    expected = expected_proxy_write_ns(MODEL, size)
+    assert measured == pytest.approx(expected, rel=TOL), (size, measured, expected)
+
+
+@pytest.mark.parametrize("size", [512, 4096, 65536])
+def test_direct_write_matches_model(size):
+    sim, pool = build_pool(num_servers=1, num_clients=1,
+                           config=fast_config(enable_cache=False,
+                                              enable_proxy=False))
+    client = pool.clients[0]
+    holder = {}
+
+    def setup(sim):
+        holder["g"] = yield from client.gmalloc(size)
+
+    pool.run(setup(sim))
+    measured = measure(lambda: client.gwrite(holder["g"], b"w" * size), sim)
+    expected = expected_direct_write_ns(MODEL, size)
+    assert measured == pytest.approx(expected, rel=TOL), (size, measured, expected)
+
+
+def test_atomic_matches_model():
+    """Measure a raw CAS through the verbs layer (no client-library cost)."""
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+    holder = {}
+
+    def setup(sim):
+        holder["g"] = yield from client.gmalloc(64)
+        meta = yield from client._meta(holder["g"])
+        holder["meta"] = meta
+
+    pool.run(setup(sim))
+    meta = holder["meta"]
+
+    def one_cas():
+        value = yield from client._atomic_cas(
+            meta.server_id, meta.lock_idx * 8, compare=0, swap=0)
+        return value
+
+    measured = measure(one_cas, sim)
+    expected = expected_atomic_ns(MODEL)
+    assert measured == pytest.approx(expected, rel=TOL), (measured, expected)
+
+
+def test_report_structure():
+    report = calibration_report(MODEL)
+    assert set(report) == {"cold_read_us", "hot_read_us", "proxy_write_us",
+                           "direct_write_us", "atomic_us"}
+    # The model itself encodes the design story:
+    assert report["hot_read_us"][65536] < report["cold_read_us"][65536] * 0.8
+    assert report["proxy_write_us"][65536] < report["direct_write_us"][65536] * 0.5
+
+
+def test_model_monotone_in_size():
+    prev = 0.0
+    for size in (64, 256, 1024, 4096, 16384, 65536):
+        value = expected_rdma_read_ns(MODEL, size)
+        assert value > prev
+        prev = value

@@ -1,0 +1,81 @@
+"""Tests for the table/series rendering used by every benchmark."""
+
+import pytest
+
+from repro.bench.report import Table, render_series, render_table, speedup
+
+
+def test_table_render_alignment_and_title():
+    t = Table(title="demo", headers=["name", "value"])
+    t.add_row("alpha", 1.0)
+    t.add_row("b", 123456.0)
+    out = t.render()
+    lines = out.splitlines()
+    assert lines[0] == "== demo =="
+    assert "name" in lines[1] and "value" in lines[1]
+    assert "alpha" in out and "123,456" in out
+
+
+def test_table_wrong_arity_rejected():
+    t = Table(title="x", headers=["a", "b"])
+    with pytest.raises(ValueError):
+        t.add_row(1)
+    with pytest.raises(ValueError):
+        t.add_row(1, 2, 3)
+
+
+def test_table_column_extraction():
+    t = Table(title="x", headers=["sys", "kops"])
+    t.add_row("a", 1.0)
+    t.add_row("b", 2.0)
+    assert t.column("kops") == [1.0, 2.0]
+    assert t.column("sys") == ["a", "b"]
+    with pytest.raises(KeyError):
+        t.column("nope")
+
+
+def test_table_notes_rendered():
+    t = Table(title="x", headers=["a"], notes=["be careful"])
+    t.add_row(1)
+    assert "note: be careful" in t.render()
+
+
+def test_table_empty_renders():
+    t = Table(title="empty", headers=["a", "b"])
+    out = t.render()
+    assert "empty" in out
+
+
+def test_number_formatting():
+    t = Table(title="fmt", headers=["v"])
+    for v in (0.0, 0.1234, 12.34, 1234.5, 7):
+        t.add_row(v)
+    out = t.render()
+    assert "0.123" in out  # three decimals under 10
+    assert "12.3" in out  # one decimal in [10, 1000)
+    assert "1,234" in out  # thousands separator minus decimals
+    assert "7" in out  # ints pass through
+
+
+def test_render_table_oneshot():
+    out = render_table("t", ["x"], [[1], [2]], notes=["n"])
+    assert "== t ==" in out and "note: n" in out
+
+
+def test_render_series():
+    out = render_series("fig", "size", [64, 128],
+                        {"gengar": [1.0, 2.0], "base": [3.0, 4.0]})
+    assert "fig" in out
+    assert "gengar" in out and "base" in out
+    assert "64" in out and "128" in out
+
+
+def test_render_series_length_mismatch_rejected():
+    with pytest.raises(ValueError):
+        render_series("fig", "x", [1, 2], {"s": [1.0]})
+
+
+def test_speedup():
+    assert speedup(100.0, 150.0) == pytest.approx(1.5)
+    assert speedup(0.0, 10.0) == 0.0
+    assert speedup(10.0, 10.0) == 1.0

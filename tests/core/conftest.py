@@ -1,0 +1,45 @@
+"""Shared fixtures: small, fast Gengar deployments."""
+
+import pytest
+
+from repro.core import GengarConfig, GengarPool
+from repro.hardware.specs import TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+from repro.sim.units import KIB, MIB
+
+
+def fast_config(**overrides):
+    """A config tuned for unit tests: short epochs, eager promotion."""
+    defaults = dict(
+        cache_capacity=256 * KIB,
+        epoch_ns=50_000,
+        report_every_ops=8,
+        promote_threshold=4.0,
+        demote_threshold=1.0,
+        hotness_decay=0.5,
+        proxy_ring_slots=8,
+        proxy_slot_size=4 * KIB,
+        lock_table_entries=1024,
+    )
+    defaults.update(overrides)
+    return GengarConfig(**defaults)
+
+
+def build_pool(seed=1, num_servers=2, num_clients=2, config=None, **kw):
+    sim = Simulator(seed=seed)
+    pool = GengarPool.build(
+        sim,
+        num_servers=num_servers,
+        num_clients=num_clients,
+        config=config or fast_config(),
+        dram=TEST_DRAM,
+        nvm=TEST_NVM,
+        **kw,
+    )
+    return sim, pool
+
+
+@pytest.fixture
+def pool2x2():
+    """Two servers, two clients, fast config."""
+    return build_pool()

@@ -1,0 +1,62 @@
+"""Tests for global address packing."""
+
+import pytest
+
+from repro.core.addressing import (
+    AddressError,
+    GlobalAddress,
+    MAX_SERVERS,
+    OFFSET_MASK,
+    make_gaddr,
+    offset_of,
+    server_of,
+)
+
+
+def test_roundtrip():
+    gaddr = make_gaddr(3, 0x1234)
+    assert server_of(gaddr) == 3
+    assert offset_of(gaddr) == 0x1234
+
+
+def test_server_zero_offset_zero():
+    assert make_gaddr(0, 0) == 0
+
+
+def test_max_values_roundtrip():
+    gaddr = make_gaddr(MAX_SERVERS - 1, OFFSET_MASK)
+    assert server_of(gaddr) == MAX_SERVERS - 1
+    assert offset_of(gaddr) == OFFSET_MASK
+
+
+def test_out_of_range_rejected():
+    with pytest.raises(AddressError):
+        make_gaddr(-1, 0)
+    with pytest.raises(AddressError):
+        make_gaddr(MAX_SERVERS, 0)
+    with pytest.raises(AddressError):
+        make_gaddr(0, OFFSET_MASK + 1)
+    with pytest.raises(AddressError):
+        make_gaddr(0, -1)
+
+
+def test_decode_rejects_non_64bit():
+    with pytest.raises(AddressError):
+        server_of(1 << 64)
+    with pytest.raises(AddressError):
+        offset_of(-1)
+
+
+def test_global_address_dataclass():
+    ga = GlobalAddress.decode(make_gaddr(7, 4096))
+    assert ga.server_id == 7
+    assert ga.offset == 4096
+    assert int(ga) == make_gaddr(7, 4096)
+
+
+def test_distinct_servers_never_collide():
+    seen = set()
+    for sid in range(8):
+        for off in (0, 64, 4096):
+            seen.add(make_gaddr(sid, off))
+    assert len(seen) == 24

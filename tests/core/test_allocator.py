@@ -1,0 +1,144 @@
+"""Tests for the extent allocator and the pool allocation policy."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.allocator import (
+    AllocatorError,
+    ExtentAllocator,
+    OutOfMemory,
+    PoolAllocationPolicy,
+)
+
+
+def test_alloc_returns_aligned_offsets():
+    alloc = ExtentAllocator(4096, alignment=64)
+    offsets = [alloc.alloc(10) for _ in range(5)]
+    assert all(off % 64 == 0 for off in offsets)
+    assert len(set(offsets)) == 5
+
+
+def test_alloc_free_reuses_space():
+    alloc = ExtentAllocator(256, alignment=64)
+    a = alloc.alloc(64)
+    b = alloc.alloc(64)
+    alloc.free(a)
+    c = alloc.alloc(64)
+    assert c == a  # first fit reuses the hole
+    assert b != c
+
+
+def test_out_of_memory():
+    alloc = ExtentAllocator(128, alignment=64)
+    alloc.alloc(128)
+    with pytest.raises(OutOfMemory):
+        alloc.alloc(1)
+
+
+def test_double_free_rejected():
+    alloc = ExtentAllocator(256)
+    a = alloc.alloc(64)
+    alloc.free(a)
+    with pytest.raises(AllocatorError):
+        alloc.free(a)
+
+
+def test_free_of_unallocated_rejected():
+    alloc = ExtentAllocator(256)
+    with pytest.raises(AllocatorError):
+        alloc.free(64)
+
+
+def test_invalid_sizes_rejected():
+    alloc = ExtentAllocator(256)
+    with pytest.raises(ValueError):
+        alloc.alloc(0)
+    with pytest.raises(ValueError):
+        alloc.alloc(-5)
+    with pytest.raises(ValueError):
+        ExtentAllocator(0)
+    with pytest.raises(ValueError):
+        ExtentAllocator(100, alignment=3)
+
+
+def test_coalescing_recovers_full_capacity():
+    alloc = ExtentAllocator(1024, alignment=64)
+    offsets = [alloc.alloc(64) for _ in range(16)]
+    assert alloc.free_bytes == 0
+    # Free in an interleaved order to exercise both merge directions.
+    for off in offsets[::2] + offsets[1::2]:
+        alloc.free(off)
+    assert alloc.free_bytes == 1024
+    assert alloc.largest_free_extent == 1024
+    alloc.check_invariants()
+
+
+def test_fragmentation_blocks_large_alloc():
+    alloc = ExtentAllocator(512, alignment=64)
+    offsets = [alloc.alloc(64) for _ in range(8)]
+    for off in offsets[::2]:
+        alloc.free(off)
+    assert alloc.free_bytes == 256
+    with pytest.raises(OutOfMemory):
+        alloc.alloc(128)  # free space exists, but not contiguously
+
+
+def test_size_of():
+    alloc = ExtentAllocator(1024)
+    a = alloc.alloc(100)
+    assert alloc.size_of(a) == 128  # rounded to alignment
+    assert alloc.size_of(9999) is None
+
+
+@given(st.lists(st.tuples(st.booleans(), st.integers(min_value=1, max_value=700)), max_size=120))
+@settings(max_examples=120, deadline=None)
+def test_allocator_invariants_under_random_workload(ops):
+    """Property: no overlap, no leak, free list always coalesced."""
+    alloc = ExtentAllocator(8192, alignment=64)
+    live = []
+    for is_alloc, size in ops:
+        if is_alloc or not live:
+            try:
+                off = alloc.alloc(size)
+            except OutOfMemory:
+                continue
+            live.append((off, alloc.size_of(off)))
+        else:
+            off, _size = live.pop(len(live) // 2)
+            alloc.free(off)
+        alloc.check_invariants()
+        # No two live allocations overlap.
+        spans = sorted((off, off + sz) for off, sz in live)
+        for (a_start, a_end), (b_start, _b_end) in zip(spans, spans[1:]):
+            assert a_end <= b_start
+
+
+def test_policy_round_robins_across_servers():
+    allocs = {i: ExtentAllocator(4096) for i in range(3)}
+    policy = PoolAllocationPolicy(allocs)
+    chosen = [policy.choose(64) for _ in range(6)]
+    assert chosen == [0, 1, 2, 0, 1, 2]
+
+
+def test_policy_skips_full_servers():
+    allocs = {0: ExtentAllocator(128), 1: ExtentAllocator(4096)}
+    policy = PoolAllocationPolicy(allocs)
+    sid = policy.choose(64)
+    allocs[sid].alloc(128 if sid == 0 else 64)
+    # Server 0 exhausted: every 128-byte request must now land on 1.
+    allocs[0]._free = []  # simulate full
+    for _ in range(3):
+        assert policy.choose(128) == 1
+
+
+def test_policy_raises_when_nothing_fits():
+    allocs = {0: ExtentAllocator(128)}
+    policy = PoolAllocationPolicy(allocs)
+    with pytest.raises(OutOfMemory):
+        policy.choose(4096)
+
+
+def test_policy_requires_servers():
+    with pytest.raises(ValueError):
+        PoolAllocationPolicy({})

@@ -1,0 +1,175 @@
+"""Tests for owner-tagged locks and dead-client eviction."""
+
+import pytest
+
+from repro.core.master import MasterError
+from repro.core.protocol import (
+    lock_is_free,
+    lock_is_write_locked,
+    lock_owner,
+    lock_reader_count,
+    write_lock_word,
+)
+
+from tests.core.conftest import build_pool
+
+
+# ---------------------------------------------------------------------------
+# Lock-word layout
+# ---------------------------------------------------------------------------
+def test_write_lock_word_layout():
+    word = write_lock_word(7)
+    assert lock_is_write_locked(word)
+    assert lock_owner(word) == 7
+    assert lock_reader_count(word) == 0
+
+
+def test_reader_increments_do_not_disturb_owner():
+    word = write_lock_word(42) + 3 * 2  # three in-flight reader increments
+    assert lock_owner(word) == 42
+    assert lock_reader_count(word) == 3
+    assert lock_is_write_locked(word)
+
+
+def test_write_lock_word_validates_uid():
+    with pytest.raises(ValueError):
+        write_lock_word(0)
+    with pytest.raises(ValueError):
+        write_lock_word(1 << 32)
+
+
+def test_free_word():
+    assert lock_is_free(0)
+    assert not lock_is_free(write_lock_word(1))
+
+
+# ---------------------------------------------------------------------------
+# Client uids
+# ---------------------------------------------------------------------------
+def test_clients_get_distinct_uids():
+    sim, pool = build_pool(num_servers=1, num_clients=3)
+    uids = [c.uid for c in pool.clients]
+    assert len(set(uids)) == 3
+    assert all(u > 0 for u in uids)
+
+
+def test_lock_word_carries_holder_uid():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(64)
+        yield from client.glock(gaddr, write=True)
+        record = pool.master.directory.get(gaddr)
+        word = pool.servers[0].lock_mr.read_u64(record.lock_idx * 8)
+        yield from client.gunlock(gaddr, write=True)
+        after = pool.servers[0].lock_mr.read_u64(record.lock_idx * 8)
+        return word, after
+
+    (result,) = pool.run(app(sim))
+    word, after = result
+    assert lock_owner(word) == client.uid
+    assert lock_is_write_locked(word)
+    assert after == 0
+
+
+# ---------------------------------------------------------------------------
+# Eviction
+# ---------------------------------------------------------------------------
+def test_evict_client_releases_only_its_locks():
+    sim, pool = build_pool(num_servers=2, num_clients=2)
+    dead, alive = pool.clients
+
+    def setup(sim):
+        abandoned = []
+        for _ in range(3):
+            g = yield from dead.gmalloc(64)
+            yield from dead.glock(g, write=True)
+            abandoned.append(g)
+        held = yield from alive.gmalloc(64)
+        yield from alive.glock(held, write=True)
+        return abandoned, held
+
+    (result,) = pool.run(setup(sim))
+    abandoned, held = result
+
+    def evict(sim):
+        recovered = yield from pool.master.evict_client(dead.name)
+        return recovered
+
+    (recovered,) = pool.run(evict(sim))
+    assert recovered == 3
+
+    # The abandoned locks are acquirable again; the live one still held.
+    for g in abandoned:
+        record = pool.master.directory.get(g)
+        server = pool.servers[record.server_id]
+        assert server.lock_mr.read_u64(record.lock_idx * 8) == 0
+    live_record = pool.master.directory.get(held)
+    live_word = pool.servers[live_record.server_id].lock_mr.read_u64(
+        live_record.lock_idx * 8)
+    assert lock_owner(live_word) == alive.uid
+
+
+def test_eviction_preserves_inflight_reader_counts():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    dead, reader = pool.clients
+
+    def setup(sim):
+        g = yield from dead.gmalloc(64)
+        yield from dead.gwrite(g, bytes(64))
+        yield from dead.gsync()
+        yield from dead.glock(g, write=True)
+        return g
+
+    (gaddr,) = pool.run(setup(sim))
+    got = []
+
+    def blocked_reader(sim):
+        yield from reader.glock(gaddr, write=False)  # spins on writer bit
+        got.append(sim.now)
+        yield from reader.gunlock(gaddr, write=False)
+
+    def evictor(sim):
+        yield sim.timeout(30_000)
+        yield from pool.master.evict_client(dead.name)
+
+    r = sim.spawn(blocked_reader(sim))
+    e = sim.spawn(evictor(sim))
+    sim.run_until_complete(sim.all_of([r, e]))
+    assert got and got[0] >= 30_000  # reader proceeded only after eviction
+
+
+def test_evict_unknown_client_rejected():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+
+    def app(sim):
+        try:
+            yield from pool.master.evict_client("ghost")
+        except MasterError:
+            return "rejected"
+
+    (outcome,) = pool.run(app(sim))
+    assert outcome == "rejected"
+
+
+def test_evict_client_holding_nothing_is_noop():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    idle, worker = pool.clients
+
+    def setup(sim):
+        g = yield from worker.gmalloc(64)
+        yield from worker.glock(g, write=True)
+        return g
+
+    (gaddr,) = pool.run(setup(sim))
+
+    def evict(sim):
+        recovered = yield from pool.master.evict_client(idle.name)
+        return recovered
+
+    (recovered,) = pool.run(evict(sim))
+    assert recovered == 0
+    record = pool.master.directory.get(gaddr)
+    word = pool.servers[record.server_id].lock_mr.read_u64(record.lock_idx * 8)
+    assert lock_owner(word) == worker.uid  # untouched

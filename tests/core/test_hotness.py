@@ -1,0 +1,198 @@
+"""Tests for the hot-data identification policies."""
+
+import random
+
+import pytest
+
+from repro.core.hotness import (
+    EpochDecayPolicy,
+    LfuPolicy,
+    LruPolicy,
+    NeverCachePolicy,
+    PlacementPlan,
+    RandomPolicy,
+)
+
+KIB = 1024
+
+
+def make_policy(**kw):
+    defaults = dict(decay=0.5, promote_threshold=4.0, demote_threshold=1.0)
+    defaults.update(kw)
+    return EpochDecayPolicy(**defaults)
+
+
+def test_plan_empty_is_noop():
+    policy = make_policy()
+    plan = policy.plan(capacity=1024, used=0)
+    assert plan.is_noop
+
+
+def test_hot_object_promoted():
+    policy = make_policy()
+    policy.track(gaddr=1, size=256)
+    policy.record(1, reads=10, writes=0)
+    plan = policy.plan(capacity=1024, used=0)
+    assert plan.promotions == (1,)
+    assert plan.demotions == ()
+
+
+def test_cold_object_not_promoted():
+    policy = make_policy()
+    policy.track(1, 256)
+    policy.record(1, reads=2, writes=0)  # below the threshold of 4
+    assert policy.plan(capacity=1024, used=0).is_noop
+
+
+def test_writes_count_toward_hotness():
+    policy = make_policy()
+    policy.track(1, 256)
+    policy.record(1, reads=0, writes=6)
+    assert policy.plan(capacity=1024, used=0).promotions == (1,)
+
+
+def test_promotions_ranked_hottest_first_within_capacity():
+    policy = make_policy()
+    for g, hits in [(1, 5), (2, 50), (3, 20)]:
+        policy.track(g, 512)
+        policy.record(g, reads=hits, writes=0)
+    plan = policy.plan(capacity=1024, used=0)
+    assert plan.promotions == (2, 3)  # hottest two fill the 1 KiB
+
+
+def test_score_decays_and_triggers_demotion():
+    policy = make_policy(decay=0.25, promote_threshold=4.0, demote_threshold=1.0)
+    policy.track(1, 256)
+    policy.record(1, reads=16, writes=0)
+    plan = policy.plan(capacity=1024, used=0)
+    assert plan.promotions == (1,)
+    policy.on_promoted(1)
+    # Epochs with no accesses: 16 -> 4 -> 1 -> 0.25 (below demote threshold).
+    assert policy.plan(capacity=1024, used=256).is_noop  # score 4
+    assert policy.plan(capacity=1024, used=256).is_noop  # score 1
+    plan = policy.plan(capacity=1024, used=256)  # score 0.25
+    assert plan.demotions == (1,)
+
+
+def test_hysteresis_keeps_warm_objects_cached():
+    """Objects between the demote and promote thresholds stay where they are."""
+    policy = make_policy(decay=1.0, promote_threshold=10.0, demote_threshold=2.0)
+    policy.track(1, 256)
+    policy.track(2, 256)
+    policy.record(1, reads=12, writes=0)
+    policy.record(2, reads=5, writes=0)
+    plan = policy.plan(capacity=1024, used=0)
+    assert plan.promotions == (1,)  # object 2's score 5 is below promote
+    policy.on_promoted(1)
+    # Next epoch (decay 1.0 keeps scores): 1 stays cached, 2 stays out.
+    plan = policy.plan(capacity=1024, used=256)
+    assert plan.is_noop
+
+
+def test_eviction_replaces_colder_cached_object():
+    policy = make_policy(decay=1.0)
+    policy.track(1, 512)
+    policy.record(1, reads=5, writes=0)
+    plan = policy.plan(capacity=512, used=0)
+    assert plan.promotions == (1,)
+    policy.on_promoted(1)
+    # A much hotter object appears; capacity only fits one.
+    policy.track(2, 512)
+    policy.record(2, reads=50, writes=0)
+    plan = policy.plan(capacity=512, used=512)
+    assert plan.demotions == (1,)
+    assert plan.promotions == (2,)
+
+
+def test_no_churn_on_equal_scores():
+    policy = make_policy(decay=1.0)
+    policy.track(1, 512)
+    policy.record(1, reads=5, writes=0)
+    policy.on_promoted(policy.plan(capacity=512, used=0).promotions[0])
+    policy.track(2, 512)
+    policy.record(2, reads=5, writes=0)  # equal heat after this epoch? No:
+    # object 1's score decays to 5 (decay=1.0), object 2 reaches 5 too.
+    plan = policy.plan(capacity=512, used=512)
+    assert plan.is_noop  # equal scores: do not churn
+
+
+def test_oversized_object_never_promoted():
+    policy = make_policy()
+    policy.track(1, 4096)
+    policy.record(1, reads=100, writes=0)
+    assert policy.plan(capacity=1024, used=0).is_noop
+
+
+def test_freed_object_dropped():
+    policy = make_policy()
+    policy.track(1, 256)
+    policy.record(1, reads=100, writes=0)
+    policy.on_freed(1)
+    assert policy.plan(capacity=1024, used=0).is_noop
+    policy.record(1, reads=5, writes=0)  # stale report: ignored
+    assert policy.plan(capacity=1024, used=0).is_noop
+
+
+def test_invalid_parameters_rejected():
+    with pytest.raises(ValueError):
+        EpochDecayPolicy(decay=1.5)
+    with pytest.raises(ValueError):
+        EpochDecayPolicy(promote_threshold=1.0, demote_threshold=2.0)
+
+
+def test_stats_accumulate_reads_writes():
+    policy = make_policy()
+    policy.track(1, 64)
+    policy.record(1, reads=3, writes=2)
+    policy.plan(capacity=0, used=0)
+    stats = policy.stats_for(1)
+    assert stats.reads == 3 and stats.writes == 2 and stats.accesses == 5
+
+
+# ---------------------------------------------------------------------------
+# Comparator policies (E8)
+# ---------------------------------------------------------------------------
+def test_lru_promotes_recent_evicts_stale():
+    lru = LruPolicy()
+    for g in (1, 2, 3):
+        lru.track(g, 512)
+    lru.record(1, 1, 0)
+    lru.record(2, 1, 0)
+    plan = lru.plan(capacity=1024, used=0)
+    assert set(plan.promotions) == {1, 2}
+    for g in plan.promotions:
+        lru.on_promoted(g)
+    lru.record(3, 1, 0)  # 3 is now most recent; 1 is the LRU victim
+    plan = lru.plan(capacity=1024, used=1024)
+    assert 3 in plan.promotions
+    assert 1 in plan.demotions
+
+
+def test_lfu_promotes_by_count():
+    lfu = LfuPolicy(promote_threshold=2)
+    for g, n in [(1, 10), (2, 1), (3, 5)]:
+        lfu.track(g, 256)
+        lfu.record(g, n, 0)
+    plan = lfu.plan(capacity=512, used=0)
+    assert plan.promotions == (1, 3)
+
+
+def test_random_policy_respects_capacity():
+    rp = RandomPolicy(random.Random(1), churn=10)
+    for g in range(10):
+        rp.track(g, 256)
+        rp.record(g, 1, 0)
+    plan = rp.plan(capacity=512, used=0)
+    assert len(plan.promotions) <= 2
+
+
+def test_never_cache_policy_is_inert():
+    ncp = NeverCachePolicy()
+    ncp.track(1, 10)
+    ncp.record(1, 100, 100)
+    assert ncp.plan(capacity=10_000, used=0).is_noop
+
+
+def test_placement_plan_noop_flag():
+    assert PlacementPlan((), ()).is_noop
+    assert not PlacementPlan((1,), ()).is_noop

@@ -1,0 +1,249 @@
+"""Integration tests for one-sided locks and multi-user consistency."""
+
+from repro.core.consistency import LockError
+
+from tests.core.conftest import build_pool, fast_config
+
+
+def test_write_lock_mutual_exclusion():
+    """Concurrent locked increments never lose an update."""
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    a, b = pool.clients
+    n_each = 15
+
+    def setup(sim):
+        gaddr = yield from a.gmalloc(64)
+        yield from a.gwrite(gaddr, (0).to_bytes(8, "little") + bytes(56))
+        yield from a.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+
+    def incrementer(sim, client):
+        for _ in range(n_each):
+            yield from client.glock(gaddr, write=True)
+            raw = yield from client.gread(gaddr, length=8)
+            value = int.from_bytes(raw, "little")
+            yield from client.gwrite(gaddr, (value + 1).to_bytes(8, "little"))
+            yield from client.gunlock(gaddr, write=True)
+
+    pool.run(incrementer(sim, a), incrementer(sim, b))
+
+    def check(sim):
+        raw = yield from a.gread(gaddr, length=8)
+        return int.from_bytes(raw, "little")
+
+    (total,) = pool.run(check(sim))
+    assert total == 2 * n_each, f"lost updates: {total} != {2 * n_each}"
+
+
+def test_release_consistency_reader_sees_writer_data():
+    """Writer updates under lock; reader locking afterwards sees the data."""
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    writer, reader = pool.clients
+
+    def setup(sim):
+        gaddr = yield from writer.gmalloc(128)
+        yield from writer.gwrite(gaddr, b"old" + bytes(125))
+        yield from writer.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+    observed = []
+
+    def writer_proc(sim):
+        yield from writer.glock(gaddr, write=True)
+        yield from writer.gwrite(gaddr, b"new" + bytes(125))
+        # No explicit gsync: the unlock must sync (release consistency).
+        yield from writer.gunlock(gaddr, write=True)
+
+    def reader_proc(sim):
+        yield sim.timeout(1_000)  # let the writer get the lock first
+        yield from reader.glock(gaddr, write=False)
+        data = yield from reader.gread(gaddr, length=3)
+        yield from reader.gunlock(gaddr, write=False)
+        observed.append(bytes(data))
+
+    pool.run(writer_proc(sim), reader_proc(sim))
+    assert observed == [b"new"]
+
+
+def test_multiple_readers_share_the_lock():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    a, b = pool.clients
+
+    def setup(sim):
+        gaddr = yield from a.gmalloc(64)
+        yield from a.gwrite(gaddr, bytes(64))
+        yield from a.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+    concurrency = {"now": 0, "peak": 0}
+
+    def reader_proc(sim, client):
+        yield from client.glock(gaddr, write=False)
+        concurrency["now"] += 1
+        concurrency["peak"] = max(concurrency["peak"], concurrency["now"])
+        yield sim.timeout(10_000)
+        concurrency["now"] -= 1
+        yield from client.gunlock(gaddr, write=False)
+
+    pool.run(reader_proc(sim, a), reader_proc(sim, b))
+    assert concurrency["peak"] == 2  # both held the shared lock together
+
+
+def test_writer_excludes_readers():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    w, r = pool.clients
+
+    def setup(sim):
+        gaddr = yield from w.gmalloc(64)
+        yield from w.gwrite(gaddr, bytes(64))
+        yield from w.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+    events = []
+
+    def writer_proc(sim):
+        yield from w.glock(gaddr, write=True)
+        events.append(("w-acquired", sim.now))
+        yield sim.timeout(50_000)
+        events.append(("w-releasing", sim.now))
+        yield from w.gunlock(gaddr, write=True)
+
+    def reader_proc(sim):
+        yield sim.timeout(5_000)  # writer already holds the lock
+        yield from r.glock(gaddr, write=False)
+        events.append(("r-acquired", sim.now))
+        yield from r.gunlock(gaddr, write=False)
+
+    pool.run(writer_proc(sim), reader_proc(sim))
+    order = [name for name, _ in sorted(events, key=lambda e: e[1])]
+    assert order == ["w-acquired", "w-releasing", "r-acquired"]
+
+
+def test_reader_excludes_writer():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    r, w = pool.clients
+
+    def setup(sim):
+        gaddr = yield from r.gmalloc(64)
+        yield from r.gwrite(gaddr, bytes(64))
+        yield from r.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+    events = []
+
+    def reader_proc(sim):
+        yield from r.glock(gaddr, write=False)
+        events.append(("r-acquired", sim.now))
+        yield sim.timeout(50_000)
+        events.append(("r-releasing", sim.now))
+        yield from r.gunlock(gaddr, write=False)
+
+    def writer_proc(sim):
+        yield sim.timeout(5_000)
+        yield from w.glock(gaddr, write=True)
+        events.append(("w-acquired", sim.now))
+        yield from w.gunlock(gaddr, write=True)
+
+    pool.run(reader_proc(sim), writer_proc(sim))
+    order = [name for name, _ in sorted(events, key=lambda e: e[1])]
+    assert order == ["r-acquired", "r-releasing", "w-acquired"]
+
+
+def test_unlock_without_lock_raises():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(64)
+        try:
+            yield from client.gunlock(gaddr, write=True)
+        except LockError:
+            return "ok"
+
+    (outcome,) = pool.run(app(sim))
+    assert outcome == "ok"
+
+
+def test_read_unlock_without_readers_raises():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(64)
+        try:
+            yield from client.gunlock(gaddr, write=False)
+        except LockError:
+            return "ok"
+
+    (outcome,) = pool.run(app(sim))
+    assert outcome == "ok"
+
+
+def test_lock_retries_are_counted():
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    a, b = pool.clients
+
+    def setup(sim):
+        gaddr = yield from a.gmalloc(64)
+        yield from a.gwrite(gaddr, bytes(64))
+        yield from a.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+
+    def holder(sim):
+        yield from a.glock(gaddr, write=True)
+        yield sim.timeout(100_000)
+        yield from a.gunlock(gaddr, write=True)
+
+    def contender(sim):
+        yield sim.timeout(2_000)
+        yield from b.glock(gaddr, write=True)
+        yield from b.gunlock(gaddr, write=True)
+
+    pool.run(holder(sim), contender(sim))
+    assert sim.metrics.counter("pool.lock_retries").count > 0
+    assert sim.metrics.counter("pool.lock_acquires").count == 2
+
+
+def test_unsafe_release_skips_the_drain_wait():
+    """With sync_on_release=False, unlocking does not wait for drains (the
+    pending counter may still trail), but read-your-writes still holds."""
+    sim, pool = build_pool(num_servers=1, num_clients=1,
+                           config=fast_config(sync_on_release=False))
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(1024)
+        yield from client.glock(gaddr, write=True)
+        t0 = sim.now
+        yield from client.gwrite(gaddr, b"fast" + bytes(1020))
+        yield from client.gunlock(gaddr, write=True)
+        unlock_time = sim.now - t0
+        data = yield from client.gread(gaddr, length=4)  # overlay serves it
+        return unlock_time, data
+
+    (result,) = pool.run(app(sim))
+    unlock_time, data = result
+    assert data == b"fast"
+
+    sim2, pool2 = build_pool(num_servers=1, num_clients=1,
+                             config=fast_config(sync_on_release=True))
+    client2 = pool2.clients[0]
+
+    def app2(sim):
+        gaddr = yield from client2.gmalloc(1024)
+        yield from client2.glock(gaddr, write=True)
+        t0 = sim.now
+        yield from client2.gwrite(gaddr, b"safe" + bytes(1020))
+        yield from client2.gunlock(gaddr, write=True)
+        return sim.now - t0
+
+    (safe_time,) = pool2.run(app2(sim2))
+    assert unlock_time < safe_time  # the drain wait is gone

@@ -1,0 +1,127 @@
+"""Tests for rack-local allocation placement."""
+
+import pytest
+
+from repro.core import GengarPool, server_of
+from repro.core.allocator import ExtentAllocator, PoolAllocationPolicy
+from repro.core.config import GengarConfig
+from repro.hardware.specs import DEFAULT_LINK, LinkSpec, TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+
+from tests.core.conftest import fast_config
+
+
+def racked_pool(placement="rack-local", seed=9):
+    sim = Simulator(seed=seed)
+    link = LinkSpec(bandwidth=DEFAULT_LINK.bandwidth,
+                    propagation_ns=DEFAULT_LINK.propagation_ns,
+                    core_bandwidth=DEFAULT_LINK.bandwidth / 4)
+    pool = GengarPool.build(
+        sim, num_servers=2, num_clients=2,
+        config=fast_config(placement=placement),
+        dram=TEST_DRAM, nvm=TEST_NVM, link=link,
+        rack_plan={"server0": "r0", "server1": "r1",
+                   "client0": "r0", "client1": "r1", "master": "r0"},
+    )
+    return sim, pool
+
+
+# ---------------------------------------------------------------------------
+# Policy preference mechanics
+# ---------------------------------------------------------------------------
+def test_choose_honours_preference():
+    allocs = {i: ExtentAllocator(4096) for i in range(3)}
+    policy = PoolAllocationPolicy(allocs)
+    assert all(policy.choose(64, preferred=[2]) == 2 for _ in range(4))
+
+
+def test_choose_falls_back_when_preferred_full():
+    allocs = {0: ExtentAllocator(128), 1: ExtentAllocator(4096)}
+    policy = PoolAllocationPolicy(allocs)
+    allocs[0].alloc(128)  # preferred server now full
+    assert policy.choose(128, preferred=[0]) == 1
+
+
+def test_choose_ignores_unknown_preferred_ids():
+    allocs = {0: ExtentAllocator(4096)}
+    policy = PoolAllocationPolicy(allocs)
+    assert policy.choose(64, preferred=[99]) == 0
+
+
+# ---------------------------------------------------------------------------
+# End to end
+# ---------------------------------------------------------------------------
+def test_rack_local_allocations_land_in_client_rack():
+    sim, pool = racked_pool("rack-local")
+    c0, c1 = pool.clients  # c0 in r0 (server0's rack), c1 in r1 (server1's)
+
+    def app(sim):
+        mine, theirs = [], []
+        for _ in range(5):
+            mine.append((yield from c0.gmalloc(256)))
+            theirs.append((yield from c1.gmalloc(256)))
+        return mine, theirs
+
+    (result,) = pool.run(app(sim))
+    mine, theirs = result
+    assert all(server_of(g) == 0 for g in mine)  # co-racked with server0
+    assert all(server_of(g) == 1 for g in theirs)
+
+
+def test_round_robin_ignores_racks():
+    sim, pool = racked_pool("round-robin")
+    c0 = pool.clients[0]
+
+    def app(sim):
+        addrs = []
+        for _ in range(6):
+            addrs.append((yield from c0.gmalloc(256)))
+        return addrs
+
+    (addrs,) = pool.run(app(sim))
+    assert {server_of(g) for g in addrs} == {0, 1}
+
+
+def test_rack_local_reduces_inter_rack_traffic():
+    def traffic(placement):
+        sim, pool = racked_pool(placement)
+        client = pool.clients[0]
+
+        def app(sim):
+            addrs = []
+            for _ in range(8):
+                g = yield from client.gmalloc(1024)
+                yield from client.gwrite(g, b"L" * 1024)
+                addrs.append(g)
+            yield from client.gsync()
+            for g in addrs:
+                yield from client.gread(g)
+
+        pool.run(app(sim))
+        return pool.cluster.fabric.inter_rack_messages.count
+
+    assert traffic("rack-local") < traffic("round-robin") / 2
+
+
+def test_rack_local_on_flat_fabric_degenerates_to_round_robin():
+    sim = Simulator(seed=10)
+    pool = GengarPool.build(
+        sim, num_servers=2, num_clients=1,
+        config=fast_config(placement="rack-local"),
+        dram=TEST_DRAM, nvm=TEST_NVM,
+    )
+    client = pool.clients[0]
+
+    def app(sim):
+        addrs = []
+        for _ in range(6):
+            addrs.append((yield from client.gmalloc(256)))
+        return addrs
+
+    (addrs,) = pool.run(app(sim))
+    assert {server_of(g) for g in addrs} == {0, 1}
+
+
+def test_placement_config_validated():
+    with pytest.raises(ValueError):
+        GengarConfig(placement="nearest-neighbour")

@@ -1,0 +1,203 @@
+"""Tests for the memory device model: timing, contention, data integrity."""
+
+import pytest
+
+from repro.hardware.memory import MemoryAccessError, MemoryDevice, SparseBuffer
+from repro.hardware.specs import MemorySpec
+from repro.sim import Simulator
+
+
+def tiny_spec(**overrides):
+    base = dict(
+        name="test",
+        kind="dram",
+        capacity_bytes=1 << 20,
+        read_latency_ns=100,
+        write_latency_ns=100,
+        read_bw=1.0,  # 1 B/ns aggregate
+        write_bw=1.0,
+        channels=1,
+    )
+    base.update(overrides)
+    return MemorySpec(**base)
+
+
+def run_proc(sim, gen):
+    p = sim.spawn(gen)
+    sim.run()
+    assert p.ok, p.exception
+    return p.value
+
+
+# ---------------------------------------------------------------------------
+# SparseBuffer
+# ---------------------------------------------------------------------------
+def test_sparse_buffer_roundtrip():
+    buf = SparseBuffer(1 << 30)
+    buf.write(12345, b"hello world")
+    assert buf.read(12345, 11) == b"hello world"
+
+
+def test_sparse_buffer_unwritten_reads_zero():
+    buf = SparseBuffer(1 << 30)
+    assert buf.read(999_999, 8) == b"\x00" * 8
+
+
+def test_sparse_buffer_cross_page_write():
+    buf = SparseBuffer(1 << 30)
+    page = SparseBuffer.PAGE_SIZE
+    payload = bytes(range(256)) * 2
+    buf.write(page - 100, payload)
+    assert buf.read(page - 100, len(payload)) == payload
+
+
+def test_sparse_buffer_lazy_allocation():
+    buf = SparseBuffer(128 << 30)  # 128 GiB logical
+    assert buf.resident_bytes == 0
+    buf.write(0, b"x")
+    assert buf.resident_bytes == SparseBuffer.PAGE_SIZE
+
+
+# ---------------------------------------------------------------------------
+# MemoryDevice timing
+# ---------------------------------------------------------------------------
+def test_read_service_time_is_latency_plus_transfer():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec())
+    # 100 ns latency + 1000 B at 1 B/ns = 1100 ns
+    assert dev.read_service_time(1000) == 1100
+    assert dev.write_service_time(1000) == 1100
+
+
+def test_asymmetric_bandwidth_shows_in_service_time():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec(kind="nvm", read_bw=2.0, write_bw=0.5))
+    assert dev.read_service_time(1000) == 100 + 500
+    assert dev.write_service_time(1000) == 100 + 2000
+
+
+def test_timed_read_returns_data_and_advances_clock():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec())
+    dev.poke(64, b"payload!")
+
+    def proc(sim):
+        data = yield from dev.read(64, 8)
+        return data, sim.now
+
+    data, when = run_proc(sim, proc(sim))
+    assert data == b"payload!"
+    assert when == dev.read_service_time(8)
+
+
+def test_timed_write_stores_data():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec())
+
+    def proc(sim):
+        yield from dev.write(128, b"abcd")
+
+    run_proc(sim, proc(sim))
+    assert dev.peek(128, 4) == b"abcd"
+    assert dev.bytes_written.total == 4
+
+
+def test_channel_contention_queues_requests():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec(channels=1))
+    done = []
+
+    def reader(sim, i):
+        yield from dev.read(0, 900)  # 100 + 900 = 1000 ns each
+        done.append((sim.now, i))
+
+    for i in range(3):
+        sim.spawn(reader(sim, i))
+    sim.run()
+    assert [t for t, _ in done] == [1000, 2000, 3000]
+
+
+def test_multiple_channels_serve_in_parallel():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec(channels=2, read_bw=2.0))
+    done = []
+
+    def reader(sim, i):
+        yield from dev.read(0, 900)  # per-channel bw 1 B/ns -> 1000 ns
+        done.append(sim.now)
+
+    for i in range(2):
+        sim.spawn(reader(sim, i))
+    sim.run()
+    assert done == [1000, 1000]
+
+
+def test_out_of_bounds_rejected():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec(capacity_bytes=1024))
+    with pytest.raises(MemoryAccessError):
+        dev.peek(1020, 8)
+    with pytest.raises(MemoryAccessError):
+        dev.poke(-1, b"x")
+
+    def bad_read(sim):
+        yield from dev.read(1024, 1)
+
+    p = sim.spawn(bad_read(sim))
+    sim.run()
+    assert not p.ok
+    assert isinstance(p.exception, MemoryAccessError)
+
+
+def test_persistence_flag():
+    sim = Simulator()
+    assert MemoryDevice(sim, tiny_spec(kind="nvm")).is_persistent
+    assert not MemoryDevice(sim, tiny_spec(kind="dram", name="d2")).is_persistent
+
+
+def test_metrics_recorded():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec())
+
+    def proc(sim):
+        yield from dev.write(0, b"12345678")
+        yield from dev.read(0, 8)
+
+    run_proc(sim, proc(sim))
+    assert dev.bytes_read.total == 8
+    assert dev.bytes_written.total == 8
+    assert dev.read_latency.count == 1
+    assert dev.write_latency.count == 1
+
+
+def test_queue_depth_returns_to_zero():
+    sim = Simulator()
+    dev = MemoryDevice(sim, tiny_spec(channels=1))
+    for _ in range(5):
+        sim.spawn(dev.read(0, 100))
+    sim.run()
+    assert dev.queue_depth.level == 0
+    assert dev.queue_depth.peak == 5
+
+
+def test_nvm_vs_dram_latency_gap_under_same_load():
+    """An NVM read must take longer than a DRAM read of the same size —
+    the gap Gengar's DRAM cache removes."""
+    sim = Simulator()
+    dram = MemoryDevice(sim, tiny_spec(name="dram"), name="dram")
+    nvm = MemoryDevice(
+        sim,
+        tiny_spec(name="nvm", kind="nvm", read_latency_ns=300, read_bw=0.5),
+        name="nvm",
+    )
+    times = {}
+
+    def reader(sim, dev, tag):
+        start = sim.now
+        yield from dev.read(0, 4096)
+        times[tag] = sim.now - start
+
+    sim.spawn(reader(sim, dram, "dram"))
+    sim.spawn(reader(sim, nvm, "nvm"))
+    sim.run()
+    assert times["nvm"] > times["dram"]

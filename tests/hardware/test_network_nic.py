@@ -1,0 +1,200 @@
+"""Tests for the fabric and NIC models."""
+
+import pytest
+
+from repro.hardware import Fabric, Nic
+from repro.hardware.network import FabricError
+from repro.hardware.specs import CONNECTX5_NIC, LinkSpec, NicSpec
+from repro.sim import Simulator
+
+LINK = LinkSpec(bandwidth=1.0, propagation_ns=500, header_bytes=40)  # 1 B/ns
+
+
+def make_fabric(sim, nodes=("a", "b", "c")):
+    fabric = Fabric(sim, LINK)
+    for n in nodes:
+        fabric.attach(n)
+    return fabric
+
+
+# ---------------------------------------------------------------------------
+# Fabric
+# ---------------------------------------------------------------------------
+def test_unicast_latency_is_wire_plus_propagation():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+
+    def proc(sim):
+        yield from fabric.unicast("a", "b", 1000)
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    # (1000 + 40 header) / 1 B/ns + 500 ns propagation
+    assert p.value == 1040 + 500
+
+
+def test_min_latency_matches_unicast_when_uncontended():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+
+    def proc(sim):
+        yield from fabric.unicast("a", "b", 256)
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == fabric.min_latency(256)
+
+
+def test_loopback_rejected():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    with pytest.raises(FabricError):
+        next(fabric.unicast("a", "a", 10))
+
+
+def test_unknown_port_rejected():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    with pytest.raises(FabricError):
+        next(fabric.unicast("a", "zzz", 10))
+
+
+def test_negative_size_rejected():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    with pytest.raises(FabricError):
+        next(fabric.unicast("a", "b", -1))
+
+
+def test_incast_queues_at_receiver_ingress():
+    """Two senders to one receiver serialize on the receiver's port."""
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    done = []
+
+    def sender(sim, src):
+        yield from fabric.unicast(src, "c", 960)  # 1000 ns wire each
+        done.append(sim.now)
+
+    sim.spawn(sender(sim, "a"))
+    sim.spawn(sender(sim, "b"))
+    sim.run()
+    first, second = sorted(done)
+    assert second - first == 1000  # serialized at ingress
+
+
+def test_disjoint_flows_proceed_in_parallel():
+    sim = Simulator()
+    fabric = make_fabric(sim, nodes=("a", "b", "c", "d"))
+    done = []
+
+    def sender(sim, src, dst):
+        yield from fabric.unicast(src, dst, 960)
+        done.append(sim.now)
+
+    sim.spawn(sender(sim, "a", "b"))
+    sim.spawn(sender(sim, "c", "d"))
+    sim.run()
+    assert done == [1500, 1500]
+
+
+def test_sender_uplink_serializes_outgoing_flows():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    done = []
+
+    def sender(sim, dst):
+        yield from fabric.unicast("a", dst, 960)
+        done.append(sim.now)
+
+    sim.spawn(sender(sim, "b"))
+    sim.spawn(sender(sim, "c"))
+    sim.run()
+    first, second = sorted(done)
+    assert second - first == 1000
+
+
+def test_byte_accounting():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+
+    def proc(sim):
+        yield from fabric.unicast("a", "b", 100)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert fabric.payload_bytes.total == 100
+    assert fabric.egress_bytes("a") == 140  # payload + header
+    assert fabric.ingress_bytes("b") == 140
+    assert fabric.messages.count == 1
+
+
+def test_attach_idempotent():
+    sim = Simulator()
+    fabric = make_fabric(sim)
+    fabric.attach("a")
+    assert fabric.is_attached("a")
+    assert not fabric.is_attached("zzz")
+
+
+# ---------------------------------------------------------------------------
+# Nic
+# ---------------------------------------------------------------------------
+def test_nic_tx_processing_cost():
+    sim = Simulator()
+    nic = Nic(sim, NicSpec(name="n", processing_ns=300, message_rate_per_ns=1.0), "nic0")
+
+    def proc(sim):
+        yield from nic.tx_process()
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == 300
+    assert nic.tx_messages.count == 1
+
+
+def test_nic_message_rate_throttles_small_messages():
+    """Beyond the burst, WQEs pace at the NIC's message rate."""
+    sim = Simulator()
+    spec = NicSpec(name="n", processing_ns=0, message_rate_per_ns=0.001, message_burst=2.0)
+    nic = Nic(sim, spec, "nic0")
+    times = []
+
+    def proc(sim):
+        for _ in range(4):
+            yield from nic.tx_process()
+            times.append(sim.now)
+
+    sim.spawn(proc(sim))
+    sim.run()
+    assert times[0] == 0 and times[1] == 0
+    assert times[2] >= 990  # ~1000 ns per token
+    assert times[3] >= 1990
+
+
+def test_nic_pipeline_width_limits_concurrency():
+    sim = Simulator()
+    spec = NicSpec(name="n", processing_ns=100, message_rate_per_ns=10.0, message_burst=100.0)
+    nic = Nic(sim, spec, "nic0")
+    done = []
+
+    def proc(sim):
+        yield from nic.rx_process()
+        done.append(sim.now)
+
+    for _ in range(8):
+        sim.spawn(proc(sim))
+    sim.run()
+    # Pipeline width is 4: two waves of four.
+    assert done == [100] * 4 + [200] * 4
+
+
+def test_nic_inline_threshold_helper():
+    sim = Simulator()
+    nic = Nic(sim, CONNECTX5_NIC, "nic0")
+    assert nic.is_inline(64)
+    assert nic.is_inline(220)
+    assert not nic.is_inline(221)

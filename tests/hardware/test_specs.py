@@ -1,0 +1,85 @@
+"""Tests for device spec validation and the testbed presets."""
+
+import pytest
+
+from repro.hardware import (
+    CONNECTX5_NIC,
+    DDR4_DRAM,
+    DEFAULT_LINK,
+    OPTANE_NVM,
+    SLOW_NVM,
+    LinkSpec,
+    MemorySpec,
+    NicSpec,
+)
+
+
+def test_optane_preset_encodes_read_write_asymmetry():
+    """The design-motivating asymmetry: NVM reads ~4x DRAM latency, NVM
+    sustained write bandwidth ~3x below its own read bandwidth."""
+    assert OPTANE_NVM.read_latency_ns >= 3 * DDR4_DRAM.read_latency_ns
+    assert OPTANE_NVM.write_bw < OPTANE_NVM.read_bw / 2
+    assert OPTANE_NVM.write_bw < DDR4_DRAM.write_bw / 4
+
+
+def test_optane_write_latency_is_buffered_fast():
+    """Visible write latency (WPQ/ADR) is *lower* than read latency."""
+    assert OPTANE_NVM.write_latency_ns < OPTANE_NVM.read_latency_ns
+
+
+def test_nvm_capacity_exceeds_dram():
+    assert OPTANE_NVM.capacity_bytes > DDR4_DRAM.capacity_bytes
+
+
+def test_slow_nvm_is_strictly_worse():
+    assert SLOW_NVM.read_latency_ns > OPTANE_NVM.read_latency_ns
+    assert SLOW_NVM.write_bw < OPTANE_NVM.write_bw
+
+
+def test_memory_spec_validation():
+    good = dict(
+        name="x", kind="dram", capacity_bytes=1024,
+        read_latency_ns=10, write_latency_ns=10, read_bw=1.0, write_bw=1.0,
+    )
+    MemorySpec(**good)
+    with pytest.raises(ValueError):
+        MemorySpec(**{**good, "kind": "tape"})
+    with pytest.raises(ValueError):
+        MemorySpec(**{**good, "capacity_bytes": 0})
+    with pytest.raises(ValueError):
+        MemorySpec(**{**good, "read_latency_ns": -1})
+    with pytest.raises(ValueError):
+        MemorySpec(**{**good, "write_bw": 0})
+    with pytest.raises(ValueError):
+        MemorySpec(**{**good, "channels": 0})
+
+
+def test_memory_spec_with_capacity():
+    small = OPTANE_NVM.with_capacity(4096)
+    assert small.capacity_bytes == 4096
+    assert small.read_latency_ns == OPTANE_NVM.read_latency_ns
+    assert OPTANE_NVM.capacity_bytes != 4096  # original untouched (frozen)
+
+
+def test_nic_spec_validation():
+    NicSpec(name="n", processing_ns=100, message_rate_per_ns=0.1)
+    with pytest.raises(ValueError):
+        NicSpec(name="n", processing_ns=-1, message_rate_per_ns=0.1)
+    with pytest.raises(ValueError):
+        NicSpec(name="n", processing_ns=1, message_rate_per_ns=0)
+
+
+def test_link_spec_validation():
+    LinkSpec(bandwidth=12.5, propagation_ns=500)
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth=0, propagation_ns=500)
+    with pytest.raises(ValueError):
+        LinkSpec(bandwidth=1.0, propagation_ns=-1)
+
+
+def test_default_link_is_100gbps():
+    assert DEFAULT_LINK.bandwidth == pytest.approx(12.5)
+
+
+def test_nic_inline_threshold():
+    assert CONNECTX5_NIC.max_inline_bytes == 220

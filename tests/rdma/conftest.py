@@ -1,0 +1,48 @@
+"""Shared fixtures for RDMA-layer tests: a two-node rig with real devices."""
+
+import pytest
+
+from repro.hardware.memory import MemoryDevice
+from repro.hardware.network import Fabric
+from repro.hardware.nic import Nic
+from repro.hardware.specs import CONNECTX5_NIC, LinkSpec, MemorySpec
+from repro.rdma import RdmaEndpoint, connect
+from repro.sim import Simulator
+
+
+def small_dram(name):
+    return MemorySpec(
+        name=name,
+        kind="dram",
+        capacity_bytes=1 << 22,  # 4 MiB
+        read_latency_ns=80,
+        write_latency_ns=80,
+        read_bw=16.0,
+        write_bw=16.0,
+        channels=4,
+    )
+
+
+class Rig:
+    """Two connected endpoints with DRAM devices, ready for verbs."""
+
+    def __init__(self, seed=0):
+        self.sim = Simulator(seed=seed)
+        self.fabric = Fabric(self.sim, LinkSpec(bandwidth=12.5, propagation_ns=500))
+        self.mem_a = MemoryDevice(self.sim, small_dram("a.mem"), name="a.mem")
+        self.mem_b = MemoryDevice(self.sim, small_dram("b.mem"), name="b.mem")
+        self.ep_a = RdmaEndpoint(self.sim, "a", Nic(self.sim, CONNECTX5_NIC, "a.nic"), self.fabric)
+        self.ep_b = RdmaEndpoint(self.sim, "b", Nic(self.sim, CONNECTX5_NIC, "b.nic"), self.fabric)
+        self.qp_a, self.qp_b = connect(self.ep_a, self.ep_b)
+
+    def run(self, gen):
+        """Spawn a process, run to completion, return its value."""
+        proc = self.sim.spawn(gen)
+        self.sim.run()
+        assert proc.ok, f"process failed: {proc.exception!r}"
+        return proc.value
+
+
+@pytest.fixture
+def rig():
+    return Rig()

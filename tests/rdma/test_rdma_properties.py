@@ -1,0 +1,113 @@
+"""Property tests for the verbs layer: random op sequences vs shadow memory."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rdma import Opcode, WorkRequest
+
+from tests.rdma.conftest import Rig
+
+REGION = 8192
+
+_op = st.one_of(
+    st.tuples(st.just("write"),
+              st.integers(0, REGION - 1), st.binary(min_size=1, max_size=600)),
+    st.tuples(st.just("read"),
+              st.integers(0, REGION - 1), st.integers(1, 600)),
+)
+
+
+@given(ops=st.lists(_op, min_size=1, max_size=25), seed=st.integers(0, 100))
+@settings(max_examples=40, deadline=None)
+def test_random_one_sided_ops_match_shadow(ops, seed):
+    """Sequential one-sided READ/WRITEs behave exactly like local memory."""
+    rig = Rig(seed=seed)
+    remote = rig.ep_b.register_mr(rig.mem_b, base=0, length=REGION)
+    local = rig.ep_a.register_mr(rig.mem_a, base=0, length=REGION)
+    shadow = bytearray(REGION)
+
+    def driver(sim):
+        for op in ops:
+            if op[0] == "write":
+                _, offset, data = op
+                data = data[: REGION - offset]
+                if not data:
+                    continue
+                if len(data) <= 220:
+                    wr = WorkRequest(opcode=Opcode.RDMA_WRITE, inline_data=data,
+                                     remote_rkey=remote.rkey, remote_offset=offset)
+                else:
+                    local.poke(0, data)
+                    wr = WorkRequest(opcode=Opcode.RDMA_WRITE, local_mr=local,
+                                     local_offset=0, length=len(data),
+                                     remote_rkey=remote.rkey, remote_offset=offset)
+                wc = yield rig.qp_a.post_send(wr)
+                assert wc.ok
+                shadow[offset : offset + len(data)] = data
+            else:
+                _, offset, length = op
+                length = min(length, REGION - offset)
+                if length <= 0:
+                    continue
+                wc = yield rig.qp_a.post_send(WorkRequest(
+                    opcode=Opcode.RDMA_READ, local_mr=local, local_offset=0,
+                    length=length, remote_rkey=remote.rkey, remote_offset=offset,
+                ))
+                assert wc.ok
+                got = local.peek(0, length)
+                assert got == bytes(shadow[offset : offset + length])
+
+    rig.run(driver(rig.sim))
+    # Final full-region audit.
+    assert remote.peek(0, REGION) == bytes(shadow)
+
+
+@given(
+    adds=st.lists(st.integers(min_value=0, max_value=2**32), min_size=1, max_size=15),
+    seed=st.integers(0, 50),
+)
+@settings(max_examples=40, deadline=None)
+def test_faa_sequence_sums_mod_2_64(adds, seed):
+    rig = Rig(seed=seed)
+    mr = rig.ep_b.register_mr(rig.mem_b, base=0, length=64)
+
+    def driver(sim):
+        running = 0
+        for add in adds:
+            wc = yield rig.qp_a.post_send(WorkRequest(
+                opcode=Opcode.ATOMIC_FAA, remote_rkey=mr.rkey,
+                remote_offset=0, add=add,
+            ))
+            assert wc.atomic_value == running
+            running = (running + add) % (1 << 64)
+
+    rig.run(driver(rig.sim))
+    assert mr.read_u64(0) == sum(adds) % (1 << 64)
+
+
+@given(values=st.lists(st.integers(0, 2**63), min_size=1, max_size=10),
+       seed=st.integers(0, 50))
+@settings(max_examples=30, deadline=None)
+def test_cas_chain_swaps_only_on_match(values, seed):
+    rig = Rig(seed=seed)
+    mr = rig.ep_b.register_mr(rig.mem_b, base=0, length=64)
+
+    def driver(sim):
+        current = 0
+        for value in values:
+            # Matching CAS takes effect...
+            wc = yield rig.qp_a.post_send(WorkRequest(
+                opcode=Opcode.ATOMIC_CAS, remote_rkey=mr.rkey,
+                remote_offset=0, compare=current, swap=value,
+            ))
+            assert wc.atomic_value == current
+            current = value
+            # ...a stale CAS never does.
+            wc = yield rig.qp_a.post_send(WorkRequest(
+                opcode=Opcode.ATOMIC_CAS, remote_rkey=mr.rkey,
+                remote_offset=0, compare=current + 1, swap=12345,
+            ))
+            assert wc.atomic_value == current
+
+    rig.run(driver(rig.sim))
+    assert mr.read_u64(0) == values[-1]

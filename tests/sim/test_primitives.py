@@ -1,0 +1,179 @@
+"""Tests for Event, Timeout, AllOf/AnyOf condition events."""
+
+import pytest
+
+from repro.sim import AllOf, AnyOf, Simulator
+
+
+def test_event_succeed_delivers_value():
+    sim = Simulator()
+    ev = sim.event("ping")
+    got = []
+
+    def waiter(sim):
+        got.append((yield ev))
+
+    sim.spawn(waiter(sim))
+    sim.schedule(5, lambda: ev.succeed("hello"))
+    sim.run()
+    assert got == ["hello"]
+
+
+def test_event_fail_raises_in_waiter():
+    sim = Simulator()
+    ev = sim.event()
+
+    def waiter(sim):
+        try:
+            yield ev
+        except IOError as exc:
+            return str(exc)
+
+    p = sim.spawn(waiter(sim))
+    sim.schedule(1, lambda: ev.fail(IOError("link down")))
+    sim.run()
+    assert p.value == "link down"
+
+
+def test_event_double_trigger_rejected():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed(1)
+    with pytest.raises(RuntimeError):
+        ev.succeed(2)
+    with pytest.raises(RuntimeError):
+        ev.fail(ValueError())
+
+
+def test_event_fail_requires_exception_instance():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.event().fail("not an exception")  # type: ignore[arg-type]
+
+
+def test_event_value_access_before_trigger_raises():
+    sim = Simulator()
+    ev = sim.event("pending")
+    with pytest.raises(RuntimeError):
+        _ = ev.value
+
+
+def test_waiting_on_already_triggered_event_resumes_immediately():
+    sim = Simulator()
+    ev = sim.event()
+    ev.succeed("early")
+    sim.run()  # process callbacks so the event is fully processed
+
+    def waiter(sim):
+        return (yield ev)
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == "early"
+    assert sim.now == 0  # no time passed
+
+
+def test_callbacks_never_run_inline_with_succeed():
+    sim = Simulator()
+    ev = sim.event()
+    ran = []
+    ev.add_callback(lambda e: ran.append(True))
+    ev.succeed()
+    assert ran == []  # deferred to the loop
+    sim.run()
+    assert ran == [True]
+
+
+def test_timeout_value_passthrough():
+    sim = Simulator()
+
+    def waiter(sim):
+        return (yield sim.timeout(3, value="token"))
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == "token"
+
+
+def test_timeout_negative_rejected():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.timeout(-5)
+
+
+def test_all_of_waits_for_every_event():
+    sim = Simulator()
+    t1, t2, t3 = sim.timeout(10, "a"), sim.timeout(30, "b"), sim.timeout(20, "c")
+
+    def waiter(sim):
+        results = yield AllOf(sim, [t1, t2, t3])
+        return sorted(results.values()), sim.now
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    values, when = p.value
+    assert values == ["a", "b", "c"]
+    assert when == 30
+
+
+def test_any_of_fires_on_first_success():
+    sim = Simulator()
+    slow, fast = sim.timeout(100, "slow"), sim.timeout(10, "fast")
+
+    def waiter(sim):
+        results = yield AnyOf(sim, [slow, fast])
+        return list(results.values()), sim.now
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    values, when = p.value
+    assert values == ["fast"]
+    assert when == 10
+
+
+def test_all_of_empty_succeeds_immediately():
+    sim = Simulator()
+
+    def waiter(sim):
+        yield AllOf(sim, [])
+        return sim.now
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == 0
+
+
+def test_all_of_propagates_child_failure():
+    sim = Simulator()
+    ok = sim.timeout(5)
+    bad = sim.event()
+
+    def waiter(sim):
+        try:
+            yield AllOf(sim, [ok, bad])
+        except KeyError:
+            return "failed"
+
+    p = sim.spawn(waiter(sim))
+    sim.schedule(1, lambda: bad.fail(KeyError("x")))
+    sim.run()
+    assert p.value == "failed"
+
+
+def test_condition_rejects_mixed_simulators():
+    sim_a, sim_b = Simulator(), Simulator()
+    with pytest.raises(ValueError):
+        AllOf(sim_a, [sim_a.timeout(1), sim_b.timeout(1)])
+
+
+def test_sim_helpers_all_of_any_of():
+    sim = Simulator()
+
+    def waiter(sim):
+        yield sim.all_of([sim.timeout(1), sim.timeout(2)])
+        yield sim.any_of([sim.timeout(50), sim.timeout(5)])
+        return sim.now
+
+    p = sim.spawn(waiter(sim))
+    sim.run()
+    assert p.value == 7

@@ -1,0 +1,131 @@
+"""Property-based tests (hypothesis) for the simulation kernel invariants."""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim import FifoChannel, Histogram, Resource, Simulator, Store
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=50))
+@settings(max_examples=100, deadline=None)
+def test_callbacks_fire_in_nondecreasing_time_order(delays):
+    """Whatever the scheduling order, dispatch times never go backwards."""
+    sim = Simulator()
+    fired = []
+    for d in delays:
+        sim.schedule(d, lambda d=d: fired.append(sim.now))
+    sim.run()
+    assert fired == sorted(fired)
+    assert len(fired) == len(delays)
+    assert sim.now == max(delays)
+
+
+@given(delays=st.lists(st.integers(min_value=0, max_value=1_000), min_size=1, max_size=30))
+@settings(max_examples=60, deadline=None)
+def test_process_completion_time_is_sum_of_timeouts(delays):
+    sim = Simulator()
+
+    def proc(sim):
+        for d in delays:
+            yield sim.timeout(d)
+        return sim.now
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    assert p.value == sum(delays)
+
+
+@given(
+    capacity=st.integers(min_value=1, max_value=8),
+    hold=st.integers(min_value=1, max_value=50),
+    n=st.integers(min_value=1, max_value=40),
+)
+@settings(max_examples=60, deadline=None)
+def test_resource_never_exceeds_capacity(capacity, hold, n):
+    sim = Simulator()
+    res = Resource(sim, capacity=capacity)
+    active = [0]
+    peak = [0]
+
+    def worker(sim):
+        with (yield from res.acquire()):
+            active[0] += 1
+            peak[0] = max(peak[0], active[0])
+            yield sim.timeout(hold)
+            active[0] -= 1
+
+    for _ in range(n):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert peak[0] <= capacity
+    assert active[0] == 0
+    # Makespan of n jobs of length `hold` on `capacity` servers.
+    expected_end = ((n + capacity - 1) // capacity) * hold
+    assert sim.now == expected_end
+
+
+@given(items=st.lists(st.integers(), min_size=0, max_size=50))
+@settings(max_examples=60, deadline=None)
+def test_store_preserves_fifo_order(items):
+    sim = Simulator()
+    store = Store(sim)
+    received = []
+
+    def producer(sim):
+        for item in items:
+            yield store.put(item)
+
+    def consumer(sim):
+        for _ in items:
+            received.append((yield store.get()))
+
+    sim.spawn(producer(sim))
+    sim.spawn(consumer(sim))
+    sim.run()
+    assert received == items
+
+
+@given(
+    sizes=st.lists(st.integers(min_value=1, max_value=100_000), min_size=1, max_size=20),
+    rate=st.floats(min_value=0.1, max_value=100.0),
+)
+@settings(max_examples=60, deadline=None)
+def test_channel_conserves_bytes_and_time_lower_bound(sizes, rate):
+    sim = Simulator()
+    chan = FifoChannel(sim, bytes_per_ns=rate)
+
+    def sender(sim, size):
+        yield from chan.transfer(size)
+
+    for s in sizes:
+        sim.spawn(sender(sim, s))
+    sim.run()
+    assert chan.bytes_moved == sum(sizes)
+    # Total busy time is at least the ideal serialization time.
+    assert sim.now >= int(sum(sizes) / rate) - len(sizes)
+
+
+@given(values=st.lists(st.floats(min_value=0, max_value=1e9, allow_nan=False), min_size=1, max_size=500))
+@settings(max_examples=60, deadline=None)
+def test_histogram_percentiles_bracketed_by_min_max(values):
+    h = Histogram("x")
+    for v in values:
+        h.record(v)
+    for p in (0, 25, 50, 75, 90, 99, 100):
+        q = h.percentile(p)
+        assert h.min <= q <= h.max
+    assert h.percentile(100) == max(values)
+    assert h.count == len(values)
+
+
+@given(values=st.lists(st.integers(min_value=0, max_value=1000), min_size=1, max_size=200))
+@settings(max_examples=60, deadline=None)
+def test_histogram_median_matches_sorted_definition(values):
+    h = Histogram("x")
+    for v in values:
+        h.record(v)
+    ordered = sorted(values)
+    import math
+
+    rank = max(0, min(len(ordered) - 1, math.ceil(0.5 * len(ordered)) - 1))
+    assert h.p50 == ordered[rank]

@@ -1,0 +1,121 @@
+"""Tests for the metrics primitives."""
+
+import pytest
+
+from repro.sim import Counter, Histogram, Simulator, TimeWeightedStat
+
+
+def test_counter_accumulates():
+    c = Counter("ops")
+    for v in (1.0, 2.0, 3.0):
+        c.add(v)
+    assert c.count == 3
+    assert c.total == 6.0
+    assert c.mean == 2.0
+
+
+def test_counter_empty_mean_is_zero():
+    assert Counter("empty").mean == 0.0
+
+
+def test_histogram_basic_stats():
+    h = Histogram("lat")
+    for v in [10, 20, 30, 40, 50]:
+        h.record(v)
+    assert h.count == 5
+    assert h.mean == 30
+    assert h.min == 10
+    assert h.max == 50
+    assert h.p50 == 30
+
+
+def test_histogram_percentile_bounds_checked():
+    h = Histogram("lat")
+    with pytest.raises(ValueError):
+        h.percentile(101)
+    with pytest.raises(ValueError):
+        h.percentile(-1)
+
+
+def test_histogram_empty_percentile_is_zero():
+    assert Histogram("lat").p99 == 0.0
+
+
+def test_histogram_percentile_exact_small():
+    h = Histogram("lat")
+    for v in range(1, 101):
+        h.record(v)
+    assert h.percentile(1) == 1
+    assert h.percentile(50) == 50
+    assert h.percentile(99) == 99
+    assert h.percentile(100) == 100
+    assert h.percentile(0) == 1  # nearest-rank floor
+
+
+def test_histogram_reservoir_keeps_memory_bounded():
+    h = Histogram("lat", max_samples=100)
+    for v in range(10_000):
+        h.record(float(v))
+    assert len(h._samples) == 100
+    assert h.count == 10_000
+    # The reservoir should still track the distribution roughly: the median of
+    # uniform 0..9999 is near 5000.
+    assert 2000 < h.p50 < 8000
+
+
+def test_histogram_snapshot_keys():
+    h = Histogram("lat")
+    h.record(5)
+    snap = h.snapshot()
+    assert set(snap) == {"count", "mean", "min", "max", "p50", "p90", "p99"}
+    assert snap["count"] == 1
+
+
+def test_histogram_invalid_max_samples():
+    with pytest.raises(ValueError):
+        Histogram("x", max_samples=0)
+
+
+def test_time_weighted_average():
+    sim = Simulator()
+    level = TimeWeightedStat("depth", sim, initial=0.0)
+
+    def proc(sim):
+        yield sim.timeout(10)  # level 0 for 10 ns
+        level.update(4.0)
+        yield sim.timeout(10)  # level 4 for 10 ns
+        level.update(2.0)
+        yield sim.timeout(20)  # level 2 for 20 ns
+
+    sim.spawn(proc(sim))
+    sim.run()
+    # integral = 0*10 + 4*10 + 2*20 = 80 over 40 ns
+    assert level.time_average() == pytest.approx(2.0)
+    assert level.peak == 4.0
+    assert level.level == 2.0
+
+
+def test_time_weighted_adjust():
+    sim = Simulator()
+    level = TimeWeightedStat("q", sim)
+    level.adjust(+3)
+    level.adjust(-1)
+    assert level.level == 2
+
+
+def test_time_weighted_at_time_zero():
+    sim = Simulator()
+    level = TimeWeightedStat("q", sim, initial=7.0)
+    assert level.time_average() == 7.0
+
+
+def test_metric_registry_fetch_or_create():
+    sim = Simulator()
+    c1 = sim.metrics.counter("reads")
+    c2 = sim.metrics.counter("reads")
+    assert c1 is c2
+    h1 = sim.metrics.histogram("lat")
+    assert sim.metrics.histogram("lat") is h1
+    l1 = sim.metrics.level("depth")
+    assert sim.metrics.level("depth") is l1
+    assert set(sim.metrics.names()) == {"reads", "lat", "depth"}

@@ -1,0 +1,170 @@
+"""Tests for process-level synchronization (Barrier, Semaphore, Mutex)."""
+
+import pytest
+
+from repro.sim import Simulator
+from repro.sim.sync import Barrier, Mutex, Semaphore
+
+
+# ---------------------------------------------------------------------------
+# Barrier
+# ---------------------------------------------------------------------------
+def test_barrier_releases_all_parties_together():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=3)
+    released = []
+
+    def worker(sim, delay):
+        yield sim.timeout(delay)
+        round_idx = yield from barrier.wait()
+        released.append((sim.now, round_idx))
+
+    for delay in (10, 20, 30):
+        sim.spawn(worker(sim, delay))
+    sim.run()
+    assert [t for t, _ in released] == [30, 30, 30]
+    assert all(r == 0 for _, r in released)
+
+
+def test_barrier_is_reusable_across_rounds():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+    rounds = []
+
+    def worker(sim, jitter):
+        for _ in range(3):
+            yield sim.timeout(jitter)
+            rounds.append((yield from barrier.wait()))
+
+    sim.spawn(worker(sim, 5))
+    sim.spawn(worker(sim, 9))
+    sim.run()
+    assert sorted(rounds) == [0, 0, 1, 1, 2, 2]
+
+
+def test_barrier_single_party_never_blocks():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=1)
+
+    def worker(sim):
+        r0 = yield from barrier.wait()
+        r1 = yield from barrier.wait()
+        return r0, r1, sim.now
+
+    p = sim.spawn(worker(sim))
+    sim.run()
+    assert p.value == (0, 1, 0)
+
+
+def test_barrier_waiting_count():
+    sim = Simulator()
+    barrier = Barrier(sim, parties=2)
+
+    def early(sim):
+        yield from barrier.wait()
+
+    sim.spawn(early(sim))
+    sim.run()
+    assert barrier.waiting == 1
+
+
+def test_barrier_validation():
+    with pytest.raises(ValueError):
+        Barrier(Simulator(), parties=0)
+
+
+# ---------------------------------------------------------------------------
+# Semaphore
+# ---------------------------------------------------------------------------
+def test_semaphore_limits_concurrency():
+    sim = Simulator()
+    sem = Semaphore(sim, value=2)
+    active = {"now": 0, "peak": 0}
+
+    def worker(sim):
+        yield from sem.acquire()
+        active["now"] += 1
+        active["peak"] = max(active["peak"], active["now"])
+        yield sim.timeout(10)
+        active["now"] -= 1
+        sem.release()
+
+    for _ in range(6):
+        sim.spawn(worker(sim))
+    sim.run()
+    assert active["peak"] == 2
+    assert sem.value == 2
+
+
+def test_semaphore_fifo_wakeup():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+    order = []
+
+    def worker(sim, tag, delay):
+        yield sim.timeout(delay)
+        yield from sem.acquire()
+        order.append(tag)
+        yield sim.timeout(100)
+        sem.release()
+
+    for i, tag in enumerate("abc"):
+        sim.spawn(worker(sim, tag, i + 1))
+    sim.run()
+    assert order == ["a", "b", "c"]
+
+
+def test_semaphore_held_context_releases_on_exception():
+    sim = Simulator()
+    sem = Semaphore(sim, value=1)
+
+    def failing(sim):
+        with (yield from sem.held()):
+            yield sim.timeout(1)
+            raise RuntimeError("boom")
+
+    def follower(sim):
+        with (yield from sem.held()):
+            return sim.now
+
+    sim.spawn(failing(sim))
+    p = sim.spawn(follower(sim))
+    sim.run()
+    assert p.ok and p.value == 1
+    assert sem.value == 1
+
+
+def test_semaphore_validation():
+    with pytest.raises(ValueError):
+        Semaphore(Simulator(), value=-1)
+
+
+# ---------------------------------------------------------------------------
+# Mutex
+# ---------------------------------------------------------------------------
+def test_mutex_mutual_exclusion():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    timeline = []
+
+    def worker(sim, tag):
+        yield from mutex.lock()
+        timeline.append((tag, "in", sim.now))
+        yield sim.timeout(10)
+        timeline.append((tag, "out", sim.now))
+        mutex.unlock()
+
+    sim.spawn(worker(sim, "x"))
+    sim.spawn(worker(sim, "y"))
+    sim.run()
+    # Critical sections never overlap.
+    assert [e[1] for e in sorted(timeline, key=lambda e: (e[2], e[1] == "in"))] == [
+        "in", "out", "in", "out"
+    ]
+
+
+def test_mutex_unlock_unlocked_raises():
+    sim = Simulator()
+    mutex = Mutex(sim)
+    with pytest.raises(RuntimeError):
+        mutex.unlock()

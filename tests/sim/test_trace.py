@@ -1,0 +1,105 @@
+"""Tests for the protocol tracer."""
+
+import pytest
+
+from repro.sim import Simulator, Tracer, trace
+
+
+def test_emit_records_time_and_fields():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    sim.schedule(150, lambda: tracer.emit("cache", "hit", gaddr="0x10"))
+    sim.run()
+    (event,) = tracer.events()
+    assert event.time_ns == 150
+    assert event.category == "cache"
+    assert event.message == "hit"
+    assert event.fields == {"gaddr": "0x10"}
+
+
+def test_category_filter():
+    sim = Simulator()
+    tracer = Tracer(sim, categories={"proxy"})
+    tracer.emit("proxy", "drained")
+    tracer.emit("cache", "hit")
+    assert len(tracer) == 1
+    assert tracer.wants("proxy") and not tracer.wants("cache")
+
+
+def test_unfiltered_records_everything():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("a", "x")
+    tracer.emit("b", "y")
+    assert [e.category for e in tracer.events()] == ["a", "b"]
+    assert [e.category for e in tracer.events("b")] == ["b"]
+
+
+def test_capacity_bounds_memory():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=10)
+    for i in range(25):
+        tracer.emit("x", f"event-{i}")
+    assert len(tracer) == 10
+    assert tracer.dropped == 15
+    assert tracer.recorded == 25
+    assert tracer.events()[0].message == "event-15"  # oldest retained
+
+
+def test_render_includes_time_and_drop_note():
+    sim = Simulator()
+    tracer = Tracer(sim, capacity=2)
+    for i in range(3):
+        tracer.emit("cat", f"m{i}", k=i)
+    out = tracer.render()
+    assert "m1" in out and "m2" in out and "m0" not in out
+    assert "dropped" in out
+    assert "k=2" in out
+
+
+def test_trace_helper_noop_without_tracer():
+    sim = Simulator()
+    trace(sim, "cache", "ignored")  # must not raise
+
+
+def test_trace_helper_routes_to_attached_tracer():
+    sim = Simulator()
+    sim.tracer = Tracer(sim)
+    trace(sim, "cache", "recorded", n=1)
+    assert len(sim.tracer) == 1
+
+
+def test_clear():
+    sim = Simulator()
+    tracer = Tracer(sim)
+    tracer.emit("x", "y")
+    tracer.clear()
+    assert len(tracer) == 0
+
+
+def test_invalid_capacity():
+    with pytest.raises(ValueError):
+        Tracer(Simulator(), capacity=0)
+
+
+def test_pool_emits_protocol_events():
+    """End to end: a traced pool records cache/proxy protocol activity."""
+    from tests.core.conftest import build_pool
+
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    sim.tracer = Tracer(sim)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddr = yield from client.gmalloc(256)
+        yield from client.gwrite(gaddr, b"t" * 256)
+        yield from client.gsync()
+        yield from client.gread(gaddr)
+
+    pool.run(app(sim))
+    categories = {e.category for e in sim.tracer.events()}
+    assert "proxy" in categories  # staged write + drain
+    assert "read" in categories  # NVM read route
+    messages = [e.message for e in sim.tracer.events("proxy")]
+    assert "staged write" in messages
+    assert "drained" in messages

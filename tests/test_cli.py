@@ -1,0 +1,44 @@
+"""Tests for the ``python -m repro`` command-line interface."""
+
+import pytest
+
+from repro.__main__ import main
+
+
+def test_info(capsys):
+    assert main(["info"]) == 0
+    out = capsys.readouterr().out
+    assert "gengar" in out
+    assert "E12" in out
+    assert "YCSB" in out
+
+
+def test_demo(capsys):
+    assert main(["demo"]) == 0
+    out = capsys.readouterr().out
+    assert "demo payload" in out
+    assert "virtual time" in out
+
+
+def test_ycsb_run(capsys):
+    assert main(["ycsb", "--workload", "C", "--ops", "40",
+                 "--records", "50", "--clients", "1", "--servers", "1"]) == 0
+    out = capsys.readouterr().out
+    assert "workload=YCSB-C" in out
+    assert "throughput" in out
+
+
+def test_experiments_unknown_id(capsys):
+    assert main(["experiments", "E99"]) == 2
+    assert "unknown experiment" in capsys.readouterr().out
+
+
+def test_experiments_single(capsys):
+    assert main(["experiments", "E9"]) == 0
+    out = capsys.readouterr().out
+    assert "E9" in out and "burst" in out
+
+
+def test_requires_command():
+    with pytest.raises(SystemExit):
+        main([])

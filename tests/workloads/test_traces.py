@@ -1,0 +1,142 @@
+"""Tests for trace generation, serialization, and open-loop replay."""
+
+import random
+
+import pytest
+
+from repro.apps.kvstore import KvStore
+from repro.workloads.traces import (
+    TraceError,
+    TraceOp,
+    TraceReplayer,
+    dump_trace,
+    generate_trace,
+    load_trace,
+)
+
+from tests.apps.conftest import boot
+
+
+# ---------------------------------------------------------------------------
+# Records and serialization
+# ---------------------------------------------------------------------------
+def test_trace_op_roundtrip():
+    op = TraceOp(at_ns=123, kind="write", key=7, size=1024)
+    assert TraceOp.decode(op.encode()) == op
+
+
+def test_trace_op_validation():
+    with pytest.raises(TraceError):
+        TraceOp(at_ns=0, kind="scan", key=0)
+    with pytest.raises(TraceError):
+        TraceOp(at_ns=-1, kind="read", key=0)
+    with pytest.raises(TraceError):
+        TraceOp.decode("1 read 2")
+
+
+def test_dump_load_roundtrip():
+    ops = [TraceOp(i * 10, "read" if i % 2 else "write", i, 0 if i % 2 else 64)
+           for i in range(20)]
+    assert load_trace(dump_trace(ops)) == ops
+
+
+def test_load_rejects_backwards_time():
+    text = "10 read 0 0\n5 read 1 0"
+    with pytest.raises(TraceError):
+        load_trace(text)
+
+
+# ---------------------------------------------------------------------------
+# Generation
+# ---------------------------------------------------------------------------
+def test_generate_produces_monotone_poisson_stream():
+    ops = generate_trace(random.Random(1), duration_ns=1_000_000,
+                         mean_interarrival_ns=1000, record_count=100)
+    assert len(ops) > 500
+    times = [op.at_ns for op in ops]
+    assert times == sorted(times)
+    kinds = {op.kind for op in ops}
+    assert kinds == {"read", "write"}
+    reads = sum(1 for op in ops if op.kind == "read")
+    assert reads / len(ops) == pytest.approx(0.9, abs=0.05)
+
+
+def test_generate_bursts_injected():
+    ops = generate_trace(random.Random(2), duration_ns=500_000,
+                         mean_interarrival_ns=5000, record_count=50,
+                         burst_every_ns=100_000, burst_ops=20)
+    burst_times = [op.at_ns for op in ops
+                   if op.at_ns % 100_000 == 0 and op.kind == "write"]
+    assert len(burst_times) >= 20  # at least one full burst landed
+
+
+def test_generate_validation():
+    rng = random.Random(0)
+    with pytest.raises(TraceError):
+        generate_trace(rng, 0, 100, 10)
+    with pytest.raises(TraceError):
+        generate_trace(rng, 100, 100, 10, read_fraction=1.5)
+    with pytest.raises(TraceError):
+        generate_trace(rng, 100, 100, 10, distribution="pareto")
+
+
+def test_generation_deterministic():
+    a = generate_trace(random.Random(7), 100_000, 1000, 20)
+    b = generate_trace(random.Random(7), 100_000, 1000, 20)
+    assert a == b
+
+
+# ---------------------------------------------------------------------------
+# Replay
+# ---------------------------------------------------------------------------
+def build_loaded_store(sim, system, n=40, value_size=256):
+    store = KvStore(value_size)
+
+    def loader(sim):
+        yield from store.load(system.clients[0], range(n),
+                              lambda k: bytes([k % 256]) * value_size)
+
+    system.run(loader(sim))
+    return store
+
+
+def test_replay_runs_all_ops_and_measures():
+    sim, system = boot(num_servers=1, num_clients=2)
+    store = build_loaded_store(sim, system)
+    ops = generate_trace(random.Random(3), duration_ns=200_000,
+                         mean_interarrival_ns=2_000, record_count=40,
+                         value_size=256)
+    replayer = TraceReplayer(system.clients, store, value_size=256)
+    holder = {}
+
+    def run(sim):
+        holder["result"] = yield from replayer.replay(ops)
+
+    system.run(run(sim))
+    result = holder["result"]
+    assert result.issued == len(ops)
+    assert result.elapsed_ns >= ops[-1].at_ns
+    assert "read" in result.latency_by_kind
+    assert result.max_outstanding >= 1
+
+
+def test_open_loop_overlaps_requests():
+    """A hot open-loop burst drives outstanding ops above one — the thing a
+    closed-loop runner cannot do."""
+    sim, system = boot(num_servers=1, num_clients=2)
+    store = build_loaded_store(sim, system)
+    # 30 ops all due at t=0: maximal overlap.
+    ops = [TraceOp(at_ns=0, kind="read", key=i % 40, size=0) for i in range(30)]
+    replayer = TraceReplayer(system.clients, store, value_size=256)
+    holder = {}
+
+    def run(sim):
+        holder["result"] = yield from replayer.replay(ops)
+
+    system.run(run(sim))
+    assert holder["result"].max_outstanding > 4
+
+
+def test_replayer_requires_clients():
+    with pytest.raises(TraceError):
+        TraceReplayer([], None)

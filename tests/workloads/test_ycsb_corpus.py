@@ -1,0 +1,150 @@
+"""Tests for the YCSB workload specs/generator and the text corpus."""
+
+import random
+from collections import Counter
+
+import pytest
+
+from repro.workloads.corpus import CorpusGenerator
+from repro.workloads.ycsb import (
+    WORKLOAD_A,
+    WORKLOAD_B,
+    WORKLOAD_C,
+    WORKLOAD_D,
+    WORKLOAD_E,
+    WORKLOAD_F,
+    WORKLOADS,
+    Op,
+    WorkloadSpec,
+    YcsbGenerator,
+)
+
+
+def test_all_core_workloads_present():
+    assert set(WORKLOADS) == {"A", "B", "C", "D", "E", "F"}
+
+
+def test_spec_mixes_sum_to_one():
+    for spec in WORKLOADS.values():
+        total = (spec.read_prop + spec.update_prop + spec.insert_prop
+                 + spec.scan_prop + spec.rmw_prop)
+        assert total == pytest.approx(1.0)
+
+
+def test_invalid_spec_rejected():
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="X", read_prop=0.5)  # sums to 0.5
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="X", read_prop=1.0, distribution="pareto")
+    with pytest.raises(ValueError):
+        WorkloadSpec(name="X", read_prop=1.0, record_count=0)
+
+
+def test_spec_scaled():
+    small = WORKLOAD_A.scaled(record_count=10, value_size=64, zipf_theta=0.5)
+    assert small.record_count == 10
+    assert small.value_size == 64
+    assert small.zipf_theta == 0.5
+    assert small.read_prop == WORKLOAD_A.read_prop
+    assert WORKLOAD_A.record_count != 10  # frozen original
+
+
+def mix_of(spec, n=8000, seed=1):
+    gen = YcsbGenerator(spec, random.Random(seed))
+    return Counter(op for op, _k, _s in gen.ops(n)), gen
+
+
+def test_workload_a_mix():
+    counts, _ = mix_of(WORKLOAD_A)
+    assert counts[Op.READ] / 8000 == pytest.approx(0.5, abs=0.03)
+    assert counts[Op.UPDATE] / 8000 == pytest.approx(0.5, abs=0.03)
+
+
+def test_workload_b_mix():
+    counts, _ = mix_of(WORKLOAD_B)
+    assert counts[Op.READ] / 8000 == pytest.approx(0.95, abs=0.02)
+    assert counts[Op.UPDATE] / 8000 == pytest.approx(0.05, abs=0.02)
+
+
+def test_workload_c_is_read_only():
+    counts, _ = mix_of(WORKLOAD_C)
+    assert counts[Op.READ] == 8000
+
+
+def test_workload_d_inserts_grow_keyspace():
+    counts, gen = mix_of(WORKLOAD_D)
+    assert counts[Op.INSERT] > 0
+    assert gen.inserted == WORKLOAD_D.record_count + counts[Op.INSERT]
+
+
+def test_workload_e_scans_have_lengths():
+    gen = YcsbGenerator(WORKLOAD_E, random.Random(2))
+    scans = [(k, s) for op, k, s in gen.ops(2000) if op is Op.SCAN]
+    assert scans
+    assert all(1 <= s <= WORKLOAD_E.max_scan_len for _k, s in scans)
+
+
+def test_workload_f_has_rmw():
+    counts, _ = mix_of(WORKLOAD_F)
+    assert counts[Op.RMW] / 8000 == pytest.approx(0.5, abs=0.03)
+
+
+def test_keys_always_within_live_range():
+    gen = YcsbGenerator(WORKLOAD_D.scaled(record_count=50), random.Random(3))
+    for op, key, _s in gen.ops(3000):
+        assert 0 <= key < gen.inserted
+
+
+def test_value_bodies_are_deterministic_and_sized():
+    gen = YcsbGenerator(WORKLOAD_A.scaled(value_size=100), random.Random(4))
+    v1 = gen.value(7, version=1)
+    v2 = gen.value(7, version=1)
+    assert v1 == v2
+    assert len(v1) == 100
+    assert gen.value(7, version=2) != v1
+    assert gen.value(8, version=1) != v1
+
+
+def test_zipfian_workload_is_skewed():
+    gen = YcsbGenerator(WORKLOAD_C, random.Random(5))
+    keys = Counter(k for _op, k, _s in gen.ops(10_000))
+    top10 = sum(c for _k, c in keys.most_common(10)) / 10_000
+    assert top10 > 0.25
+
+
+# ---------------------------------------------------------------------------
+# Corpus
+# ---------------------------------------------------------------------------
+def test_corpus_chunk_sizes():
+    gen = CorpusGenerator(vocab_size=100, rng=random.Random(1))
+    chunk = gen.chunk(1000)
+    assert 900 <= len(chunk) <= 1100
+    chunks = gen.chunks(4, 500)
+    assert len(chunks) == 4
+
+
+def test_corpus_words_from_vocab():
+    gen = CorpusGenerator(vocab_size=50, rng=random.Random(2))
+    vocab = set(gen.vocab)
+    for word in gen.chunk(2000).decode().split():
+        assert word in vocab
+
+
+def test_corpus_word_popularity_skewed():
+    gen = CorpusGenerator(vocab_size=200, theta=0.9, rng=random.Random(3))
+    counts = Counter(gen.words(10_000))
+    top = counts.most_common(1)[0][1]
+    assert top > 10_000 / 200 * 5  # way above uniform share
+
+
+def test_corpus_deterministic():
+    a = CorpusGenerator(vocab_size=100, rng=random.Random(7)).chunk(500)
+    b = CorpusGenerator(vocab_size=100, rng=random.Random(7)).chunk(500)
+    assert a == b
+
+
+def test_corpus_validation():
+    with pytest.raises(ValueError):
+        CorpusGenerator(vocab_size=0, rng=random.Random(1))
+    with pytest.raises(ValueError):
+        CorpusGenerator(vocab_size=10, rng=None)

@@ -1,0 +1,130 @@
+"""Tests for the key-distribution generators."""
+
+import random
+from collections import Counter
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.workloads.zipf import (
+    LatestGenerator,
+    ScrambledZipfianGenerator,
+    UniformGenerator,
+    ZipfianGenerator,
+    fnv1a_64,
+    zeta,
+)
+
+
+def test_zeta_known_values():
+    assert zeta(1, 0.99) == pytest.approx(1.0)
+    assert zeta(2, 0.5) == pytest.approx(1.0 + 2**-0.5)
+    # Cache returns identical results.
+    assert zeta(1000, 0.99) == zeta(1000, 0.99)
+
+
+def test_fnv_deterministic_and_spread():
+    assert fnv1a_64(42) == fnv1a_64(42)
+    hashes = {fnv1a_64(i) for i in range(1000)}
+    assert len(hashes) == 1000  # no collisions on small ints
+
+
+def test_zipfian_draws_in_range():
+    gen = ZipfianGenerator(100, 0.99, random.Random(1))
+    draws = [gen.next() for _ in range(5000)]
+    assert all(0 <= d < 100 for d in draws)
+
+
+def test_zipfian_is_skewed_toward_low_items():
+    gen = ZipfianGenerator(1000, 0.99, random.Random(2))
+    counts = Counter(gen.next() for _ in range(20_000))
+    top = counts[0]
+    median_item = counts.get(500, 0)
+    assert top > 50 * max(median_item, 1)
+    # Top 10 items take a large share, as zipf(0.99) predicts.
+    top10_share = sum(counts[i] for i in range(10)) / 20_000
+    assert top10_share > 0.3
+
+
+def test_lower_theta_is_less_skewed():
+    def share_of_top10(theta):
+        gen = ZipfianGenerator(1000, theta, random.Random(3))
+        counts = Counter(gen.next() for _ in range(20_000))
+        return sum(counts[i] for i in range(10)) / 20_000
+
+    assert share_of_top10(0.5) < share_of_top10(0.99)
+
+
+def test_zipfian_rejects_bad_args():
+    rng = random.Random(0)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(0, 0.99, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, 1.5, rng)
+    with pytest.raises(ValueError):
+        ZipfianGenerator(10, 0.99, None)
+
+
+def test_scrambled_zipfian_spreads_hot_keys():
+    """Hot keys must not be clustered at the low end of the space."""
+    gen = ScrambledZipfianGenerator(1000, 0.99, random.Random(4))
+    counts = Counter(gen.next() for _ in range(20_000))
+    hottest = [k for k, _ in counts.most_common(10)]
+    assert max(hottest) > 100  # scattered, not all < 10
+    assert all(0 <= d < 1000 for d in counts)
+
+
+def test_scrambled_zipfian_remains_skewed():
+    gen = ScrambledZipfianGenerator(1000, 0.99, random.Random(5))
+    counts = Counter(gen.next() for _ in range(20_000))
+    top10 = sum(c for _k, c in counts.most_common(10)) / 20_000
+    assert top10 > 0.3
+
+
+def test_uniform_is_roughly_flat():
+    gen = UniformGenerator(100, random.Random(6))
+    counts = Counter(gen.next() for _ in range(50_000))
+    assert len(counts) == 100
+    assert max(counts.values()) < 3 * min(counts.values())
+
+
+def test_latest_favors_recent_items():
+    gen = LatestGenerator(1000, 0.99, random.Random(7))
+    draws = [gen.next() for _ in range(10_000)]
+    assert sum(1 for d in draws if d > 900) > 0.5 * len(draws)
+    gen.advance()
+    assert gen.max_item == 1000
+    assert all(0 <= d <= gen.max_item for d in (gen.next() for _ in range(1000)))
+
+
+@given(seed=st.integers(0, 1000), n=st.integers(1, 500))
+@settings(max_examples=50, deadline=None)
+def test_generators_stay_in_range(seed, n):
+    rng = random.Random(seed)
+    for gen in (
+        ZipfianGenerator(n, 0.99, rng),
+        ScrambledZipfianGenerator(n, 0.7, rng),
+        UniformGenerator(n, rng),
+    ):
+        for _ in range(50):
+            assert 0 <= gen.next() < n
+
+
+def test_determinism_same_seed_same_stream():
+    gen_a = ZipfianGenerator(100, 0.99, random.Random(9))
+    gen_b = ZipfianGenerator(100, 0.99, random.Random(9))
+    a = [gen_a.next() for _ in range(50)]
+    b = [gen_b.next() for _ in range(50)]
+    assert a == b
+    assert len(set(a)) > 1  # the stream actually varies
+
+def test_zipfian_n2_draws_both_items():
+    import random as _r
+    from collections import Counter
+    from repro.workloads.zipf import ZipfianGenerator
+    gen = ZipfianGenerator(2, 0.99, _r.Random(5))
+    counts = Counter(gen.next() for _ in range(2000))
+    assert set(counts) == {0, 1}
+    assert counts[0] > counts[1]  # still skewed
+
