@@ -1,0 +1,224 @@
+"""Wall-clock performance harness for the simulator fast path.
+
+Every experiment in this reproduction funnels through the discrete-event
+kernel and the Gengar client data path, so *wall-clock cost per simulated
+op* bounds how large a sweep we can afford.  This module measures that cost
+directly and records the trajectory across PRs in ``BENCH_perf.json`` at the
+repo root:
+
+* **kernel microbenchmark** — raw event-loop throughput (dispatched events
+  per wall-clock second) with many concurrent timeout-driven processes;
+* **YCSB-B macro runs** — operations per wall-clock second for a full
+  Gengar deployment at two scales.
+
+Alongside each wall-clock figure the harness records the run's *virtual*
+results (final virtual time, simulated throughput).  Optimisations must be
+semantics-preserving: the virtual numbers must not move when only the
+wall-clock numbers improve (see ``tests/core/test_determinism.py``).
+
+Usage::
+
+    PYTHONPATH=src python -m repro.bench.perf                 # update "current"
+    PYTHONPATH=src python -m repro.bench.perf --set-baseline  # (re)capture baseline
+    PYTHONPATH=src python -m repro.bench.perf --smoke         # tiny CI smoke run
+
+The JSON layout::
+
+    {
+      "schema": 1,
+      "baseline": {"kernel": {...}, "ycsb_small": {...}, "ycsb_medium": {...}},
+      "current":  {... same shape ...},
+      "speedup":  {"kernel_events_per_sec": 3.1, ...}
+    }
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Any, Dict, Optional
+
+from repro.baselines.common import build_system
+from repro.bench.runner import YcsbRunner
+from repro.sim.kernel import Simulator
+from repro.workloads.ycsb import WORKLOAD_B
+
+SCHEMA_VERSION = 1
+
+#: Default output location: the repo root (two levels above ``src/repro``).
+DEFAULT_OUT = "BENCH_perf.json"
+
+
+# ----------------------------------------------------------------------
+# Kernel microbenchmark
+# ----------------------------------------------------------------------
+def bench_kernel(num_procs: int = 64, timeouts_per_proc: int = 2000,
+                 repeats: int = 3) -> Dict[str, Any]:
+    """Event-loop throughput: many processes ping-ponging through timeouts.
+
+    Reports the best of ``repeats`` runs (wall-clock noise only shrinks the
+    number, never inflates it).  ``events_per_sec`` counts actual kernel
+    dispatches, not just timeouts, so it tracks the full per-event overhead
+    (heap ops, callback dispatch, process resume).
+    """
+
+    def worker(sim: Simulator, n: int):
+        # Prefer the pooled sleep() fast path (the API all hot hardware
+        # models use); fall back to timeout() on kernels without it.
+        wait = getattr(sim, "sleep", None) or sim.timeout
+        for _ in range(n):
+            yield wait(10)
+
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        sim = Simulator(seed=1)
+        for _i in range(num_procs):
+            sim.spawn(worker(sim, timeouts_per_proc))
+        base = getattr(sim, "total_dispatched", 0)
+        t0 = time.perf_counter()
+        sim.run()
+        dt = time.perf_counter() - t0
+        dispatched = getattr(sim, "total_dispatched", 0) - base
+        if not dispatched:
+            # Seed kernels without the dispatch counter: fall back to the
+            # known timeout count so the metric stays comparable.
+            dispatched = num_procs * timeouts_per_proc
+        sample = {
+            "processes": num_procs,
+            "timeouts_per_proc": timeouts_per_proc,
+            "dispatched_events": dispatched,
+            "seconds": dt,
+            "events_per_sec": dispatched / dt if dt > 0 else 0.0,
+            "virtual_time_ns": sim.now,
+        }
+        if best is None or sample["events_per_sec"] > best["events_per_sec"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# YCSB-B macro runs
+# ----------------------------------------------------------------------
+def bench_ycsb(record_count: int, num_workers: int, ops_per_worker: int,
+               seed: int = 42, value_size: int = 128) -> Dict[str, Any]:
+    """One full YCSB-B run on the Gengar system; wall-clock + virtual stats."""
+    sim = Simulator(seed=seed)
+    system = build_system("gengar", sim, num_servers=2, num_clients=2)
+    spec = WORKLOAD_B.scaled(record_count=record_count, value_size=value_size)
+    runner = YcsbRunner(system, spec, num_workers=num_workers,
+                        ops_per_worker=ops_per_worker)
+    runner.load()
+    t0 = time.perf_counter()
+    result = runner.run()
+    dt = time.perf_counter() - t0
+    return {
+        "record_count": record_count,
+        "num_workers": num_workers,
+        "ops_per_worker": ops_per_worker,
+        "total_ops": result.total_ops,
+        "seconds": dt,
+        "ops_per_sec_wallclock": result.total_ops / dt if dt > 0 else 0.0,
+        # Virtual-side invariants: must not move under wall-clock-only work.
+        "virtual_time_ns": sim.now,
+        "sim_throughput_ops_s": result.throughput_ops_s,
+        "cache_hit_ratio": result.cache_hit_ratio,
+    }
+
+
+# ----------------------------------------------------------------------
+# Harness plumbing
+# ----------------------------------------------------------------------
+def measure(smoke: bool = False) -> Dict[str, Any]:
+    """Run the full suite (or the tiny smoke variant) and return the shape
+    stored under ``baseline`` / ``current``."""
+    if smoke:
+        kernel = bench_kernel(num_procs=8, timeouts_per_proc=200, repeats=1)
+        ycsb_small = bench_ycsb(record_count=64, num_workers=2, ops_per_worker=50)
+        ycsb_medium = None
+    else:
+        kernel = bench_kernel()
+        ycsb_small = bench_ycsb(record_count=200, num_workers=4, ops_per_worker=250)
+        ycsb_medium = bench_ycsb(record_count=1000, num_workers=8, ops_per_worker=500)
+    out: Dict[str, Any] = {
+        "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
+        "python": platform.python_version(),
+        "smoke": smoke,
+        "kernel": kernel,
+        "ycsb_small": ycsb_small,
+    }
+    if ycsb_medium is not None:
+        out["ycsb_medium"] = ycsb_medium
+    return out
+
+
+def _ratio(new: Optional[Dict], old: Optional[Dict], key: str) -> Optional[float]:
+    if not new or not old or not old.get(key):
+        return None
+    return round(new[key] / old[key], 3)
+
+
+def compute_speedup(current: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[str, Any]:
+    return {
+        "kernel_events_per_sec": _ratio(
+            current.get("kernel"), baseline.get("kernel"), "events_per_sec"),
+        "ycsb_small_ops_per_sec": _ratio(
+            current.get("ycsb_small"), baseline.get("ycsb_small"),
+            "ops_per_sec_wallclock"),
+        "ycsb_medium_ops_per_sec": _ratio(
+            current.get("ycsb_medium"), baseline.get("ycsb_medium"),
+            "ops_per_sec_wallclock"),
+    }
+
+
+def run_harness(out_path: Path, set_baseline: bool = False,
+                smoke: bool = False) -> Dict[str, Any]:
+    """Measure, merge with any existing file, and write ``out_path``."""
+    existing: Dict[str, Any] = {}
+    if out_path.exists():
+        try:
+            existing = json.loads(out_path.read_text())
+        except (OSError, ValueError):
+            existing = {}
+
+    current = measure(smoke=smoke)
+    baseline = current if set_baseline else existing.get("baseline") or current
+    doc = {
+        "schema": SCHEMA_VERSION,
+        "baseline": baseline,
+        "current": current,
+        "speedup": compute_speedup(current, baseline),
+    }
+    out_path.write_text(json.dumps(doc, indent=2) + "\n")
+    return doc
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--set-baseline", action="store_true",
+                        help="record this run as the comparison baseline")
+    parser.add_argument("--smoke", action="store_true",
+                        help="tiny run for CI smoke testing")
+    parser.add_argument("--out", default=DEFAULT_OUT,
+                        help=f"output JSON path (default: {DEFAULT_OUT})")
+    args = parser.parse_args(argv)
+
+    doc = run_harness(Path(args.out), set_baseline=args.set_baseline,
+                      smoke=args.smoke)
+    cur, spd = doc["current"], doc["speedup"]
+    print(f"kernel: {cur['kernel']['events_per_sec']:,.0f} events/s "
+          f"(x{spd['kernel_events_per_sec'] or 1.0} vs baseline)")
+    for scale in ("ycsb_small", "ycsb_medium"):
+        if cur.get(scale):
+            print(f"{scale}: {cur[scale]['ops_per_sec_wallclock']:,.1f} ops/s "
+                  f"wall-clock, virtual {cur[scale]['sim_throughput_ops_s']:,.0f} ops/s "
+                  f"(x{spd[f'{scale}_ops_per_sec'] or 1.0} vs baseline)")
+    print(f"wrote {args.out}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -66,7 +66,7 @@ class Node:
             duration_ns = self.spec.cpu_op_ns
         with (yield from self._cpu.acquire()):
             if duration_ns > 0:
-                yield self.sim.timeout(duration_ns)
+                yield self.sim.sleep(duration_ns)
 
     @property
     def cpu_utilized(self) -> int:

@@ -97,6 +97,11 @@ class GengarClient:
         self.master_rpc: Optional["RpcClient"] = None  # wired by bootstrap
         self._conns: Dict[int, _ServerConn] = {}
         self._meta_cache: Dict[int, ObjectMeta] = {}
+        # Epoch-based invalidation: each entry remembers the per-server epoch
+        # it was learned under; bumping a server's epoch (reattach) devalues
+        # every entry for that server in O(1) instead of scanning the cache.
+        self._meta_epoch: Dict[int, int] = {}
+        self._srv_epoch: Dict[int, int] = {}
         self._overlay: Dict[int, _PendingWrite] = {}
         self._access_counts: Dict[int, list] = {}  # gaddr -> [reads, writes]
         self._ops_since_report = 0
@@ -182,7 +187,7 @@ class GengarClient:
         meta = yield from self.master_rpc.call(
             "gmalloc", {"size": size, "client": self.name})
         if self.config.metadata_cache:
-            self._meta_cache[meta.gaddr] = meta
+            self._store_meta(meta)
         return meta.gaddr
 
     def gfree(self, gaddr: int) -> Generator[Any, Any, None]:
@@ -191,7 +196,7 @@ class GengarClient:
         if gaddr in self._overlay:
             yield from self.gsync(server_id=self._overlay[gaddr].server_id)
         yield from self.master_rpc.call("gfree", {"gaddr": gaddr})
-        self._meta_cache.pop(gaddr, None)
+        self._invalidate_meta(gaddr)
         self._access_counts.pop(gaddr, None)
 
     def gread(self, gaddr: int, offset: int = 0,
@@ -199,7 +204,9 @@ class GengarClient:
         """Read ``length`` bytes of an object (defaults to the whole object)."""
         self._require_attached()
         start = self.sim.now
-        meta = yield from self._meta(gaddr)
+        meta = self._cached_meta(gaddr)
+        if meta is None:
+            meta = yield from self._meta(gaddr)
         if length is None:
             length = meta.size - offset
         self._check_bounds(meta, offset, length)
@@ -230,7 +237,9 @@ class GengarClient:
         if not data:
             raise ClientError("empty write")
         start = self.sim.now
-        meta = yield from self._meta(gaddr)
+        meta = self._cached_meta(gaddr)
+        if meta is None:
+            meta = yield from self._meta(gaddr)
         self._check_bounds(meta, offset, len(data))
         yield from self.node.cpu_work()
         self.m_writes.add()
@@ -266,7 +275,7 @@ class GengarClient:
                 yield from self._poll_drained(conn)
                 if conn.drained_known < conn.written:
                     backoff = min(backoff + 1, 5)
-                    yield self.sim.timeout(500 * (1 << backoff))
+                    yield self.sim.sleep(500 * (1 << backoff))
             self._prune_overlay(sid)
 
     def reattach_server(self, server_id: int) -> Generator[Any, Any, list]:
@@ -286,10 +295,10 @@ class GengarClient:
         conn.written = 0
         conn.drained_known = 0
         # Location metadata for that server's objects is stale (the DRAM
-        # cache is empty now); drop it and re-learn lazily.
-        for g in [g for g, m in self._meta_cache.items()
-                  if m.server_id == server_id]:
-            self._meta_cache.pop(g)
+        # cache is empty now); bump the server epoch so every cached entry
+        # for it reads as a miss and is re-learned lazily — O(1) instead of
+        # scanning the whole metadata cache.
+        self._srv_epoch[server_id] = self._srv_epoch.get(server_id, 0) + 1
         if self.config.enable_proxy:
             conn.ring = yield from conn.rpc.call(
                 "attach",
@@ -316,6 +325,90 @@ class GengarClient:
         for p in procs:
             _ = p.value  # surface failures
 
+    def gwrite_batch(self, writes) -> Generator[Any, Any, None]:
+        """Doorbell-batched proxy writes for many small ``(gaddr, data)``
+        pairs.
+
+        Unlike :meth:`gwrite_many` (which spawns one full gwrite per item),
+        this stages every inline-eligible proxy write per server and posts
+        each server's work requests with a single
+        :meth:`~repro.rdma.qp.QueuePair.post_send_many` doorbell, paying the
+        client CPU pass once for the whole batch.  Writes that cannot take
+        the inline proxy path (proxy disabled, payload too large for a ring
+        slot or for NIC inlining) fall back to the regular gwrite path.
+        """
+        self._require_attached()
+        start = self.sim.now
+        staged: Dict[int, list] = {}  # server_id -> [(gaddr, data, payload)]
+        fallback = []
+        for gaddr, data in writes:
+            if not data:
+                raise ClientError("empty write")
+            meta = self._cached_meta(gaddr)
+            if meta is None:
+                meta = yield from self._meta(gaddr)
+            self._check_bounds(meta, 0, len(data))
+            conn = self._conns[meta.server_id]
+            eligible = (
+                self.config.enable_proxy
+                and conn.ring is not None
+                and len(data) <= proxy_payload_capacity(conn.ring.slot_size)
+            )
+            if eligible:
+                payload = pack_proxy_slot(gaddr, 0, data)
+                if self.node.nic.is_inline(len(payload)):
+                    staged.setdefault(meta.server_id, []).append(
+                        (gaddr, data, payload))
+                    continue
+            fallback.append((gaddr, data))
+
+        if staged:
+            # One CPU pass covers building every WQE in the batch.
+            yield from self.node.cpu_work()
+        pending = []  # (done_event, conn, gaddr, data, seq)
+        for sid in sorted(staged):
+            conn = self._conns[sid]
+            ring = conn.ring
+            batch = staged[sid]
+            # Chunk to the ring size: a doorbell can never outrun the ring.
+            for lo in range(0, len(batch), ring.slots):
+                chunk = batch[lo : lo + ring.slots]
+                if conn.written - conn.drained_known + len(chunk) > ring.slots:
+                    yield from self._await_ring_space(conn, need=len(chunk))
+                wrs = []
+                seqs = []
+                for gaddr, data, payload in chunk:
+                    seq = conn.written
+                    conn.written += 1
+                    seqs.append(seq)
+                    wrs.append(WorkRequest(
+                        opcode=Opcode.RDMA_WRITE_IMM,
+                        remote_rkey=ring.ring_rkey,
+                        remote_offset=(seq % ring.slots) * ring.slot_size,
+                        imm_data=seq % ring.slots,
+                        inline_data=payload,
+                        length=len(payload),
+                    ))
+                events = conn.data_qp.post_send_many(wrs)
+                for ev, (gaddr, data, _payload), seq in zip(events, chunk, seqs):
+                    pending.append((ev, conn, gaddr, data, seq))
+        if pending:
+            yield self.sim.all_of([ev for ev, *_ in pending])
+            for ev, conn, gaddr, data, seq in pending:
+                wc = ev.value
+                if not wc.ok:
+                    raise ClientError(f"proxy write failed: {wc.status}")
+                self.m_writes.add()
+                self.m_proxy_writes.add(len(data))
+                self._overlay[gaddr] = _PendingWrite(
+                    offset=0, data=data,
+                    server_id=conn.desc.server_id, seq=seq + 1,
+                )
+                self._note_access(gaddr, read=False)
+                self.h_write.record(self.sim.now - start)
+        for gaddr, data in fallback:
+            yield from self.gwrite(gaddr, data)
+
     # Lock API (delegates to the consistency layer) ----------------------
     def glock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
         """Acquire the object's lock (exclusive by default, shared if not)."""
@@ -338,18 +431,32 @@ class GengarClient:
         if not self._attached:
             raise ClientError(f"client {self.name} is not attached; run attach() first")
 
-    def _meta(self, gaddr: int) -> Generator[Any, Any, ObjectMeta]:
+    def _cached_meta(self, gaddr: int) -> Optional[ObjectMeta]:
+        """Hot-key fast path: a valid cache hit costs two dict probes and no
+        generator machinery.  Returns None on miss or stale epoch."""
         meta = self._meta_cache.get(gaddr)
+        if meta is not None and (self._meta_epoch.get(gaddr)
+                                 == self._srv_epoch.get(meta.server_id, 0)):
+            return meta
+        return None
+
+    def _store_meta(self, meta: ObjectMeta) -> None:
+        self._meta_cache[meta.gaddr] = meta
+        self._meta_epoch[meta.gaddr] = self._srv_epoch.get(meta.server_id, 0)
+
+    def _meta(self, gaddr: int) -> Generator[Any, Any, ObjectMeta]:
+        meta = self._cached_meta(gaddr)
         if meta is not None:
             return meta
         meta = yield from self.master_rpc.call("lookup", {"gaddr": gaddr})
         self.m_lookups.add()
         if self.config.metadata_cache:
-            self._meta_cache[gaddr] = meta
+            self._store_meta(meta)
         return meta
 
     def _invalidate_meta(self, gaddr: int) -> None:
         self._meta_cache.pop(gaddr, None)
+        self._meta_epoch.pop(gaddr, None)
 
     @staticmethod
     def _check_bounds(meta: ObjectMeta, offset: int, length: int) -> None:
@@ -480,13 +587,15 @@ class GengarClient:
             conn.drained_known = value
             self._prune_overlay(conn.desc.server_id)
 
-    def _await_ring_space(self, conn: _ServerConn) -> Generator[Any, Any, None]:
+    def _await_ring_space(self, conn: _ServerConn,
+                          need: int = 1) -> Generator[Any, Any, None]:
+        """Poll the drained counter until ``need`` ring slots are free."""
         backoff = 0
-        while conn.written - conn.drained_known >= conn.ring.slots:
+        while conn.written - conn.drained_known + need > conn.ring.slots:
             yield from self._poll_drained(conn)
-            if conn.written - conn.drained_known >= conn.ring.slots:
+            if conn.written - conn.drained_known + need > conn.ring.slots:
                 backoff = min(backoff + 1, 5)
-                yield self.sim.timeout(500 * (1 << backoff))
+                yield self.sim.sleep(500 * (1 << backoff))
 
     def _prune_overlay(self, server_id: int) -> None:
         conn = self._conns[server_id]
@@ -598,15 +707,17 @@ class GengarClient:
     def _send_report(self) -> Generator[Any, Any, None]:
         entries = []
         for gaddr, (reads, writes) in self._access_counts.items():
-            believed = self._meta_cache.get(gaddr)
+            # Epoch-stale entries count as absent, so the report payload is
+            # byte-identical to one built from an explicitly pruned cache.
+            believed = self._cached_meta(gaddr)
             entries.append((gaddr, reads, writes, bool(believed and believed.cached)))
         self._access_counts.clear()
         self._ops_since_report = 0
         try:
             updates = yield from self.master_rpc.call("report", {"entries": entries})
             for gaddr, cached, cache_offset in updates:
-                meta = self._meta_cache.get(gaddr)
+                meta = self._cached_meta(gaddr)
                 if meta is not None:
-                    self._meta_cache[gaddr] = meta.with_cache(cached, cache_offset)
+                    self._store_meta(meta.with_cache(cached, cache_offset))
         finally:
             self._report_inflight = False

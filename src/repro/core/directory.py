@@ -8,7 +8,7 @@ that they re-validate through self-verifying cache reads.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Dict, Iterable, Optional
 
 from repro.core.addressing import make_gaddr
@@ -32,17 +32,25 @@ class ObjectRecord:
     cache_offset: int = 0
     #: Pinned objects stay in DRAM regardless of observed hotness.
     pinned: bool = False
+    #: Memoized ObjectMeta snapshot; ObjectMeta is frozen, so sharing one
+    #: instance across lookups is safe.  Cleared whenever a field that
+    #: feeds the snapshot changes (see mark_cached/mark_uncached).
+    _meta_snapshot: Optional[ObjectMeta] = field(
+        default=None, repr=False, compare=False)
 
     def to_meta(self) -> ObjectMeta:
-        return ObjectMeta(
-            gaddr=self.gaddr,
-            size=self.size,
-            server_id=self.server_id,
-            nvm_offset=self.nvm_offset,
-            lock_idx=self.lock_idx,
-            cached=self.cached,
-            cache_offset=self.cache_offset,
-        )
+        meta = self._meta_snapshot
+        if meta is None:
+            meta = self._meta_snapshot = ObjectMeta(
+                gaddr=self.gaddr,
+                size=self.size,
+                server_id=self.server_id,
+                nvm_offset=self.nvm_offset,
+                lock_idx=self.lock_idx,
+                cached=self.cached,
+                cache_offset=self.cache_offset,
+            )
+        return meta
 
 
 class Directory:
@@ -102,6 +110,7 @@ class Directory:
             raise DirectoryError(f"object {gaddr:#x} already cached")
         record.cached = True
         record.cache_offset = cache_offset
+        record._meta_snapshot = None
         self._cached_bytes[record.server_id] = (
             self._cached_bytes.get(record.server_id, 0) + record.size
         )
@@ -112,6 +121,7 @@ class Directory:
             raise DirectoryError(f"object {gaddr:#x} is not cached")
         record.cached = False
         record.cache_offset = 0
+        record._meta_snapshot = None
         self._cached_bytes[record.server_id] = (
             self._cached_bytes.get(record.server_id, 0) - record.size
         )

@@ -52,6 +52,8 @@ class PlacementPolicy(Protocol):
 
     def record(self, gaddr: int, reads: int, writes: int) -> None: ...
 
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None: ...
+
     def plan(self, capacity: int, used: int) -> PlacementPlan: ...
 
     def on_promoted(self, gaddr: int) -> None: ...
@@ -99,6 +101,21 @@ class EpochDecayPolicy:
             return  # freed (or never tracked): stale report, drop it
         r, w = self._epoch_counts.get(gaddr, (0, 0))
         self._epoch_counts[gaddr] = (r + reads, w + writes)
+
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None:
+        """Fold many ``(gaddr, reads, writes)`` entries in one flush.
+
+        Equivalent to calling :meth:`record` per entry in order; batched so
+        the per-call overhead is paid once per report, not once per object.
+        """
+        stats = self._stats
+        counts = self._epoch_counts
+        get = counts.get
+        for gaddr, reads, writes in entries:
+            if gaddr not in stats:
+                continue
+            r, w = get(gaddr, (0, 0))
+            counts[gaddr] = (r + reads, w + writes)
 
     def on_freed(self, gaddr: int) -> None:
         self._stats.pop(gaddr, None)
@@ -194,6 +211,17 @@ class LruPolicy:
         self._clock += 1
         self._last_touch[gaddr] = self._clock
 
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None:
+        """Touch many objects in order (clock ticks once per entry)."""
+        sizes = self._sizes
+        touch = self._last_touch
+        clock = self._clock
+        for gaddr, _reads, _writes in entries:
+            if gaddr in sizes:
+                clock += 1
+                touch[gaddr] = clock
+        self._clock = clock
+
     def on_promoted(self, gaddr: int) -> None:
         self._cached.add(gaddr)
 
@@ -248,6 +276,12 @@ class LfuPolicy:
     def record(self, gaddr: int, reads: int, writes: int) -> None:
         if gaddr in self._counts:
             self._counts[gaddr] += reads + writes
+
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None:
+        counts = self._counts
+        for gaddr, reads, writes in entries:
+            if gaddr in counts:
+                counts[gaddr] += reads + writes
 
     def on_promoted(self, gaddr: int) -> None:
         self._cached.add(gaddr)
@@ -304,6 +338,13 @@ class RandomPolicy:
         if gaddr in self._sizes:
             self._seen.add(gaddr)
 
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None:
+        sizes = self._sizes
+        seen = self._seen
+        for gaddr, _reads, _writes in entries:
+            if gaddr in sizes:
+                seen.add(gaddr)
+
     def on_promoted(self, gaddr: int) -> None:
         self._cached.add(gaddr)
 
@@ -335,6 +376,9 @@ class NeverCachePolicy:
         pass
 
     def record(self, gaddr: int, reads: int, writes: int) -> None:
+        pass
+
+    def record_batch(self, entries: List[Tuple[int, int, int]]) -> None:
         pass
 
     def on_promoted(self, gaddr: int) -> None:

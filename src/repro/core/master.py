@@ -215,13 +215,20 @@ class Master:
         """
         yield from self.node.cpu_work()
         updates: List[Tuple[int, bool, int]] = []
+        # Group entries per home server and flush each group in one
+        # record_batch call.  Policies are independent per-server objects and
+        # in-server order is preserved, so decisions match per-entry record().
+        per_server: Dict[int, List[Tuple[int, int, int]]] = {}
         for gaddr, reads, writes, believed_cached in request["entries"]:
             record = self.directory.lookup(gaddr)
             if record is None:
                 continue  # freed concurrently
-            self._policies[record.server_id].record(gaddr, reads, writes)
+            per_server.setdefault(record.server_id, []).append(
+                (gaddr, reads, writes))
             if record.cached != believed_cached:
                 updates.append((gaddr, record.cached, record.cache_offset))
+        for sid, batch in per_server.items():
+            self._policies[sid].record_batch(batch)
         self.reports.add()
         return updates
 

@@ -136,7 +136,7 @@ class MemoryDevice:
         self.queue_depth.adjust(+1)
         try:
             with (yield from self._channels.acquire()):
-                yield self.sim.timeout(self.read_service_time(nbytes))
+                yield self.sim.sleep(self.read_service_time(nbytes))
         finally:
             self.queue_depth.adjust(-1)
         self.bytes_read.add(nbytes)
@@ -151,7 +151,7 @@ class MemoryDevice:
         self.queue_depth.adjust(+1)
         try:
             with (yield from self._channels.acquire()):
-                yield self.sim.timeout(self.write_service_time(nbytes))
+                yield self.sim.sleep(self.write_service_time(nbytes))
         finally:
             self.queue_depth.adjust(-1)
         self._data.write(offset, payload)

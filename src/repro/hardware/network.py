@@ -153,25 +153,25 @@ class Fabric:
             down = self._core_down[self._rack_of[dst]]
             core_time = max(1, round(wire_bytes / self._core_bandwidth))
             with (yield from egress.gate.acquire()):
-                yield self.sim.timeout(self.wire_time(nbytes))
+                yield self.sim.sleep(self.wire_time(nbytes))
                 egress.bytes_moved += wire_bytes
             with (yield from up.gate.acquire()):
                 with (yield from down.gate.acquire()):
-                    yield self.sim.timeout(core_time)
+                    yield self.sim.sleep(core_time)
                     up.bytes_moved += wire_bytes
                     down.bytes_moved += wire_bytes
             with (yield from ingress.gate.acquire()):
-                yield self.sim.timeout(self.wire_time(nbytes))
+                yield self.sim.sleep(self.wire_time(nbytes))
                 ingress.bytes_moved += wire_bytes
-            yield self.sim.timeout(self.spec.propagation_ns + self._core_hop_ns)
+            yield self.sim.sleep(self.spec.propagation_ns + self._core_hop_ns)
             self.inter_rack_messages.add()
         else:
             with (yield from egress.gate.acquire()):
                 with (yield from ingress.gate.acquire()):
-                    yield self.sim.timeout(self.wire_time(nbytes))
+                    yield self.sim.sleep(self.wire_time(nbytes))
                     egress.bytes_moved += wire_bytes
                     ingress.bytes_moved += wire_bytes
-            yield self.sim.timeout(self.spec.propagation_ns)
+            yield self.sim.sleep(self.spec.propagation_ns)
         self.messages.add()
         self.payload_bytes.add(nbytes)
 

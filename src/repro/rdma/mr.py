@@ -16,7 +16,19 @@ from typing import TYPE_CHECKING, Any, Generator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.hardware.memory import MemoryDevice
 
-_key_counter = itertools.count(start=0x1000)
+def _key_counter_for(sim):
+    """Per-simulator lkey/rkey source.
+
+    Keys travel inside pickled RPC payloads (server/ring descriptors), so a
+    process-global counter would make a second same-seed run in one process
+    pickle slightly larger ints — different wire sizes, different virtual
+    times.  Simulator-local numbering keeps identical runs bit-identical.
+    """
+    counter = getattr(sim, "_mr_key_counter", None)
+    if counter is None:
+        counter = itertools.count(start=0x1000)
+        sim._mr_key_counter = counter
+    return counter
 
 
 class MrError(Exception):
@@ -53,8 +65,9 @@ class MemoryRegion:
         self.base = base
         self.length = length
         self.access = access
-        self.lkey = next(_key_counter)
-        self.rkey = next(_key_counter)
+        keys = _key_counter_for(device.sim)
+        self.lkey = next(keys)
+        self.rkey = next(keys)
         self.name = name or f"mr-{self.rkey:#x}"
 
     # ------------------------------------------------------------------

@@ -39,7 +39,13 @@ READ_REQUEST_BYTES = 16
 #: RETRY_EXCEEDED (real defaults are much larger; this keeps tests fast).
 RETRY_TIMEOUT_NS = 50_000
 
-_qp_ids = itertools.count(1)
+def _qp_ids_for(sim):
+    """Per-simulator QP numbering (see mr._key_counter_for for why)."""
+    counter = getattr(sim, "_qp_id_counter", None)
+    if counter is None:
+        counter = itertools.count(1)
+        sim._qp_id_counter = counter
+    return counter
 
 
 class QpError(Exception):
@@ -67,7 +73,7 @@ class QueuePair:
     def __init__(self, endpoint: "RdmaEndpoint", send_cq, recv_cq, name: str = ""):
         self.endpoint = endpoint
         self.sim = endpoint.sim
-        self.qp_num = next(_qp_ids)
+        self.qp_num = next(_qp_ids_for(self.sim))
         self.name = name or f"qp{self.qp_num}"
         self.send_cq = send_cq
         self.recv_cq = recv_cq
@@ -87,6 +93,17 @@ class QueuePair:
         mr.check(offset, length, AccessFlags.LOCAL)
         self._recv_queue.put(_RecvDescriptor(wr_id, mr, offset, length))
 
+    def _validate_send(self, wr: WorkRequest) -> None:
+        if wr.opcode is Opcode.RECV:
+            raise QpError("post RECV via post_recv()")
+        if wr.inline_data is not None and not self.endpoint.nic.is_inline(len(wr.inline_data)):
+            raise QpError(
+                f"inline payload of {len(wr.inline_data)} bytes exceeds the "
+                f"NIC inline limit {self.endpoint.nic.spec.max_inline_bytes}"
+            )
+        if wr.is_atomic and wr.length not in (0, ATOMIC_OPERAND_BYTES):
+            raise QpError("atomics operate on exactly 8 bytes")
+
     def post_send(self, wr: WorkRequest) -> Event:
         """Post a send-queue work request.
 
@@ -98,18 +115,36 @@ class QueuePair:
         """
         if not self.is_connected:
             raise QpError(f"{self.name} is not connected")
-        if wr.opcode is Opcode.RECV:
-            raise QpError("post RECV via post_recv()")
-        if wr.inline_data is not None and not self.endpoint.nic.is_inline(len(wr.inline_data)):
-            raise QpError(
-                f"inline payload of {len(wr.inline_data)} bytes exceeds the "
-                f"NIC inline limit {self.endpoint.nic.spec.max_inline_bytes}"
-            )
-        if wr.is_atomic and wr.length not in (0, ATOMIC_OPERAND_BYTES):
-            raise QpError("atomics operate on exactly 8 bytes")
+        self._validate_send(wr)
         done = self.sim.event(name=f"{self.name}.wr{wr.wr_id}")
         self.sim.spawn(self._execute(wr, done), name=f"{self.name}.exec")
         return done
+
+    def post_send_many(self, wrs) -> list[Event]:
+        """Doorbell batching: post a list of WRs with one call.
+
+        Virtual-time semantics are *identical* to calling :meth:`post_send`
+        per WR in order — each WR is still one WQE walking the full verb
+        state machine, serialized through the send gate in posting order
+        with response phases overlapping (RC pipelining).  What batching
+        buys is host-side (wall-clock) cost: validation, connectivity
+        checks, and the doorbell are paid once for the list.  The whole
+        list is validated before any WR is posted, so a usage error leaves
+        the send queue untouched.
+        """
+        if not self.is_connected:
+            raise QpError(f"{self.name} is not connected")
+        wrs = list(wrs)
+        for wr in wrs:
+            self._validate_send(wr)
+        events: list[Event] = []
+        sim = self.sim
+        exec_name = f"{self.name}.exec"
+        for wr in wrs:
+            done = sim.event(name=f"{self.name}.wr{wr.wr_id}")
+            sim.spawn(self._execute(wr, done), name=exec_name)
+            events.append(done)
+        return events
 
     # ------------------------------------------------------------------
     # Verb execution
@@ -141,7 +176,7 @@ class QueuePair:
         if not remote_ep.alive:
             # The request is retransmitted into silence until the QP's
             # retry budget expires.
-            yield self.sim.timeout(RETRY_TIMEOUT_NS)
+            yield self.sim.sleep(RETRY_TIMEOUT_NS)
             self._complete(wr, done, WcStatus.RETRY_EXCEEDED)
             return
         yield from remote_ep.nic.rx_process()

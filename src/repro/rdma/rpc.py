@@ -27,7 +27,15 @@ from repro.rdma.mr import AccessFlags
 from repro.rdma.qp import QueuePair
 from repro.rdma.wr import Opcode, WorkRequest
 
-_req_ids = itertools.count(1)
+def _req_ids_for(sim):
+    """Per-simulator request-id source; request ids are pickled into every
+    frame, so process-global numbering would break same-seed determinism
+    across runs in one process (see mr._key_counter_for)."""
+    counter = getattr(sim, "_rpc_req_counter", None)
+    if counter is None:
+        counter = itertools.count(1)
+        sim._rpc_req_counter = counter
+    return counter
 
 #: Default RPC buffer size: enough for metadata messages, small enough that
 #: bulk data clearly does not belong on this path.
@@ -175,7 +183,7 @@ class RpcClient:
 
         Raises :class:`RpcError` if the remote handler failed.
         """
-        req_id = next(_req_ids)
+        req_id = next(_req_ids_for(self.sim))
         payload = _encode((req_id, method, request), self.buffer_size)
 
         # Post a reply buffer *before* sending, so the response can never

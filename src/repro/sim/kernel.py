@@ -8,15 +8,22 @@ seed bit-for-bit reproducible.
 :class:`Process` adapts a Python generator into the event system: each value
 the generator yields must be an :class:`~repro.sim.primitives.Event` (or a
 ``Process``, which is itself an event that fires when the generator returns).
+
+Fast-path notes: the ``run`` loops bind the heap and ``heappop`` to locals
+and dispatch all entries sharing a timestamp in one inner batch (one clock
+write and one ``until`` comparison per *instant* instead of per event).
+:meth:`Simulator.sleep` hands out pooled :class:`Timeout` objects for the
+fire-and-forget ``yield sim.sleep(n)`` pattern used throughout the hardware
+models.  All of this is wall-clock only — virtual-time results are
+bit-for-bit identical to the straightforward loop.
 """
 
 from __future__ import annotations
 
-import heapq
-import itertools
+from heapq import heappop, heappush
 from typing import Any, Callable, Generator, Optional
 
-from repro.sim.primitives import Event, Interrupt, Timeout
+from repro.sim.primitives import _PENDING, Event, Interrupt, Timeout
 
 
 class SimulationError(RuntimeError):
@@ -41,7 +48,7 @@ class Process(Event):
     a process object ("join").
     """
 
-    __slots__ = ("_generator", "_waiting_on")
+    __slots__ = ("_generator", "_waiting_on", "_wake")
 
     def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
@@ -52,6 +59,8 @@ class Process(Event):
             )
         self._generator = generator
         self._waiting_on: Optional[Event] = None
+        # Bound once: every yield registers this same callback object.
+        self._wake = self._on_wait_complete
         # Kick off the first step from the loop, not inline.
         sim.schedule(0, self._step, _BOOTSTRAP, False)
 
@@ -84,10 +93,53 @@ class Process(Event):
         if self._waiting_on is not event:
             return  # stale wake-up after an interrupt
         self._waiting_on = None
-        if event.ok:
-            self._step(event._value, is_exception=False)
+        exc = event._exception
+        if exc is not None:
+            self._step(exc, True)
+            return
+        if self.triggered:
+            return
+        # Inlined success path of _step: resume → next wait.  This runs once
+        # per yield in every process, so the generic _step (which also
+        # handles bootstrap and thrown exceptions) is bypassed here.
+        try:
+            target = self._generator.send(event._value)
+        except StopIteration as stop:
+            self.succeed(stop.value)
+            return
+        except BaseException as step_exc:  # noqa: BLE001 - propagate to joiners
+            if isinstance(step_exc, (KeyboardInterrupt, SystemExit)):
+                raise
+            self.fail(step_exc)
+            return
+        if not isinstance(target, Event):
+            self._reject_yield(target)
+            return
+        if target.sim is not self.sim:
+            self._generator.close()
+            self.fail(SimulationError("yielded event belongs to another simulator"))
+            return
+        self._waiting_on = target
+        # Fast-path callback registration (the common case: we are the only
+        # waiter on a pending event) — equivalent to target.add_callback.
+        if target._processed or target._cb1 is not None:
+            target.add_callback(self._wake)
         else:
-            self._step(event.exception, is_exception=True)
+            target._cb1 = self._wake
+            if (not target._scheduled
+                    and (target._value is not _PENDING
+                         or target._exception is not None)):
+                target._scheduled = True
+                self.sim.schedule(0, target._dispatch)
+
+    def _reject_yield(self, target: Any) -> None:
+        self._generator.close()
+        self.fail(
+            SimulationError(
+                f"process {self.name!r} yielded {target!r}; "
+                "processes may only yield Event instances"
+            )
+        )
 
     def _step(self, payload: Any, is_exception: bool) -> None:
         if self.triggered:
@@ -107,20 +159,14 @@ class Process(Event):
             return
 
         if not isinstance(target, Event):
-            self._generator.close()
-            self.fail(
-                SimulationError(
-                    f"process {self.name!r} yielded {target!r}; "
-                    "processes may only yield Event instances"
-                )
-            )
+            self._reject_yield(target)
             return
         if target.sim is not self.sim:
             self._generator.close()
             self.fail(SimulationError("yielded event belongs to another simulator"))
             return
         self._waiting_on = target
-        target.add_callback(self._on_wait_complete)
+        target.add_callback(self._wake)
 
 
 class Simulator:
@@ -142,8 +188,13 @@ class Simulator:
     def __init__(self, seed: int = 0):
         self._now = 0
         self._heap: list[tuple[int, int, Callable, tuple]] = []
-        self._sequence = itertools.count()
+        self._sequence = 0
         self.seed = seed
+        #: Total events dispatched over this simulator's lifetime (the
+        #: denominator of the perf harness's events/sec figure).
+        self.total_dispatched = 0
+        #: Free list backing :meth:`sleep` (see Timeout pooling notes).
+        self._timeout_pool: list[Timeout] = []
         # Imported lazily to avoid a cycle at module import time.
         from repro.sim.rng import RngRegistry
         from repro.sim.stats import MetricRegistry
@@ -163,7 +214,8 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        heapq.heappush(self._heap, (self._now + int(delay), next(self._sequence), fn, args))
+        self._sequence = seq = self._sequence + 1
+        heappush(self._heap, (self._now + int(delay), seq, fn, args))
 
     # ------------------------------------------------------------------
     # Factories
@@ -175,6 +227,24 @@ class Simulator:
     def timeout(self, delay: int, value: Any = None) -> Timeout:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
+
+    def sleep(self, delay: int, value: Any = None) -> Timeout:
+        """A pooled timeout for the fire-and-forget ``yield sim.sleep(n)``
+        pattern.
+
+        Semantically identical to :meth:`timeout` (same scheduling, same
+        virtual-time behaviour), but the returned event is recycled through
+        a free list right after it fires, sparing hot paths one allocation
+        per wait.  **Contract:** yield the result immediately and do not
+        retain it past its firing — use :meth:`timeout` for events you
+        store, compose into conditions, or inspect later.
+        """
+        pool = self._timeout_pool
+        if pool:
+            t = pool.pop()
+            t._reuse(int(delay), value)
+            return t
+        return Timeout(self, int(delay), value, pool=pool)
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from a generator; returns the joinable handle."""
@@ -202,45 +272,62 @@ class Simulator:
             until: stop once virtual time would exceed this instant (the clock
                 is left at ``until``).  ``None`` runs until the queue empties.
             max_events: safety valve for tests; raises
-                :class:`SimulationError` when exceeded.
+                :class:`SimulationError` on the first dispatch *beyond* the
+                limit (exactly ``max_events`` dispatches are allowed).
 
         Returns:
             The virtual time at which execution stopped.
         """
+        heap = self._heap
+        pop = heappop
         dispatched = 0
-        while self._heap:
-            when, _seq, fn, args = self._heap[0]
-            if until is not None and when > until:
+        try:
+            while heap:
+                when = heap[0][0]
+                if until is not None and when > until:
+                    break
+                self._now = when
+                # Same-timestamp batch: drain every entry due at `when` with
+                # one clock write and one `until` check for the whole batch.
+                while heap and heap[0][0] == when:
+                    if max_events is not None and dispatched >= max_events:
+                        raise SimulationError(
+                            f"exceeded max_events={max_events}; likely a livelock"
+                        )
+                    _t, _s, fn, args = pop(heap)
+                    fn(*args)
+                    dispatched += 1
+            if until is not None and until > self._now:
                 self._now = until
-                return self._now
-            heapq.heappop(self._heap)
-            self._now = when
-            fn(*args)
-            dispatched += 1
-            if max_events is not None and dispatched > max_events:
-                raise SimulationError(
-                    f"exceeded max_events={max_events}; likely a livelock"
-                )
-        if until is not None and until > self._now:
-            self._now = until
-        return self._now
+            return self._now
+        finally:
+            self.total_dispatched += dispatched
 
     def run_until_complete(self, process: Event, max_events: Optional[int] = None) -> Any:
         """Run until ``process`` (any event, e.g. a Process or an AllOf)
-        triggers; return its value (or raise its failure)."""
+        triggers; return its value (or raise its failure).
+
+        Like :meth:`run`, ``max_events`` allows exactly that many dispatches
+        and raises on the first dispatch beyond the limit.
+        """
+        heap = self._heap
+        pop = heappop
         dispatched = 0
-        while not process.triggered:
-            if not self._heap:
-                raise SimulationError(
-                    f"deadlock: process {process.name!r} is waiting but the "
-                    "event queue is empty"
-                )
-            when, _seq, fn, args = heapq.heappop(self._heap)
-            self._now = when
-            fn(*args)
-            dispatched += 1
-            if max_events is not None and dispatched > max_events:
-                raise SimulationError(f"exceeded max_events={max_events}")
+        try:
+            while not process.triggered:
+                if not heap:
+                    raise SimulationError(
+                        f"deadlock: process {process.name!r} is waiting but the "
+                        "event queue is empty"
+                    )
+                if max_events is not None and dispatched >= max_events:
+                    raise SimulationError(f"exceeded max_events={max_events}")
+                when, _seq, fn, args = pop(heap)
+                self._now = when
+                fn(*args)
+                dispatched += 1
+        finally:
+            self.total_dispatched += dispatched
         return process.value
 
     def peek(self) -> Optional[int]:

@@ -10,10 +10,18 @@ A *process* is a Python generator that yields waitables.  The kernel
 * :class:`AllOf` / :class:`AnyOf` — composite conditions.
 * :class:`Interrupt` — the exception thrown into a process by
   :meth:`repro.sim.kernel.Process.interrupt`.
+
+Fast-path notes: events are the single hottest allocation in the simulator
+(every verb phase, memory access, and RPC creates several), so the class is
+tuned for the common case — *one* waiting process per event.  The first
+callback lives in a dedicated slot (``_cb1``); a list (``_more``) is only
+allocated for the rare multi-waiter event.  Timeouts acquired through
+:meth:`repro.sim.kernel.Simulator.sleep` are recycled through a free list.
 """
 
 from __future__ import annotations
 
+from heapq import heappush
 from typing import TYPE_CHECKING, Any, Callable, Iterable, Optional
 
 if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
@@ -21,6 +29,9 @@ if TYPE_CHECKING:  # pragma: no cover - import cycle guard for type hints
 
 # Sentinel distinguishing "not yet triggered" from a legitimate None value.
 _PENDING = object()
+
+#: Upper bound on the per-simulator Timeout free list (memory safety valve).
+_TIMEOUT_POOL_MAX = 1024
 
 
 class Interrupt(Exception):
@@ -47,14 +58,19 @@ class Event:
     re-entrantly inside the call to ``succeed``.
     """
 
-    __slots__ = ("sim", "_value", "_exception", "_callbacks", "_scheduled", "name")
+    __slots__ = ("sim", "_value", "_exception", "_cb1", "_more",
+                 "_processed", "_scheduled", "name")
 
     def __init__(self, sim: "Simulator", name: str = ""):
         self.sim = sim
         self.name = name
         self._value: Any = _PENDING
         self._exception: Optional[BaseException] = None
-        self._callbacks: Optional[list[Callable[["Event"], None]]] = []
+        # Single-callback fast slot (the common case: one waiting Process);
+        # extra callbacks spill into a lazily allocated list.
+        self._cb1: Optional[Callable[["Event"], None]] = None
+        self._more: Optional[list] = None
+        self._processed = False
         self._scheduled = False
 
     # ------------------------------------------------------------------
@@ -68,7 +84,7 @@ class Event:
     @property
     def processed(self) -> bool:
         """True once all callbacks have been dispatched."""
-        return self._callbacks is None
+        return self._processed
 
     @property
     def ok(self) -> bool:
@@ -94,20 +110,29 @@ class Event:
     # ------------------------------------------------------------------
     def succeed(self, value: Any = None) -> "Event":
         """Complete the event successfully, delivering ``value`` to waiters."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         self._value = value
-        self._schedule_dispatch()
+        if not self._scheduled:
+            self._scheduled = True
+            # Inlined sim.schedule(0, self._dispatch) — completion is hot.
+            sim = self.sim
+            sim._sequence = seq = sim._sequence + 1
+            heappush(sim._heap, (sim._now, seq, self._dispatch, ()))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
         """Complete the event with an exception, raised inside each waiter."""
-        if self.triggered:
+        if self._value is not _PENDING or self._exception is not None:
             raise RuntimeError(f"event {self.name!r} already triggered")
         if not isinstance(exception, BaseException):
             raise TypeError("fail() requires an exception instance")
         self._exception = exception
-        self._schedule_dispatch()
+        if not self._scheduled:
+            self._scheduled = True
+            sim = self.sim
+            sim._sequence = seq = sim._sequence + 1
+            heappush(sim._heap, (sim._now, seq, self._dispatch, ()))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -117,12 +142,19 @@ class Event:
         ``fn`` runs at the current instant via the scheduler (never inline),
         preserving the invariant that continuations execute from the loop.
         """
-        if self._callbacks is None:
+        if self._processed:
             self.sim.schedule(0, fn, self)
+            return
+        if self._cb1 is None:
+            self._cb1 = fn
+        elif self._more is None:
+            self._more = [fn]
         else:
-            self._callbacks.append(fn)
-            if self.triggered and not self._scheduled:
-                self._schedule_dispatch()
+            self._more.append(fn)
+        if (not self._scheduled
+                and (self._value is not _PENDING or self._exception is not None)):
+            self._scheduled = True
+            self.sim.schedule(0, self._dispatch)
 
     def _schedule_dispatch(self) -> None:
         if not self._scheduled:
@@ -130,10 +162,18 @@ class Event:
             self.sim.schedule(0, self._dispatch)
 
     def _dispatch(self) -> None:
-        callbacks, self._callbacks = self._callbacks, None
+        # Mark processed *before* invoking callbacks so late registrations
+        # (from inside a callback) go through the scheduler.
+        self._processed = True
         self._scheduled = False
-        if callbacks:
-            for fn in callbacks:
+        cb1 = self._cb1
+        if cb1 is not None:
+            self._cb1 = None
+            cb1(self)
+        more = self._more
+        if more is not None:
+            self._more = None
+            for fn in more:
                 fn(self)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
@@ -144,23 +184,72 @@ class Event:
 
 
 class Timeout(Event):
-    """An event that succeeds after ``delay`` nanoseconds of virtual time."""
+    """An event that succeeds after ``delay`` nanoseconds of virtual time.
 
-    __slots__ = ("delay",)
+    When constructed with a ``pool`` (via :meth:`Simulator.sleep`), the
+    instance returns itself to that free list right after its callbacks run,
+    so fire-and-forget waits recycle one object instead of allocating.
+    Pooled timeouts must not be retained by callers past their firing.
+    """
 
-    def __init__(self, sim: "Simulator", delay: int, value: Any = None):
+    __slots__ = ("delay", "_pool", "_firecb")
+
+    def __init__(self, sim: "Simulator", delay: int, value: Any = None,
+                 pool: Optional[list] = None):
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
-        super().__init__(sim, name=f"timeout({delay})")
+        Event.__init__(self, sim)
         self.delay = delay
+        self._pool = pool
+        # Bind once: scheduling re-creates no method object on reuse.
+        self._firecb = self._fire
         self._scheduled = True
-        sim.schedule(delay, self._fire, value)
+        sim.schedule(delay, self._firecb, value)
 
     def _fire(self, value: Any) -> None:
         # The event only becomes `triggered` at its due time, so conditions
-        # and state inspection see a pending event until then.
+        # and state inspection see a pending event until then.  The dispatch
+        # logic is inlined here (rather than calling Event._dispatch) because
+        # timeout firing is the single hottest code path in the simulator.
         self._value = value
-        self._dispatch()
+        self._processed = True
+        self._scheduled = False
+        cb1 = self._cb1
+        if cb1 is not None:
+            self._cb1 = None
+            cb1(self)
+        more = self._more
+        if more is not None:
+            self._more = None
+            for fn in more:
+                fn(self)
+        pool = self._pool
+        if pool is not None and len(pool) < _TIMEOUT_POOL_MAX:
+            # Done with the sole-waiter fast path: back on the free list.
+            # (Safe under the sleep() no-retain contract.)
+            pool.append(self)
+
+    def _reuse(self, delay: int, value: Any) -> None:
+        """Re-arm a recycled pooled timeout (kernel internal)."""
+        if delay < 0:
+            raise ValueError(f"negative timeout: {delay}")
+        self._value = _PENDING
+        self._exception = None
+        self._cb1 = None
+        self._more = None
+        self._processed = False
+        self._scheduled = True
+        self.delay = delay
+        # Inlined sim.schedule (delay already validated non-negative).
+        sim = self.sim
+        sim._sequence = seq = sim._sequence + 1
+        heappush(sim._heap, (sim._now + delay, seq, self._firecb, (value,)))
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        state = "pending"
+        if self.triggered:
+            state = "ok" if self.ok else f"failed({self._exception!r})"
+        return f"<Timeout {self.delay}ns {state}>"
 
 
 class _Condition(Event):

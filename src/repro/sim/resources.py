@@ -30,7 +30,7 @@ class Request(Event):
     __slots__ = ("resource", "_released")
 
     def __init__(self, sim: "Simulator", resource: "Resource"):
-        super().__init__(sim, name=f"request({resource.name})")
+        super().__init__(sim, name=resource._request_name)
         self.resource = resource
         self._released = False
 
@@ -61,6 +61,9 @@ class Resource:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        # Precomputed once: Request construction is on the hot path of every
+        # memory/NIC/channel acquire, so avoid a per-request f-string.
+        self._request_name = f"request({name})"
         self._in_use = 0
         self._queue: Deque[Request] = deque()
 
@@ -116,6 +119,8 @@ class Store:
         self.sim = sim
         self.capacity = capacity
         self.name = name
+        self._put_name = f"put({name})"
+        self._get_name = f"get({name})"
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
@@ -125,7 +130,7 @@ class Store:
 
     def put(self, item: Any) -> Event:
         """Offer ``item``; the returned event fires once it is accepted."""
-        ev = Event(self.sim, name=f"put({self.name})")
+        ev = Event(self.sim, name=self._put_name)
         if self.capacity is not None and len(self._items) >= self.capacity:
             self._putters.append((ev, item))
             return ev
@@ -135,7 +140,7 @@ class Store:
 
     def get(self) -> Event:
         """Take the oldest item; the returned event fires with the item."""
-        ev = Event(self.sim, name=f"get({self.name})")
+        ev = Event(self.sim, name=self._get_name)
         if self._items:
             ev.succeed(self._items.popleft())
             self._admit_blocked_putter()
@@ -195,7 +200,7 @@ class FifoChannel:
         """Process helper: occupy the channel for the payload's wire time."""
         with (yield from self._gate.acquire()):
             if nbytes > 0:
-                yield self.sim.timeout(self.busy_time(nbytes))
+                yield self.sim.sleep(self.busy_time(nbytes))
                 self.bytes_moved += nbytes
 
     @property
@@ -237,6 +242,6 @@ class TokenBucket:
             self._refill()
             if self._tokens < tokens:
                 deficit = tokens - self._tokens
-                yield self.sim.timeout(max(1, round(deficit / self.rate)))
+                yield self.sim.sleep(max(1, round(deficit / self.rate)))
                 self._refill()
             self._tokens -= tokens

@@ -1,0 +1,134 @@
+"""gwrite_batch: the doorbell-batched proxy write path."""
+
+from repro.core.addressing import offset_of
+
+from tests.core.conftest import build_pool, fast_config
+
+
+def test_gwrite_batch_writes_land_after_sync():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddrs = []
+        for _ in range(6):
+            gaddrs.append((yield from client.gmalloc(64)))
+        yield from client.gwrite_batch(
+            [(g, bytes([i + 1]) * 64) for i, g in enumerate(gaddrs)]
+        )
+        yield from client.gsync()
+        return gaddrs
+
+    (gaddrs,) = pool.run(app(sim))
+    server = pool.servers[0]
+    for i, g in enumerate(gaddrs):
+        assert server.data_device.peek(offset_of(g), 64) == bytes([i + 1]) * 64
+    assert client.m_proxy_writes.total == 6 * 64
+
+
+def test_gwrite_batch_read_your_writes_before_drain():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        g1 = yield from client.gmalloc(32)
+        g2 = yield from client.gmalloc(32)
+        yield from client.gwrite_batch([(g1, b"a" * 32), (g2, b"b" * 32)])
+        d1 = yield from client.gread(g1)  # no gsync!
+        d2 = yield from client.gread(g2)
+        return d1, d2
+
+    ((d1, d2),) = pool.run(app(sim))
+    assert d1 == b"a" * 32
+    assert d2 == b"b" * 32
+    assert client.m_overlay_hits.count == 2
+
+
+def test_gwrite_batch_larger_than_ring_chunks():
+    """A batch exceeding the ring size drains in chunks, never deadlocks."""
+    sim, pool = build_pool(
+        num_servers=1, num_clients=1,
+        config=fast_config(proxy_ring_slots=4),
+    )
+    client = pool.clients[0]
+    n = 11  # nearly 3x the ring
+
+    def app(sim):
+        gaddrs = []
+        for _ in range(n):
+            gaddrs.append((yield from client.gmalloc(16)))
+        yield from client.gwrite_batch(
+            [(g, bytes([i + 1]) * 16) for i, g in enumerate(gaddrs)]
+        )
+        yield from client.gsync()
+        return gaddrs
+
+    (gaddrs,) = pool.run(app(sim))
+    server = pool.servers[0]
+    for i, g in enumerate(gaddrs):
+        assert server.data_device.peek(offset_of(g), 16) == bytes([i + 1]) * 16
+
+
+def test_gwrite_batch_spans_servers():
+    sim, pool = build_pool(num_servers=2, num_clients=1)
+    client = pool.clients[0]
+
+    def app(sim):
+        gaddrs = []
+        for _ in range(8):  # round-robin-ish allocation across two servers
+            gaddrs.append((yield from client.gmalloc(48)))
+        yield from client.gwrite_batch(
+            [(g, bytes([i + 1]) * 48) for i, g in enumerate(gaddrs)]
+        )
+        yield from client.gsync()
+        out = []
+        for g in gaddrs:
+            out.append((yield from client.gread(g)))
+        return gaddrs, out
+
+    ((gaddrs, out),) = pool.run(app(sim))
+    servers = {g >> 48 for g in gaddrs}  # upper bits embed the server id
+    for i, data in enumerate(out):
+        assert data == bytes([i + 1]) * 48
+
+
+def test_gwrite_batch_falls_back_for_large_payloads():
+    """Payloads too big for a ring slot take the direct-write fallback."""
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+    big = 64 * 1024  # far beyond the 4 KiB test ring slot
+
+    def app(sim):
+        small = yield from client.gmalloc(64)
+        large = yield from client.gmalloc(big)
+        yield from client.gwrite_batch(
+            [(small, b"s" * 64), (large, b"L" * big)]
+        )
+        yield from client.gsync()
+        ds = yield from client.gread(small)
+        dl = yield from client.gread(large, length=16)
+        return ds, dl
+
+    ((ds, dl),) = pool.run(app(sim))
+    assert ds == b"s" * 64
+    assert dl == b"L" * 16
+    assert client.m_direct_writes.total == big
+
+
+def test_gwrite_batch_without_proxy_uses_direct_path():
+    sim, pool = build_pool(
+        num_servers=1, num_clients=1,
+        config=fast_config(enable_proxy=False),
+    )
+    client = pool.clients[0]
+
+    def app(sim):
+        g = yield from client.gmalloc(64)
+        yield from client.gwrite_batch([(g, b"x" * 64)])
+        data = yield from client.gread(g)
+        return data
+
+    (data,) = pool.run(app(sim))
+    assert data == b"x" * 64
+    assert client.m_proxy_writes.total == 0
+    assert client.m_direct_writes.total == 64

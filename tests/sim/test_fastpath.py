@@ -1,0 +1,175 @@
+"""Regression tests for the kernel fast path: exact max_events semantics,
+pooled sleep(), and the dispatch counter."""
+
+import pytest
+
+from repro.sim.kernel import SimulationError, Simulator
+
+
+# ----------------------------------------------------------------------
+# max_events: raise exactly at the limit, not one past it
+# ----------------------------------------------------------------------
+def test_run_allows_exactly_max_events_dispatches():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(i, fired.append, i)
+    sim.run(max_events=5)
+    assert fired == [0, 1, 2, 3, 4]
+
+
+def test_run_raises_on_first_dispatch_beyond_limit():
+    sim = Simulator()
+    fired = []
+    for i in range(5):
+        sim.schedule(i, fired.append, i)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=4)
+    # Exactly 4 ran; the 5th dispatch is the one that raised.
+    assert fired == [0, 1, 2, 3]
+
+
+def test_run_until_complete_allows_exactly_max_events():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1)
+        return "done"
+
+    # worker completes in 2 dispatches: bootstrap step, then the timeout
+    # firing (whose callback runs the generator to completion).
+    p = sim.spawn(worker(sim))
+    assert sim.run_until_complete(p, max_events=2) == "done"
+
+    sim2 = Simulator()
+    p2 = sim2.spawn(worker(sim2))
+    with pytest.raises(SimulationError, match="max_events"):
+        sim2.run_until_complete(p2, max_events=1)
+
+
+def test_max_events_counts_same_timestamp_batch():
+    """The guard must fire inside a same-instant dispatch batch too."""
+    sim = Simulator()
+    for _ in range(10):
+        sim.schedule(5, lambda: None)
+    with pytest.raises(SimulationError, match="max_events"):
+        sim.run(max_events=7)
+
+
+# ----------------------------------------------------------------------
+# sleep(): pooled timeouts, identical virtual-time semantics
+# ----------------------------------------------------------------------
+def test_sleep_behaves_like_timeout():
+    def drive(use_sleep):
+        sim = Simulator(seed=3)
+        trace = []
+
+        def worker(sim, tag, delay):
+            wait = sim.sleep if use_sleep else sim.timeout
+            for _ in range(4):
+                yield wait(delay)
+                trace.append((tag, sim.now))
+
+        sim.spawn(worker(sim, "a", 10))
+        sim.spawn(worker(sim, "b", 7))
+        sim.run()
+        return trace, sim.now
+
+    assert drive(True) == drive(False)
+
+
+def test_sleep_delivers_value():
+    sim = Simulator()
+
+    def worker(sim):
+        got = yield sim.sleep(5, value="payload")
+        return got
+
+    p = sim.spawn(worker(sim))
+    sim.run()
+    assert p.value == "payload"
+
+
+def test_sleep_recycles_objects_through_the_pool():
+    sim = Simulator()
+
+    def worker(sim):
+        for _ in range(50):
+            yield sim.sleep(1)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    # A firing timeout recycles *after* its callback runs (which is where
+    # the next sleep() is requested), so sequential sleeps ping-pong between
+    # two pooled objects instead of allocating 50.
+    assert len(sim._timeout_pool) == 2
+
+
+def test_sleep_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.sleep(-1)
+    # A pooled re-arm must validate too.
+    def worker(sim):
+        yield sim.sleep(1)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    with pytest.raises(ValueError):
+        sim.sleep(-5)
+
+
+def test_pooled_sleep_does_not_leak_state_between_uses():
+    sim = Simulator()
+    seen = []
+
+    def worker(sim):
+        first = yield sim.sleep(2, value="one")
+        seen.append(first)
+        second = yield sim.sleep(3)  # default None must not inherit "one"
+        seen.append(second)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    assert seen == ["one", None]
+
+
+# ----------------------------------------------------------------------
+# total_dispatched
+# ----------------------------------------------------------------------
+def test_total_dispatched_accumulates_across_runs():
+    sim = Simulator()
+    sim.schedule(1, lambda: None)
+    sim.schedule(2, lambda: None)
+    sim.run()
+    assert sim.total_dispatched == 2
+    sim.schedule(1, lambda: None)
+    sim.run()
+    assert sim.total_dispatched == 3
+
+
+def test_total_dispatched_counts_run_until_complete():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.timeout(1)
+
+    p = sim.spawn(worker(sim))
+    sim.run_until_complete(p)
+    assert sim.total_dispatched > 0
+
+
+# ----------------------------------------------------------------------
+# Same-timestamp batching must not disturb the `until` contract
+# ----------------------------------------------------------------------
+def test_run_until_stops_before_later_instant():
+    sim = Simulator()
+    fired = []
+    sim.schedule(5, fired.append, "early")
+    sim.schedule(5, fired.append, "early2")
+    sim.schedule(10, fired.append, "late")
+    assert sim.run(until=7) == 7
+    assert fired == ["early", "early2"]
+    assert sim.now == 7
+    sim.run()
+    assert fired == ["early", "early2", "late"]
