@@ -1,0 +1,432 @@
+"""Chaos soak: YCSB traffic under a deterministic fault plan.
+
+The harness boots a resilient pool (retries + deadline + auto-reattach +
+degraded mode), bulk-loads a key space, arms a :class:`FaultPlan` with
+server crashes, a lossy window, a latency spike, and a ring stall, and runs
+closed-loop YCSB-B workers straight through the faults.  Afterwards it
+audits the durability contract:
+
+* every value read parses back to a version this harness actually wrote
+  (no torn or fabricated data, ever);
+* no key regresses below its last *safely synced* version — a gsync that
+  completed with no re-attach in between is a durability promise;
+* staged writes lost to a crash are reported in the client's fault log
+  exactly once (a re-report without an intervening ack is a violation);
+* no operation outruns its deadline without raising the typed error.
+
+Every probabilistic choice draws from the simulator's seeded RNG registry,
+so the same ``--seed`` reproduces a bit-identical soak — counters, fault
+timings, and all (``--check-determinism`` proves it by running twice).
+
+Run it::
+
+    PYTHONPATH=src python -m repro.bench.chaos --seed 7 --check-determinism
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+from typing import Any, Dict, Generator, List, Optional, Tuple
+
+from repro.core import GengarConfig, GengarPool
+from repro.core.errors import ClientError, DeadlineExceededError, RetryableError
+from repro.faults import (
+    FaultPlan,
+    LatencySpike,
+    LossyLink,
+    RingStall,
+    ServerCrash,
+    ServerRecover,
+)
+from repro.hardware.specs import TEST_DRAM, TEST_NVM
+from repro.sim import Simulator
+from repro.sim.trace import Tracer
+from repro.workloads.ycsb import WORKLOAD_B, Op, YcsbGenerator
+
+#: Virtual-time slack allowed past a deadline before we call it a miss
+#: (the watchdog wakes at the next event boundary, never mid-verb).
+_DEADLINE_SLACK_NS = 5_000
+
+
+def soak_config(smoke: bool = False) -> GengarConfig:
+    """The resilient profile the soak runs under."""
+    return GengarConfig(
+        cache_capacity=256 * 1024,
+        epoch_ns=50_000,
+        report_every_ops=16,
+        proxy_ring_slots=8,
+        proxy_slot_size=4 * 1024,
+        lock_table_entries=1024,
+        retry_timeout_ns=20_000,
+        retry_max_attempts=8,
+        retry_base_backoff_ns=2_000,
+        retry_max_backoff_ns=50_000,
+        op_deadline_ns=400_000,
+        auto_reattach=True,
+        degraded_mode=True,
+        degraded_patience_polls=4,
+    )
+
+
+def soak_plan(t0: int, smoke: bool = False) -> FaultPlan:
+    """Two crash/recover cycles, one lossy window, a spike, and a stall,
+    anchored at ``t0`` (virtual ns; typically the end of the load phase)."""
+    scale = 0.35 if smoke else 1.0
+
+    def at(us: float) -> int:
+        return t0 + int(us * 1_000 * scale)
+
+    return FaultPlan.of(
+        # Freeze server0's drains just before killing it, so staged writes
+        # are still in the ring when the crash lands (the lost-write path).
+        RingStall(at_ns=at(100), duration_ns=int(60_000 * scale), server_id=0),
+        ServerCrash(at_ns=at(150), server_id=0),
+        ServerRecover(at_ns=at(280), server_id=0),
+        LossyLink(start_ns=at(350), end_ns=at(500), drop_prob=0.25),
+        LatencySpike(start_ns=at(550), end_ns=at(650), extra_ns=3_000),
+        RingStall(at_ns=at(700), duration_ns=int(120_000 * scale), server_id=1),
+        ServerCrash(at_ns=at(900), server_id=1),
+        ServerRecover(at_ns=at(1030), server_id=1),
+    )
+
+
+class ChaosSoak:
+    """One soak run: load, fault, verify."""
+
+    def __init__(self, seed: int = 7, smoke: bool = False,
+                 dump_trace: bool = False):
+        self.seed = seed
+        self.smoke = smoke
+        self.records = 24 if smoke else 48
+        self.value_size = 512
+        self.num_workers = 2 if smoke else 4
+        self.ops_per_worker = 80 if smoke else 400
+        self.config = soak_config(smoke)
+        self.sim = Simulator(seed=seed)
+        if dump_trace:
+            self.sim.tracer = Tracer(
+                self.sim, capacity=50_000,
+                categories={"fault", "retry", "failover", "degraded"})
+        self.pool = GengarPool.build(
+            self.sim, num_servers=2, num_clients=2, config=self.config,
+            dram=TEST_DRAM, nvm=TEST_NVM,
+        )
+        spec = WORKLOAD_B.scaled(record_count=self.records,
+                                 value_size=self.value_size)
+        self.spec = spec
+        self._gen0 = YcsbGenerator(spec, self.sim.rng.stream("chaos.values"))
+
+        self.gaddrs: Dict[int, int] = {}
+        self._key_of: Dict[int, int] = {}  # gaddr -> key
+        self.attempted: Dict[int, set] = {}
+        self.acked: Dict[int, int] = {}
+        self.synced: Dict[int, int] = {}
+        self.tainted: set = set()
+        #: (client_name, gaddr) -> ack times, for the exactly-once audit.
+        self.ack_times: Dict[Tuple[str, int], List[int]] = {}
+        self.violations: List[str] = []
+        self.ops_ok = 0
+        self.ops_typed_failures = 0
+
+    # ------------------------------------------------------------------
+    def encode(self, key: int, version: int) -> bytes:
+        return self._gen0.value(key, version)
+
+    def parse(self, key: int, data: bytes) -> Optional[int]:
+        """The version encoded in ``data``, or None if it is not a value
+        this harness could have written for ``key``."""
+        head, _, _rest = data.partition(b"|")
+        if not head.startswith(b"k") or b"v" not in head:
+            return None
+        k_part, _, v_part = head[1:].partition(b"v")
+        try:
+            k, v = int(k_part), int(v_part)
+        except ValueError:
+            return None
+        if k != key or self.encode(key, v) != data:
+            return None
+        return v
+
+    # ------------------------------------------------------------------
+    def load(self) -> None:
+        def loader(client):
+            for key in range(self.records):
+                gaddr = yield from client.gmalloc(self.value_size)
+                self.gaddrs[key] = gaddr
+                self._key_of[gaddr] = key
+                yield from client.gwrite(gaddr, self.encode(key, 0))
+                self.attempted[key] = {0}
+                self.acked[key] = 0
+            yield from client.gsync()
+            for key in range(self.records):
+                self.synced[key] = 0
+
+        self.pool.run(loader(self.pool.clients[0]))
+
+    # ------------------------------------------------------------------
+    def _check_read(self, key: int, data: bytes) -> None:
+        version = self.parse(key, data)
+        if version is None or version not in self.attempted[key]:
+            self.violations.append(
+                f"key {key}: read returned bytes of no attempted version "
+                f"(head={data[:24]!r})")
+        elif key not in self.tainted and version < self.synced.get(key, 0):
+            self.violations.append(
+                f"key {key}: read v{version} regressed below synced "
+                f"v{self.synced[key]}")
+
+    def _absorb_losses(self, client, seen: int, shard: set) -> int:
+        """Fold new fault-log records into the worker's bookkeeping.
+
+        A staged write reported lost voids the ack for its key: the durable
+        version is unknown (some earlier drained one) until the worker
+        writes the key again.  Returns the new fault-log cursor.
+        """
+        for rec in client.fault_log[seen:]:
+            for gaddr in rec["lost"]:
+                key = self._key_of.get(gaddr)
+                if key in shard:
+                    self.acked[key] = None
+        return len(client.fault_log)
+
+    def _mark_synced(self, client, keys, acked_at_sync: Dict[int, Optional[int]],
+                     fault_log_len: int) -> None:
+        # A sync only counts as a durability promise if no failover happened
+        # while it ran (a re-attach turns staged writes into reported losses
+        # and lets the sync complete trivially).
+        if len(client.fault_log) != fault_log_len or client._reattach_gates:
+            return
+        for key in keys:
+            acked = acked_at_sync[key]
+            if acked is not None:
+                self.synced[key] = max(self.synced.get(key, 0), acked)
+
+    def worker(self, index: int, client, mode: str) -> Generator[Any, Any, None]:
+        """One closed-loop worker over its own key shard.
+
+        Modes: ``burst`` hammers zipfian updates and never syncs mid-run
+        (staged writes are always in flight when a crash lands); ``rr``
+        sweeps its shard round-robin with updates (distinct keys, so a full
+        stalled ring is hit on keys with no overlay entry — the degraded
+        direct-write path); ``ycsb`` runs plain YCSB-B.
+        """
+        sim = self.sim
+        shard = [k for k in range(self.records)
+                 if k % self.num_workers == index]
+        shard_set = set(shard)
+        gen = YcsbGenerator(self.spec, sim.rng.stream(f"chaos.w{index}"))
+        next_version = {k: 1 for k in shard}
+        sync_every = 10**9 if mode == "burst" else 24
+        seen_log = 0
+        deadline = self.config.op_deadline_ns
+        for i in range(self.ops_per_worker):
+            op, key_id, _scan = gen.next_op()
+            if mode == "rr":
+                key = shard[i % len(shard)]
+            else:
+                key = shard[key_id % len(shard)]
+            gaddr = self.gaddrs[key]
+            do_write = mode in ("burst", "rr") or op is Op.UPDATE
+            t0 = sim.now
+            typed = False
+            try:
+                if do_write:
+                    version = next_version[key]
+                    next_version[key] = version + 1
+                    self.attempted[key].add(version)
+                    yield from client.gwrite(gaddr, self.encode(key, version))
+                    self.acked[key] = version
+                    self.ack_times.setdefault((client.name, gaddr), []).append(sim.now)
+                else:
+                    data = yield from client.gread(gaddr)
+                    self._check_read(key, data)
+                self.ops_ok += 1
+            except DeadlineExceededError:
+                typed = True
+                self.ops_typed_failures += 1
+                if do_write:
+                    # An abandoned write attempt may still land later, out
+                    # of order; stop holding this key to the sync bar.
+                    self.tainted.add(key)
+            except RetryableError:
+                typed = True
+                self.ops_typed_failures += 1
+                if do_write:
+                    self.tainted.add(key)
+            except ClientError as exc:
+                self.violations.append(
+                    f"worker {index} op {i}: unexpected fatal "
+                    f"{type(exc).__name__}: {exc}")
+                return
+            elapsed = sim.now - t0
+            if deadline and not typed and elapsed > deadline + _DEADLINE_SLACK_NS:
+                self.violations.append(
+                    f"worker {index} op {i}: ran {elapsed} ns past the "
+                    f"{deadline} ns deadline without a typed error")
+            if (i + 1) % sync_every == 0:
+                seen_log = self._absorb_losses(client, seen_log, shard_set)
+                log_len = len(client.fault_log)
+                acked_now = {k: self.acked[k] for k in shard}
+                try:
+                    yield from client.gsync()
+                except ClientError:
+                    self.ops_typed_failures += 1
+                else:
+                    self._mark_synced(client, shard, acked_now, log_len)
+
+    # ------------------------------------------------------------------
+    def verify(self) -> None:
+        """Post-horizon audit: final sync, read-back, loss accounting."""
+        def final_pass(client, keys):
+            yield from client.gsync()
+            for key in keys:
+                data = yield from client.gread(self.gaddrs[key])
+                self._check_read(key, data)
+
+        clients = self.pool.clients
+        shards = [
+            [k for k in range(self.records) if k % len(clients) == i]
+            for i in range(len(clients))
+        ]
+        self.pool.run(*[final_pass(c, s) for c, s in zip(clients, shards)])
+
+        for sid, server in self.pool.servers.items():
+            if not server.is_alive:
+                self.violations.append(f"server {sid} never recovered")
+
+        # Lost staged writes: reported exactly once.  The same gaddr may
+        # legitimately show up in a later record only if the client staged
+        # (acked) a new write to it between the two reports.
+        reported = 0
+        for client in clients:
+            last_report: Dict[int, int] = {}
+            for rec in client.fault_log:
+                if len(set(rec["lost"])) != len(rec["lost"]):
+                    self.violations.append(
+                        f"{client.name}: duplicate gaddr within one "
+                        f"lost-write report at t={rec['time_ns']}")
+                reported += len(rec["lost"])
+                for gaddr in rec["lost"]:
+                    prev = last_report.get(gaddr)
+                    if prev is not None:
+                        acks = self.ack_times.get((client.name, gaddr), [])
+                        if not any(prev < t <= rec["time_ns"] for t in acks):
+                            self.violations.append(
+                                f"{client.name}: gaddr {gaddr:#x} reported "
+                                f"lost twice with no write in between")
+                    last_report[gaddr] = rec["time_ns"]
+        # .total carries the lost-write sum (.count is reports made).
+        counted = int(self.sim.metrics.counter("pool.lost_staged_writes").total)
+        if counted != reported:
+            self.violations.append(
+                f"lost-write counter ({counted}) != fault-log total ({reported})")
+
+    # ------------------------------------------------------------------
+    def run(self) -> Dict[str, Any]:
+        self.load()
+        t0 = self.sim.now
+        plan = soak_plan(t0, smoke=self.smoke)
+        injector = self.pool.inject_faults(plan)
+
+        modes = {0: "burst", 1: "rr" if not self.smoke else "ycsb"}
+        workers = [
+            self.worker(i, self.pool.clients[i % len(self.pool.clients)],
+                        mode=modes.get(i, "ycsb"))
+            for i in range(self.num_workers)
+        ]
+        self.pool.run(*workers)
+        # Let any still-pending plan actions (late recovery) play out.
+        self.sim.run(until=max(self.sim.now, plan.horizon_ns + 100_000))
+        injector.uninstall()
+        self.verify()
+
+        m = self.sim.metrics
+        counters = {
+            name: m.counter(f"pool.{name}").count
+            for name in ("retries", "failovers",
+                         "degraded_reads", "degraded_writes",
+                         "deadline_misses", "proxy_writes", "direct_writes")
+        }
+        counters["lost_staged_writes"] = int(
+            m.counter("pool.lost_staged_writes").total)
+        counters["fabric_dropped"] = m.counter("fabric.dropped").count
+        counters["faults_crashes"] = m.counter("faults.crashes").count
+        counters["faults_recoveries"] = m.counter("faults.recoveries").count
+        counters["faults_stalls"] = m.counter("faults.stalls").count
+        return {
+            "seed": self.seed,
+            "smoke": self.smoke,
+            "virtual_end_ns": self.sim.now,
+            "ops_ok": self.ops_ok,
+            "ops_typed_failures": self.ops_typed_failures,
+            "lost_reports": sum(len(c.fault_log) for c in self.pool.clients),
+            "tainted_keys": len(self.tainted),
+            "counters": counters,
+            "violations": self.violations,
+        }
+
+
+def run_soak(seed: int = 7, smoke: bool = False,
+             dump_trace: bool = False) -> Dict[str, Any]:
+    """One full soak; returns the audit report (see :class:`ChaosSoak`)."""
+    soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace)
+    report = soak.run()
+    if dump_trace and soak.sim.tracer is not None:
+        report["trace"] = soak.sim.tracer.render(limit=200)
+    return report
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Chaos soak: YCSB-B under a deterministic fault plan")
+    parser.add_argument("--seed", type=int, default=7)
+    parser.add_argument("--smoke", action="store_true",
+                        help="small fast variant (CI-friendly)")
+    parser.add_argument("--out", type=str, default=None,
+                        help="write the JSON report here")
+    parser.add_argument("--dump-trace", action="store_true",
+                        help="record fault/retry/failover trace and dump it")
+    parser.add_argument("--check-determinism", action="store_true",
+                        help="run twice and require identical results")
+    args = parser.parse_args(argv)
+
+    report = run_soak(seed=args.seed, smoke=args.smoke,
+                      dump_trace=args.dump_trace)
+    if args.check_determinism:
+        second = run_soak(seed=args.seed, smoke=args.smoke)
+        keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
+                "lost_reports", "tainted_keys", "counters", "violations"]
+        mismatched = [k for k in keys if report[k] != second[k]]
+        if mismatched:
+            report["violations"].append(
+                f"non-deterministic fields across identical runs: {mismatched}")
+        else:
+            report["determinism"] = "identical across two runs"
+
+    if args.out:
+        payload = {k: v for k, v in report.items() if k != "trace"}
+        with open(args.out, "w") as fh:
+            json.dump(payload, fh, indent=2)
+
+    ok = not report["violations"]
+    print(f"chaos soak seed={args.seed} smoke={args.smoke}: "
+          f"{'PASS' if ok else 'FAIL'}")
+    print(f"  virtual time: {report['virtual_end_ns'] / 1e6:.3f} ms, "
+          f"ops ok: {report['ops_ok']}, "
+          f"typed failures: {report['ops_typed_failures']}")
+    for name, value in sorted(report["counters"].items()):
+        print(f"  {name}: {value}")
+    if "determinism" in report:
+        print(f"  determinism: {report['determinism']}")
+    for v in report["violations"]:
+        print(f"  VIOLATION: {v}", file=sys.stderr)
+    if not ok and report.get("trace"):
+        print("--- fault timeline (tail) ---", file=sys.stderr)
+        print(report["trace"], file=sys.stderr)
+    return 0 if ok else 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,7 +12,15 @@ Public surface:
 
 from repro.core.addressing import GlobalAddress, make_gaddr, offset_of, server_of
 from repro.core.api import GengarPool
-from repro.core.client import ClientError, GengarClient
+from repro.core.client import GengarClient, RetryPolicy
+from repro.core.errors import (
+    ClientError,
+    DeadlineExceededError,
+    FatalError,
+    RetryableError,
+    ServerUnavailableError,
+    StaleRingError,
+)
 from repro.core.config import (
     CACHE_ONLY,
     DRAM_ONLY,
@@ -32,6 +40,12 @@ __all__ = [
     "Master",
     "MemoryServer",
     "ClientError",
+    "FatalError",
+    "RetryableError",
+    "ServerUnavailableError",
+    "StaleRingError",
+    "DeadlineExceededError",
+    "RetryPolicy",
     "LockError",
     "GlobalAddress",
     "make_gaddr",

@@ -103,6 +103,10 @@ class GengarPool:
                          cores=client_cores, rack=rack_plan.get(f"client{i}"))
             )
         cluster = Cluster(sim, ClusterSpec(nodes=tuple(node_specs), link=link))
+        # Dead-peer detection horizon: how long a verb retransmits against a
+        # silent peer before completing with RETRY_EXCEEDED.
+        for spec in node_specs:
+            cluster.node(spec.name).endpoint.retry_timeout_ns = config.retry_timeout_ns
 
         master = Master(cluster.node("master"), config, policy_factory=policy_factory)
         servers: Dict[int, MemoryServer] = {}
@@ -166,6 +170,16 @@ class GengarPool:
         procs = [self.sim.spawn(g) for g in generators]
         self.sim.run_until_complete(self.sim.all_of(procs), max_events=max_events)
         return [p.value for p in procs]
+
+    def inject_faults(self, plan, rng_name: str = "faults"):
+        """Arm a :class:`~repro.faults.plan.FaultPlan` against this pool.
+
+        Returns the installed :class:`~repro.faults.injector.FaultInjector`
+        (keep it to ``uninstall()`` the fabric hook later).
+        """
+        from repro.faults.injector import FaultInjector
+
+        return FaultInjector.for_pool(self, plan, rng_name=rng_name).install()
 
     def server_for(self, gaddr: int) -> MemoryServer:
         """The memory server homing ``gaddr``."""

@@ -33,6 +33,14 @@ if TYPE_CHECKING:  # pragma: no cover
 
 from repro.core.config import GengarConfig
 from repro.core.consistency import LockOps
+from repro.core.errors import (
+    ClientError,
+    DeadlineExceededError,
+    FatalError,
+    RetryableError,
+    ServerUnavailableError,
+    StaleRingError,
+)
 from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
@@ -44,13 +52,59 @@ from repro.core.protocol import (
     tag_matches,
 )
 from repro.rdma.mr import AccessFlags
-from repro.rdma.wr import Opcode, WorkRequest
+from repro.rdma.rpc import RpcError
+from repro.rdma.wr import Opcode, WcStatus, WorkRequest
 from repro.sim.resources import Store
 from repro.sim.trace import trace
 
+__all__ = [
+    "GengarClient",
+    "RetryPolicy",
+    "ClientError",
+    "FatalError",
+    "RetryableError",
+    "ServerUnavailableError",
+    "StaleRingError",
+    "DeadlineExceededError",
+]
 
-class ClientError(Exception):
-    """Invalid client operation or unrecoverable protocol failure."""
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """How a client reacts to retryable failures.
+
+    The default (one attempt, no deadline) is exactly the historical
+    fail-fast behaviour; the resilient profile comes from
+    :meth:`from_config` when the config raises ``retry_max_attempts``.
+    """
+
+    #: Attempts per op before the RetryableError propagates.
+    max_attempts: int = 1
+    #: First backoff; doubles per attempt, capped at ``max_backoff_ns``.
+    base_backoff_ns: int = 4_000
+    max_backoff_ns: int = 1_000_000
+    #: Randomize each backoff in [base, current] (seeded stream).
+    jitter: bool = True
+    #: Per-op virtual-time budget; 0 disables the deadline watchdog.
+    deadline_ns: int = 0
+
+    @classmethod
+    def from_config(cls, config: GengarConfig) -> "RetryPolicy":
+        return cls(
+            max_attempts=config.retry_max_attempts,
+            base_backoff_ns=config.retry_base_backoff_ns,
+            max_backoff_ns=config.retry_max_backoff_ns,
+            jitter=config.retry_jitter,
+            deadline_ns=config.op_deadline_ns,
+        )
+
+    def backoff_ns(self, attempt: int, rng) -> int:
+        """Delay before retry number ``attempt`` (1-based)."""
+        delay = min(self.base_backoff_ns << min(attempt - 1, 20),
+                    self.max_backoff_ns)
+        if self.jitter and delay > self.base_backoff_ns:
+            return rng.randrange(self.base_backoff_ns, delay + 1)
+        return delay
 
 
 @dataclass
@@ -111,6 +165,16 @@ class GengarClient:
         #: Unique id assigned by the master at attach; tags write locks so
         #: abandoned ones are attributable and recoverable.
         self.uid = 0
+        #: Active retry policy (refreshed from the config at attach time).
+        self.retry_policy = RetryPolicy()
+        self._retry_rng = None  # seeded jitter stream, created on first use
+        #: In-flight auto-reattach gates, one per server: concurrent failed
+        #: ops coalesce onto a single re-attach handshake.
+        self._reattach_gates: Dict[int, Any] = {}
+        #: One record per completed re-attach: {"time_ns", "server_id",
+        #: "lost"} — the durability audit trail (each lost staged write is
+        #: reported in exactly one record).
+        self.fault_log: list = []
 
         # Local scratch buffers for DMA sources/destinations.
         self._carver = DramCarver(node.dram)
@@ -128,6 +192,12 @@ class GengarClient:
         self.m_proxy_writes = m.counter("pool.proxy_writes")
         self.m_direct_writes = m.counter("pool.direct_writes")
         self.m_lookups = m.counter("pool.lookups")
+        self.m_retries = m.counter("pool.retries")
+        self.m_failovers = m.counter("pool.failovers")
+        self.m_lost_writes = m.counter("pool.lost_staged_writes")
+        self.m_degraded_reads = m.counter("pool.degraded_reads")
+        self.m_degraded_writes = m.counter("pool.degraded_writes")
+        self.m_deadline_misses = m.counter("pool.deadline_misses")
         self.h_read = m.histogram("pool.read_latency")
         self.h_write = m.histogram("pool.write_latency")
 
@@ -145,10 +215,11 @@ class GengarClient:
     def attach(self) -> Generator[Any, Any, None]:
         """Join the pool: fetch config from the master, set up proxy rings."""
         if self.master_rpc is None:
-            raise ClientError("client not wired to a master")
+            raise FatalError("client not wired to a master")
         info = yield from self.master_rpc.call("attach", {"client": self.name})
         self.config = info["config"]
         self.uid = info["client_id"]
+        self.retry_policy = RetryPolicy.from_config(self.config)
 
         scratch_span = _SCRATCH_SLOTS * _SCRATCH_SLOT_SIZE
         self._scratch_base = self._carver.carve(scratch_span, "scratch")
@@ -163,7 +234,7 @@ class GengarClient:
         for desc in info["servers"]:
             conn = self._conns.get(desc.server_id)
             if conn is None:
-                raise ClientError(
+                raise FatalError(
                     f"master lists server {desc.server_id} but no QP was wired"
                 )
             if self.config.enable_proxy:
@@ -201,7 +272,19 @@ class GengarClient:
 
     def gread(self, gaddr: int, offset: int = 0,
               length: Optional[int] = None) -> Generator[Any, Any, bytes]:
-        """Read ``length`` bytes of an object (defaults to the whole object)."""
+        """Read ``length`` bytes of an object (defaults to the whole object).
+
+        Applies the client's :class:`RetryPolicy`: retryable failures (dead
+        server, torn-down ring) are retried with backoff up to
+        ``max_attempts``, optionally re-attaching automatically; a deadline
+        turns an unbounded stall into :class:`DeadlineExceededError`.
+        """
+        data = yield from self._resilient(
+            "gread", lambda: self._gread_once(gaddr, offset, length))
+        return data
+
+    def _gread_once(self, gaddr: int, offset: int = 0,
+                    length: Optional[int] = None) -> Generator[Any, Any, bytes]:
         self._require_attached()
         start = self.sim.now
         meta = self._cached_meta(gaddr)
@@ -232,10 +315,20 @@ class GengarClient:
         return data
 
     def gwrite(self, gaddr: int, data: bytes, offset: int = 0) -> Generator[Any, Any, None]:
-        """Write ``data`` into an object at ``offset``."""
+        """Write ``data`` into an object at ``offset``.
+
+        Retries per the client's :class:`RetryPolicy`; in degraded mode a
+        write whose proxy ring is unavailable or stalled falls back to the
+        direct-to-NVM path instead of blocking.
+        """
+        yield from self._resilient(
+            "gwrite", lambda: self._gwrite_once(gaddr, data, offset))
+
+    def _gwrite_once(self, gaddr: int, data: bytes,
+                     offset: int = 0) -> Generator[Any, Any, None]:
         self._require_attached()
         if not data:
-            raise ClientError("empty write")
+            raise FatalError("empty write")
         start = self.sim.now
         meta = self._cached_meta(gaddr)
         if meta is None:
@@ -250,25 +343,54 @@ class GengarClient:
             and conn.ring is not None
             and len(data) <= proxy_payload_capacity(conn.ring.slot_size)
         )
+        staged = False
         if use_proxy:
-            yield from self._proxy_write(conn, gaddr, offset, data)
+            staged = yield from self._proxy_write(conn, gaddr, offset, data)
+        if staged:
             self.m_proxy_writes.add(len(data))
         else:
             yield from self._direct_write(conn, gaddr, meta, offset, data)
             self.m_direct_writes.add(len(data))
+            if use_proxy:
+                # _proxy_write declined: the ring is presumed stalled.
+                self.m_degraded_writes.add()
+                trace(self.sim, "degraded", "stalled ring -> direct write",
+                      client=self.name, gaddr=hex(gaddr))
+            elif (self.config.enable_proxy and self.config.degraded_mode
+                  and conn.ring is None):
+                self.m_degraded_writes.add()
+                trace(self.sim, "degraded", "no ring -> direct write",
+                      client=self.name, gaddr=hex(gaddr))
         self._note_access(gaddr, read=False)
         self.h_write.record(self.sim.now - start)
 
     def gsync(self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
         """Block until outstanding proxy writes have drained to NVM.
 
-        With ``server_id=None``, syncs every server.
+        With ``server_id=None``, syncs every server.  Retries per the
+        client's :class:`RetryPolicy` (a crash mid-sync surfaces as
+        :class:`ServerUnavailableError`; after an auto re-attach the lost
+        staged writes are recorded in :attr:`fault_log` and the sync
+        trivially completes).
         """
+        yield from self._resilient(
+            "gsync", lambda: self._gsync_once(server_id))
+
+    def _gsync_once(self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
         self._require_attached()
         targets = [server_id] if server_id is not None else sorted(self._conns)
         for sid in targets:
             conn = self._conns[sid]
-            if conn.ring is None or conn.written <= conn.drained_known:
+            if conn.ring is None:
+                # Mid-reattach (or ring torn down): sync cannot vouch for
+                # writes still staged toward this server — fail typed rather
+                # than return a hollow success.
+                if any(p.server_id == sid for p in self._overlay.values()):
+                    raise StaleRingError(
+                        f"gsync: ring to server {sid} is down with writes "
+                        "still staged", server_id=sid)
+                continue
+            if conn.written <= conn.drained_known:
                 continue
             backoff = 0
             while conn.drained_known < conn.written:
@@ -284,9 +406,30 @@ class GengarClient:
         Returns the global addresses of this client's writes that were still
         staged in the (lost) proxy ring — the data that did NOT survive the
         crash.  Applications decide whether to replay them.
+
+        The session bookkeeping (lost-write report, counters, epoch bump)
+        happens only *after* the ring handshake succeeds, in one atomic
+        (yield-free) step — a failed re-attach against a still-dead server
+        leaves the session state untouched, so the eventual successful
+        re-attach reports each lost write exactly once.
         """
         self._require_attached()
         conn = self._conns[server_id]
+        new_ring = None
+        if self.config.enable_proxy:
+            prev_ring = conn.ring
+            # Writers must not stage into the old (torn-down) ring while the
+            # handshake is in flight; they either fail typed or, in degraded
+            # mode, take the direct path.
+            conn.ring = None
+            try:
+                new_ring = yield from conn.rpc.call(
+                    "attach",
+                    {"client": self.name, "qp_num": conn.data_qp.remote.qp_num},
+                )
+            except BaseException:
+                conn.ring = prev_ring
+                raise
         lost = sorted(
             g for g, p in self._overlay.items() if p.server_id == server_id
         )
@@ -300,11 +443,132 @@ class GengarClient:
         # scanning the whole metadata cache.
         self._srv_epoch[server_id] = self._srv_epoch.get(server_id, 0) + 1
         if self.config.enable_proxy:
-            conn.ring = yield from conn.rpc.call(
-                "attach",
-                {"client": self.name, "qp_num": conn.data_qp.remote.qp_num},
-            )
+            conn.ring = new_ring
         return lost
+
+    # ------------------------------------------------------------------
+    # Resilience engine: retries, deadlines, auto-reattach
+    # ------------------------------------------------------------------
+    def _jitter_rng(self):
+        if self._retry_rng is None:
+            self._retry_rng = self.sim.rng.stream(f"{self.name}.retry")
+        return self._retry_rng
+
+    def _resilient(self, op: str, attempt_factory) -> Generator[Any, Any, Any]:
+        """Run one op under the active :class:`RetryPolicy`.
+
+        Pay-as-you-go: with the default policy (one attempt, no deadline)
+        this is a plain ``yield from`` of the attempt — no extra simulated
+        events, so virtual-time results are bit-identical to the
+        pre-resilience client.
+        """
+        policy = self.retry_policy
+        start = self.sim.now
+        attempt = 1
+        while True:
+            try:
+                if policy.deadline_ns:
+                    result = yield from self._attempt_with_deadline(
+                        op, attempt_factory, start, policy)
+                else:
+                    result = yield from attempt_factory()
+                return result
+            except RetryableError as exc:
+                if attempt >= policy.max_attempts:
+                    raise
+                if (policy.deadline_ns
+                        and self.sim.now - start >= policy.deadline_ns):
+                    self.m_deadline_misses.add()
+                    raise DeadlineExceededError(
+                        f"{op} gave up after {self.sim.now - start} ns "
+                        f"(deadline {policy.deadline_ns} ns): {exc}") from exc
+                self.m_retries.add()
+                trace(self.sim, "retry", f"{op} attempt {attempt} failed",
+                      client=self.name, cause=type(exc).__name__)
+                server_id = getattr(exc, "server_id", None)
+                if self.config.auto_reattach and server_id is not None:
+                    yield from self._auto_reattach(server_id)
+                yield self.sim.sleep(
+                    policy.backoff_ns(attempt, self._jitter_rng()))
+                attempt += 1
+
+    def _attempt_with_deadline(self, op: str, attempt_factory, start: int,
+                               policy: RetryPolicy) -> Generator[Any, Any, Any]:
+        """One attempt raced against the remaining deadline budget.
+
+        A timed-out attempt is *abandoned*, never interrupted: interrupting
+        a process parked in a ``Store.get()`` would leave a zombie getter
+        that silently swallows the next item (a scratch-slot leak).  The
+        orphan runs to completion in the background — its buffers are
+        released and a failure with no waiters is stored silently — while
+        the caller gets the typed deadline error now.
+        """
+        remaining = policy.deadline_ns - (self.sim.now - start)
+        if remaining <= 0:
+            self.m_deadline_misses.add()
+            raise DeadlineExceededError(
+                f"{op} deadline of {policy.deadline_ns} ns exhausted")
+        proc = self.sim.spawn(attempt_factory(), name=f"{self.name}.{op}")
+        timer = self.sim.timeout(remaining)
+        # A failed attempt fails the any_of, re-raising its typed error here.
+        yield self.sim.any_of([proc, timer])
+        if proc.triggered:
+            return proc.value  # raises the attempt's failure, if any
+        self.m_deadline_misses.add()
+        trace(self.sim, "retry", f"{op} abandoned at deadline",
+              client=self.name, elapsed_ns=self.sim.now - start)
+        raise DeadlineExceededError(
+            f"{op} exceeded its {policy.deadline_ns} ns deadline")
+
+    def _auto_reattach(self, server_id: int) -> Generator[Any, Any, None]:
+        """Coalesced re-attach: the first failed op runs the handshake, any
+        concurrent failures wait on its gate.  Failure (server still down)
+        is swallowed — the caller backs off and retries, re-entering here.
+        """
+        gate = self._reattach_gates.get(server_id)
+        if gate is not None:
+            yield gate
+            return
+        gate = self.sim.event(name=f"{self.name}.reattach{server_id}")
+        self._reattach_gates[server_id] = gate
+        try:
+            try:
+                lost = yield from self.reattach_server(server_id)
+            except (RetryableError, RpcError) as exc:
+                trace(self.sim, "failover", "re-attach failed",
+                      client=self.name, server=server_id,
+                      cause=type(exc).__name__)
+            else:
+                self.m_failovers.add()
+                if lost:
+                    self.m_lost_writes.add(len(lost))
+                self.fault_log.append({
+                    "time_ns": self.sim.now,
+                    "server_id": server_id,
+                    "lost": lost,
+                })
+                trace(self.sim, "failover", "re-attached", client=self.name,
+                      server=server_id, lost=len(lost))
+        finally:
+            self._reattach_gates.pop(server_id, None)
+            gate.succeed()
+
+    def _check_wc(self, wc, what: str, conn: _ServerConn,
+                  ring: bool = False) -> None:
+        """Classify a failed completion into the typed error taxonomy."""
+        if wc.ok:
+            return
+        status = wc.status
+        if status is WcStatus.RETRY_EXCEEDED:
+            raise ServerUnavailableError(
+                f"{what} failed: {status}", server_id=conn.desc.server_id)
+        if ring and status is WcStatus.REMOTE_ACCESS_ERROR:
+            # The ring MR was deregistered by a server restart; the data /
+            # cache / lock MRs survive, so only ring traffic maps here.
+            raise StaleRingError(
+                f"{what} failed: {status} (ring torn down by a restart)",
+                server_id=conn.desc.server_id)
+        raise FatalError(f"{what} failed: {status}")
 
     # Batched operations --------------------------------------------------
     def gread_many(self, gaddrs) -> Generator[Any, Any, list]:
@@ -343,7 +607,7 @@ class GengarClient:
         fallback = []
         for gaddr, data in writes:
             if not data:
-                raise ClientError("empty write")
+                raise FatalError("empty write")
             meta = self._cached_meta(gaddr)
             if meta is None:
                 meta = yield from self._meta(gaddr)
@@ -374,7 +638,13 @@ class GengarClient:
             for lo in range(0, len(batch), ring.slots):
                 chunk = batch[lo : lo + ring.slots]
                 if conn.written - conn.drained_known + len(chunk) > ring.slots:
-                    yield from self._await_ring_space(conn, need=len(chunk))
+                    ok = yield from self._await_ring_space(conn, need=len(chunk))
+                    if not ok:
+                        # Stalled ring: route the chunk through the regular
+                        # gwrite path, which applies the degraded fallback
+                        # (and its ordering guard) per write.
+                        fallback.extend((g, d) for g, d, _p in chunk)
+                        continue
                 wrs = []
                 seqs = []
                 for gaddr, data, payload in chunk:
@@ -396,8 +666,7 @@ class GengarClient:
             yield self.sim.all_of([ev for ev, *_ in pending])
             for ev, conn, gaddr, data, seq in pending:
                 wc = ev.value
-                if not wc.ok:
-                    raise ClientError(f"proxy write failed: {wc.status}")
+                self._check_wc(wc, "proxy write", conn, ring=True)
                 self.m_writes.add()
                 self.m_proxy_writes.add(len(data))
                 self._overlay[gaddr] = _PendingWrite(
@@ -429,7 +698,7 @@ class GengarClient:
     # ------------------------------------------------------------------
     def _require_attached(self) -> None:
         if not self._attached:
-            raise ClientError(f"client {self.name} is not attached; run attach() first")
+            raise FatalError(f"client {self.name} is not attached; run attach() first")
 
     def _cached_meta(self, gaddr: int) -> Optional[ObjectMeta]:
         """Hot-key fast path: a valid cache hit costs two dict probes and no
@@ -461,7 +730,7 @@ class GengarClient:
     @staticmethod
     def _check_bounds(meta: ObjectMeta, offset: int, length: int) -> None:
         if offset < 0 or length < 0 or offset + length > meta.size:
-            raise ClientError(
+            raise FatalError(
                 f"access [{offset}, {offset + length}) outside object "
                 f"{meta.gaddr:#x} of size {meta.size}"
             )
@@ -498,16 +767,41 @@ class GengarClient:
             trace(self.sim, "read", "nvm read", client=self.name,
                   gaddr=hex(gaddr), bytes=length)
             return data
-        raise ClientError(f"metadata thrash reading {gaddr:#x}")
+        if self.config.degraded_mode:
+            # Cache bypass: NVM is the source of truth, so when the DRAM
+            # cache keeps thrashing (e.g. a server replaying promotions
+            # after a restart) a degraded client reads the home copy.
+            conn = self._conns[meta.server_id]
+            data = yield from self._rdma_read(
+                conn, conn.desc.data_rkey, meta.nvm_offset + offset, length
+            )
+            self.m_degraded_reads.add()
+            trace(self.sim, "degraded", "metadata thrash -> nvm read",
+                  client=self.name, gaddr=hex(gaddr), bytes=length)
+            return data
+        raise FatalError(f"metadata thrash reading {gaddr:#x}")
 
     # ------------------------------------------------------------------
     # Write paths
     # ------------------------------------------------------------------
     def _proxy_write(self, conn: _ServerConn, gaddr: int, offset: int,
-                     data: bytes) -> Generator[Any, Any, None]:
+                     data: bytes) -> Generator[Any, Any, bool]:
+        """Stage one write into the proxy ring.
+
+        Returns True once staged.  Returns False — *declining* the proxy
+        path — only when the ring is full and stalled past the degraded-mode
+        patience AND the object has no still-staged write of ours, so a
+        direct NVM write cannot be overtaken by an older staged one when the
+        ring eventually drains.
+        """
         ring = conn.ring
         if conn.written - conn.drained_known >= ring.slots:
-            yield from self._await_ring_space(conn)
+            ok = yield from self._await_ring_space(conn)
+            if not ok:
+                if gaddr not in self._overlay:
+                    return False
+                # Ordering hazard: wait the stall out (infinite patience).
+                yield from self._await_ring_space(conn, patience=0)
         # Reserve the sequence number *before* any further yield so
         # concurrent writers (gwrite_many) never collide on a ring slot.
         seq = conn.written
@@ -534,8 +828,7 @@ class GengarClient:
                 wc = yield conn.data_qp.post_send(wr)
             finally:
                 self._scratch_free.put(scratch_off)
-        if not wc.ok:
-            raise ClientError(f"proxy write failed: {wc.status}")
+        self._check_wc(wc, "proxy write", conn, ring=True)
         trace(self.sim, "proxy", "staged write", client=self.name,
               gaddr=hex(gaddr), slot=slot, bytes=len(data))
         # The drained counter is 1-based: write #seq is drained once the
@@ -543,6 +836,7 @@ class GengarClient:
         self._overlay[gaddr] = _PendingWrite(
             offset=offset, data=data, server_id=conn.desc.server_id, seq=seq + 1
         )
+        return True
 
     def _direct_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
                       offset: int, data: bytes) -> Generator[Any, Any, None]:
@@ -577,25 +871,45 @@ class GengarClient:
     # ------------------------------------------------------------------
     # Proxy flow control
     # ------------------------------------------------------------------
-    def _poll_drained(self, conn: _ServerConn) -> Generator[Any, Any, None]:
-        """Fetch the server-side drained counter with one 8-byte READ."""
+    def _poll_drained(self, conn: _ServerConn) -> Generator[Any, Any, bool]:
+        """Fetch the server-side drained counter with one 8-byte READ.
+
+        Returns True when the counter advanced since the last observation.
+        """
         raw = yield from self._rdma_read(
-            conn, conn.ring.ring_rkey, conn.ring.counter_offset, 8
+            conn, conn.ring.ring_rkey, conn.ring.counter_offset, 8, ring=True
         )
         value = int.from_bytes(raw, "little")
         if value > conn.drained_known:
             conn.drained_known = value
             self._prune_overlay(conn.desc.server_id)
+            return True
+        return False
 
-    def _await_ring_space(self, conn: _ServerConn,
-                          need: int = 1) -> Generator[Any, Any, None]:
-        """Poll the drained counter until ``need`` ring slots are free."""
+    def _await_ring_space(self, conn: _ServerConn, need: int = 1,
+                          patience: Optional[int] = None) -> Generator[Any, Any, bool]:
+        """Poll the drained counter until ``need`` ring slots are free.
+
+        ``patience`` bounds how many *consecutive no-progress* polls to
+        tolerate before giving up and returning False; 0 means poll forever
+        (the historical behaviour).  ``None`` resolves from the config:
+        ``degraded_patience_polls`` when degraded mode is on, else 0.
+        """
+        if patience is None:
+            patience = (self.config.degraded_patience_polls
+                        if self.config.degraded_mode else 0)
         backoff = 0
+        stalled_polls = 0
         while conn.written - conn.drained_known + need > conn.ring.slots:
-            yield from self._poll_drained(conn)
-            if conn.written - conn.drained_known + need > conn.ring.slots:
-                backoff = min(backoff + 1, 5)
-                yield self.sim.sleep(500 * (1 << backoff))
+            advanced = yield from self._poll_drained(conn)
+            if conn.written - conn.drained_known + need <= conn.ring.slots:
+                break
+            stalled_polls = 0 if advanced else stalled_polls + 1
+            if patience and stalled_polls >= patience:
+                return False
+            backoff = min(backoff + 1, 5)
+            yield self.sim.sleep(500 * (1 << backoff))
+        return True
 
     def _prune_overlay(self, server_id: int) -> None:
         conn = self._conns[server_id]
@@ -610,7 +924,7 @@ class GengarClient:
     # Raw verb helpers
     # ------------------------------------------------------------------
     def _rdma_read(self, conn: _ServerConn, rkey: int, remote_offset: int,
-                   nbytes: int) -> Generator[Any, Any, bytes]:
+                   nbytes: int, ring: bool = False) -> Generator[Any, Any, bytes]:
         if nbytes > _SCRATCH_SLOT_SIZE:
             # Transparent chunking: huge reads issue sequential scratch-sized
             # verbs (one WQE each), like a real library's segmented SGE path.
@@ -619,7 +933,8 @@ class GengarClient:
             while pos < nbytes:
                 chunk = min(_SCRATCH_SLOT_SIZE, nbytes - pos)
                 part = yield from self._rdma_read(conn, rkey,
-                                                  remote_offset + pos, chunk)
+                                                  remote_offset + pos, chunk,
+                                                  ring=ring)
                 parts.append(part)
                 pos += chunk
             return b"".join(parts)
@@ -630,8 +945,7 @@ class GengarClient:
                 local_mr=self._scratch_mr, local_offset=scratch_off, length=nbytes,
                 remote_rkey=rkey, remote_offset=remote_offset,
             ))
-            if not wc.ok:
-                raise ClientError(f"RDMA read failed: {wc.status}")
+            self._check_wc(wc, "RDMA read", conn, ring=ring)
             return self._scratch_mr.peek(scratch_off, nbytes)
         finally:
             self._scratch_free.put(scratch_off)
@@ -662,8 +976,7 @@ class GengarClient:
                 wc = yield conn.data_qp.post_send(wr)
             finally:
                 self._scratch_free.put(scratch_off)
-        if not wc.ok:
-            raise ClientError(f"RDMA write failed: {wc.status}")
+        self._check_wc(wc, "RDMA write", conn)
 
     def _atomic_cas(self, server_id: int, lock_offset: int, compare: int,
                     swap: int) -> Generator[Any, Any, int]:
@@ -673,8 +986,7 @@ class GengarClient:
             remote_rkey=conn.desc.lock_rkey, remote_offset=lock_offset,
             compare=compare, swap=swap,
         ))
-        if not wc.ok:
-            raise ClientError(f"atomic CAS failed: {wc.status}")
+        self._check_wc(wc, "atomic CAS", conn)
         return wc.atomic_value
 
     def _atomic_faa(self, server_id: int, lock_offset: int,
@@ -685,8 +997,7 @@ class GengarClient:
             remote_rkey=conn.desc.lock_rkey, remote_offset=lock_offset,
             add=add,
         ))
-        if not wc.ok:
-            raise ClientError(f"atomic FAA failed: {wc.status}")
+        self._check_wc(wc, "atomic FAA", conn)
         return wc.atomic_value
 
     # ------------------------------------------------------------------

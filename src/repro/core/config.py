@@ -83,6 +83,35 @@ class GengarConfig:
     #: lookup RPC per access (for overhead experiments).
     metadata_cache: bool = True
 
+    # ---- resilience ------------------------------------------------------
+    #: Modelled RC retransmission budget: how long a verb retransmits into
+    #: silence before completing with RETRY_EXCEEDED (dead-peer detection).
+    retry_timeout_ns: int = 50_000
+    #: Attempts per client op before a RetryableError propagates.  The
+    #: default of 1 keeps today's fail-fast behaviour (and virtual-time
+    #: results) exactly; resilient deployments raise it.
+    retry_max_attempts: int = 1
+    #: First retry backoff; doubles per attempt up to the cap below.
+    retry_base_backoff_ns: int = 4_000
+    retry_max_backoff_ns: int = 1_000_000
+    #: Randomize each backoff in [base, current] with the client's seeded
+    #: jitter stream, breaking retry convoys deterministically.
+    retry_jitter: bool = True
+    #: Per-op wall (virtual) time budget; 0 disables the deadline watchdog.
+    #: With a deadline, an op either completes in time or raises a typed
+    #: DeadlineExceededError — it never blocks unboundedly.
+    op_deadline_ns: int = 0
+    #: Re-establish rings/epochs automatically when a retry loop sees a
+    #: server-unavailable or stale-ring failure.
+    auto_reattach: bool = False
+    #: Serve ops through fallback paths instead of blocking or failing when
+    #: server DRAM state is unavailable: writes fall back to direct NVM
+    #: (ring gone or stalled), reads bypass a thrashing cache.
+    degraded_mode: bool = False
+    #: Drained-counter polls without progress before a ring is presumed
+    #: stalled and a write falls back to the direct path (degraded mode).
+    degraded_patience_polls: int = 8
+
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
@@ -100,6 +129,16 @@ class GengarConfig:
             raise ValueError("journal needs at least one entry")
         if self.placement not in ("round-robin", "rack-local"):
             raise ValueError(f"unknown placement policy {self.placement!r}")
+        if self.retry_timeout_ns < 1:
+            raise ValueError("retry_timeout_ns must be positive")
+        if self.retry_max_attempts < 1:
+            raise ValueError("need at least one attempt per op")
+        if self.retry_base_backoff_ns < 1 or self.retry_max_backoff_ns < self.retry_base_backoff_ns:
+            raise ValueError("retry backoff range must satisfy 1 <= base <= max")
+        if self.op_deadline_ns < 0:
+            raise ValueError("op_deadline_ns must be non-negative (0 disables)")
+        if self.degraded_patience_polls < 1:
+            raise ValueError("degraded_patience_polls must be positive")
 
     # Convenience ablation constructors -----------------------------------
     def ablate(self, *, cache: bool | None = None, proxy: bool | None = None) -> "GengarConfig":

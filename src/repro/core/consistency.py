@@ -31,7 +31,14 @@ from typing import TYPE_CHECKING, Any, Generator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.client import GengarClient
 
-from repro.core.protocol import READER_UNIT, WRITER_BIT, lock_reader_count, write_lock_word
+from repro.core.errors import DeadlineExceededError
+from repro.core.protocol import (
+    READER_UNIT,
+    WRITER_BIT,
+    lock_owner,
+    lock_reader_count,
+    write_lock_word,
+)
 
 #: 64-bit two's complement constant for the shared-lock decrement.
 _MINUS_READER = (1 << 64) - READER_UNIT
@@ -66,12 +73,28 @@ class LockOps:
     def _word_offset(self, lock_idx: int) -> int:
         return lock_idx * 8
 
+    def _check_deadline(self, start_ns: int, gaddr: int, what: str) -> None:
+        """Bound a contended acquire loop by the client's op deadline.
+
+        Without this, a lock held by a client that died (or a word a crash
+        reset under a still-spinning acquirer) would spin forever; with a
+        deadline configured the caller gets a typed error instead.
+        """
+        deadline = self.client.retry_policy.deadline_ns
+        if deadline and self.sim.now - start_ns >= deadline:
+            self.client.m_deadline_misses.add()
+            raise DeadlineExceededError(
+                f"{what} of {gaddr:#x} still contended after "
+                f"{self.sim.now - start_ns} ns (deadline {deadline} ns)")
+
     # ------------------------------------------------------------------
     def acquire_write(self, gaddr: int) -> Generator[Any, Any, None]:
-        """Take the exclusive lock on ``gaddr`` (blocks until acquired)."""
+        """Take the exclusive lock on ``gaddr`` (blocks until acquired, or
+        until the client's op deadline — if one is configured — expires)."""
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
         word = write_lock_word(self.client.uid)
+        start = self.sim.now
         attempt = 0
         while True:
             old = yield from self.client._atomic_cas(
@@ -81,6 +104,7 @@ class LockOps:
                 self.acquires.add()
                 return
             self.retries.add()
+            self._check_deadline(start, gaddr, "write-lock")
             yield from self._backoff(attempt)
             attempt += 1
 
@@ -93,6 +117,21 @@ class LockOps:
         # next holder's freshness guarantee.)
         if self.client.config.sync_on_release:
             yield from self.client.gsync(server_id=meta.server_id)
+        if self.client.config.degraded_mode:
+            # A restart zeroes the lock table; a blind subtract against the
+            # reset word would wrap it into a garbage state that poisons
+            # every later acquire.  Verify ownership first (one extra READ,
+            # paid only in degraded mode).
+            raw = yield from self.client._rdma_read(
+                self.client._conns[meta.server_id],
+                self.client._conns[meta.server_id].desc.lock_rkey,
+                self._word_offset(meta.lock_idx), 8,
+            )
+            current = int.from_bytes(raw, "little")
+            if not current & WRITER_BIT or lock_owner(current) != self.client.uid:
+                raise LockError(
+                    f"write-unlock of {gaddr:#x} not held by this client "
+                    f"(word={current:#x}; lock table reset by a restart?)")
         # Subtract exactly what acquire installed (owner id + writer bit);
         # correct even while readers' +2 increments are in flight.
         word = write_lock_word(self.client.uid)
@@ -104,9 +143,11 @@ class LockOps:
             raise LockError(f"write-unlock of {gaddr:#x} which was not write-locked")
 
     def acquire_read(self, gaddr: int) -> Generator[Any, Any, None]:
-        """Take a shared lock on ``gaddr`` (blocks until acquired)."""
+        """Take a shared lock on ``gaddr`` (blocks until acquired, or until
+        the client's op deadline — if one is configured — expires)."""
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
+        start = self.sim.now
         attempt = 0
         while True:
             old = yield from self.client._atomic_faa(
@@ -118,6 +159,7 @@ class LockOps:
             # A writer holds it: undo our increment and back off.
             yield from self.client._atomic_faa(meta.server_id, offset, add=_MINUS_READER)
             self.retries.add()
+            self._check_deadline(start, gaddr, "read-lock")
             yield from self._backoff(attempt)
             attempt += 1
 

@@ -1,0 +1,76 @@
+"""Typed client error taxonomy.
+
+Every failure a :class:`~repro.core.client.GengarClient` verb can surface is
+a :class:`ClientError`, split into two actionable branches:
+
+* :class:`FatalError` — usage errors and protocol states a retry cannot
+  fix (out-of-bounds access, protection faults, metadata thrash with
+  degradation disabled).  Callers should propagate these.
+* :class:`RetryableError` — transient conditions where retrying (possibly
+  after re-attaching to a restarted server) may succeed.  The client's
+  built-in retry loop (see :class:`~repro.core.client.RetryPolicy`) handles
+  these automatically when ``retry_max_attempts > 1``.
+
+:class:`DeadlineExceededError` sits outside both branches: it is the typed
+signal that the per-op deadline elapsed, raised *instead of* blocking
+forever.  It is deliberately not retryable — the caller's time budget is
+already spent.
+
+These live in their own module (rather than ``client.py``) because both the
+client and the consistency layer raise them; ``client.py`` re-exports every
+name for backward compatibility.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+
+class ClientError(Exception):
+    """Invalid client operation or unrecoverable protocol failure."""
+
+
+class FatalError(ClientError):
+    """A failure no retry can fix: usage error, protection fault, corrupt
+    protocol state."""
+
+
+class RetryableError(ClientError):
+    """A transient failure: retrying the operation (possibly after a
+    re-attach) may succeed."""
+
+
+class ServerUnavailableError(RetryableError):
+    """A verb or RPC hit a dead or unreachable server (``RETRY_EXCEEDED``).
+
+    Carries the server id so the retry loop knows which server to
+    re-attach once it comes back.
+    """
+
+    def __init__(self, message: str, server_id: Optional[int] = None):
+        super().__init__(message)
+        self.server_id = server_id
+
+
+class StaleRingError(RetryableError):
+    """A proxy-ring access faulted because the ring was torn down by a
+    server restart (its MR was deregistered at crash time).
+
+    Distinct from :class:`ServerUnavailableError`: the server is *alive*
+    again, but this client's session state is gone and must be rebuilt via
+    :meth:`~repro.core.client.GengarClient.reattach_server`.
+    """
+
+    def __init__(self, message: str, server_id: Optional[int] = None):
+        super().__init__(message)
+        self.server_id = server_id
+
+
+class DeadlineExceededError(ClientError):
+    """The per-op deadline elapsed before the verb completed.
+
+    When raised from the deadline watchdog (rather than between retry
+    attempts), the abandoned attempt keeps running in the background and
+    its side effects — including a write landing after all — may still
+    occur; the caller only knows the op did not complete *in time*.
+    """

@@ -28,6 +28,7 @@ from repro.core.protocol import (
     ServerDescriptor,
 )
 from repro.rdma.rpc import RpcError, RpcServer
+from repro.sim.trace import trace
 
 _RPC_BUFFERS = 16
 _RPC_BUFFER_SIZE = 4096
@@ -355,6 +356,8 @@ class Master:
                 policy.on_demoted(record.gaddr)
                 dropped += 1
             record.pinned = False
+        trace(self.sim, "fault", "directory reconciled after restart",
+              server=server_id, dropped_cache_entries=dropped)
         return dropped
 
     def force_unlock(self, gaddr: int) -> Generator[Any, Any, int]:

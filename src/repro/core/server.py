@@ -146,8 +146,13 @@ class MemoryServer:
         #: Locally cached objects: gaddr -> entry (the drain loop consults it).
         self.cached: Dict[int, _CacheEntry] = {}
         self._rings: Dict[str, _ClientRing] = {}
+        #: DRAM spans carved for each client's ring, reused across
+        #: crash/re-attach cycles so repeated recoveries don't leak DRAM.
+        self._ring_spans: Dict[str, int] = {}
         self._drain_loops: list = []  # (process, qp) pairs
         self._drain_proc_by_client: Dict[str, object] = {}
+        #: Fault injection: when set, drain loops park on this event.
+        self._drain_gate = None
         self.crashes = 0
 
         m = self.sim.metrics
@@ -234,7 +239,13 @@ class MemoryServer:
         slots = self.config.proxy_ring_slots
         slot_size = self.config.proxy_slot_size
         span = slots * slot_size + 64  # slots + drained counter word
-        ring_base = self._carver.carve(span, f"ring:{client_name}")
+        # Reuse the span carved for this client's previous incarnation (its
+        # MR was deregistered at crash time); repeated crash/recover cycles
+        # must not consume fresh DRAM.
+        ring_base = self._ring_spans.get(client_name)
+        if ring_base is None:
+            ring_base = self._carver.carve(span, f"ring:{client_name}")
+            self._ring_spans[client_name] = ring_base
         mr = self.node.endpoint.register_mr(
             self.node.dram, ring_base, span,
             access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE,
@@ -376,6 +387,12 @@ class MemoryServer:
             wc = yield from qp.recv_cq.wait()
             if wc.context.get("poison"):
                 return  # server crashed: staged-but-undrained writes are lost
+            gate = self._drain_gate
+            if gate is not None and not gate.triggered:
+                # Injected stall: hold the doorbell until the gate opens.
+                # A crash during the stall opens the gate too, so the loop
+                # always reaches its poison completion and exits.
+                yield gate
             slot = wc.imm_data
             self.ring_occupancy.adjust(+1)
             yield from self.node.cpu_work()  # parse the doorbell + header
@@ -427,7 +444,18 @@ class MemoryServer:
             self.cache_alloc = ExtentAllocator(self.config.cache_capacity)
         for ring in self._rings.values():
             ring.mr.poke(0, bytes(ring.mr.length))
+            # Tear down the ring's RDMA window: a client unaware of the
+            # crash faults loudly (REMOTE_ACCESS_ERROR -> StaleRingError)
+            # instead of silently writing into an orphaned region.  The
+            # carved span itself is reused at re-attach (_ring_spans).
+            self.node.endpoint.deregister_mr(ring.mr)
         self._rings.clear()
+        # A stalled drain loop must still see its poison completion.
+        gate = self._drain_gate
+        if gate is not None:
+            if not gate.triggered:
+                gate.succeed()
+            self._drain_gate = None
         # Stop the drain loops with poison completions (a poisoned wait is
         # consumed by the dying loop, so no live completion is ever lost to
         # a stale queue entry).
@@ -452,6 +480,33 @@ class MemoryServer:
         """
         self.node.endpoint.alive = True
         trace(self.sim, "fault", "server recovered", server=self.node.name)
+
+    def stall_drains(self, duration_ns: int) -> None:
+        """Freeze every proxy drain loop for ``duration_ns`` (fault
+        injection: a wedged drain thread or an NVM write stall).
+
+        Staged writes keep landing in the rings (clients still get DRAM-
+        latency acks) but nothing reaches NVM and the drained counter stops
+        advancing until the gate reopens.  A stall during a stall is a
+        no-op (the first release time stands); a crash releases the gate
+        immediately.
+        """
+        if duration_ns < 1:
+            raise ServerError("stall duration must be positive")
+        if self._drain_gate is not None and not self._drain_gate.triggered:
+            return
+        gate = self.sim.event(name=f"{self.node.name}.drain_stall")
+        self._drain_gate = gate
+        self.sim.schedule(duration_ns, self._release_drain_gate, gate)
+        trace(self.sim, "fault", "drain loops stalled",
+              server=self.node.name, duration_ns=duration_ns)
+
+    def _release_drain_gate(self, gate) -> None:
+        if not gate.triggered:
+            gate.succeed()
+        if self._drain_gate is gate:
+            self._drain_gate = None
+            trace(self.sim, "fault", "drain loops released", server=self.node.name)
 
     @property
     def is_alive(self) -> bool:

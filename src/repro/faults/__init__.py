@@ -1,0 +1,33 @@
+"""Deterministic fault injection for Gengar deployments.
+
+Author a :class:`FaultPlan` out of declarative fault dataclasses, then let a
+:class:`FaultInjector` execute it against a booted pool.  All randomness
+(per-packet loss) comes from the simulator's seeded RNG registry, so a run
+under a fault plan is exactly as reproducible as a fault-free one.
+"""
+
+from repro.faults.injector import FaultInjector
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    LatencySpike,
+    LinkFlap,
+    LossyLink,
+    Partition,
+    RingStall,
+    ServerCrash,
+    ServerRecover,
+)
+
+__all__ = [
+    "FaultInjector",
+    "FaultPlan",
+    "FaultPlanError",
+    "ServerCrash",
+    "ServerRecover",
+    "RingStall",
+    "LossyLink",
+    "LatencySpike",
+    "LinkFlap",
+    "Partition",
+]

@@ -1,0 +1,223 @@
+"""Deterministic execution of a :class:`~repro.faults.plan.FaultPlan`.
+
+The injector turns a declarative plan into scheduled simulator callbacks
+(crash/recover/stall) and a fabric fault hook (loss, latency, flaps,
+partitions).  Every probabilistic decision draws from one named stream of
+the simulator's seeded RNG registry, so the same seed + the same plan
+reproduces a bit-identical run — including which individual packets were
+dropped — without perturbing any other consumer's stream.
+
+Usage::
+
+    plan = FaultPlan.of(
+        ServerCrash(at_ns=1_000_000, server_id=0),
+        ServerRecover(at_ns=2_000_000, server_id=0),
+        LossyLink(start_ns=3_000_000, end_ns=4_000_000, drop_prob=0.2),
+    )
+    injector = FaultInjector.for_pool(pool, plan)
+    injector.install()
+    ...run the workload...
+
+or, equivalently, ``pool.inject_faults(plan)``.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable, Dict, List, Optional, Tuple
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.api import GengarPool
+    from repro.core.master import Master
+    from repro.core.server import MemoryServer
+    from repro.hardware.network import Fabric
+    from repro.sim.kernel import Simulator
+
+from repro.faults.plan import (
+    FaultPlan,
+    FaultPlanError,
+    LatencySpike,
+    LinkFlap,
+    LossyLink,
+    Partition,
+    RingStall,
+    ServerCrash,
+    ServerRecover,
+)
+from repro.sim.trace import trace
+
+
+class _Window:
+    """One link-shaping window, normalized for the hot fabric hook."""
+
+    __slots__ = ("start_ns", "end_ns", "drop_prob", "extra_ns", "matches")
+
+    def __init__(self, start_ns: int, end_ns: int, drop_prob: float,
+                 extra_ns: int, matches: Callable[[str, str], bool]):
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.drop_prob = drop_prob
+        self.extra_ns = extra_ns
+        self.matches = matches
+
+
+def _pair_matcher(src: Optional[str], dst: Optional[str]) -> Callable[[str, str], bool]:
+    def matches(s: str, d: str) -> bool:
+        return (src is None or s == src) and (dst is None or d == dst)
+    return matches
+
+
+def _flap_matcher(node: str) -> Callable[[str, str], bool]:
+    def matches(s: str, d: str) -> bool:
+        return s == node or d == node
+    return matches
+
+
+def _partition_matcher(group_a, group_b) -> Callable[[str, str], bool]:
+    a, b = frozenset(group_a), frozenset(group_b)
+
+    def matches(s: str, d: str) -> bool:
+        return (s in a and d in b) or (s in b and d in a)
+    return matches
+
+
+class FaultInjector:
+    """Executes one plan against one deployment.
+
+    Single-shot: build a new injector per plan.  :meth:`install` is the arm
+    step; :meth:`uninstall` detaches the fabric hook (timed actions that
+    already fired are not undone — schedule matching recoveries in the plan).
+    """
+
+    def __init__(self, sim: "Simulator", plan: FaultPlan, *,
+                 fabric: Optional["Fabric"] = None,
+                 servers: Optional[Dict[int, "MemoryServer"]] = None,
+                 master: Optional["Master"] = None,
+                 rng_name: str = "faults"):
+        self.sim = sim
+        self.plan = plan
+        self.fabric = fabric
+        self.servers = servers or {}
+        self.master = master
+        self._rng = sim.rng.stream(rng_name)
+        self._windows: List[_Window] = []
+        self._installed = False
+
+        m = sim.metrics
+        self.crashes_injected = m.counter("faults.crashes")
+        self.recoveries_injected = m.counter("faults.recoveries")
+        self.stalls_injected = m.counter("faults.stalls")
+
+        for f in plan.timed:
+            if f.server_id not in self.servers:
+                raise FaultPlanError(
+                    f"plan names server {f.server_id} but only "
+                    f"{sorted(self.servers)} are wired")
+        if plan.windows and fabric is None:
+            raise FaultPlanError("plan has link faults but no fabric was wired")
+
+    @classmethod
+    def for_pool(cls, pool: "GengarPool", plan: FaultPlan,
+                 rng_name: str = "faults") -> "FaultInjector":
+        """Wire an injector to a booted :class:`GengarPool`."""
+        return cls(pool.sim, plan,
+                   fabric=pool.cluster.fabric,
+                   servers=pool.servers,
+                   master=pool.master,
+                   rng_name=rng_name)
+
+    # ------------------------------------------------------------------
+    def install(self) -> "FaultInjector":
+        """Arm the plan: schedule timed actions, hook the fabric.
+
+        Faults timestamped in the past (relative to ``sim.now``) are
+        rejected — anchor relative plans with :meth:`FaultPlan.shifted`.
+        Returns ``self`` for chaining.
+        """
+        if self._installed:
+            raise FaultPlanError("injector already installed")
+        now = self.sim.now
+        for f in self.plan.timed:
+            if f.at_ns < now:
+                raise FaultPlanError(
+                    f"fault at t={f.at_ns} is in the past (now={now}); "
+                    "use plan.shifted(...) to anchor it")
+        self._installed = True
+
+        for f in self.plan.timed:
+            if isinstance(f, ServerCrash):
+                self.sim.schedule(f.at_ns - now, self._do_crash, f.server_id)
+            elif isinstance(f, ServerRecover):
+                self.sim.schedule(f.at_ns - now, self._do_recover,
+                                  f.server_id, f.reconcile)
+            else:  # RingStall
+                self.sim.schedule(f.at_ns - now, self._do_stall,
+                                  f.server_id, f.duration_ns)
+
+        for f in self.plan.windows:
+            if isinstance(f, LossyLink):
+                w = _Window(f.start_ns, f.end_ns, f.drop_prob, 0,
+                            _pair_matcher(f.src, f.dst))
+            elif isinstance(f, LatencySpike):
+                w = _Window(f.start_ns, f.end_ns, 0.0, f.extra_ns,
+                            _pair_matcher(f.src, f.dst))
+            elif isinstance(f, LinkFlap):
+                w = _Window(f.start_ns, f.end_ns, 1.0, 0, _flap_matcher(f.node))
+            else:  # Partition
+                w = _Window(f.start_ns, f.end_ns, 1.0, 0,
+                            _partition_matcher(f.group_a, f.group_b))
+            self._windows.append(w)
+        if self._windows:
+            self.fabric.set_fault_hook(self._verdict)
+        trace(self.sim, "fault", "fault plan installed",
+              faults=len(self.plan), horizon_ns=self.plan.horizon_ns)
+        return self
+
+    def uninstall(self) -> None:
+        """Detach the fabric hook (e.g. before a verification phase)."""
+        if self._windows and self.fabric is not None:
+            self.fabric.set_fault_hook(None)
+        self._windows = []
+
+    # ------------------------------------------------------------------
+    # Fabric hook (hot path: one call per transmission attempt)
+    # ------------------------------------------------------------------
+    def _verdict(self, src: str, dst: str, nbytes: int) -> Tuple[bool, int]:
+        now = self.sim.now
+        drop_prob = 0.0
+        extra_ns = 0
+        for w in self._windows:
+            if w.start_ns <= now < w.end_ns and w.matches(src, dst):
+                if w.drop_prob > drop_prob:
+                    drop_prob = w.drop_prob
+                extra_ns += w.extra_ns
+        if drop_prob >= 1.0:
+            dropped = True  # deterministic black hole: no RNG draw
+        elif drop_prob > 0.0:
+            dropped = self._rng.random() < drop_prob
+        else:
+            dropped = False
+        if dropped:
+            trace(self.sim, "fault", "message dropped",
+                  src=src, dst=dst, bytes=nbytes)
+        return dropped, extra_ns
+
+    # ------------------------------------------------------------------
+    # Timed actions
+    # ------------------------------------------------------------------
+    def _do_crash(self, server_id: int) -> None:
+        trace(self.sim, "fault", "injecting server crash", server=server_id)
+        self.servers[server_id].crash()
+        self.crashes_injected.add()
+
+    def _do_recover(self, server_id: int, reconcile: bool) -> None:
+        trace(self.sim, "fault", "injecting server recovery", server=server_id)
+        self.servers[server_id].recover()
+        if reconcile and self.master is not None:
+            self.master.on_server_recovered(server_id)
+        self.recoveries_injected.add()
+
+    def _do_stall(self, server_id: int, duration_ns: int) -> None:
+        trace(self.sim, "fault", "injecting ring stall",
+              server=server_id, duration_ns=duration_ns)
+        self.servers[server_id].stall_drains(duration_ns)
+        self.stalls_injected.add()

@@ -1,0 +1,216 @@
+"""Declarative fault plans.
+
+A :class:`FaultPlan` is an immutable description of *what goes wrong when*,
+in virtual time, expressed with small frozen dataclasses.  Plans are pure
+data: they can be built before a run, shifted to line up with a workload
+phase (:meth:`FaultPlan.shifted`), embedded in test parametrizations, and
+compared for equality.  The :class:`~repro.faults.injector.FaultInjector`
+executes them.
+
+Two families of faults:
+
+* **Timed actions** fire once at an instant: :class:`ServerCrash`,
+  :class:`ServerRecover`, :class:`RingStall`.
+* **Link windows** shape the fabric over an interval: :class:`LossyLink`,
+  :class:`LatencySpike`, :class:`LinkFlap`, :class:`Partition`.
+
+All times are absolute virtual nanoseconds.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+from dataclasses import dataclass
+from typing import Optional, Tuple, Union
+
+
+class FaultPlanError(ValueError):
+    """An ill-formed fault plan (bad times, probabilities, or groups)."""
+
+
+# ----------------------------------------------------------------------
+# Timed actions
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class ServerCrash:
+    """Power-cycle a memory server at ``at_ns``: DRAM state (cache, proxy
+    rings, lock table) is lost; NVM survives."""
+
+    at_ns: int
+    server_id: int
+
+    def shifted(self, delta: int) -> "ServerCrash":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class ServerRecover:
+    """Restart a crashed server at ``at_ns``.  With ``reconcile=True`` the
+    master's directory is reconciled in the same instant (the production
+    recovery sequence); disable it to test clients racing a stale
+    directory."""
+
+    at_ns: int
+    server_id: int
+    reconcile: bool = True
+
+    def shifted(self, delta: int) -> "ServerRecover":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class RingStall:
+    """Freeze a server's proxy drain loops for ``duration_ns`` starting at
+    ``at_ns`` — staged writes stop reaching NVM and the drained counter
+    stops advancing (models a wedged drain thread / NVM write stall)."""
+
+    at_ns: int
+    duration_ns: int
+    server_id: int
+
+    def shifted(self, delta: int) -> "RingStall":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+# ----------------------------------------------------------------------
+# Link windows
+# ----------------------------------------------------------------------
+@dataclass(frozen=True)
+class LossyLink:
+    """Drop each matching message with ``drop_prob`` during the window.
+
+    ``src``/``dst`` of ``None`` match any sender/receiver; name a node to
+    restrict the loss to one direction of one path.
+    """
+
+    start_ns: int
+    end_ns: int
+    drop_prob: float
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def shifted(self, delta: int) -> "LossyLink":
+        return dataclasses.replace(
+            self, start_ns=self.start_ns + delta, end_ns=self.end_ns + delta)
+
+
+@dataclass(frozen=True)
+class LatencySpike:
+    """Add ``extra_ns`` of one-way latency to matching messages during the
+    window (congestion, a rerouted path, a misbehaving switch)."""
+
+    start_ns: int
+    end_ns: int
+    extra_ns: int
+    src: Optional[str] = None
+    dst: Optional[str] = None
+
+    def shifted(self, delta: int) -> "LatencySpike":
+        return dataclasses.replace(
+            self, start_ns=self.start_ns + delta, end_ns=self.end_ns + delta)
+
+
+@dataclass(frozen=True)
+class LinkFlap:
+    """Black-hole *all* traffic to and from ``node`` during the window (a
+    cable pull / port flap).  Unlike a crash, the node's state survives;
+    verbs stall in retransmission until the window ends."""
+
+    start_ns: int
+    end_ns: int
+    node: str
+
+    def shifted(self, delta: int) -> "LinkFlap":
+        return dataclasses.replace(
+            self, start_ns=self.start_ns + delta, end_ns=self.end_ns + delta)
+
+
+@dataclass(frozen=True)
+class Partition:
+    """Drop all traffic crossing between two node groups during the window.
+
+    Traffic within a group is unaffected.
+    """
+
+    start_ns: int
+    end_ns: int
+    group_a: Tuple[str, ...]
+    group_b: Tuple[str, ...]
+
+    def shifted(self, delta: int) -> "Partition":
+        return dataclasses.replace(
+            self, start_ns=self.start_ns + delta, end_ns=self.end_ns + delta)
+
+
+Fault = Union[ServerCrash, ServerRecover, RingStall,
+              LossyLink, LatencySpike, LinkFlap, Partition]
+
+_TIMED_TYPES = (ServerCrash, ServerRecover, RingStall)
+_WINDOW_TYPES = (LossyLink, LatencySpike, LinkFlap, Partition)
+
+
+@dataclass(frozen=True)
+class FaultPlan:
+    """An immutable, validated collection of faults."""
+
+    faults: Tuple[Fault, ...] = ()
+
+    def __post_init__(self) -> None:
+        for f in self.faults:
+            if not isinstance(f, _TIMED_TYPES + _WINDOW_TYPES):
+                raise FaultPlanError(f"not a fault: {f!r}")
+            if isinstance(f, _TIMED_TYPES):
+                if f.at_ns < 0:
+                    raise FaultPlanError(f"negative fault time: {f!r}")
+                if isinstance(f, RingStall) and f.duration_ns < 1:
+                    raise FaultPlanError(f"stall needs a positive duration: {f!r}")
+            else:
+                if f.start_ns < 0 or f.end_ns <= f.start_ns:
+                    raise FaultPlanError(f"empty or negative window: {f!r}")
+            if isinstance(f, LossyLink) and not 0.0 < f.drop_prob <= 1.0:
+                raise FaultPlanError(f"drop_prob must be in (0, 1]: {f!r}")
+            if isinstance(f, LatencySpike) and f.extra_ns < 1:
+                raise FaultPlanError(f"latency spike needs extra_ns >= 1: {f!r}")
+            if isinstance(f, Partition):
+                if not f.group_a or not f.group_b:
+                    raise FaultPlanError(f"partition groups must be non-empty: {f!r}")
+                if set(f.group_a) & set(f.group_b):
+                    raise FaultPlanError(f"partition groups overlap: {f!r}")
+
+    @classmethod
+    def of(cls, *faults: Fault) -> "FaultPlan":
+        """Convenience constructor: ``FaultPlan.of(crash, recover, ...)``."""
+        return cls(faults=tuple(faults))
+
+    # ------------------------------------------------------------------
+    @property
+    def timed(self) -> Tuple[Fault, ...]:
+        """Crash/recover/stall actions, in time order (ties keep plan order)."""
+        acts = [f for f in self.faults if isinstance(f, _TIMED_TYPES)]
+        return tuple(sorted(acts, key=lambda f: f.at_ns))
+
+    @property
+    def windows(self) -> Tuple[Fault, ...]:
+        """Link-shaping windows, in plan order."""
+        return tuple(f for f in self.faults if isinstance(f, _WINDOW_TYPES))
+
+    @property
+    def horizon_ns(self) -> int:
+        """The instant after which the plan is fully played out."""
+        horizon = 0
+        for f in self.faults:
+            if isinstance(f, RingStall):
+                horizon = max(horizon, f.at_ns + f.duration_ns)
+            elif isinstance(f, _TIMED_TYPES):
+                horizon = max(horizon, f.at_ns)
+            else:
+                horizon = max(horizon, f.end_ns)
+        return horizon
+
+    def shifted(self, delta: int) -> "FaultPlan":
+        """The same plan, every time moved by ``delta`` ns (e.g. to anchor a
+        plan authored relative to zero at the end of a load phase)."""
+        return FaultPlan(faults=tuple(f.shifted(delta) for f in self.faults))
+
+    def __len__(self) -> int:
+        return len(self.faults)

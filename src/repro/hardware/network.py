@@ -18,7 +18,7 @@ below the sum of member ports) and pays an extra hop of latency.
 
 from __future__ import annotations
 
-from typing import TYPE_CHECKING, Any, Dict, Generator
+from typing import TYPE_CHECKING, Any, Callable, Dict, Generator, Optional, Tuple
 
 from repro.sim.resources import Resource
 
@@ -39,7 +39,7 @@ class _Port:
     ports carry their own (typically oversubscribed) rate.
     """
 
-    def __init__(self, sim: "Simulator", name: str, bandwidth: float = None):
+    def __init__(self, sim: "Simulator", name: str, bandwidth: Optional[float] = None):
         self.gate = Resource(sim, capacity=1, name=name)
         self.bandwidth = bandwidth
         self.bytes_moved = 0
@@ -69,6 +69,12 @@ class Fabric:
         self.messages = sim.metrics.counter("fabric.messages")
         self.payload_bytes = sim.metrics.counter("fabric.payload_bytes")
         self.inter_rack_messages = sim.metrics.counter("fabric.inter_rack")
+        #: Optional fault hook (see :meth:`set_fault_hook`).
+        self._fault_hook: Optional[Callable[[str, str, int], Tuple[bool, int]]] = None
+        #: Sender-side loss detection delay before a dropped message is
+        #: re-injected (RC retransmission model).
+        self.retransmit_ns = max(1_000, 4 * spec.propagation_ns)
+        self.dropped_messages = sim.metrics.counter("fabric.dropped")
 
     def attach(self, node_name: str) -> None:
         """Register a node; idempotent."""
@@ -78,6 +84,22 @@ class Fabric:
 
     def is_attached(self, node_name: str) -> bool:
         return node_name in self._egress
+
+    def set_fault_hook(
+        self, hook: Optional[Callable[[str, str, int], Tuple[bool, int]]]
+    ) -> None:
+        """Install (or clear, with ``None``) the fault-injection hook.
+
+        ``hook(src, dst, nbytes) -> (dropped, extra_latency_ns)`` is consulted
+        once per transmission attempt.  A drop models the message vanishing in
+        flight: the sender waits :attr:`retransmit_ns` (loss detection) and
+        retransmits, re-consulting the hook — so a permanently-partitioned
+        path stalls the verb until the partition heals (callers bound this
+        with their own deadlines).  ``extra_latency_ns`` is added to the
+        delivery's propagation delay.  With no hook installed the data path
+        is byte-for-byte identical to an un-instrumented fabric.
+        """
+        self._fault_hook = hook
 
     # ------------------------------------------------------------------
     # Two-tier topology
@@ -145,6 +167,18 @@ class Fabric:
         if nbytes < 0:
             raise FabricError("negative transfer size")
 
+        extra_ns = 0
+        hook = self._fault_hook
+        if hook is not None:
+            while True:
+                dropped, extra_ns = hook(src, dst, nbytes)
+                if not dropped:
+                    break
+                # The message died in flight; the sender notices only by
+                # timeout and retransmits.  The ports stay free meanwhile.
+                self.dropped_messages.add()
+                yield self.sim.sleep(self.retransmit_ns)
+
         wire_bytes = nbytes + self.spec.header_bytes
         if self._crosses_core(src, dst):
             # Inter-rack: edge serialization, then the (possibly slower)
@@ -163,7 +197,7 @@ class Fabric:
             with (yield from ingress.gate.acquire()):
                 yield self.sim.sleep(self.wire_time(nbytes))
                 ingress.bytes_moved += wire_bytes
-            yield self.sim.sleep(self.spec.propagation_ns + self._core_hop_ns)
+            yield self.sim.sleep(self.spec.propagation_ns + self._core_hop_ns + extra_ns)
             self.inter_rack_messages.add()
         else:
             with (yield from egress.gate.acquire()):
@@ -171,7 +205,7 @@ class Fabric:
                     yield self.sim.sleep(self.wire_time(nbytes))
                     egress.bytes_moved += wire_bytes
                     ingress.bytes_moved += wire_bytes
-            yield self.sim.sleep(self.spec.propagation_ns)
+            yield self.sim.sleep(self.spec.propagation_ns + extra_ns)
         self.messages.add()
         self.payload_bytes.add(nbytes)
 

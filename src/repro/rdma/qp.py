@@ -35,8 +35,10 @@ from repro.rdma.wr import (
 
 #: Wire payload of a READ request (remote address + length + rkey).
 READ_REQUEST_BYTES = 16
-#: Modelled RC retransmission timeout before a dead peer surfaces as
+#: Default modelled RC retransmission timeout before a dead peer surfaces as
 #: RETRY_EXCEEDED (real defaults are much larger; this keeps tests fast).
+#: Per-endpoint override: ``endpoint.retry_timeout_ns``, wired from
+#: ``GengarConfig.retry_timeout_ns`` by the pool bootstrap.
 RETRY_TIMEOUT_NS = 50_000
 
 def _qp_ids_for(sim):
@@ -176,7 +178,7 @@ class QueuePair:
         if not remote_ep.alive:
             # The request is retransmitted into silence until the QP's
             # retry budget expires.
-            yield self.sim.sleep(RETRY_TIMEOUT_NS)
+            yield self.sim.sleep(local.retry_timeout_ns)
             self._complete(wr, done, WcStatus.RETRY_EXCEEDED)
             return
         yield from remote_ep.nic.rx_process()

@@ -11,6 +11,27 @@ Typical debugging session::
     sim.tracer = Tracer(sim, categories={"proxy", "cache"})
     ...run the workload...
     print(sim.tracer.render(limit=50))
+
+Categories emitted by the instrumented stack:
+
+``cache``
+    DRAM-cache read hits and self-verification tag mismatches.
+``read``
+    NVM home reads (the uncached read route).
+``proxy``
+    Proxy-ring staging, drains, and drain-loop lifecycle.
+``fault``
+    Injected faults (crash / recover / stall / dropped messages) and
+    recovery-side reconciliation — everything a fault plan does to the
+    system.
+``retry``
+    Client retry attempts and deadline abandonments.
+``failover``
+    Automatic re-attach outcomes (success with lost-write count, or
+    failure against a still-dead server).
+``degraded``
+    Degraded-mode fallbacks: direct writes past a stalled/absent ring,
+    cache-bypass reads.
 """
 
 from __future__ import annotations

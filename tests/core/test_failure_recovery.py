@@ -254,3 +254,52 @@ def test_double_crash_is_idempotent():
     assert server.crashes == 1
     server.recover()
     assert server.is_alive
+
+
+def test_repeated_crash_recover_cycles_do_not_leak():
+    """Five power cycles must not leak DRAM carves, MRs, or drain loops.
+
+    Each re-attach registers a fresh ring MR and spawns a fresh drain loop;
+    the crash path must fully retire the previous generation (and reuse the
+    carved ring span) or a long-lived server bleeds resources one outage at
+    a time.
+    """
+    sim, pool = build_pool(num_servers=1, num_clients=2)
+    server = pool.servers[0]
+    endpoint = server.node.endpoint
+    a, b = pool.clients
+
+    def cycle():
+        server.crash()
+        server.recover()
+        pool.master.on_server_recovered(0)
+
+        def reattach(sim):
+            yield from a.reattach_server(0)
+            yield from b.reattach_server(0)
+
+        pool.run(reattach(sim))
+
+    cycle()  # first cycle settles any lazily-carved state
+    mrs = len(endpoint._mrs)
+    carved = server._carver._next
+    assert len(server._drain_loops) == 2  # one live drain loop per client
+
+    for _ in range(4):
+        cycle()
+
+    assert len(endpoint._mrs) == mrs
+    assert server._carver._next == carved  # ring spans are reused, not re-carved
+    assert len(server._drain_loops) == 2
+    assert server.cache_alloc.allocated_bytes == 0  # cache allocator reset
+
+    def app(sim):
+        gaddr = yield from a.gmalloc(64)
+        yield from a.gwrite(gaddr, b"alive!" + bytes(58))
+        yield from a.gsync()
+        data = yield from b.gread(gaddr, length=6)
+        return data
+
+    (data,) = pool.run(app(sim))
+    assert data == b"alive!"
+    assert server.crashes == 5

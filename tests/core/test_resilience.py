@@ -1,0 +1,232 @@
+"""Client-side resilience: typed errors, retries, deadlines, degraded mode.
+
+The contract under test: with the default policy (one attempt, no deadline)
+failures surface immediately as *typed* errors; raising the retry knobs buys
+transparent recovery from transient outages; the deadline watchdog converts
+open-ended stalls into :class:`DeadlineExceededError`; and degraded mode
+trades the proxy/cache fast paths for availability.
+"""
+
+import pytest
+
+from repro.core import (
+    ClientError,
+    DeadlineExceededError,
+    RetryableError,
+    RetryPolicy,
+    ServerUnavailableError,
+)
+from repro.faults import FaultPlan, ServerCrash, ServerRecover
+
+from tests.core.conftest import build_pool, fast_config
+
+
+def _write_one(pool, sim, client, size=64, payload=None):
+    payload = payload or bytes(size)
+
+    def setup(sim):
+        gaddr = yield from client.gmalloc(size)
+        yield from client.gwrite(gaddr, payload)
+        yield from client.gsync()
+        return gaddr
+
+    (gaddr,) = pool.run(setup(sim))
+    return gaddr
+
+
+def test_dead_server_raises_typed_server_unavailable():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+    gaddr = _write_one(pool, sim, client)
+    pool.servers[0].crash()
+
+    def read(sim):
+        try:
+            yield from client.gread(gaddr)
+        except ClientError as exc:
+            return exc
+
+    (exc,) = pool.run(read(sim))
+    assert isinstance(exc, ServerUnavailableError)
+    assert isinstance(exc, RetryableError)  # the retryable branch of the tree
+    assert exc.server_id == 0
+
+
+def test_retry_timeout_knob_bounds_dead_peer_detection():
+    elapsed = {}
+    for timeout_ns in (20_000, 80_000):
+        sim, pool = build_pool(
+            num_servers=1, num_clients=1,
+            config=fast_config(retry_timeout_ns=timeout_ns))
+        assert pool.servers[0].node.endpoint.retry_timeout_ns == timeout_ns
+        assert pool.clients[0].node.endpoint.retry_timeout_ns == timeout_ns
+        client = pool.clients[0]
+        gaddr = _write_one(pool, sim, client)
+        pool.servers[0].crash()
+        t0 = sim.now
+
+        def read(sim):
+            try:
+                yield from client.gread(gaddr)
+            except ClientError:
+                return sim.now - t0
+
+        (took,) = pool.run(read(sim))
+        assert took >= timeout_ns
+        elapsed[timeout_ns] = took
+    assert elapsed[20_000] < elapsed[80_000]
+
+
+def test_retries_ride_out_a_transient_outage():
+    config = fast_config(
+        retry_timeout_ns=20_000,
+        retry_max_attempts=10,
+        retry_base_backoff_ns=10_000,
+        retry_max_backoff_ns=40_000,
+        auto_reattach=True,
+    )
+    sim, pool = build_pool(num_servers=1, num_clients=1, config=config)
+    client = pool.clients[0]
+    gaddr = _write_one(pool, sim, client, payload=b"sturdy!" + bytes(57))
+    t0 = sim.now
+    pool.inject_faults(FaultPlan.of(
+        ServerCrash(at_ns=t0 + 5_000, server_id=0),
+        ServerRecover(at_ns=t0 + 200_000, server_id=0),
+    ))
+
+    def read(sim):
+        yield sim.timeout(10_000)  # land inside the outage
+        data = yield from client.gread(gaddr, length=7)
+        return data
+
+    (data,) = pool.run(read(sim))
+    assert data == b"sturdy!"  # no exception escaped: the op self-healed
+    assert client.m_retries.count > 0
+    assert client.m_failovers.count == 1
+    assert len(client.fault_log) == 1
+    record = client.fault_log[0]
+    assert record["server_id"] == 0
+    assert record["lost"] == []  # everything was gsync'ed pre-crash
+
+
+def test_deadline_converts_a_stall_into_a_typed_error():
+    config = fast_config(
+        retry_timeout_ns=50_000,
+        retry_max_attempts=10,
+        op_deadline_ns=30_000,  # tighter than one dead-peer detection
+    )
+    sim, pool = build_pool(num_servers=1, num_clients=1, config=config)
+    client = pool.clients[0]
+    gaddr = _write_one(pool, sim, client)
+    pool.servers[0].crash()
+    t0 = sim.now
+
+    def read(sim):
+        try:
+            yield from client.gread(gaddr)
+        except ClientError as exc:
+            return exc, sim.now - t0
+
+    (result,) = pool.run(read(sim))
+    exc, took = result
+    assert isinstance(exc, DeadlineExceededError)
+    assert client.m_deadline_misses.count >= 1
+    # The watchdog fired at the deadline, not at the retry horizon.
+    assert took < 50_000
+
+
+def test_degraded_mode_writes_through_a_stalled_ring():
+    config = fast_config(degraded_mode=True, degraded_patience_polls=2)
+    sim, pool = build_pool(num_servers=1, num_clients=1, config=config)
+    client = pool.clients[0]
+    server = pool.servers[0]
+    slots = config.proxy_ring_slots
+
+    def app(sim):
+        gaddrs = []
+        for _ in range(slots + 1):
+            gaddrs.append((yield from client.gmalloc(256)))
+        server.stall_drains(2_000_000)
+        # Fill the ring, then one more: it must fall back, not block.
+        for i, g in enumerate(gaddrs):
+            yield from client.gwrite(g, bytes([i + 1]) * 256)
+        data = yield from client.gread(gaddrs[-1], length=4)
+        return data
+
+    (data,) = pool.run(app(sim))
+    assert data == bytes([slots + 1]) * 4
+    assert client.m_degraded_writes.count >= 1
+    assert client.m_direct_writes.count >= 1
+
+
+def test_without_degraded_mode_the_writer_waits_out_the_stall():
+    config = fast_config()  # degraded_mode off: patience is unbounded
+    sim, pool = build_pool(num_servers=1, num_clients=1, config=config)
+    client = pool.clients[0]
+    server = pool.servers[0]
+    slots = config.proxy_ring_slots
+    stall_ns = 300_000
+
+    def app(sim):
+        gaddrs = []
+        for _ in range(slots + 1):
+            gaddrs.append((yield from client.gmalloc(256)))
+        server.stall_drains(stall_ns)
+        t0 = sim.now
+        for i, g in enumerate(gaddrs):
+            yield from client.gwrite(g, bytes([i + 1]) * 256)
+        return sim.now - t0
+
+    (took,) = pool.run(app(sim))
+    assert took >= stall_ns  # the overflow write waited for the drain
+    assert client.m_degraded_writes.count == 0
+
+
+def test_fault_free_virtual_time_is_unchanged_by_arming_resilience():
+    """Pay-as-you-go: raising the retry knobs must not perturb a clean run."""
+
+    def run(config):
+        sim, pool = build_pool(num_servers=2, num_clients=2, config=config)
+        a, b = pool.clients
+
+        def app(sim, client, tag):
+            gaddrs = []
+            for i in range(8):
+                g = yield from client.gmalloc(128)
+                yield from client.gwrite(g, bytes([tag + i]) * 128)
+                gaddrs.append(g)
+            yield from client.gsync()
+            out = []
+            for g in gaddrs:
+                out.append((yield from client.gread(g, length=8)))
+            return out
+
+        results = pool.run(app(sim, a, 1), app(sim, b, 100))
+        return sim.now, results
+
+    t_plain, r_plain = run(fast_config())
+    t_armed, r_armed = run(fast_config(
+        retry_max_attempts=8, auto_reattach=True, degraded_mode=True))
+    assert r_plain == r_armed
+    assert t_plain == t_armed
+
+
+def test_retry_policy_backoff_is_bounded_and_reproducible():
+    import random
+
+    policy = RetryPolicy(max_attempts=6, base_backoff_ns=1_000,
+                         max_backoff_ns=8_000, jitter=True)
+    a = [policy.backoff_ns(i, random.Random(3)) for i in range(1, 7)]
+    b = [policy.backoff_ns(i, random.Random(3)) for i in range(1, 7)]
+    assert a == b  # same stream state, same jitter
+    for delay in a:
+        assert 1_000 <= delay <= 8_000
+    flat = RetryPolicy(jitter=False, base_backoff_ns=1_000, max_backoff_ns=8_000)
+    assert [flat.backoff_ns(i, random.Random(0)) for i in range(1, 6)] == \
+        [1_000, 2_000, 4_000, 8_000, 8_000]
+
+
+def test_default_policy_is_fail_fast():
+    policy = RetryPolicy.from_config(fast_config())
+    assert policy.max_attempts == 1
+    assert policy.deadline_ns == 0

@@ -1,0 +1,91 @@
+"""Validation and algebra of declarative fault plans."""
+
+import pytest
+
+from repro.faults import (
+    FaultPlan,
+    FaultPlanError,
+    LatencySpike,
+    LinkFlap,
+    LossyLink,
+    Partition,
+    RingStall,
+    ServerCrash,
+    ServerRecover,
+)
+
+
+def test_of_and_len():
+    plan = FaultPlan.of(ServerCrash(at_ns=10, server_id=0))
+    assert len(plan) == 1
+    assert len(FaultPlan()) == 0
+
+
+def test_timed_actions_sort_by_time():
+    plan = FaultPlan.of(
+        ServerRecover(at_ns=300, server_id=0),
+        ServerCrash(at_ns=100, server_id=0),
+        RingStall(at_ns=200, duration_ns=50, server_id=0),
+    )
+    assert [f.at_ns for f in plan.timed] == [100, 200, 300]
+
+
+def test_windows_and_timed_are_partitioned():
+    lossy = LossyLink(start_ns=0, end_ns=10, drop_prob=0.5)
+    flap = LinkFlap(start_ns=5, end_ns=15, node="server0")
+    crash = ServerCrash(at_ns=5, server_id=0)
+    plan = FaultPlan.of(lossy, crash, flap)
+    assert plan.windows == (lossy, flap)
+    assert plan.timed == (crash,)
+
+
+def test_horizon_covers_the_stall_tail():
+    plan = FaultPlan.of(
+        RingStall(at_ns=100, duration_ns=500, server_id=0),
+        LossyLink(start_ns=0, end_ns=550, drop_prob=0.1),
+        ServerCrash(at_ns=590, server_id=0),
+    )
+    assert plan.horizon_ns == 600  # stall runs until 100 + 500
+
+
+def test_shifted_moves_every_fault_and_preserves_the_original():
+    plan = FaultPlan.of(
+        ServerCrash(at_ns=10, server_id=1),
+        LossyLink(start_ns=20, end_ns=30, drop_prob=0.5, src="a"),
+        Partition(start_ns=40, end_ns=50, group_a=("a",), group_b=("b",)),
+    )
+    moved = plan.shifted(1_000)
+    assert moved.timed[0].at_ns == 1_010
+    assert moved.windows[0].start_ns == 1_020
+    assert moved.windows[0].end_ns == 1_030
+    assert moved.windows[0].src == "a"  # non-time fields ride along
+    assert moved.windows[1].group_a == ("a",)
+    assert plan.timed[0].at_ns == 10  # plans are immutable
+
+
+def test_plans_compare_by_value():
+    a = FaultPlan.of(ServerCrash(at_ns=1, server_id=0))
+    b = FaultPlan.of(ServerCrash(at_ns=1, server_id=0))
+    assert a == b
+
+
+@pytest.mark.parametrize("bad", [
+    ServerCrash(at_ns=-1, server_id=0),
+    ServerRecover(at_ns=-5, server_id=0),
+    RingStall(at_ns=0, duration_ns=0, server_id=0),
+    LossyLink(start_ns=10, end_ns=10, drop_prob=0.5),  # empty window
+    LossyLink(start_ns=10, end_ns=5, drop_prob=0.5),   # backwards window
+    LossyLink(start_ns=0, end_ns=10, drop_prob=0.0),   # dropless lossy link
+    LossyLink(start_ns=0, end_ns=10, drop_prob=1.5),
+    LatencySpike(start_ns=0, end_ns=10, extra_ns=0),
+    Partition(start_ns=0, end_ns=10, group_a=(), group_b=("b",)),
+    Partition(start_ns=0, end_ns=10, group_a=("a",), group_b=("a", "b")),
+])
+def test_rejects_ill_formed_faults(bad):
+    with pytest.raises(FaultPlanError):
+        FaultPlan.of(bad)
+
+
+def test_rejects_objects_that_are_not_faults():
+    with pytest.raises(FaultPlanError):
+        FaultPlan.of("crash please")
