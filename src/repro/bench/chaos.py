@@ -31,11 +31,20 @@ import sys
 from typing import Any, Dict, Generator, List, Optional, Tuple
 
 from repro.core import GengarConfig, GengarPool
-from repro.core.errors import ClientError, DeadlineExceededError, RetryableError
+from repro.core.errors import (
+    ClientError,
+    DeadlineExceededError,
+    FencedError,
+    RetryableError,
+)
 from repro.faults import (
+    ClientCrash,
+    ClientRecover,
     FaultPlan,
     LatencySpike,
     LossyLink,
+    MasterCrash,
+    MasterRecover,
     RingStall,
     ServerCrash,
     ServerRecover,
@@ -50,8 +59,19 @@ from repro.workloads.ycsb import WORKLOAD_B, Op, YcsbGenerator
 _DEADLINE_SLACK_NS = 5_000
 
 
-def soak_config(smoke: bool = False) -> GengarConfig:
-    """The resilient profile the soak runs under."""
+def soak_config(smoke: bool = False, kill_clients: bool = False,
+                crash_master: bool = False) -> GengarConfig:
+    """The resilient profile the soak runs under.
+
+    ``kill_clients`` arms the lease/fencing/torn-slot machinery;
+    ``crash_master`` arms the metadata journal so a restarted master can
+    rebuild.  Both default off, keeping the base soak byte-identical.
+    """
+    extras: Dict[str, Any] = {}
+    if kill_clients:
+        extras.update(client_lease_ns=120_000, proxy_commit=True)
+    if crash_master:
+        extras.update(metadata_journal=True)
     return GengarConfig(
         cache_capacity=256 * 1024,
         epoch_ns=50_000,
@@ -67,6 +87,7 @@ def soak_config(smoke: bool = False) -> GengarConfig:
         auto_reattach=True,
         degraded_mode=True,
         degraded_patience_polls=4,
+        **extras,
     )
 
 
@@ -96,21 +117,27 @@ class ChaosSoak:
     """One soak run: load, fault, verify."""
 
     def __init__(self, seed: int = 7, smoke: bool = False,
-                 dump_trace: bool = False):
+                 dump_trace: bool = False, kill_clients: bool = False,
+                 crash_master: bool = False):
         self.seed = seed
         self.smoke = smoke
+        self.kill_clients = kill_clients
+        self.crash_master = crash_master
         self.records = 24 if smoke else 48
         self.value_size = 512
         self.num_workers = 2 if smoke else 4
         self.ops_per_worker = 80 if smoke else 400
-        self.config = soak_config(smoke)
+        self.config = soak_config(smoke, kill_clients=kill_clients,
+                                  crash_master=crash_master)
         self.sim = Simulator(seed=seed)
         if dump_trace:
             self.sim.tracer = Tracer(
                 self.sim, capacity=50_000,
-                categories={"fault", "retry", "failover", "degraded"})
+                categories={"fault", "retry", "failover", "degraded",
+                            "lease", "fence"})
         self.pool = GengarPool.build(
-            self.sim, num_servers=2, num_clients=2, config=self.config,
+            self.sim, num_servers=2,
+            num_clients=3 if kill_clients else 2, config=self.config,
             dram=TEST_DRAM, nvm=TEST_NVM,
         )
         spec = WORKLOAD_B.scaled(record_count=self.records,
@@ -324,6 +351,159 @@ class ChaosSoak:
                 f"lost-write counter ({counted}) != fault-log total ({reported})")
 
     # ------------------------------------------------------------------
+    def crash_tolerance_phase(self) -> None:
+        """Full-pool crash tolerance: kill a lock-holding client mid-write
+        (torn slot), crash and rebuild the master mid-workload, and audit
+        that every recovery path engages — lease expiry frees the lock
+        within a bounded wait, the torn frame never reaches NVM, the zombie
+        is fenced until it re-attaches, and allocations ride out the master
+        outage on retries."""
+        sim = self.sim
+        lease = self.config.client_lease_ns
+        t0 = sim.now
+        kill_at = t0 + 40_000
+        faults = []
+        if self.kill_clients:
+            victim = self.pool.clients[2]
+            revive_at = kill_at + (5 * lease) // 2
+            faults += [
+                ClientCrash(at_ns=kill_at, client=victim.name,
+                            tear_inflight=True),
+                ClientRecover(at_ns=revive_at, client=victim.name),
+            ]
+        if self.crash_master:
+            faults += [
+                MasterCrash(at_ns=t0 + 20_000),
+                MasterRecover(at_ns=t0 + 80_000, rebuild=True),
+            ]
+        torn_before = sum(
+            s.torn_skipped.count for s in self.pool.servers.values())
+        failovers_before = self.pool.master.failovers.count
+        expiries_before = self.pool.master.lease_expiries.count
+        recoveries_before = int(self.pool.master.lock_recoveries.total)
+        injector = self.pool.inject_faults(
+            FaultPlan.of(*faults), rng_name="faults.tolerance")
+
+        outcome: Dict[str, Any] = {}
+        payload_old = b"\xa1" * 256
+        payload_torn = b"\xb2" * 256
+        payload_new = b"\xc3" * 256
+        procs = []
+
+        if self.kill_clients:
+            victim = self.pool.clients[2]
+            contender = self.pool.clients[0]
+
+            def victim_run(sim):
+                g_lock = yield from victim.gmalloc(self.value_size)
+                g_data = yield from victim.gmalloc(self.value_size)
+                outcome["g_lock"], outcome["g_data"] = g_lock, g_data
+                yield from victim.glock(g_lock)
+                yield from victim.gwrite(g_data, payload_old)
+                yield from victim.gsync()
+                # Staged but never synced: the crash re-stages half of this
+                # frame, which the commit word must keep out of NVM.
+                yield from victim.gwrite(g_data, payload_torn)
+                yield sim.timeout((revive_at - sim.now) + 10_000)
+                # Back as a zombie: lock ops must fail typed, not corrupt.
+                try:
+                    yield from victim.gunlock(g_lock)
+                    outcome["zombie_fenced"] = False
+                except FencedError:
+                    outcome["zombie_fenced"] = True
+                yield from victim.reattach_master()
+                # Fully rejoined under the new epoch (the first write heals
+                # the retired proxy ring via the resilience engine).
+                yield from victim.glock(g_lock)
+                yield from victim.gwrite(g_data, payload_new)
+                yield from victim.gsync()
+                yield from victim.gunlock(g_lock)
+                data = yield from victim.gread(g_data, length=len(payload_new))
+                outcome["rejoin_data_ok"] = data == payload_new
+
+            def contender_run(sim):
+                # Outlive the lease (and any master outage), then the dead
+                # holder's lock must clear within one further lease.
+                yield sim.timeout((kill_at - sim.now) + 2 * lease)
+                while "g_lock" not in outcome:  # pragma: no cover - ordering
+                    yield sim.timeout(1_000)
+                t_acq = sim.now
+                yield from contender.glock(outcome["g_lock"])
+                yield from contender.gunlock(outcome["g_lock"])
+                outcome["lock_wait_ns"] = sim.now - t_acq
+                data = yield from contender.gread(
+                    outcome["g_data"], length=256)
+                outcome["contender_saw"] = bytes(data)
+
+            procs += [victim_run(sim), contender_run(sim)]
+
+        if self.crash_master:
+            allocator = self.pool.clients[1]
+
+            def allocator_run(sim):
+                yield sim.timeout(30_000)  # the master is down now
+                gaddr = yield from allocator.gmalloc(self.value_size)
+                yield from allocator.gwrite(gaddr, b"\xd4" * 64)
+                yield from allocator.gsync()
+                data = yield from allocator.gread(gaddr, length=64)
+                outcome["alloc_through_outage_ok"] = (
+                    data == b"\xd4" * 64
+                    and self.pool.master.directory.get(gaddr) is not None)
+
+            procs.append(allocator_run(sim))
+
+        self.pool.run(*procs)
+        injector.uninstall()
+
+        if self.kill_clients:
+            if not outcome.get("zombie_fenced"):
+                self.violations.append(
+                    "crash-tolerance: revived zombie released a lock "
+                    "without being fenced")
+            if not outcome.get("rejoin_data_ok"):
+                self.violations.append(
+                    "crash-tolerance: victim's post-reattach write did not "
+                    "read back")
+            if outcome.get("lock_wait_ns", 0) >= lease:
+                self.violations.append(
+                    f"crash-tolerance: contender waited "
+                    f"{outcome.get('lock_wait_ns')} ns on a dead client's "
+                    f"lock (bound {lease} ns)")
+            if outcome.get("contender_saw") not in (payload_old, payload_torn):
+                self.violations.append(
+                    "crash-tolerance: contender read a value that is not "
+                    "any fully-applied write (torn frame reached NVM)")
+            torn_after = sum(
+                s.torn_skipped.count for s in self.pool.servers.values())
+            if torn_after - torn_before < 1:
+                self.violations.append(
+                    "crash-tolerance: the injected mid-write kill produced "
+                    "no skipped torn slot")
+            # With --crash-master the rebuilt master loses the lease table
+            # and reaps the victim via the orphan sweep instead of a lease
+            # expiry; either path must have recovered its lock.
+            reaped = (
+                self.pool.master.lease_expiries.count > expiries_before
+                or int(self.pool.master.lock_recoveries.total)
+                > recoveries_before)
+            if not reaped:
+                self.violations.append(
+                    "crash-tolerance: the dead client was never reaped "
+                    "(no lease expiry, no recovered lock)")
+        if self.crash_master:
+            if self.pool.master.failovers.count - failovers_before < 1:
+                self.violations.append(
+                    "crash-tolerance: the master never completed a failover")
+            if int(self.pool.master.journal_replayed.total) <= 0:
+                self.violations.append(
+                    "crash-tolerance: the rebuilt master replayed no "
+                    "journal records")
+            if not outcome.get("alloc_through_outage_ok"):
+                self.violations.append(
+                    "crash-tolerance: allocation did not survive the "
+                    "master outage")
+
+    # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         self.load()
         t0 = self.sim.now
@@ -331,8 +511,11 @@ class ChaosSoak:
         injector = self.pool.inject_faults(plan)
 
         modes = {0: "burst", 1: "rr" if not self.smoke else "ycsb"}
+        # Workers stay on the first two clients; with --kill-clients the
+        # third is reserved as the crash-tolerance phase's victim.
+        worker_clients = self.pool.clients[:2]
         workers = [
-            self.worker(i, self.pool.clients[i % len(self.pool.clients)],
+            self.worker(i, worker_clients[i % len(worker_clients)],
                         mode=modes.get(i, "ycsb"))
             for i in range(self.num_workers)
         ]
@@ -341,6 +524,8 @@ class ChaosSoak:
         self.sim.run(until=max(self.sim.now, plan.horizon_ns + 100_000))
         injector.uninstall()
         self.verify()
+        if self.kill_clients or self.crash_master:
+            self.crash_tolerance_phase()
 
         m = self.sim.metrics
         counters = {
@@ -355,9 +540,27 @@ class ChaosSoak:
         counters["faults_crashes"] = m.counter("faults.crashes").count
         counters["faults_recoveries"] = m.counter("faults.recoveries").count
         counters["faults_stalls"] = m.counter("faults.stalls").count
+        counters["faults_client_crashes"] = m.counter(
+            "faults.client_crashes").count
+        counters["faults_master_crashes"] = m.counter(
+            "faults.master_crashes").count
+        counters["faults_torn_injected"] = m.counter(
+            "faults.torn_injected").count
+        master = self.pool.master
+        counters["lease_renewals"] = master.lease_renewals.count
+        counters["lease_expiries"] = master.lease_expiries.count
+        counters["lock_recoveries"] = int(master.lock_recoveries.total)
+        counters["fence_rejections"] = m.counter(
+            "pool.fence_rejections").count
+        counters["torn_slot_skips"] = sum(
+            s.torn_skipped.count for s in self.pool.servers.values())
+        counters["master_failovers"] = master.failovers.count
+        counters["journal_replayed"] = int(master.journal_replayed.total)
         return {
             "seed": self.seed,
             "smoke": self.smoke,
+            "kill_clients": self.kill_clients,
+            "crash_master": self.crash_master,
             "virtual_end_ns": self.sim.now,
             "ops_ok": self.ops_ok,
             "ops_typed_failures": self.ops_typed_failures,
@@ -369,9 +572,11 @@ class ChaosSoak:
 
 
 def run_soak(seed: int = 7, smoke: bool = False,
-             dump_trace: bool = False) -> Dict[str, Any]:
+             dump_trace: bool = False, kill_clients: bool = False,
+             crash_master: bool = False) -> Dict[str, Any]:
     """One full soak; returns the audit report (see :class:`ChaosSoak`)."""
-    soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace)
+    soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace,
+                     kill_clients=kill_clients, crash_master=crash_master)
     report = soak.run()
     if dump_trace and soak.sim.tracer is not None:
         report["trace"] = soak.sim.tracer.render(limit=200)
@@ -388,14 +593,25 @@ def main(argv=None) -> int:
                         help="write the JSON report here")
     parser.add_argument("--dump-trace", action="store_true",
                         help="record fault/retry/failover trace and dump it")
+    parser.add_argument("--kill-clients", action="store_true",
+                        help="add the crash-tolerance phase: kill a "
+                             "lock-holding client mid-write (leases, "
+                             "fencing, and torn-slot detection on)")
+    parser.add_argument("--crash-master", action="store_true",
+                        help="add a master crash + journal rebuild to the "
+                             "crash-tolerance phase")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run twice and require identical results")
     args = parser.parse_args(argv)
 
     report = run_soak(seed=args.seed, smoke=args.smoke,
-                      dump_trace=args.dump_trace)
+                      dump_trace=args.dump_trace,
+                      kill_clients=args.kill_clients,
+                      crash_master=args.crash_master)
     if args.check_determinism:
-        second = run_soak(seed=args.seed, smoke=args.smoke)
+        second = run_soak(seed=args.seed, smoke=args.smoke,
+                          kill_clients=args.kill_clients,
+                          crash_master=args.crash_master)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
                 "lost_reports", "tainted_keys", "counters", "violations"]
         mismatched = [k for k in keys if report[k] != second[k]]

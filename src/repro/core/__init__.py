@@ -17,6 +17,8 @@ from repro.core.errors import (
     ClientError,
     DeadlineExceededError,
     FatalError,
+    FencedError,
+    MasterUnavailableError,
     RetryableError,
     ServerUnavailableError,
     StaleRingError,
@@ -43,7 +45,9 @@ __all__ = [
     "FatalError",
     "RetryableError",
     "ServerUnavailableError",
+    "MasterUnavailableError",
     "StaleRingError",
+    "FencedError",
     "DeadlineExceededError",
     "RetryPolicy",
     "LockError",

@@ -206,6 +206,7 @@ class GengarPool:
                 "promotions": server.promotions.count,
                 "demotions": server.demotions.count,
                 "crashes": server.crashes,
+                "torn_slots_skipped": server.torn_skipped.count,
                 "journal_records": getattr(server, "_journal_count", 0)
                 if server.journal_base is not None else None,
             }
@@ -215,6 +216,8 @@ class GengarPool:
                 "uid": client.uid,
                 "pending_overlay_writes": len(client._overlay),
                 "cached_metadata_entries": len(client._meta_cache),
+                "fence_epoch": client.fence_epoch,
+                "fenced": client.fenced,
             }
         return {
             "virtual_time_ns": self.sim.now,
@@ -224,12 +227,27 @@ class GengarPool:
                 "reports": self.master.reports.count,
                 "promotions": self.master.promote_ops.count,
                 "demotions": self.master.demote_ops.count,
+                "crashes": self.master.crashes,
             },
             "servers": servers,
             "clients": clients,
             "locks": {
                 "acquires": m.counter("pool.lock_acquires").count,
                 "retries": m.counter("pool.lock_retries").count,
+            },
+            "resilience": {
+                "lease_renewals": self.master.lease_renewals.count,
+                "lease_expiries": self.master.lease_expiries.count,
+                "fence_rejections_master": self.master.fence_rejections.count,
+                "fence_rejections_clients":
+                    m.counter("pool.fence_rejections").count,
+                "lock_recoveries": int(self.master.lock_recoveries.total),
+                "torn_slot_skips": sum(
+                    s.torn_skipped.count for s in self.servers.values()),
+                "master_failovers": self.master.failovers.count,
+                "journal_records_replayed": int(self.master.journal_replayed.total),
+                "client_master_reattaches":
+                    m.counter("pool.master_failovers").count,
             },
         }
 

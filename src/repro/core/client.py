@@ -37,6 +37,8 @@ from repro.core.errors import (
     ClientError,
     DeadlineExceededError,
     FatalError,
+    FencedError,
+    MasterUnavailableError,
     RetryableError,
     ServerUnavailableError,
     StaleRingError,
@@ -44,9 +46,11 @@ from repro.core.errors import (
 from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
+    PROXY_COMMIT_BYTES,
     ObjectMeta,
     RingDescriptor,
     ServerDescriptor,
+    pack_proxy_commit,
     pack_proxy_slot,
     proxy_payload_capacity,
     tag_matches,
@@ -64,7 +68,9 @@ __all__ = [
     "FatalError",
     "RetryableError",
     "ServerUnavailableError",
+    "MasterUnavailableError",
     "StaleRingError",
+    "FencedError",
     "DeadlineExceededError",
 ]
 
@@ -171,6 +177,22 @@ class GengarClient:
         #: In-flight auto-reattach gates, one per server: concurrent failed
         #: ops coalesce onto a single re-attach handshake.
         self._reattach_gates: Dict[int, Any] = {}
+        #: Coalescing gate for master re-attach (same pattern, one master).
+        self._reattach_master_gate: Optional[Any] = None
+        # ---- lease / fencing state (all inert while lease_ns == 0) ------
+        #: Lease duration granted by the master at attach; 0 = leases off.
+        self.lease_ns = 0
+        #: Virtual time at which the current lease lapses.
+        self.lease_deadline = 0
+        #: Fencing epoch carried in every lock word this client installs.
+        self.fence_epoch = 0
+        self._fenced = False
+        self._crashed = False
+        self._heartbeat_proc = None
+        self._last_renew_ns = 0
+        #: Last successfully staged proxy write (server_id, gaddr, offset,
+        #: data) — what a torn-write fault injection would re-stage halfway.
+        self._last_staged: Optional[tuple] = None
         #: One record per completed re-attach: {"time_ns", "server_id",
         #: "lost"} — the durability audit trail (each lost staged write is
         #: reported in exactly one record).
@@ -198,8 +220,23 @@ class GengarClient:
         self.m_degraded_reads = m.counter("pool.degraded_reads")
         self.m_degraded_writes = m.counter("pool.degraded_writes")
         self.m_deadline_misses = m.counter("pool.deadline_misses")
+        self.m_lease_renewals = m.counter("pool.lease_renewals")
+        self.m_fence_rejections = m.counter("pool.fence_rejections")
+        self.m_master_failovers = m.counter("pool.master_failovers")
         self.h_read = m.histogram("pool.read_latency")
         self.h_write = m.histogram("pool.write_latency")
+
+    # ------------------------------------------------------------------
+    @property
+    def fenced(self) -> bool:
+        """True once the master has fenced this client's epoch (its locks
+        were recovered); every lock op raises FencedError until
+        :meth:`reattach_master`."""
+        return self._fenced
+
+    @property
+    def crashed(self) -> bool:
+        return self._crashed
 
     # ------------------------------------------------------------------
     # Wiring + attach (called by the deployment bootstrap)
@@ -212,14 +249,33 @@ class GengarClient:
                         rpc: "RpcClient") -> None:
         self._conns[desc.server_id] = _ServerConn(desc=desc, data_qp=data_qp, rpc=rpc)
 
+    def _master_call(self, method: str, payload) -> Generator[Any, Any, Any]:
+        """Call the master, mapping transport failures and the recovering
+        window into the retryable :class:`MasterUnavailableError` so the
+        resilience engine (and its auto master re-attach) can handle them."""
+        try:
+            result = yield from self.master_rpc.call(method, payload)
+        except RpcError as exc:
+            msg = str(exc)
+            if "transport failed" in msg or "master recovering" in msg:
+                raise MasterUnavailableError(f"{method}: {msg}") from exc
+            raise
+        return result
+
     def attach(self) -> Generator[Any, Any, None]:
         """Join the pool: fetch config from the master, set up proxy rings."""
         if self.master_rpc is None:
             raise FatalError("client not wired to a master")
-        info = yield from self.master_rpc.call("attach", {"client": self.name})
+        info = yield from self._master_call("attach", {"client": self.name})
         self.config = info["config"]
         self.uid = info["client_id"]
+        self.fence_epoch = info.get("epoch", 0)
+        self.lease_ns = info.get("lease_ns", 0)
         self.retry_policy = RetryPolicy.from_config(self.config)
+        if self.lease_ns:
+            self.lease_deadline = self.sim.now + self.lease_ns
+            self._last_renew_ns = self.sim.now
+            self._start_heartbeat()
 
         scratch_span = _SCRATCH_SLOTS * _SCRATCH_SLOT_SIZE
         self._scratch_base = self._carver.carve(scratch_span, "scratch")
@@ -255,18 +311,23 @@ class GengarClient:
         previous object's bytes.
         """
         self._require_attached()
-        meta = yield from self.master_rpc.call(
+        meta = yield from self._resilient("gmalloc", lambda: self._gmalloc_once(size))
+        return meta.gaddr
+
+    def _gmalloc_once(self, size: int) -> Generator[Any, Any, ObjectMeta]:
+        meta = yield from self._master_call(
             "gmalloc", {"size": size, "client": self.name})
         if self.config.metadata_cache:
             self._store_meta(meta)
-        return meta.gaddr
+        return meta
 
     def gfree(self, gaddr: int) -> Generator[Any, Any, None]:
         """Free a pool object.  Outstanding writes are synced first."""
         self._require_attached()
         if gaddr in self._overlay:
             yield from self.gsync(server_id=self._overlay[gaddr].server_id)
-        yield from self.master_rpc.call("gfree", {"gaddr": gaddr})
+        yield from self._resilient(
+            "gfree", lambda: self._master_call("gfree", {"gaddr": gaddr}))
         self._invalidate_meta(gaddr)
         self._access_counts.pop(gaddr, None)
 
@@ -341,7 +402,8 @@ class GengarClient:
         use_proxy = (
             self.config.enable_proxy
             and conn.ring is not None
-            and len(data) <= proxy_payload_capacity(conn.ring.slot_size)
+            and len(data) <= proxy_payload_capacity(
+                conn.ring.slot_size, commit=self.config.proxy_commit)
         )
         staged = False
         if use_proxy:
@@ -446,6 +508,99 @@ class GengarClient:
             conn.ring = new_ring
         return lost
 
+    def reattach_master(self) -> Generator[Any, Any, None]:
+        """Re-join a restarted (or fencing) master.
+
+        Presents the old uid so the master re-adopts this identity instead
+        of minting a new one — cached metadata, lock attribution, and the
+        journal-rebuilt directory all keep working.  Adopts whatever epoch
+        the master grants (bumped past ours if we were fenced), clears the
+        fenced flag, and restarts the heartbeat.  Proxy rings are NOT
+        re-established here; the StaleRingError machinery heals those
+        lazily per server.
+        """
+        self._require_attached()
+        info = yield from self._master_call(
+            "attach",
+            {"client": self.name, "uid": self.uid, "epoch": self.fence_epoch},
+        )
+        self.uid = info["client_id"]
+        self.fence_epoch = info.get("epoch", self.fence_epoch)
+        self.lease_ns = info.get("lease_ns", self.lease_ns)
+        self._fenced = False
+        if self.lease_ns:
+            self.lease_deadline = self.sim.now + self.lease_ns
+            self._last_renew_ns = self.sim.now
+            self._start_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Crash / revive (driven by the fault injector)
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Stop this client cold: heartbeats cease, so its lease lapses and
+        the master recovers its locks/pins/rings.  Application processes
+        built on this client are the caller's to park."""
+        if self._crashed:
+            return
+        self._crashed = True
+        trace(self.sim, "fault", "client crashed", client=self.name)
+
+    def revive(self) -> None:
+        """Bring a crashed client back as a *zombie*: its lease has usually
+        lapsed by now, so lock ops fence locally until
+        :meth:`reattach_master` rejoins under a fresh epoch."""
+        if not self._crashed:
+            return
+        self._crashed = False
+        trace(self.sim, "fault", "client revived", client=self.name)
+        if (self.lease_ns and not self._fenced
+                and self.sim.now < self.lease_deadline):
+            self._start_heartbeat()
+
+    # ------------------------------------------------------------------
+    # Lease heartbeats
+    # ------------------------------------------------------------------
+    def _start_heartbeat(self) -> None:
+        if self._heartbeat_proc is not None and self._heartbeat_proc.is_alive:
+            return
+        self._heartbeat_proc = self.sim.spawn(
+            self._heartbeat_loop(), name=f"{self.name}.heartbeat")
+
+    def _heartbeat_loop(self) -> Generator[Any, Any, None]:
+        """Renew the lease at lease/3.  Reports piggyback renewals for
+        free; this loop only issues a standalone ``renew`` when no report
+        went out recently, so an idle client stays alive too."""
+        interval = max(1, self.lease_ns // 3)
+        while True:
+            yield self.sim.timeout(interval)
+            if self._crashed or self._fenced or not self.lease_ns:
+                return
+            if self.sim.now - self._last_renew_ns < interval:
+                continue  # a piggybacked report renewed recently
+            try:
+                reply = yield from self._master_call(
+                    "renew", {"client": self.name, "epoch": self.fence_epoch})
+            except (MasterUnavailableError, RpcError):
+                continue  # master down/recovering: keep trying until fenced
+            if reply.get("ok"):
+                self._note_renewal(reply.get("lease_ns", self.lease_ns))
+                continue
+            reason = reply.get("reason")
+            if reason == "unknown" and self.config.auto_reattach:
+                # A restarted master forgot us: re-adopt our identity.
+                yield from self._auto_reattach_master()
+                continue
+            self._fenced = True
+            self.m_fence_rejections.add()
+            trace(self.sim, "fence", "heartbeat fenced", client=self.name,
+                  reason=reason)
+            return
+
+    def _note_renewal(self, lease_ns: int) -> None:
+        self._last_renew_ns = self.sim.now
+        self.lease_deadline = self.sim.now + (lease_ns or self.lease_ns)
+        self.m_lease_renewals.add()
+
     # ------------------------------------------------------------------
     # Resilience engine: retries, deadlines, auto-reattach
     # ------------------------------------------------------------------
@@ -488,6 +643,9 @@ class GengarClient:
                 server_id = getattr(exc, "server_id", None)
                 if self.config.auto_reattach and server_id is not None:
                     yield from self._auto_reattach(server_id)
+                elif (self.config.auto_reattach
+                        and isinstance(exc, MasterUnavailableError)):
+                    yield from self._auto_reattach_master()
                 yield self.sim.sleep(
                     policy.backoff_ns(attempt, self._jitter_rng()))
                 attempt += 1
@@ -553,6 +711,31 @@ class GengarClient:
             self._reattach_gates.pop(server_id, None)
             gate.succeed()
 
+    def _auto_reattach_master(self) -> Generator[Any, Any, None]:
+        """Coalesced master re-attach, mirroring :meth:`_auto_reattach`:
+        the first op to hit a dead/recovering master runs the handshake,
+        concurrent failures wait on its gate.  Failure is swallowed — the
+        caller backs off and retries."""
+        gate = self._reattach_master_gate
+        if gate is not None:
+            yield gate
+            return
+        gate = self.sim.event(name=f"{self.name}.reattach_master")
+        self._reattach_master_gate = gate
+        try:
+            try:
+                yield from self.reattach_master()
+            except (RetryableError, RpcError) as exc:
+                trace(self.sim, "failover", "master re-attach failed",
+                      client=self.name, cause=type(exc).__name__)
+            else:
+                self.m_master_failovers.add()
+                trace(self.sim, "failover", "re-attached to master",
+                      client=self.name, epoch=self.fence_epoch)
+        finally:
+            self._reattach_master_gate = None
+            gate.succeed()
+
     def _check_wc(self, wc, what: str, conn: _ServerConn,
                   ring: bool = False) -> None:
         """Classify a failed completion into the typed error taxonomy."""
@@ -613,14 +796,19 @@ class GengarClient:
                 meta = yield from self._meta(gaddr)
             self._check_bounds(meta, 0, len(data))
             conn = self._conns[meta.server_id]
+            commit = self.config.proxy_commit
             eligible = (
                 self.config.enable_proxy
                 and conn.ring is not None
-                and len(data) <= proxy_payload_capacity(conn.ring.slot_size)
+                and len(data) <= proxy_payload_capacity(
+                    conn.ring.slot_size, commit=commit)
             )
             if eligible:
                 payload = pack_proxy_slot(gaddr, 0, data)
-                if self.node.nic.is_inline(len(payload)):
+                # The commit word (appended at seq-assignment time below)
+                # rides in the same inline WQE.
+                extra = PROXY_COMMIT_BYTES if commit else 0
+                if self.node.nic.is_inline(len(payload) + extra):
                     staged.setdefault(meta.server_id, []).append(
                         (gaddr, data, payload))
                     continue
@@ -651,6 +839,8 @@ class GengarClient:
                     seq = conn.written
                     conn.written += 1
                     seqs.append(seq)
+                    if self.config.proxy_commit:
+                        payload = payload + pack_proxy_commit(seq, payload)
                     wrs.append(WorkRequest(
                         opcode=Opcode.RDMA_WRITE_IMM,
                         remote_rkey=ring.ring_rkey,
@@ -673,6 +863,7 @@ class GengarClient:
                     offset=0, data=data,
                     server_id=conn.desc.server_id, seq=seq + 1,
                 )
+                self._last_staged = (conn.desc.server_id, gaddr, 0, data)
                 self._note_access(gaddr, read=False)
                 self.h_write.record(self.sim.now - start)
         for gaddr, data in fallback:
@@ -717,7 +908,7 @@ class GengarClient:
         meta = self._cached_meta(gaddr)
         if meta is not None:
             return meta
-        meta = yield from self.master_rpc.call("lookup", {"gaddr": gaddr})
+        meta = yield from self._master_call("lookup", {"gaddr": gaddr})
         self.m_lookups.add()
         if self.config.metadata_cache:
             self._store_meta(meta)
@@ -808,6 +999,11 @@ class GengarClient:
         conn.written += 1
         slot = seq % ring.slots
         payload = pack_proxy_slot(gaddr, offset, data)
+        if self.config.proxy_commit:
+            # Trailing commit word: the drain loop validates seq ^ crc32
+            # before applying, so a write torn mid-flight is skipped, never
+            # applied as garbage.
+            payload += pack_proxy_commit(seq, payload)
         wr = WorkRequest(
             opcode=Opcode.RDMA_WRITE_IMM,
             remote_rkey=ring.ring_rkey,
@@ -836,6 +1032,7 @@ class GengarClient:
         self._overlay[gaddr] = _PendingWrite(
             offset=offset, data=data, server_id=conn.desc.server_id, seq=seq + 1
         )
+        self._last_staged = (conn.desc.server_id, gaddr, offset, data)
         return True
 
     def _direct_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
@@ -1024,8 +1221,28 @@ class GengarClient:
             entries.append((gaddr, reads, writes, bool(believed and believed.cached)))
         self._access_counts.clear()
         self._ops_since_report = 0
+        request: Dict[str, Any] = {"entries": entries}
+        piggyback = bool(self.lease_ns and not self._fenced and not self._crashed)
+        if piggyback:
+            # Every report doubles as a lease heartbeat for free.
+            request["client"] = self.name
+            request["epoch"] = self.fence_epoch
         try:
-            updates = yield from self.master_rpc.call("report", {"entries": entries})
+            try:
+                reply = yield from self._master_call("report", request)
+            except (MasterUnavailableError, RpcError):
+                return  # hotness reports are advisory; drop on the floor
+            if piggyback:
+                updates = reply["updates"]
+                verdict = reply["lease"]
+                if verdict == "ok":
+                    self._note_renewal(self.lease_ns)
+                elif verdict == "fenced":
+                    self._fenced = True
+                    self.m_fence_rejections.add()
+                    trace(self.sim, "fence", "report fenced", client=self.name)
+            else:
+                updates = reply
             for gaddr, cached, cache_offset in updates:
                 meta = self._cached_meta(gaddr)
                 if meta is not None:

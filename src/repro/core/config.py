@@ -111,6 +111,19 @@ class GengarConfig:
     #: Drained-counter polls without progress before a ring is presumed
     #: stalled and a write falls back to the direct path (degraded mode).
     degraded_patience_polls: int = 8
+    #: Client lease duration (failure detection, FaRM-style).  0 disables
+    #: leases entirely — no heartbeats, no lease sweeper, lock words carry
+    #: epoch 0 — keeping the fault-free path bit-identical to the pre-lease
+    #: build.  When set, clients renew at lease/3 (piggybacked on reports
+    #: or a standalone ``renew``) and the master recovers the locks, pins,
+    #: and proxy rings of any client whose lease lapses, fencing its epoch.
+    client_lease_ns: int = 0
+    #: Master lease-sweep period; 0 derives ``client_lease_ns // 4``.
+    lease_check_ns: int = 0
+    #: Trailing per-slot commit word (seq ^ crc32) on proxy writes, letting
+    #: the drain loop detect and skip torn slots from a client that died
+    #: mid-RDMA_WRITE.  Costs 8 bytes of slot capacity per write.
+    proxy_commit: bool = False
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -139,6 +152,8 @@ class GengarConfig:
             raise ValueError("op_deadline_ns must be non-negative (0 disables)")
         if self.degraded_patience_polls < 1:
             raise ValueError("degraded_patience_polls must be positive")
+        if self.client_lease_ns < 0 or self.lease_check_ns < 0:
+            raise ValueError("lease intervals must be non-negative (0 disables)")
 
     # Convenience ablation constructors -----------------------------------
     def ablate(self, *, cache: bool | None = None, proxy: bool | None = None) -> "GengarConfig":

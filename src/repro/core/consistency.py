@@ -31,14 +31,16 @@ from typing import TYPE_CHECKING, Any, Generator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.client import GengarClient
 
-from repro.core.errors import DeadlineExceededError
+from repro.core.errors import DeadlineExceededError, FencedError
 from repro.core.protocol import (
     READER_UNIT,
     WRITER_BIT,
+    lock_epoch,
     lock_owner,
     lock_reader_count,
     write_lock_word,
 )
+from repro.sim.trace import trace
 
 #: 64-bit two's complement constant for the shared-lock decrement.
 _MINUS_READER = (1 << 64) - READER_UNIT
@@ -73,6 +75,29 @@ class LockOps:
     def _word_offset(self, lock_idx: int) -> int:
         return lock_idx * 8
 
+    def _check_fence(self, gaddr: int, what: str) -> None:
+        """Local lease fencing (the FaRM rule): a client whose lease has
+        lapsed — or that the master already fenced — must not touch shared
+        lock state, because the master may have recovered its locks and
+        handed them to someone else.
+
+        This is necessarily a *local* check for acquires: a zombie's
+        ``CAS(0 -> word)`` against a free word would succeed no matter what
+        epoch it carries.  Releases additionally get word-level fencing in
+        :meth:`_release_write_fenced`.
+        """
+        client = self.client
+        if not client.lease_ns:
+            return
+        if client.fenced or self.sim.now >= client.lease_deadline:
+            client.m_fence_rejections.add()
+            trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                  client=client.name, gaddr=hex(gaddr))
+            raise FencedError(
+                f"{what} of {gaddr:#x}: lease expired at "
+                f"t={client.lease_deadline} (now {self.sim.now}); "
+                f"reattach_master() to rejoin under a fresh epoch")
+
     def _check_deadline(self, start_ns: int, gaddr: int, what: str) -> None:
         """Bound a contended acquire loop by the client's op deadline.
 
@@ -91,9 +116,10 @@ class LockOps:
     def acquire_write(self, gaddr: int) -> Generator[Any, Any, None]:
         """Take the exclusive lock on ``gaddr`` (blocks until acquired, or
         until the client's op deadline — if one is configured — expires)."""
+        self._check_fence(gaddr, "write-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
-        word = write_lock_word(self.client.uid)
+        word = write_lock_word(self.client.uid, self.client.fence_epoch)
         start = self.sim.now
         attempt = 0
         while True:
@@ -105,11 +131,15 @@ class LockOps:
                 return
             self.retries.add()
             self._check_deadline(start, gaddr, "write-lock")
+            self._check_fence(gaddr, "write-lock")
             yield from self._backoff(attempt)
             attempt += 1
 
     def release_write(self, gaddr: int) -> Generator[Any, Any, None]:
         """Release the exclusive lock, after syncing outstanding writes."""
+        # Fence before gsync: a zombie past its lease must not touch the
+        # pool at all, not even to flush stale staged writes.
+        self._check_fence(gaddr, "write-unlock")
         meta = yield from self.client._meta(gaddr)
         # Release consistency: all writes issued under the lock must be
         # durable (and cache-visible) before anyone else can acquire it.
@@ -132,6 +162,9 @@ class LockOps:
                 raise LockError(
                     f"write-unlock of {gaddr:#x} not held by this client "
                     f"(word={current:#x}; lock table reset by a restart?)")
+        if self.client.lease_ns:
+            yield from self._release_write_fenced(gaddr, meta)
+            return
         # Subtract exactly what acquire installed (owner id + writer bit);
         # correct even while readers' +2 increments are in flight.
         word = write_lock_word(self.client.uid)
@@ -142,9 +175,43 @@ class LockOps:
         if not old & WRITER_BIT:
             raise LockError(f"write-unlock of {gaddr:#x} which was not write-locked")
 
+    def _release_write_fenced(self, gaddr, meta) -> Generator[Any, Any, None]:
+        """Word-level fenced release: clear the writer part only if the word
+        still carries *this* client's uid and epoch.
+
+        A blind FAA would subtract our old word from whatever is there now —
+        if the master recovered the lock after our lease lapsed (and a new
+        holder re-acquired it), that subtraction silently corrupts the new
+        holder's word.  The CAS loop tolerates concurrent reader FAAs (the
+        reader half changes under us) but fails typed the moment the writer
+        half is no longer ours.
+        """
+        client = self.client
+        offset = self._word_offset(meta.lock_idx)
+        conn = client._conns[meta.server_id]
+        mine = write_lock_word(client.uid, client.fence_epoch)
+        for _ in range(64):
+            raw = yield from client._rdma_read(conn, conn.desc.lock_rkey, offset, 8)
+            word = int.from_bytes(raw, "little")
+            if (not word & WRITER_BIT or lock_owner(word) != client.uid
+                    or lock_epoch(word) != client.fence_epoch):
+                client.m_fence_rejections.add()
+                trace(self.sim, "fence", "release refused: word not ours",
+                      client=client.name, gaddr=hex(gaddr), word=hex(word))
+                raise FencedError(
+                    f"write-unlock of {gaddr:#x}: word {word:#x} does not carry "
+                    f"uid {client.uid} at epoch {client.fence_epoch} "
+                    f"(lock recovered after a lease expiry?)")
+            old = yield from client._atomic_cas(
+                meta.server_id, offset, compare=word, swap=word - mine)
+            if old == word:
+                return
+        raise LockError(f"write-unlock of {gaddr:#x}: lock word thrashing")
+
     def acquire_read(self, gaddr: int) -> Generator[Any, Any, None]:
         """Take a shared lock on ``gaddr`` (blocks until acquired, or until
         the client's op deadline — if one is configured — expires)."""
+        self._check_fence(gaddr, "read-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
         start = self.sim.now
@@ -160,6 +227,7 @@ class LockOps:
             yield from self.client._atomic_faa(meta.server_id, offset, add=_MINUS_READER)
             self.retries.add()
             self._check_deadline(start, gaddr, "read-lock")
+            self._check_fence(gaddr, "read-lock")
             yield from self._backoff(attempt)
             attempt += 1
 

@@ -32,6 +32,9 @@ class ObjectRecord:
     cache_offset: int = 0
     #: Pinned objects stay in DRAM regardless of observed hotness.
     pinned: bool = False
+    #: Which client asked for the pin (None for operator pins); lease
+    #: expiry releases exactly the pins attributed to the dead client.
+    pinned_by: Optional[str] = None
     #: Memoized ObjectMeta snapshot; ObjectMeta is frozen, so sharing one
     #: instance across lookups is safe.  Cleared whenever a field that
     #: feeds the snapshot changes (see mark_cached/mark_uncached).

@@ -66,6 +66,27 @@ class StaleRingError(RetryableError):
         self.server_id = server_id
 
 
+class MasterUnavailableError(RetryableError):
+    """A control RPC failed because the master is down or restarting.
+
+    Retryable: the retry loop backs off and, with ``auto_reattach``
+    enabled, re-attaches to the recovered master keeping the client's uid
+    and fencing epoch, so leases and lock ownership survive the failover.
+    """
+
+
+class FencedError(ClientError):
+    """This client's lease expired and its fencing epoch was retired.
+
+    Deliberately *not* retryable: the master may already have recovered
+    this client's locks and another client may hold them — blindly
+    retrying the same lock op would be exactly the zombie write the fence
+    exists to stop.  The only recovery is
+    :meth:`~repro.core.client.GengarClient.reattach_master`, which rejoins
+    under a fresh epoch.
+    """
+
+
 class DeadlineExceededError(ClientError):
     """The per-op deadline elapsed before the verb completed.
 

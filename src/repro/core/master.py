@@ -100,12 +100,30 @@ class Master:
         self.rpc.register("lookup", self._handle_lookup)
         self.rpc.register("report", self._handle_report)
         self.rpc.register("attach", self._handle_attach)
+        self.rpc.register("renew", self._handle_renew)
+
+        #: Lease bookkeeping (empty unless ``config.client_lease_ns``):
+        #: client name -> absolute expiry time / current fencing epoch.
+        self._leases: Dict[str, int] = {}
+        self._epochs: Dict[str, int] = {}
+        self._lease_sweeper_started = False
+        #: True between recover() and the end of recovery_process(): control
+        #: RPCs fail typed ("master recovering") so clients retry instead of
+        #: hitting an empty directory.
+        self._recovering = False
+        self.crashes = 0
 
         m = self.sim.metrics
         self.allocations = m.counter("master.allocations")
         self.reports = m.counter("master.reports")
         self.promote_ops = m.counter("master.promotions")
         self.demote_ops = m.counter("master.demotions")
+        self.lease_renewals = m.counter("master.lease_renewals")
+        self.lease_expiries = m.counter("master.lease_expiries")
+        self.fence_rejections = m.counter("master.fence_rejections")
+        self.lock_recoveries = m.counter("master.lock_recoveries")
+        self.failovers = m.counter("master.failovers")
+        self.journal_replayed = m.counter("master.journal_replayed")
         self._planner_started = False
 
     # ------------------------------------------------------------------
@@ -155,7 +173,14 @@ class Master:
     # ------------------------------------------------------------------
     # RPC handlers
     # ------------------------------------------------------------------
+    def _check_serving(self) -> None:
+        """Fail typed while a restarted master is still replaying its
+        journal; clients map this to a retryable MasterUnavailableError."""
+        if self._recovering:
+            raise MasterError("master recovering; retry")
+
     def _handle_gmalloc(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
+        self._check_serving()
         size = request["size"]
         if size <= 0:
             raise MasterError(f"gmalloc size must be positive, got {size}")
@@ -182,6 +207,7 @@ class Master:
         return record.to_meta()
 
     def _handle_gfree(self, request: dict) -> Generator[Any, Any, bool]:
+        self._check_serving()
         gaddr = request["gaddr"]
         yield from self.node.cpu_work()
         record = self.directory.remove(gaddr)
@@ -204,6 +230,7 @@ class Master:
         return True
 
     def _handle_lookup(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
+        self._check_serving()
         yield from self.node.cpu_work()
         return self.directory.get(request["gaddr"]).to_meta()
 
@@ -213,7 +240,14 @@ class Master:
         The reply piggybacks, for every reported object, its current cache
         location *if* it differs from what the client believes — this is how
         clients learn about promotions without polling.
+
+        With leases enabled the request additionally carries the client's
+        name and fencing epoch, and a successful report doubles as a lease
+        renewal (the reply then wraps the updates with the lease verdict).
+        With leases off, request and reply are byte-identical to the
+        pre-lease protocol.
         """
+        self._check_serving()
         yield from self.node.cpu_work()
         updates: List[Tuple[int, bool, int]] = []
         # Group entries per home server and flush each group in one
@@ -231,60 +265,192 @@ class Master:
         for sid, batch in per_server.items():
             self._policies[sid].record_batch(batch)
         self.reports.add()
-        return updates
+        name = request.get("client")
+        if name is None:
+            return updates
+        verdict = self._lease_verdict(name, request.get("epoch", 0))
+        if verdict == "ok":
+            self._renew_lease(name)
+        elif verdict == "fenced":
+            self.fence_rejections.add()
+        return {"updates": updates, "lease": verdict}
 
     def _handle_attach(self, request: dict) -> Generator[Any, Any, dict]:
         yield from self.node.cpu_work()
         name = request["client"]
         uid = self._client_uids.get(name)
         if uid is None:
-            uid = self._next_uid
-            self._next_uid += 1
+            prev_uid = request.get("uid")
+            if prev_uid:
+                # Re-attach to a restarted master: adopt the client's old
+                # uid so its existing lock words stay attributable to it.
+                uid = prev_uid
+                self._next_uid = max(self._next_uid, uid + 1)
+            else:
+                uid = self._next_uid
+                self._next_uid += 1
             self._client_uids[name] = uid
+        # The fencing epoch is the max of both views: ours is ahead if we
+        # fenced this client while it was away (it rejoins under the fresh
+        # epoch); the client's is ahead if *we* restarted and lost it.
+        epoch = max(self._epochs.get(name, 0), request.get("epoch", 0))
+        self._epochs[name] = epoch
+        if self.config.client_lease_ns:
+            self._leases[name] = self.sim.now + self.config.client_lease_ns
+            self._start_lease_sweeper()
+            trace(self.sim, "lease", "lease granted", client=name, uid=uid,
+                  epoch=epoch, lease_ns=self.config.client_lease_ns)
         return {
             "servers": [h.descriptor for h in self._servers.values()],
             "config": self.config,
             "client_id": uid,
+            "epoch": epoch,
+            "lease_ns": self.config.client_lease_ns,
         }
+
+    def _handle_renew(self, request: dict) -> Generator[Any, Any, dict]:
+        """Standalone lease heartbeat (for clients with nothing to report)."""
+        self._check_serving()
+        yield from self.node.cpu_work()
+        name, epoch = request["client"], request.get("epoch", 0)
+        verdict = self._lease_verdict(name, epoch)
+        if verdict == "ok":
+            self._renew_lease(name)
+            return {"ok": True, "lease_ns": self.config.client_lease_ns}
+        if verdict == "fenced":
+            self.fence_rejections.add()
+            trace(self.sim, "fence", "renew rejected: epoch retired",
+                  client=name, epoch=epoch)
+        return {"ok": False, "reason": verdict}
+
+    # ------------------------------------------------------------------
+    # Leases and fenced lock recovery
+    # ------------------------------------------------------------------
+    def _lease_verdict(self, name: str, epoch: int) -> str:
+        """``ok`` | ``fenced`` (we retired this epoch) | ``unknown`` (we
+        have never heard of this client — typically a restarted master —
+        so it must re-attach)."""
+        if name not in self._client_uids:
+            return "unknown"
+        current = self._epochs.get(name, 0)
+        if current > epoch:
+            return "fenced"
+        if current < epoch:
+            return "unknown"  # we restarted and lost the epoch; re-attach
+        return "ok"
+
+    def _renew_lease(self, name: str) -> None:
+        if self.config.client_lease_ns:
+            self._leases[name] = self.sim.now + self.config.client_lease_ns
+            self.lease_renewals.add()
+
+    def _start_lease_sweeper(self) -> None:
+        if not self._lease_sweeper_started:
+            self._lease_sweeper_started = True
+            self.sim.spawn(self._lease_sweeper_loop(), name="master.leases")
+
+    def _lease_sweeper_loop(self) -> Generator[Any, Any, None]:
+        check = self.config.lease_check_ns or max(1, self.config.client_lease_ns // 4)
+        while True:
+            yield self.sim.timeout(check)
+            # A dead master detects nothing (its own clock is "stopped");
+            # outbound RPCs from a crashed node would otherwise still work
+            # in the model, so self-check aliveness explicitly.
+            if not self.node.endpoint.alive or self._recovering:
+                continue
+            now = self.sim.now
+            expired = sorted(n for n, exp in self._leases.items() if exp <= now)
+            for name in expired:
+                yield from self._expire_lease(name)
+
+    def _expire_lease(self, name: str) -> Generator[Any, Any, None]:
+        if name not in self._leases:
+            return  # re-attached (fresh lease) while this sweep was queued
+        del self._leases[name]
+        self.lease_expiries.add()
+        trace(self.sim, "lease", "lease expired", client=name)
+        yield from self._fence_and_recover(name)
+
+    def _fence_and_recover(self, name: str) -> Generator[Any, Any, int]:
+        """Declare a client dead: bump its fencing epoch, recover its write
+        locks (conditioned on the retired epoch), release its pins, and
+        retire its proxy rings.  Returns the number of locks recovered.
+
+        The epoch bump happens *first*, so even if this sweep is slow, any
+        renew the zombie sends concurrently is already rejected.
+        """
+        uid = self._client_uids.get(name)
+        if uid is None:
+            raise MasterError(f"unknown client {name!r}")
+        fencing = bool(self.config.client_lease_ns)
+        old_epoch = self._epochs.get(name, 0)
+        if fencing:
+            self._epochs[name] = old_epoch + 1
+        recovered = 0
+        for record in list(self.directory.objects()):
+            handle = self._servers[record.server_id]
+            try:
+                cleared = yield from handle.rpc.call("clear_lock_if_owner", {
+                    "lock_idx": record.lock_idx, "owner": uid,
+                    "epoch": old_epoch if fencing else None,
+                })
+            except RpcError:
+                continue  # home server down: its lock table died with it
+            if cleared:
+                recovered += 1
+            if record.pinned and record.pinned_by == name:
+                record.pinned = False
+                record.pinned_by = None
+                yield from self._demote(
+                    handle, self._policies[record.server_id], record.gaddr)
+        for sid in sorted(self._servers):
+            try:
+                yield from self._servers[sid].rpc.call(
+                    "retire_ring", {"client": name})
+            except RpcError:
+                pass  # dead server: its DRAM (and the ring) are gone anyway
+        self.lock_recoveries.add(recovered)
+        trace(self.sim, "lease", "client fenced", client=name,
+              epoch=self._epochs.get(name, 0), locks_recovered=recovered)
+        return recovered
 
     # ------------------------------------------------------------------
     # Admin API: pin/unpin an object in DRAM (used by microbenchmarks and
     # operators who know an object is hot regardless of observed traffic).
     # ------------------------------------------------------------------
-    def pin(self, gaddr: int) -> Generator[Any, Any, None]:
+    def pin(self, gaddr: int, client: Optional[str] = None) -> Generator[Any, Any, None]:
         """Force-promote an object into its home server's DRAM cache and
-        keep it there regardless of observed hotness (until unpinned)."""
+        keep it there regardless of observed hotness (until unpinned).
+
+        ``client`` attributes the pin, so lease expiry releases exactly the
+        pins the dead client asked for (operator pins outlive any client).
+        """
         record = self.directory.get(gaddr)
         handle = self._servers[record.server_id]
         yield from self._promote(handle, self._policies[record.server_id], gaddr)
         record.pinned = True
+        record.pinned_by = client
 
     def unpin(self, gaddr: int) -> Generator[Any, Any, None]:
         """Release a pin and demote the object out of DRAM."""
         record = self.directory.get(gaddr)
         record.pinned = False
+        record.pinned_by = None
         handle = self._servers[record.server_id]
         yield from self._demote(handle, self._policies[record.server_id], gaddr)
 
     def evict_client(self, client_name: str) -> Generator[Any, Any, int]:
-        """Recovery: clear every write lock a (dead) client still holds.
+        """Recovery: clear every write lock a (dead) client still holds,
+        release its pins, and retire its proxy rings.
 
         Uses the owner id embedded in the lock word, so only that client's
-        locks are touched; readers and other writers are unaffected.
-        Returns the number of locks recovered.
+        locks are touched; readers and other writers are unaffected.  With
+        leases enabled this also retires the client's fencing epoch (it is
+        the same path a lease expiry takes).  Returns the number of locks
+        recovered.
         """
-        uid = self._client_uids.get(client_name)
-        if uid is None:
-            raise MasterError(f"unknown client {client_name!r}")
-        recovered = 0
-        for record in list(self.directory.objects()):
-            handle = self._servers[record.server_id]
-            cleared = yield from handle.rpc.call(
-                "clear_lock_if_owner",
-                {"lock_idx": record.lock_idx, "owner": uid},
-            )
-            if cleared:
-                recovered += 1
+        self._leases.pop(client_name, None)
+        recovered = yield from self._fence_and_recover(client_name)
         return recovered
 
     def reset_volatile_state(self) -> None:
@@ -293,6 +459,9 @@ class Master:
         The directory, allocators, lock bookkeeping, and hotness state are
         all DRAM-resident.  With the metadata journal enabled,
         :meth:`rebuild` restores the directory from the servers' NVM.
+        Client identities (uids, epochs, leases) are volatile too, but are
+        wiped by :meth:`recover` rather than here: callers driving a bare
+        ``reset + rebuild`` (no process restart) keep their sessions.
         """
         self.directory = Directory()
         for sid, handle in self._servers.items():
@@ -338,6 +507,91 @@ class Master:
             handle._lock_free = [i for i in range(high) if i not in live_locks]
         return len(self.directory)
 
+    # ------------------------------------------------------------------
+    # Master crash / failover
+    # ------------------------------------------------------------------
+    def crash(self) -> None:
+        """Fail the master process.  All volatile state (directory,
+        allocators, leases, client identities) will be gone at restart;
+        clients' control RPCs complete with ``RETRY_EXCEEDED`` and surface
+        as a retryable ``MasterUnavailableError``.  The data plane is
+        untouched: reads, writes, and lock atomics go straight to the
+        memory servers and keep working."""
+        if not self.node.endpoint.alive:
+            return
+        self.node.endpoint.alive = False
+        self.crashes += 1
+        trace(self.sim, "fault", "master crashed")
+
+    def recover(self) -> None:
+        """Restart the master process with empty volatile state.
+
+        The master starts in *recovering* mode — control RPCs fail typed
+        ("master recovering") until :meth:`recovery_process` finishes
+        replaying the metadata journal — so no client ever observes the
+        half-empty directory.
+        """
+        self.node.endpoint.alive = True
+        self._recovering = True
+        self.reset_volatile_state()
+        self._client_uids = {}
+        self._epochs = {}
+        self._leases = {}
+        trace(self.sim, "fault", "master restarted; volatile state lost")
+
+    def recovery_process(self) -> Generator[Any, Any, int]:
+        """Journal-driven failover: rebuild the directory from the servers'
+        NVM journals, then reopen for business.  Returns the number of live
+        objects recovered.
+
+        With leases enabled, also arms the post-failover orphan sweep:
+        clients get one lease interval to re-attach (keeping their uid and
+        epoch); locks whose owner never re-registers are then recovered.
+        """
+        recovered = 0
+        try:
+            if self.config.metadata_journal:
+                recovered = yield from self.rebuild()
+                self.journal_replayed.add(recovered)
+            else:
+                trace(self.sim, "fault",
+                      "no metadata journal: master restarts with an empty directory")
+        finally:
+            self._recovering = False
+        self.failovers.add()
+        trace(self.sim, "failover", "master recovered", objects=recovered,
+              journal=self.config.metadata_journal)
+        if self.config.client_lease_ns:
+            self.sim.spawn(self._orphan_lock_sweep(), name="master.orphan_sweep")
+        return recovered
+
+    def _orphan_lock_sweep(self) -> Generator[Any, Any, None]:
+        """Post-failover grace sweep (the restarted master lost all leases):
+        any write lock whose owner uid did not re-attach within one lease
+        interval belongs to a client that died with the old master — recover
+        it.  Live clients re-attach within a heartbeat (lease/3), so their
+        locks are never touched."""
+        yield self.sim.timeout(self.config.client_lease_ns)
+        if not self.node.endpoint.alive or self._recovering:
+            return
+        known = sorted(set(self._client_uids.values()))
+        recovered = 0
+        for record in list(self.directory.objects()):
+            handle = self._servers[record.server_id]
+            try:
+                owner = yield from handle.rpc.call("clear_lock_if_orphan", {
+                    "lock_idx": record.lock_idx, "known": known,
+                })
+            except RpcError:
+                continue
+            if owner:
+                recovered += 1
+                trace(self.sim, "lease", "orphan lock recovered",
+                      gaddr=hex(record.gaddr), owner_uid=owner)
+        self.lock_recoveries.add(recovered)
+        trace(self.sim, "lease", "post-failover orphan sweep done",
+              locks_recovered=recovered)
+
     def on_server_recovered(self, server_id: int) -> int:
         """Reconcile the directory after a server restart.
 
@@ -356,6 +610,7 @@ class Master:
                 policy.on_demoted(record.gaddr)
                 dropped += 1
             record.pinned = False
+            record.pinned_by = None
         trace(self.sim, "fault", "directory reconciled after restart",
               server=server_id, dropped_cache_entries=dropped)
         return dropped
@@ -379,6 +634,11 @@ class Master:
     def _planner_loop(self) -> Generator[Any, Any, None]:
         while True:
             yield self.sim.timeout(self.config.epoch_ns)
+            # A crashed master plans nothing (the model checks aliveness on
+            # the *remote* end, so outbound RPCs from a dead node would
+            # otherwise still go through).
+            if not self.node.endpoint.alive or self._recovering:
+                continue
             for sid in sorted(self._servers):
                 yield from self._plan_server(sid)
 

@@ -16,6 +16,7 @@ must be bit-exact on both ends:
 from __future__ import annotations
 
 import struct
+import zlib
 from dataclasses import dataclass
 
 # ---------------------------------------------------------------------------
@@ -23,6 +24,10 @@ from dataclasses import dataclass
 # ---------------------------------------------------------------------------
 _SLOT_HEADER = struct.Struct("<QII")
 PROXY_HEADER_BYTES = _SLOT_HEADER.size  # 16
+#: Trailing commit word (optional, ``proxy_commit``): 8 bytes after the
+#: payload that let the drain loop detect a torn (half-written) slot.
+PROXY_COMMIT_BYTES = 8
+_SEQ_MASK = (1 << 32) - 1
 
 
 def pack_proxy_slot(gaddr: int, obj_offset: int, payload: bytes) -> bytes:
@@ -35,9 +40,28 @@ def unpack_proxy_header(raw: bytes) -> tuple[int, int, int]:
     return _SLOT_HEADER.unpack_from(raw)
 
 
-def proxy_payload_capacity(slot_size: int) -> int:
+def pack_proxy_commit(seq: int, frame: bytes) -> bytes:
+    """The commit word trailing a slot: ``[seq_lo32 | crc32(frame) ^ seq]``.
+
+    ``frame`` is the full ``header+payload`` bytes of the slot.  A client
+    that dies mid-WRITE leaves either stale commit bytes (wrong seq half)
+    or a checksum that no longer covers the torn frame — both fail
+    :func:`proxy_commit_ok`, so the drain loop never applies the garbage.
+    """
+    s = seq & _SEQ_MASK
+    return ((s << 32) | (zlib.crc32(frame) ^ s)).to_bytes(8, "little")
+
+
+def proxy_commit_ok(raw: bytes, seq: int, frame: bytes) -> bool:
+    """True iff ``raw`` is the commit word for exactly (``seq``, ``frame``)."""
+    if len(raw) != PROXY_COMMIT_BYTES:
+        return False
+    return raw == pack_proxy_commit(seq, frame)
+
+
+def proxy_payload_capacity(slot_size: int, commit: bool = False) -> int:
     """Largest write a slot of ``slot_size`` bytes can stage."""
-    return slot_size - PROXY_HEADER_BYTES
+    return slot_size - PROXY_HEADER_BYTES - (PROXY_COMMIT_BYTES if commit else 0)
 
 
 # ---------------------------------------------------------------------------
@@ -99,25 +123,38 @@ def unpack_journal_record(raw: bytes) -> tuple[int, int, int, int]:
 #   bit 0        writer bit
 #   bits 1-31    reader count, in units of 2 (reader FAAs never carry into
 #                the owner field at any realistic reader count)
-#   bits 32-63   writer owner id (the client uid), 0 unless write-locked
+#   bits 32-47   writer owner id (the client uid), 0 unless write-locked
+#   bits 48-63   fencing epoch of the holder at acquire time
 #
-# A writer acquires with CAS(0 -> (uid << 32) | 1) and releases with
-# FAA(-((uid << 32) | 1)), which is correct even while reader increments are
-# in flight.  The owner field is what makes abandoned locks *recoverable*:
-# the master can identify and clear exactly the locks a dead client held.
+# A writer acquires with CAS(0 -> (epoch << 48) | (uid << 32) | 1) and
+# releases with FAA(-word), which is correct even while reader increments
+# are in flight.  The owner field is what makes abandoned locks
+# *recoverable*: the master can identify and clear exactly the locks a dead
+# client held.  The epoch field is what makes that recovery *fenced*: the
+# master bumps a client's epoch when its lease expires, so a revived zombie
+# whose lock was recovered (and possibly re-acquired by someone else) can
+# never mistake the new word for its own — its conditional release fails
+# loudly instead of clobbering the new holder.  Epoch 0 words are bit-
+# identical to the pre-lease layout.
 # ---------------------------------------------------------------------------
 WRITER_BIT = 1
 READER_UNIT = 2
 LOCK_WORD_BYTES = 8
 _OWNER_SHIFT = 32
+_EPOCH_SHIFT = 48
+_OWNER_MASK = (1 << (_EPOCH_SHIFT - _OWNER_SHIFT)) - 1
 _LOW_MASK = (1 << _OWNER_SHIFT) - 1
+#: Largest representable fencing epoch (16 bits).
+MAX_FENCE_EPOCH = (1 << 16) - 1
 
 
-def write_lock_word(owner_uid: int) -> int:
-    """The word a writer installs: owner id + writer bit."""
-    if not 0 < owner_uid < (1 << 32):
+def write_lock_word(owner_uid: int, epoch: int = 0) -> int:
+    """The word a writer installs: fencing epoch + owner id + writer bit."""
+    if not 0 < owner_uid <= _OWNER_MASK:
         raise ValueError(f"owner uid out of range: {owner_uid}")
-    return (owner_uid << _OWNER_SHIFT) | WRITER_BIT
+    if not 0 <= epoch <= MAX_FENCE_EPOCH:
+        raise ValueError(f"fencing epoch out of range: {epoch}")
+    return (epoch << _EPOCH_SHIFT) | (owner_uid << _OWNER_SHIFT) | WRITER_BIT
 
 
 def lock_is_write_locked(word: int) -> bool:
@@ -126,7 +163,12 @@ def lock_is_write_locked(word: int) -> bool:
 
 def lock_owner(word: int) -> int:
     """The writer's uid (0 when not write-locked)."""
-    return word >> _OWNER_SHIFT
+    return (word >> _OWNER_SHIFT) & _OWNER_MASK
+
+
+def lock_epoch(word: int) -> int:
+    """The fencing epoch the writer held at acquire time."""
+    return word >> _EPOCH_SHIFT
 
 
 def lock_reader_count(word: int) -> int:

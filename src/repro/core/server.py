@@ -30,11 +30,13 @@ from repro.core.protocol import (
     CACHE_TAG_BYTES,
     JOURNAL_HEADER_BYTES,
     JOURNAL_RECORD_BYTES,
+    PROXY_COMMIT_BYTES,
     PROXY_HEADER_BYTES,
     RingDescriptor,
     ServerDescriptor,
     pack_cache_tag,
     pack_journal_record,
+    proxy_commit_ok,
     unpack_journal_record,
     unpack_proxy_header,
 )
@@ -100,6 +102,8 @@ class MemoryServer:
         self.rpc.register("clear_lock_if_owner", self._handle_clear_lock_if_owner)
         self.rpc.register("journal_append", self._handle_journal_append)
         self.rpc.register("journal_read", self._handle_journal_read)
+        self.rpc.register("retire_ring", self._handle_retire_ring)
+        self.rpc.register("clear_lock_if_orphan", self._handle_clear_lock_if_orphan)
 
         # Lock table.
         lock_bytes = config.lock_table_entries * 8
@@ -151,6 +155,7 @@ class MemoryServer:
         self._ring_spans: Dict[str, int] = {}
         self._drain_loops: list = []  # (process, qp) pairs
         self._drain_proc_by_client: Dict[str, object] = {}
+        self._drain_qps: Dict[str, "QueuePair"] = {}
         #: Fault injection: when set, drain loops park on this event.
         self._drain_gate = None
         self.crashes = 0
@@ -161,6 +166,7 @@ class MemoryServer:
         self.ring_occupancy = m.level(f"{node.name}.proxy.occupancy")
         self.promotions = m.counter(f"{node.name}.cache.promotions")
         self.demotions = m.counter(f"{node.name}.cache.demotions")
+        self.torn_skipped = m.counter(f"{node.name}.proxy.torn_skipped")
 
     # ------------------------------------------------------------------
     def descriptor(self) -> ServerDescriptor:
@@ -263,6 +269,7 @@ class MemoryServer:
         )
         self._drain_loops.append((proc, qp))
         self._drain_proc_by_client[client_name] = proc
+        self._drain_qps[client_name] = qp
         yield from self.node.cpu_work()
         return RingDescriptor(
             ring_rkey=mr.rkey, slots=slots, slot_size=slot_size,
@@ -338,29 +345,104 @@ class MemoryServer:
     def _handle_clear_lock(self, request: dict) -> Generator[Any, Any, int]:
         """Admin path: forcibly zero a lock word (recovery after a client
         failure).  Returns the prior word so operators can audit what was
-        abandoned."""
+        abandoned.
+
+        The read and the clear are one critical section under the
+        endpoint's atomic gate — the same gate inbound NIC atomics take —
+        so the zero is conditional on the observed word (CAS semantics).
+        Without the gate, a release + fresh acquire landing between the
+        read and the timed write would be wiped by a clear that was aimed
+        at the *previous* holder's word.
+        """
         lock_idx = request["lock_idx"]
         yield from self.node.cpu_work()
-        prior = self.lock_mr.read_u64(lock_idx * 8)
-        yield from self.lock_mr.write(lock_idx * 8, (0).to_bytes(8, "little"))
+        with (yield from self.node.endpoint.atomic_gate.acquire()):
+            prior = self.lock_mr.read_u64(lock_idx * 8)
+            yield from self.lock_mr.write(lock_idx * 8, (0).to_bytes(8, "little"))
         return prior
 
     def _handle_clear_lock_if_owner(self, request: dict) -> Generator[Any, Any, bool]:
         """Recovery: clear the writer bits of a lock word iff the embedded
-        owner id matches.  Serialized against inbound NIC atomics through
-        the endpoint's atomic gate, so a concurrent CAS/FAA never interleaves
-        with the read-modify-write."""
-        from repro.core.protocol import lock_is_write_locked, lock_owner, write_lock_word
+        owner id (and, when given, the fencing epoch) matches.  Serialized
+        against inbound NIC atomics through the endpoint's atomic gate, so a
+        concurrent CAS/FAA never interleaves with the read-modify-write.
+
+        The epoch condition is what makes lease recovery safe to race with
+        a re-attach: a client that rejoined under a fresh epoch (and
+        re-acquired the lock) is never hit by a clear aimed at its dead
+        incarnation.
+        """
+        from repro.core.protocol import (
+            lock_epoch, lock_is_write_locked, lock_owner, write_lock_word)
 
         lock_idx, owner = request["lock_idx"], request["owner"]
+        epoch = request.get("epoch")
         yield from self.node.cpu_work()
         with (yield from self.node.endpoint.atomic_gate.acquire()):
             word = self.lock_mr.read_u64(lock_idx * 8)
             if not (lock_is_write_locked(word) and lock_owner(word) == owner):
                 return False
+            if epoch is not None and lock_epoch(word) != epoch:
+                return False
             # Preserve in-flight reader increments; drop only the writer part.
-            new = word - write_lock_word(owner)
+            new = word - write_lock_word(owner, lock_epoch(word))
             yield from self.lock_mr.write(lock_idx * 8, new.to_bytes(8, "little"))
+        return True
+
+    def _handle_clear_lock_if_orphan(self, request: dict) -> Generator[Any, Any, int]:
+        """Post-failover recovery: clear a write lock iff its embedded owner
+        uid is *not* in the given set of known (re-attached) client uids.
+
+        A restarted master lost its lease table; after the re-attach grace
+        period, any lock whose owner never re-registered belongs to a client
+        that died with the old master.  Returns the orphan's uid (0 if the
+        word was free or owned by a known client).
+        """
+        from repro.core.protocol import (
+            lock_epoch, lock_is_write_locked, lock_owner, write_lock_word)
+
+        lock_idx = request["lock_idx"]
+        known = set(request["known"])
+        yield from self.node.cpu_work()
+        with (yield from self.node.endpoint.atomic_gate.acquire()):
+            word = self.lock_mr.read_u64(lock_idx * 8)
+            if not lock_is_write_locked(word):
+                return 0
+            owner = lock_owner(word)
+            if owner in known:
+                return 0
+            new = word - write_lock_word(owner, lock_epoch(word))
+            yield from self.lock_mr.write(lock_idx * 8, new.to_bytes(8, "little"))
+        return owner
+
+    def _handle_retire_ring(self, request: dict) -> Generator[Any, Any, bool]:
+        """Free a dead/evicted client's ring resources.
+
+        Deregisters the ring MR (a zombie's one-sided write faults with
+        ``REMOTE_ACCESS_ERROR`` instead of landing in an orphaned region)
+        and poisons the drain loop *behind* any doorbells already received,
+        so staged writes still drain before the loop exits.  The carved
+        DRAM span stays parked in ``_ring_spans`` for reuse at re-attach —
+        evicting a client must not leak (or re-carve) server DRAM.
+        """
+        from repro.rdma.wr import Opcode, WorkCompletion
+
+        client_name = request["client"]
+        yield from self.node.cpu_work()
+        ring = self._rings.pop(client_name, None)
+        if ring is None:
+            return False  # never attached, or already retired (idempotent)
+        self.node.endpoint.deregister_mr(ring.mr)
+        qp = self._drain_qps.pop(client_name, None)
+        if qp is not None:
+            self._drain_loops = [
+                (proc, q) for (proc, q) in self._drain_loops if q is not qp
+            ]
+            qp.recv_cq.push(WorkCompletion(
+                wr_id=0, opcode=Opcode.RECV, context={"poison": True},
+            ))
+        trace(self.sim, "lease", "proxy ring retired",
+              server=self.node.name, client=client_name)
         return True
 
     def _find_qp(self, qp_num: int) -> "QueuePair":
@@ -399,6 +481,28 @@ class MemoryServer:
             base = slot * slot_size
             header = ring.mr.peek(base, PROXY_HEADER_BYTES)
             gaddr, obj_offset, length = unpack_proxy_header(header)
+            if self.config.proxy_commit:
+                # Torn-slot detection: this doorbell's payload must carry a
+                # commit word binding (seq, header+payload).  A client that
+                # died mid-WRITE leaves a frame the commit word no longer
+                # covers — skip it (advancing the drained cursor to keep
+                # slot/seq alignment) rather than applying garbage to NVM.
+                limit = slot_size - PROXY_HEADER_BYTES - PROXY_COMMIT_BYTES
+                torn = not 0 <= length <= limit
+                if not torn:
+                    frame = header + ring.mr.peek(base + PROXY_HEADER_BYTES, length)
+                    commit = ring.mr.peek(
+                        base + PROXY_HEADER_BYTES + length, PROXY_COMMIT_BYTES)
+                    torn = not proxy_commit_ok(commit, ring.drained, frame)
+                if torn:
+                    self.torn_skipped.add()
+                    trace(self.sim, "fault", "torn slot skipped",
+                          server=self.node.name, slot=slot, seq=ring.drained)
+                    ring.drained += 1
+                    ring.mr.write_u64(ring.counter_offset, ring.drained)
+                    qp.post_recv(ring.mr, offset=ring.counter_offset, length=0)
+                    self.ring_occupancy.adjust(-1)
+                    continue
             payload = ring.mr.peek(base + PROXY_HEADER_BYTES, length)
 
             # Freshen the cached copy first so hot readers see it as early
@@ -466,6 +570,7 @@ class MemoryServer:
                 wr_id=0, opcode=Opcode.RECV, context={"poison": True},
             ))
         self._drain_loops.clear()
+        self._drain_qps.clear()
         # The lock table lived in DRAM: every lock is implicitly released.
         self.lock_mr.poke(0, bytes(self.lock_mr.length))
         trace(self.sim, "fault", "server crashed", server=self.node.name)

@@ -8,11 +8,15 @@ under a fault plan is exactly as reproducible as a fault-free one.
 
 from repro.faults.injector import FaultInjector
 from repro.faults.plan import (
+    ClientCrash,
+    ClientRecover,
     FaultPlan,
     FaultPlanError,
     LatencySpike,
     LinkFlap,
     LossyLink,
+    MasterCrash,
+    MasterRecover,
     Partition,
     RingStall,
     ServerCrash,
@@ -25,6 +29,10 @@ __all__ = [
     "FaultPlanError",
     "ServerCrash",
     "ServerRecover",
+    "MasterCrash",
+    "MasterRecover",
+    "ClientCrash",
+    "ClientRecover",
     "RingStall",
     "LossyLink",
     "LatencySpike",

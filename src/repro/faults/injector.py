@@ -33,17 +33,24 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.sim.kernel import Simulator
 
 from repro.faults.plan import (
+    ClientCrash,
+    ClientRecover,
     FaultPlan,
     FaultPlanError,
     LatencySpike,
     LinkFlap,
     LossyLink,
+    MasterCrash,
+    MasterRecover,
     Partition,
     RingStall,
     ServerCrash,
     ServerRecover,
 )
 from repro.sim.trace import trace
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.core.client import GengarClient
 
 
 class _Window:
@@ -92,12 +99,14 @@ class FaultInjector:
                  fabric: Optional["Fabric"] = None,
                  servers: Optional[Dict[int, "MemoryServer"]] = None,
                  master: Optional["Master"] = None,
+                 clients: Optional[Dict[str, "GengarClient"]] = None,
                  rng_name: str = "faults"):
         self.sim = sim
         self.plan = plan
         self.fabric = fabric
         self.servers = servers or {}
         self.master = master
+        self.clients = clients or {}
         self._rng = sim.rng.stream(rng_name)
         self._windows: List[_Window] = []
         self._installed = False
@@ -106,12 +115,27 @@ class FaultInjector:
         self.crashes_injected = m.counter("faults.crashes")
         self.recoveries_injected = m.counter("faults.recoveries")
         self.stalls_injected = m.counter("faults.stalls")
+        self.master_crashes_injected = m.counter("faults.master_crashes")
+        self.master_recoveries_injected = m.counter("faults.master_recoveries")
+        self.client_crashes_injected = m.counter("faults.client_crashes")
+        self.client_recoveries_injected = m.counter("faults.client_recoveries")
+        self.torn_injected = m.counter("faults.torn_injected")
 
         for f in plan.timed:
-            if f.server_id not in self.servers:
-                raise FaultPlanError(
-                    f"plan names server {f.server_id} but only "
-                    f"{sorted(self.servers)} are wired")
+            if isinstance(f, (ServerCrash, ServerRecover, RingStall)):
+                if f.server_id not in self.servers:
+                    raise FaultPlanError(
+                        f"plan names server {f.server_id} but only "
+                        f"{sorted(self.servers)} are wired")
+            elif isinstance(f, (MasterCrash, MasterRecover)):
+                if self.master is None:
+                    raise FaultPlanError(
+                        f"plan has master faults but no master was wired: {f!r}")
+            else:  # ClientCrash / ClientRecover
+                if f.client not in self.clients:
+                    raise FaultPlanError(
+                        f"plan names client {f.client!r} but only "
+                        f"{sorted(self.clients)} are wired")
         if plan.windows and fabric is None:
             raise FaultPlanError("plan has link faults but no fabric was wired")
 
@@ -123,6 +147,7 @@ class FaultInjector:
                    fabric=pool.cluster.fabric,
                    servers=pool.servers,
                    master=pool.master,
+                   clients={c.name: c for c in pool.clients},
                    rng_name=rng_name)
 
     # ------------------------------------------------------------------
@@ -149,6 +174,17 @@ class FaultInjector:
             elif isinstance(f, ServerRecover):
                 self.sim.schedule(f.at_ns - now, self._do_recover,
                                   f.server_id, f.reconcile)
+            elif isinstance(f, MasterCrash):
+                self.sim.schedule(f.at_ns - now, self._do_master_crash)
+            elif isinstance(f, MasterRecover):
+                self.sim.schedule(f.at_ns - now, self._do_master_recover,
+                                  f.rebuild)
+            elif isinstance(f, ClientCrash):
+                self.sim.schedule(f.at_ns - now, self._do_client_crash,
+                                  f.client, f.tear_inflight)
+            elif isinstance(f, ClientRecover):
+                self.sim.schedule(f.at_ns - now, self._do_client_recover,
+                                  f.client)
             else:  # RingStall
                 self.sim.schedule(f.at_ns - now, self._do_stall,
                                   f.server_id, f.duration_ns)
@@ -221,3 +257,75 @@ class FaultInjector:
               server=server_id, duration_ns=duration_ns)
         self.servers[server_id].stall_drains(duration_ns)
         self.stalls_injected.add()
+
+    def _do_master_crash(self) -> None:
+        trace(self.sim, "fault", "injecting master crash")
+        self.master.crash()
+        self.master_crashes_injected.add()
+
+    def _do_master_recover(self, rebuild: bool) -> None:
+        trace(self.sim, "fault", "injecting master recovery", rebuild=rebuild)
+        self.master.recover()
+        if rebuild:
+            self.sim.spawn(self.master.recovery_process(),
+                           name="master.recovery")
+        self.master_recoveries_injected.add()
+
+    def _do_client_crash(self, client_name: str, tear_inflight: bool) -> None:
+        trace(self.sim, "fault", "injecting client crash",
+              client=client_name, tear=tear_inflight)
+        client = self.clients[client_name]
+        if tear_inflight:
+            self._tear_inflight_write(client)
+        client.crash()
+        self.client_crashes_injected.add()
+
+    def _do_client_recover(self, client_name: str) -> None:
+        trace(self.sim, "fault", "injecting client revival", client=client_name)
+        self.clients[client_name].revive()
+        self.client_recoveries_injected.add()
+
+    # ------------------------------------------------------------------
+    def _tear_inflight_write(self, client: "GengarClient") -> None:
+        """Plant a half-written proxy slot: re-stage the victim's last
+        staged write, but cut the RDMA_WRITE short partway through the
+        payload — the frame lands, the commit word does not.  The drain
+        loop still gets the doorbell (write-after-write ordering only
+        covers *completed* writes), which is exactly the case the per-slot
+        commit word exists to catch."""
+        from repro.core.protocol import (
+            PROXY_HEADER_BYTES, pack_proxy_commit, pack_proxy_slot)
+        from repro.rdma.wr import Opcode, WorkCompletion
+
+        if client._last_staged is None:
+            trace(self.sim, "fault", "no staged write to tear",
+                  client=client.name)
+            return
+        sid, gaddr, offset, data = client._last_staged
+        server = self.servers.get(sid)
+        conn = client._conns.get(sid)
+        if server is None or conn is None or conn.ring is None:
+            return
+        ring_state = server._rings.get(client.name)
+        qp = server._drain_qps.get(client.name)
+        if ring_state is None or qp is None:
+            return
+        slots = conn.ring.slots
+        if conn.written - ring_state.drained >= slots:
+            trace(self.sim, "fault", "ring full; tear skipped",
+                  client=client.name)
+            return
+        seq = conn.written
+        conn.written += 1
+        slot = seq % slots
+        frame = pack_proxy_slot(gaddr, offset, data)
+        full = frame + pack_proxy_commit(seq, frame)
+        cut = PROXY_HEADER_BYTES + max(1, len(data) // 2)
+        base = slot * conn.ring.slot_size
+        ring_state.mr.poke(base, bytes(conn.ring.slot_size))
+        ring_state.mr.poke(base, full[:cut])
+        qp.recv_cq.push(WorkCompletion(
+            wr_id=0, opcode=Opcode.RECV, imm_data=slot))
+        self.torn_injected.add()
+        trace(self.sim, "fault", "torn slot planted", client=client.name,
+              server=sid, slot=slot, seq=seq, cut=cut, of=len(full))

@@ -10,7 +10,8 @@ executes them.
 Two families of faults:
 
 * **Timed actions** fire once at an instant: :class:`ServerCrash`,
-  :class:`ServerRecover`, :class:`RingStall`.
+  :class:`ServerRecover`, :class:`RingStall`, :class:`MasterCrash`,
+  :class:`MasterRecover`, :class:`ClientCrash`, :class:`ClientRecover`.
 * **Link windows** shape the fabric over an interval: :class:`LossyLink`,
   :class:`LatencySpike`, :class:`LinkFlap`, :class:`Partition`.
 
@@ -55,6 +56,60 @@ class ServerRecover:
     reconcile: bool = True
 
     def shifted(self, delta: int) -> "ServerRecover":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class MasterCrash:
+    """Kill the metadata master at ``at_ns``: volatile state (directory,
+    hotness scores, leases, client table) is lost; the NVM metadata journal
+    on the servers survives."""
+
+    at_ns: int
+
+    def shifted(self, delta: int) -> "MasterCrash":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class MasterRecover:
+    """Restart a crashed master at ``at_ns``.  With ``rebuild=True`` the
+    directory is rebuilt from the NVM metadata journal (the production
+    failover sequence); disable it to test clients against a master that
+    forgot everything."""
+
+    at_ns: int
+    rebuild: bool = True
+
+    def shifted(self, delta: int) -> "MasterRecover":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class ClientCrash:
+    """Kill a client process at ``at_ns``: its heartbeats stop (so its
+    lease lapses and the master recovers its locks/pins/rings).  With
+    ``tear_inflight=True`` the crash additionally leaves a half-written
+    proxy slot in the victim's ring — the torn-write case the per-slot
+    commit word exists to catch."""
+
+    at_ns: int
+    client: str
+    tear_inflight: bool = False
+
+    def shifted(self, delta: int) -> "ClientCrash":
+        return dataclasses.replace(self, at_ns=self.at_ns + delta)
+
+
+@dataclass(frozen=True)
+class ClientRecover:
+    """Revive a crashed client at ``at_ns`` — as a zombie: until it calls
+    ``reattach_master()`` its lapsed lease fences every lock op."""
+
+    at_ns: int
+    client: str
+
+    def shifted(self, delta: int) -> "ClientRecover":
         return dataclasses.replace(self, at_ns=self.at_ns + delta)
 
 
@@ -143,9 +198,11 @@ class Partition:
 
 
 Fault = Union[ServerCrash, ServerRecover, RingStall,
+              MasterCrash, MasterRecover, ClientCrash, ClientRecover,
               LossyLink, LatencySpike, LinkFlap, Partition]
 
-_TIMED_TYPES = (ServerCrash, ServerRecover, RingStall)
+_TIMED_TYPES = (ServerCrash, ServerRecover, RingStall,
+                MasterCrash, MasterRecover, ClientCrash, ClientRecover)
 _WINDOW_TYPES = (LossyLink, LatencySpike, LinkFlap, Partition)
 
 
@@ -164,6 +221,8 @@ class FaultPlan:
                     raise FaultPlanError(f"negative fault time: {f!r}")
                 if isinstance(f, RingStall) and f.duration_ns < 1:
                     raise FaultPlanError(f"stall needs a positive duration: {f!r}")
+                if isinstance(f, (ClientCrash, ClientRecover)) and not f.client:
+                    raise FaultPlanError(f"client fault needs a client name: {f!r}")
             else:
                 if f.start_ns < 0 or f.end_ns <= f.start_ns:
                     raise FaultPlanError(f"empty or negative window: {f!r}")

@@ -32,6 +32,13 @@ Categories emitted by the instrumented stack:
 ``degraded``
     Degraded-mode fallbacks: direct writes past a stalled/absent ring,
     cache-bypass reads.
+``lease``
+    Client lease lifecycle: grants, renewals, expiries, lock/pin/ring
+    recovery for dead clients, and the orphan-lock sweep after a master
+    restart.
+``fence``
+    Fencing rejections: lock ops refused locally after a lapsed lease,
+    word-level release fencing, and heartbeats answered "fenced".
 """
 
 from __future__ import annotations

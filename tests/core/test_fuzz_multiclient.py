@@ -4,11 +4,17 @@ Each client owns a disjoint set of objects and applies a random write
 sequence concurrently with the others.  After every client syncs, all of
 NVM must equal the union of the per-client oracles — no cross-client
 interference, no lost drains, regardless of interleaving.
+
+The kill fuzz adds random client deaths on top: victims die (possibly
+mid-RDMA_WRITE, leaving a torn slot), and afterwards no dead client may
+still hold a lock past one lease interval and no torn frame may have
+reached NVM.
 """
 
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
+from repro.faults import ClientCrash, FaultPlan
 from tests.core.conftest import build_pool, fast_config
 
 _write = st.tuples(st.integers(0, 4), st.integers(0, 255),
@@ -52,6 +58,106 @@ def test_disjoint_writers_converge(plans, seed):
     pool.run(*[worker(i, plan) for i, plan in enumerate(plans)])
 
     # Audit NVM directly against the union of the oracles.
+    from repro.core.addressing import offset_of, server_of
+
+    for oracle in oracles:
+        for gaddr, expected in oracle.items():
+            server = pool.servers[server_of(gaddr)]
+            actual = server.data_device.peek(offset_of(gaddr), size)
+            assert actual == bytes(expected), f"object {gaddr:#x} diverged"
+
+
+_LEASE = 100_000
+
+
+@given(
+    plans=st.lists(st.lists(_write, min_size=1, max_size=10),
+                   min_size=2, max_size=2),
+    victim_plan=st.lists(_write, min_size=1, max_size=6),
+    seed=st.integers(0, 40),
+    kill_delay=st.integers(1_000, 60_000),
+    tear=st.booleans(),
+)
+@settings(max_examples=15, deadline=None)
+def test_random_client_kills_leave_no_stale_locks_or_torn_data(
+        plans, victim_plan, seed, kill_delay, tear):
+    """client2 dies at a random point (sometimes mid-RDMA_WRITE); the
+    survivors keep fuzzing.  Afterwards the victim's lock must be free
+    within one lease interval, every synced byte must match its oracle
+    (a torn re-stage that slipped past the commit word would corrupt the
+    victim's last object), and the ring must be retired."""
+    sim, pool = build_pool(
+        seed=seed, num_servers=2, num_clients=3,
+        config=fast_config(client_lease_ns=_LEASE, proxy_commit=True,
+                           auto_reattach=True, retry_max_attempts=3))
+    survivors, victim = pool.clients[:2], pool.clients[2]
+    size = 1024
+
+    def setup(sim):
+        owned = []
+        for client in pool.clients:
+            addrs = []
+            for _ in range(5):
+                addrs.append((yield from client.gmalloc(size)))
+            owned.append(addrs)
+        return owned
+
+    (owned,) = pool.run(setup(sim))
+    oracles = [{g: bytearray(size) for g in addrs} for addrs in owned]
+    locked_gaddr = owned[2][0]
+
+    pool.inject_faults(FaultPlan.of(
+        ClientCrash(at_ns=sim.now + kill_delay, client=victim.name,
+                    tear_inflight=tear),
+    ))
+
+    def survivor_worker(idx, plan):
+        client = survivors[idx]
+        for obj_idx, byte, offset, length in plan:
+            gaddr = owned[idx][obj_idx % 5]
+            length = min(length, size - offset)
+            data = bytes([byte]) * length
+            yield from client.gwrite(gaddr, data, offset=offset)
+            oracles[idx][gaddr][offset : offset + length] = data
+        yield from client.gsync()
+
+    def victim_worker(sim):
+        # Sync after every write so the oracle is exact: the only unsynced
+        # frame left behind is the injected torn re-stage, which the commit
+        # word must keep out of NVM.
+        yield from victim.glock(locked_gaddr)
+        for obj_idx, byte, offset, length in victim_plan:
+            if victim.crashed:
+                break
+            gaddr = owned[2][obj_idx % 5]
+            length = min(length, size - offset)
+            data = bytes([byte]) * length
+            yield from victim.gwrite(gaddr, data, offset=offset)
+            yield from victim.gsync()
+            oracles[2][gaddr][offset : offset + length] = data
+        # Park dead (or idle) until well past lease expiry + recovery.
+        yield sim.timeout(kill_delay + 4 * _LEASE)
+
+    pool.run(victim_worker(sim),
+             *[survivor_worker(i, plan) for i, plan in enumerate(plans)])
+
+    # 1. The dead client's lock is recoverable within one lease interval.
+    assert pool.master.lease_expiries.count == 1
+    t0 = sim.now
+
+    def contend(sim):
+        yield from survivors[0].glock(locked_gaddr)
+        yield from survivors[0].gunlock(locked_gaddr)
+        return sim.now - t0
+
+    (took,) = pool.run(contend(sim))
+    assert took < _LEASE, "survivor waited on a dead client's lock"
+
+    # 2. The victim's proxy ring was retired on every server.
+    for server in pool.servers.values():
+        assert victim.name not in server._rings
+
+    # 3. No torn data: every synced byte matches its oracle.
     from repro.core.addressing import offset_of, server_of
 
     for oracle in oracles:

@@ -4,12 +4,16 @@ import pytest
 
 from repro.core import ClientError
 from repro.faults import (
+    ClientCrash,
+    ClientRecover,
     FaultInjector,
     FaultPlan,
     FaultPlanError,
     LatencySpike,
     LinkFlap,
     LossyLink,
+    MasterCrash,
+    MasterRecover,
     ServerCrash,
     ServerRecover,
 )
@@ -22,6 +26,49 @@ def test_rejects_plans_naming_unknown_servers():
     plan = FaultPlan.of(ServerCrash(at_ns=sim.now + 10, server_id=7))
     with pytest.raises(FaultPlanError):
         pool.inject_faults(plan)
+
+
+def test_rejects_plans_naming_unknown_clients():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    plan = FaultPlan.of(ClientCrash(at_ns=sim.now + 10, client="client9"))
+    with pytest.raises(FaultPlanError):
+        pool.inject_faults(plan)
+
+
+def test_rejects_master_faults_without_a_master():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    plan = FaultPlan.of(MasterCrash(at_ns=sim.now + 10))
+    with pytest.raises(FaultPlanError):
+        FaultInjector(sim, plan, servers=pool.servers).install()
+
+
+def test_client_crash_recover_plan_executes_on_schedule():
+    sim, pool = build_pool(num_servers=1, num_clients=1)
+    client = pool.clients[0]
+    t0 = sim.now
+    pool.inject_faults(FaultPlan.of(
+        ClientCrash(at_ns=t0 + 10_000, client="client0"),
+        ClientRecover(at_ns=t0 + 30_000, client="client0"),
+        MasterCrash(at_ns=t0 + 10_000),
+        MasterRecover(at_ns=t0 + 30_000, rebuild=False),
+    ))
+
+    def wait(sim):
+        yield sim.timeout(20_000)
+        mid = (client.crashed, pool.master.node.endpoint.alive)
+        yield sim.timeout(20_000)
+        return mid, (client.crashed, pool.master.node.endpoint.alive)
+
+    (result,) = pool.run(wait(sim))
+    assert result == ((True, False), (False, True))
+    m = sim.metrics
+    assert m.counter("faults.client_crashes").count == 1
+    assert m.counter("faults.client_recoveries").count == 1
+    assert m.counter("faults.master_crashes").count == 1
+    assert m.counter("faults.master_recoveries").count == 1
+    # The server-fault counters asserted by the chaos CI gate stay separate.
+    assert m.counter("faults.crashes").count == 0
+    assert m.counter("faults.recoveries").count == 0
 
 
 def test_rejects_link_faults_without_a_fabric():

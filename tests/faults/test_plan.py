@@ -3,11 +3,15 @@
 import pytest
 
 from repro.faults import (
+    ClientCrash,
+    ClientRecover,
     FaultPlan,
     FaultPlanError,
     LatencySpike,
     LinkFlap,
     LossyLink,
+    MasterCrash,
+    MasterRecover,
     Partition,
     RingStall,
     ServerCrash,
@@ -69,8 +73,27 @@ def test_plans_compare_by_value():
     assert a == b
 
 
+def test_master_and_client_faults_sort_with_the_rest():
+    plan = FaultPlan.of(
+        ClientRecover(at_ns=400, client="client0"),
+        MasterRecover(at_ns=300),
+        ClientCrash(at_ns=100, client="client0", tear_inflight=True),
+        MasterCrash(at_ns=200),
+    )
+    assert [f.at_ns for f in plan.timed] == [100, 200, 300, 400]
+    moved = plan.shifted(50)
+    assert [f.at_ns for f in moved.timed] == [150, 250, 350, 450]
+    assert moved.timed[0].client == "client0"  # non-time fields ride along
+    assert moved.timed[0].tear_inflight is True
+    assert moved.timed[2].rebuild is True  # the default
+
+
 @pytest.mark.parametrize("bad", [
     ServerCrash(at_ns=-1, server_id=0),
+    MasterCrash(at_ns=-1),
+    MasterRecover(at_ns=-1),
+    ClientCrash(at_ns=10, client=""),      # client fault needs a name
+    ClientRecover(at_ns=10, client=""),
     ServerRecover(at_ns=-5, server_id=0),
     RingStall(at_ns=0, duration_ns=0, server_id=0),
     LossyLink(start_ns=10, end_ns=10, drop_prob=0.5),  # empty window
