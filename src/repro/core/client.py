@@ -171,6 +171,10 @@ class GengarClient:
         #: Unique id assigned by the master at attach; tags write locks so
         #: abandoned ones are attributable and recoverable.
         self.uid = 0
+        #: Monotone per-client sequence for idempotency tokens: one req_id
+        #: per *logical* gmalloc/gfree, reused verbatim across retries so
+        #: the master can deduplicate an execute-then-crash replay.
+        self._req_seq = 0
         #: Active retry policy (refreshed from the config at attach time).
         self.retry_policy = RetryPolicy()
         self._retry_rng = None  # seeded jitter stream, created on first use
@@ -237,6 +241,25 @@ class GengarClient:
     @property
     def crashed(self) -> bool:
         return self._crashed
+
+    def _check_lease_fence(self, what: str) -> None:
+        """Data-plane lease fencing (the FaRM rule, extended past locks):
+        a client whose lease has lapsed — or that the master already
+        fenced — must not land one-sided reads or writes either.  Its
+        locks may have been recovered and handed to a new holder; letting
+        a zombie's RDMA WRITE race the new owner's critical section would
+        corrupt exactly the data the lock protects.  Inert with leases
+        off (``lease_ns == 0``), so the fault-free path pays nothing.
+        """
+        if not self.lease_ns:
+            return
+        if self._fenced or self.sim.now >= self.lease_deadline:
+            self.m_fence_rejections.add()
+            trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                  client=self.name)
+            raise FencedError(
+                f"{what}: lease lapsed (fenced={self._fenced}); "
+                "reattach_master() to rejoin")
 
     # ------------------------------------------------------------------
     # Wiring + attach (called by the deployment bootstrap)
@@ -311,12 +334,21 @@ class GengarClient:
         previous object's bytes.
         """
         self._require_attached()
-        meta = yield from self._resilient("gmalloc", lambda: self._gmalloc_once(size))
+        req_id = self._next_req_id()
+        meta = yield from self._resilient(
+            "gmalloc", lambda: self._gmalloc_once(size, req_id))
         return meta.gaddr
 
-    def _gmalloc_once(self, size: int) -> Generator[Any, Any, ObjectMeta]:
+    def _next_req_id(self) -> int:
+        """Mint an idempotency token: globally unique (uid is master-issued
+        and survives re-attach), minted once per logical op, repeated
+        verbatim on every retry of that op."""
+        self._req_seq += 1
+        return (self.uid << 32) | self._req_seq
+
+    def _gmalloc_once(self, size: int, req_id: int = 0) -> Generator[Any, Any, ObjectMeta]:
         meta = yield from self._master_call(
-            "gmalloc", {"size": size, "client": self.name})
+            "gmalloc", {"size": size, "client": self.name, "req_id": req_id})
         if self.config.metadata_cache:
             self._store_meta(meta)
         return meta
@@ -326,8 +358,10 @@ class GengarClient:
         self._require_attached()
         if gaddr in self._overlay:
             yield from self.gsync(server_id=self._overlay[gaddr].server_id)
+        req_id = self._next_req_id()
         yield from self._resilient(
-            "gfree", lambda: self._master_call("gfree", {"gaddr": gaddr}))
+            "gfree", lambda: self._master_call(
+                "gfree", {"gaddr": gaddr, "req_id": req_id}))
         self._invalidate_meta(gaddr)
         self._access_counts.pop(gaddr, None)
 
@@ -347,6 +381,7 @@ class GengarClient:
     def _gread_once(self, gaddr: int, offset: int = 0,
                     length: Optional[int] = None) -> Generator[Any, Any, bytes]:
         self._require_attached()
+        self._check_lease_fence("gread")
         start = self.sim.now
         meta = self._cached_meta(gaddr)
         if meta is None:
@@ -388,6 +423,7 @@ class GengarClient:
     def _gwrite_once(self, gaddr: int, data: bytes,
                      offset: int = 0) -> Generator[Any, Any, None]:
         self._require_attached()
+        self._check_lease_fence("gwrite")
         if not data:
             raise FatalError("empty write")
         start = self.sim.now
@@ -440,6 +476,7 @@ class GengarClient:
 
     def _gsync_once(self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
         self._require_attached()
+        self._check_lease_fence("gsync")
         targets = [server_id] if server_id is not None else sorted(self._conns)
         for sid in targets:
             conn = self._conns[sid]
@@ -785,6 +822,7 @@ class GengarClient:
         slot or for NIC inlining) fall back to the regular gwrite path.
         """
         self._require_attached()
+        self._check_lease_fence("gwrite_batch")
         start = self.sim.now
         staged: Dict[int, list] = {}  # server_id -> [(gaddr, data, payload)]
         fallback = []

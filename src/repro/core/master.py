@@ -107,6 +107,14 @@ class Master:
         self._leases: Dict[str, int] = {}
         self._epochs: Dict[str, int] = {}
         self._lease_sweeper_started = False
+        #: Idempotency: req_id -> gaddr for executed gmallocs, and the set
+        #: of executed gfree req_ids.  A client whose RPC executed but whose
+        #: reply was lost (master crashed first) retries with the same
+        #: req_id and gets the original outcome instead of a double
+        #: allocate/free.  Journaled (the record's req_id field), so
+        #: :meth:`rebuild` restores both across a failover.
+        self._alloc_replies: Dict[int, int] = {}
+        self._freed_reqs: set = set()
         #: True between recover() and the end of recovery_process(): control
         #: RPCs fail typed ("master recovering") so clients retry instead of
         #: hitting an empty directory.
@@ -124,6 +132,7 @@ class Master:
         self.lock_recoveries = m.counter("master.lock_recoveries")
         self.failovers = m.counter("master.failovers")
         self.journal_replayed = m.counter("master.journal_replayed")
+        self.dup_rpcs = m.counter("master.dup_rpcs")
         self._planner_started = False
 
     # ------------------------------------------------------------------
@@ -186,6 +195,12 @@ class Master:
             raise MasterError(f"gmalloc size must be positive, got {size}")
         if self._alloc_policy is None:
             raise MasterError("no memory servers registered")
+        req_id = request.get("req_id", 0)
+        if req_id and req_id in self._alloc_replies:
+            # Retry of an RPC that executed but whose reply was lost:
+            # return the original allocation instead of leaking a second.
+            self.dup_rpcs.add()
+            return self.directory.get(self._alloc_replies[req_id]).to_meta()
         yield from self.node.cpu_work()
         preferred = None
         if self.config.placement == "rack-local":
@@ -202,20 +217,26 @@ class Master:
             # the home server's NVM before the client learns the address.
             yield from handle.rpc.call("journal_append", {
                 "op": JOURNAL_OP_ALLOC, "lock_idx": lock_idx,
-                "gaddr": record.gaddr, "size": size,
+                "gaddr": record.gaddr, "size": size, "req_id": req_id,
             })
+        if req_id:
+            self._alloc_replies[req_id] = record.gaddr
         return record.to_meta()
 
     def _handle_gfree(self, request: dict) -> Generator[Any, Any, bool]:
         self._check_serving()
         gaddr = request["gaddr"]
+        req_id = request.get("req_id", 0)
+        if req_id and req_id in self._freed_reqs:
+            self.dup_rpcs.add()
+            return True  # retry of a free that already executed
         yield from self.node.cpu_work()
         record = self.directory.remove(gaddr)
         handle = self._servers[record.server_id]
         if self.config.metadata_journal:
             yield from handle.rpc.call("journal_append", {
                 "op": JOURNAL_OP_FREE, "lock_idx": record.lock_idx,
-                "gaddr": gaddr, "size": record.size,
+                "gaddr": gaddr, "size": record.size, "req_id": req_id,
             })
         if record.cached:
             yield from handle.rpc.call("demote", {"gaddr": gaddr})
@@ -227,6 +248,8 @@ class Master:
         handle.allocator.free(record.nvm_offset)
         handle.free_lock_idx(record.lock_idx)
         self._policies[record.server_id].on_freed(gaddr)
+        if req_id:
+            self._freed_reqs.add(req_id)
         return True
 
     def _handle_lookup(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
@@ -364,8 +387,14 @@ class Master:
                 yield from self._expire_lease(name)
 
     def _expire_lease(self, name: str) -> Generator[Any, Any, None]:
-        if name not in self._leases:
-            return  # re-attached (fresh lease) while this sweep was queued
+        # Re-check the deadline at processing time, not snapshot time: the
+        # sweeper yields inside each earlier client's recovery RPCs, and a
+        # client that renewed or re-attached in that window holds a fresh
+        # lease at the SAME epoch — fencing it now would clear locks it
+        # legitimately holds and hand them to a second writer.
+        expiry = self._leases.get(name)
+        if expiry is None or expiry > self.sim.now:
+            return  # renewed / re-attached while this sweep was in flight
         del self._leases[name]
         self.lease_expiries.add()
         trace(self.sim, "lease", "lease expired", client=name)
@@ -464,6 +493,8 @@ class Master:
         ``reset + rebuild`` (no process restart) keep their sessions.
         """
         self.directory = Directory()
+        self._alloc_replies = {}
+        self._freed_reqs = set()
         for sid, handle in self._servers.items():
             handle.allocator = ExtentAllocator(handle.allocator.capacity)
             handle._lock_free = []
@@ -493,11 +524,15 @@ class Master:
                                        rec["size"], rec["lock_idx"])
                     self._policies[sid].track(rec["gaddr"], rec["size"])
                     live_locks.add(rec["lock_idx"])
+                    if rec.get("req_id"):
+                        self._alloc_replies[rec["req_id"]] = rec["gaddr"]
                 else:  # free
                     self.directory.remove(rec["gaddr"])
                     handle.allocator.free(offset_of(rec["gaddr"]))
                     self._policies[sid].on_freed(rec["gaddr"])
                     live_locks.discard(rec["lock_idx"])
+                    if rec.get("req_id"):
+                        self._freed_reqs.add(rec["req_id"])
             # Lock-index bookkeeping: everything below the high-water mark
             # that is not live goes back on the free list.
             used = [rec["lock_idx"] for rec in records
@@ -539,10 +574,15 @@ class Master:
         self._leases = {}
         trace(self.sim, "fault", "master restarted; volatile state lost")
 
-    def recovery_process(self) -> Generator[Any, Any, int]:
+    def recovery_process(self, rebuild: bool = True) -> Generator[Any, Any, int]:
         """Journal-driven failover: rebuild the directory from the servers'
         NVM journals, then reopen for business.  Returns the number of live
         objects recovered.
+
+        Must run (and finish) after every :meth:`recover` — it is the only
+        thing that clears the *recovering* gate.  With ``rebuild=False`` (or
+        no journal) the master reopens with an empty directory instead of
+        replaying.
 
         With leases enabled, also arms the post-failover orphan sweep:
         clients get one lease interval to re-attach (keeping their uid and
@@ -550,12 +590,12 @@ class Master:
         """
         recovered = 0
         try:
-            if self.config.metadata_journal:
+            if rebuild and self.config.metadata_journal:
                 recovered = yield from self.rebuild()
                 self.journal_replayed.add(recovered)
             else:
                 trace(self.sim, "fault",
-                      "no metadata journal: master restarts with an empty directory")
+                      "no journal replay: master reopens with an empty directory")
         finally:
             self._recovering = False
         self.failovers.add()
@@ -588,9 +628,21 @@ class Master:
                 recovered += 1
                 trace(self.sim, "lease", "orphan lock recovered",
                       gaddr=hex(record.gaddr), owner_uid=owner)
+        # Retire the orphans' proxy rings too: a zombie that never
+        # re-attached must not keep landing staged writes on objects whose
+        # locks were just handed back.  Re-attached clients are exactly the
+        # keys of _client_uids, so every other ring belongs to an orphan.
+        survivors = sorted(self._client_uids)
+        retired: list = []
+        for sid in sorted(self._servers):
+            try:
+                retired += yield from self._servers[sid].rpc.call(
+                    "retire_rings_except", {"known": survivors})
+            except RpcError:
+                continue  # dead server: its DRAM (and the rings) are gone
         self.lock_recoveries.add(recovered)
         trace(self.sim, "lease", "post-failover orphan sweep done",
-              locks_recovered=recovered)
+              locks_recovered=recovered, rings_retired=sorted(set(retired)))
 
     def on_server_recovered(self, server_id: int) -> int:
         """Reconcile the directory after a server restart.

@@ -91,7 +91,9 @@ def tag_matches(raw: bytes, gaddr: int) -> bool:
 # ---------------------------------------------------------------------------
 # Persistent metadata journal (optional, lives at the tail of each server's
 # NVM).  Record layout, 32 bytes little-endian:
-#   [magic u16][op u16][lock_idx u32][gaddr u64][size u64][reserved u64]
+#   [magic u16][op u16][lock_idx u32][gaddr u64][size u64][req_id u64]
+# req_id is the client-supplied idempotency token (0 = none); replaying it
+# lets a restarted master keep deduplicating retried gmalloc/gfree RPCs.
 # ---------------------------------------------------------------------------
 _JOURNAL = struct.Struct("<HHIQQQ")
 JOURNAL_RECORD_BYTES = _JOURNAL.size  # 32
@@ -102,18 +104,19 @@ JOURNAL_OP_FREE = 2
 JOURNAL_HEADER_BYTES = 64
 
 
-def pack_journal_record(op: int, lock_idx: int, gaddr: int, size: int) -> bytes:
+def pack_journal_record(op: int, lock_idx: int, gaddr: int, size: int,
+                        req_id: int = 0) -> bytes:
     if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE):
         raise ValueError(f"unknown journal op {op}")
-    return _JOURNAL.pack(JOURNAL_MAGIC, op, lock_idx, gaddr, size, 0)
+    return _JOURNAL.pack(JOURNAL_MAGIC, op, lock_idx, gaddr, size, req_id)
 
 
-def unpack_journal_record(raw: bytes) -> tuple[int, int, int, int]:
-    """Parse ``(op, lock_idx, gaddr, size)``; raises on a bad magic."""
-    magic, op, lock_idx, gaddr, size, _reserved = _JOURNAL.unpack_from(raw)
+def unpack_journal_record(raw: bytes) -> tuple[int, int, int, int, int]:
+    """Parse ``(op, lock_idx, gaddr, size, req_id)``; raises on a bad magic."""
+    magic, op, lock_idx, gaddr, size, req_id = _JOURNAL.unpack_from(raw)
     if magic != JOURNAL_MAGIC:
         raise ValueError(f"corrupt journal record (magic {magic:#x})")
-    return op, lock_idx, gaddr, size
+    return op, lock_idx, gaddr, size, req_id
 
 
 # ---------------------------------------------------------------------------

@@ -103,6 +103,7 @@ class MemoryServer:
         self.rpc.register("journal_append", self._handle_journal_append)
         self.rpc.register("journal_read", self._handle_journal_read)
         self.rpc.register("retire_ring", self._handle_retire_ring)
+        self.rpc.register("retire_rings_except", self._handle_retire_rings_except)
         self.rpc.register("clear_lock_if_orphan", self._handle_clear_lock_if_orphan)
 
         # Lock table.
@@ -304,7 +305,8 @@ class MemoryServer:
         if self._journal_count >= self.config.journal_entries:
             raise ServerError("metadata journal full")
         record = pack_journal_record(
-            request["op"], request["lock_idx"], request["gaddr"], request["size"]
+            request["op"], request["lock_idx"], request["gaddr"],
+            request["size"], request.get("req_id", 0),
         )
         yield from self.node.cpu_work()
         offset = (self.journal_base + JOURNAL_HEADER_BYTES
@@ -335,11 +337,11 @@ class MemoryServer:
         )
         records = []
         for i in range(count):
-            op, lock_idx, gaddr, size = unpack_journal_record(
+            op, lock_idx, gaddr, size, req_id = unpack_journal_record(
                 raw[i * JOURNAL_RECORD_BYTES:(i + 1) * JOURNAL_RECORD_BYTES]
             )
             records.append({"op": op, "lock_idx": lock_idx,
-                            "gaddr": gaddr, "size": size})
+                            "gaddr": gaddr, "size": size, "req_id": req_id})
         return records
 
     def _handle_clear_lock(self, request: dict) -> Generator[Any, Any, int]:
@@ -415,8 +417,8 @@ class MemoryServer:
             yield from self.lock_mr.write(lock_idx * 8, new.to_bytes(8, "little"))
         return owner
 
-    def _handle_retire_ring(self, request: dict) -> Generator[Any, Any, bool]:
-        """Free a dead/evicted client's ring resources.
+    def _retire_ring(self, client_name: str) -> bool:
+        """Free one client's ring resources (shared by the retire RPCs).
 
         Deregisters the ring MR (a zombie's one-sided write faults with
         ``REMOTE_ACCESS_ERROR`` instead of landing in an orphaned region)
@@ -427,8 +429,6 @@ class MemoryServer:
         """
         from repro.rdma.wr import Opcode, WorkCompletion
 
-        client_name = request["client"]
-        yield from self.node.cpu_work()
         ring = self._rings.pop(client_name, None)
         if ring is None:
             return False  # never attached, or already retired (idempotent)
@@ -444,6 +444,27 @@ class MemoryServer:
         trace(self.sim, "lease", "proxy ring retired",
               server=self.node.name, client=client_name)
         return True
+
+    def _handle_retire_ring(self, request: dict) -> Generator[Any, Any, bool]:
+        """Free a dead/evicted client's ring resources (idempotent)."""
+        yield from self.node.cpu_work()
+        return self._retire_ring(request["client"])
+
+    def _handle_retire_rings_except(self, request: dict) -> Generator[Any, Any, list]:
+        """Post-failover: retire every ring whose owner is *not* in the
+        given list of known (re-attached) client names.
+
+        The restarted master lost its lease table, so it cannot name the
+        orphans — but it knows exactly who re-attached; everyone else's
+        staged-write path must be cut along with their orphaned locks.
+        Returns the retired client names (sorted, for determinism).
+        """
+        known = set(request["known"])
+        yield from self.node.cpu_work()
+        orphans = sorted(name for name in self._rings if name not in known)
+        for name in orphans:
+            self._retire_ring(name)
+        return orphans
 
     def _find_qp(self, qp_num: int) -> "QueuePair":
         # The client names the *server-side* QP of its data connection by

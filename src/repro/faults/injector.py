@@ -266,9 +266,11 @@ class FaultInjector:
     def _do_master_recover(self, rebuild: bool) -> None:
         trace(self.sim, "fault", "injecting master recovery", rebuild=rebuild)
         self.master.recover()
-        if rebuild:
-            self.sim.spawn(self.master.recovery_process(),
-                           name="master.recovery")
+        # recovery_process must ALWAYS run: it is the only thing that
+        # clears the "recovering" gate.  rebuild=False just means it
+        # reopens with an empty directory instead of replaying journals.
+        self.sim.spawn(self.master.recovery_process(rebuild=rebuild),
+                       name="master.recovery")
         self.master_recoveries_injected.add()
 
     def _do_client_crash(self, client_name: str, tear_inflight: bool) -> None:

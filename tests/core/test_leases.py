@@ -195,6 +195,66 @@ def test_word_level_release_fencing_protects_a_reassigned_lock():
     pool.run(scenario(sim))
 
 
+def test_sweep_honors_a_lease_refreshed_mid_sweep():
+    """Regression: the sweeper snapshots expired names, then yields inside
+    each victim's recovery RPCs.  A client that renews or re-attaches in
+    that window holds a fresh lease at the SAME epoch; processing the stale
+    snapshot entry anyway would fence it and clear locks it legitimately
+    holds — handing them to a second writer mid-critical-section."""
+    sim, pool = build_pool(num_servers=1, num_clients=2, config=lease_config())
+    c1 = pool.clients[1]
+    master = pool.master
+
+    def scenario(sim):
+        gaddr = yield from c1.gmalloc(128)
+        yield from c1.glock(gaddr)
+        epoch = master._epochs["client1"]
+        # The sweeper decided client1 was expired, but before _expire_lease
+        # got to it, client1 re-attached / renewed: fresh lease, same epoch.
+        master._leases["client1"] = sim.now + LEASE
+        yield from master._expire_lease("client1")
+        assert master._epochs["client1"] == epoch  # not fenced
+        assert "client1" in master._leases  # lease intact
+        # The lock is still client1's: write + release work, no FencedError.
+        yield from c1.gwrite(gaddr, b"y" * 128)
+        yield from c1.gunlock(gaddr)
+
+    pool.run(scenario(sim))
+    assert pool.master.lease_expiries.count == 0
+    assert pool.master.lock_recoveries.total == 0
+
+
+def test_zombie_data_plane_ops_are_fenced():
+    """Regression: fencing must cover the data plane, not just lock ops —
+    a zombie whose locks were recovered must not land one-sided RDMA
+    reads/writes (or staged proxy writes) on objects a new holder owns."""
+    sim, pool, gaddr = _locked_victim_pool()
+    c0 = pool.clients[0]
+    pool.inject_faults(
+        FaultPlan.of(ClientRecover(at_ns=sim.now + 1, client="client0")),
+        rng_name="faults2")
+
+    def zombie(sim):
+        yield sim.timeout(10)
+        with pytest.raises(FencedError):
+            yield from c0.gwrite(gaddr, b"Z" * 256)
+        with pytest.raises(FencedError):
+            yield from c0.gread(gaddr)
+        with pytest.raises(FencedError):
+            yield from c0.gsync()
+        # Re-attaching under a fresh epoch restores the data plane.
+        yield from c0.reattach_master()
+        yield from c0.glock(gaddr)
+        yield from c0.gwrite(gaddr, b"W" * 256)
+        yield from c0.gunlock(gaddr)
+        data = yield from c0.gread(gaddr)
+        return data
+
+    (data,) = pool.run(zombie(sim))
+    assert data == b"W" * 256
+    assert c0.m_fence_rejections.count >= 3
+
+
 def test_lease_expiry_releases_the_dead_clients_pins():
     sim, pool = build_pool(num_servers=1, num_clients=2, config=lease_config())
     master = pool.master

@@ -194,3 +194,41 @@ def test_orphan_lock_sweep_recovers_locks_lost_with_the_old_master():
     # client1 re-registered with the restarted master; client0 did not.
     assert "client1" in pool.master._client_uids
     assert "client0" not in pool.master._client_uids
+
+
+def test_orphan_sweep_retires_rings_of_clients_that_never_reattached():
+    """Regression: the post-failover sweep recovered orphan locks but left
+    the dead client's proxy ring armed — a zombie could keep landing staged
+    writes on objects whose locks were just handed to a new holder.  The
+    sweep must cut the ring along with the lock; re-attached clients keep
+    theirs."""
+    sim, pool = build_pool(num_servers=1, num_clients=2,
+                           config=failover_config(client_lease_ns=LEASE))
+    c0, c1 = pool.clients
+    server = pool.servers[0]
+
+    def setup(sim):
+        gaddr = yield from c0.gmalloc(128)
+        yield from c0.glock(gaddr)
+        return gaddr
+
+    pool.run(setup(sim))
+    assert "client0" in server._rings and "client1" in server._rings
+    t0 = sim.now
+    pool.inject_faults(FaultPlan.of(
+        ClientCrash(at_ns=t0 + 1_000, client="client0"),
+        MasterCrash(at_ns=t0 + 2_000),
+        MasterRecover(at_ns=t0 + 40_000, rebuild=True),
+    ))
+
+    def outlive_the_sweep(sim):
+        # client1's heartbeat re-attaches it within one interval of the
+        # restart (well inside the grace window); client0 stays dead.
+        yield sim.timeout(40_000 + 3 * LEASE)
+
+    pool.run(outlive_the_sweep(sim))
+    assert "client1" in pool.master._client_uids
+    # client0 never re-attached: lock recovered AND ring retired ...
+    assert "client0" not in server._rings
+    # ... while the re-attached survivor's ring is untouched.
+    assert "client1" in server._rings

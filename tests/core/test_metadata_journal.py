@@ -24,8 +24,16 @@ def journal_pool(**overrides):
 def test_journal_record_roundtrip():
     raw = pack_journal_record(JOURNAL_OP_ALLOC, 7, 0xABCD, 4096)
     assert len(raw) == 32
-    op, lock_idx, gaddr, size = unpack_journal_record(raw)
+    op, lock_idx, gaddr, size, req_id = unpack_journal_record(raw)
     assert (op, lock_idx, gaddr, size) == (JOURNAL_OP_ALLOC, 7, 0xABCD, 4096)
+    assert req_id == 0  # default: no idempotency token
+
+
+def test_journal_record_roundtrip_with_req_id():
+    raw = pack_journal_record(JOURNAL_OP_FREE, 3, 0x1000, 64, req_id=(9 << 32) | 5)
+    op, lock_idx, gaddr, size, req_id = unpack_journal_record(raw)
+    assert (op, lock_idx, gaddr, size) == (JOURNAL_OP_FREE, 3, 0x1000, 64)
+    assert req_id == (9 << 32) | 5
 
 
 def test_journal_record_validation():

@@ -18,7 +18,7 @@ from repro.faults import (
     ServerRecover,
 )
 
-from tests.core.conftest import build_pool
+from tests.core.conftest import build_pool, fast_config
 
 
 def test_rejects_plans_naming_unknown_servers():
@@ -69,6 +69,35 @@ def test_client_crash_recover_plan_executes_on_schedule():
     # The server-fault counters asserted by the chaos CI gate stay separate.
     assert m.counter("faults.crashes").count == 0
     assert m.counter("faults.recoveries").count == 0
+
+
+def test_master_recover_without_rebuild_reopens_for_business():
+    """Regression: rebuild=False must still run recovery_process — it is
+    the only thing that clears the *recovering* gate.  A master stuck
+    recovering forever would hang every client; the documented semantics
+    of a no-rebuild recovery are 'forgot everything': serve again with an
+    empty directory."""
+    sim, pool = build_pool(
+        num_servers=1, num_clients=1,
+        config=fast_config(auto_reattach=True, retry_max_attempts=8,
+                           retry_timeout_ns=10_000))
+    client = pool.clients[0]
+    t0 = sim.now
+    pool.inject_faults(FaultPlan.of(
+        MasterCrash(at_ns=t0 + 5_000),
+        MasterRecover(at_ns=t0 + 20_000, rebuild=False),
+    ))
+
+    def alloc_through_outage(sim):
+        yield sim.timeout(10_000)  # master is down now
+        g = yield from client.gmalloc(64)  # retries until the master serves
+        return g
+
+    (g,) = pool.run(alloc_through_outage(sim))
+    assert g in pool.master.directory
+    assert not pool.master._recovering
+    assert pool.master.failovers.count == 1
+    assert pool.master.journal_replayed.total == 0  # nothing was replayed
 
 
 def test_rejects_link_faults_without_a_fabric():
