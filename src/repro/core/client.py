@@ -1031,36 +1031,44 @@ class GengarClient:
                     return False
                 # Ordering hazard: wait the stall out (infinite patience).
                 yield from self._await_ring_space(conn, patience=0)
-        # Reserve the sequence number *before* any further yield so
-        # concurrent writers (gwrite_many) never collide on a ring slot.
-        seq = conn.written
-        conn.written += 1
-        slot = seq % ring.slots
-        payload = pack_proxy_slot(gaddr, offset, data)
-        if self.config.proxy_commit:
-            # Trailing commit word: the drain loop validates seq ^ crc32
-            # before applying, so a write torn mid-flight is skipped, never
-            # applied as garbage.
-            payload += pack_proxy_commit(seq, payload)
-        wr = WorkRequest(
-            opcode=Opcode.RDMA_WRITE_IMM,
-            remote_rkey=ring.ring_rkey,
-            remote_offset=slot * ring.slot_size,
-            imm_data=slot,
-        )
-        if self.node.nic.is_inline(len(payload)):
-            wr.inline_data = payload
-            wr.length = len(payload)
-            wc = yield conn.data_qp.post_send(wr)
-        else:
+        frame = pack_proxy_slot(gaddr, offset, data)
+        total = len(frame) + (PROXY_COMMIT_BYTES if self.config.proxy_commit else 0)
+        # Acquire the scratch slot (the only potential yield) BEFORE
+        # reserving the sequence number: reserve -> post must be atomic in
+        # virtual time, so doorbells always reach the server in seq order.
+        # A writer parked between the two would let a concurrent (or
+        # injected mid-crash) write with a later seq overtake it, and the
+        # drain's seq cursor would then reject the earlier frame as torn.
+        scratch_off = None
+        if not self.node.nic.is_inline(total):
             scratch_off = yield self._scratch_free.get()
-            try:
+        try:
+            seq = conn.written
+            conn.written += 1
+            slot = seq % ring.slots
+            payload = frame
+            if self.config.proxy_commit:
+                # Trailing commit word: the drain loop validates seq ^ crc32
+                # before applying, so a write torn mid-flight is skipped,
+                # never applied as garbage.
+                payload += pack_proxy_commit(seq, frame)
+            wr = WorkRequest(
+                opcode=Opcode.RDMA_WRITE_IMM,
+                remote_rkey=ring.ring_rkey,
+                remote_offset=slot * ring.slot_size,
+                imm_data=slot,
+            )
+            if scratch_off is None:
+                wr.inline_data = payload
+                wr.length = len(payload)
+            else:
                 self._scratch_mr.poke(scratch_off, payload)
                 wr.local_mr = self._scratch_mr
                 wr.local_offset = scratch_off
                 wr.length = len(payload)
-                wc = yield conn.data_qp.post_send(wr)
-            finally:
+            wc = yield conn.data_qp.post_send(wr)
+        finally:
+            if scratch_off is not None:
                 self._scratch_free.put(scratch_off)
         self._check_wc(wc, "proxy write", conn, ring=True)
         trace(self.sim, "proxy", "staged write", client=self.name,

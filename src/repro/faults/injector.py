@@ -297,7 +297,6 @@ class FaultInjector:
         commit word exists to catch."""
         from repro.core.protocol import (
             PROXY_HEADER_BYTES, pack_proxy_commit, pack_proxy_slot)
-        from repro.rdma.wr import Opcode, WorkCompletion
 
         if client._last_staged is None:
             trace(self.sim, "fault", "no staged write to tear",
@@ -324,10 +323,42 @@ class FaultInjector:
         full = frame + pack_proxy_commit(seq, frame)
         cut = PROXY_HEADER_BYTES + max(1, len(data) // 2)
         base = slot * conn.ring.slot_size
+        # The partial payload lands now (the bytes the NIC pushed out before
+        # the host died); the zero-fill keeps the judgement deterministic
+        # even when the slot is reused after a ring wrap.
         ring_state.mr.poke(base, bytes(conn.ring.slot_size))
         ring_state.mr.poke(base, full[:cut])
-        qp.recv_cq.push(WorkCompletion(
-            wr_id=0, opcode=Opcode.RECV, imm_data=slot))
+        self.sim.spawn(self._deliver_torn_doorbell(client, conn, base, slot),
+                       name=f"faults.tear.{client.name}")
         self.torn_injected.add()
         trace(self.sim, "fault", "torn slot planted", client=client.name,
               server=sid, slot=slot, seq=seq, cut=cut, of=len(full))
+
+    def _deliver_torn_doorbell(self, client: "GengarClient", conn, base: int,
+                               slot: int) -> Any:
+        """Ship the torn slot's doorbell through the victim's own data QP
+        (as a zero-length RDMA_WRITE_WITH_IMM) instead of pushing straight
+        into the server's completion queue.
+
+        A real NIC processes WRs in FIFO order, so the dying client's final
+        (torn) write can never overtake a completed write it queued behind.
+        Bypassing the QP would deliver doorbells out of seq order, and the
+        drain's seq cursor would then reject a *good* in-flight frame as
+        torn — losing a write the client was told had synced.
+        """
+        from repro.rdma.qp import QpError
+        from repro.rdma.wr import Opcode, WorkRequest
+
+        wr = WorkRequest(
+            opcode=Opcode.RDMA_WRITE_IMM,
+            remote_rkey=conn.ring.ring_rkey,
+            remote_offset=base,
+            imm_data=slot,
+            inline_data=b"",
+            length=0,
+        )
+        try:
+            yield conn.data_qp.post_send(wr)
+        except QpError:
+            trace(self.sim, "fault", "torn doorbell dropped (QP down)",
+                  client=client.name)

@@ -11,7 +11,7 @@ still hold a lock past one lease interval and no torn frame may have
 reached NVM.
 """
 
-from hypothesis import given, settings
+from hypothesis import example, given, settings
 from hypothesis import strategies as st
 
 from repro.faults import ClientCrash, FaultPlan
@@ -77,6 +77,14 @@ _LEASE = 100_000
     seed=st.integers(0, 40),
     kill_delay=st.integers(1_000, 60_000),
     tear=st.booleans(),
+)
+@example(  # regression: the crash lands mid-RDMA_WRITE of the victim's
+    # second write; the injected torn doorbell must queue BEHIND the
+    # in-flight frame on the QP, or the drain's seq cursor rejects the
+    # good frame as torn and a synced write silently never reaches NVM.
+    plans=[[(0, 0, 0, 1)], [(0, 0, 0, 1)]],
+    victim_plan=[(0, 0, 0, 1), (0, 1, 0, 1)],
+    seed=0, kill_delay=6000, tear=True,
 )
 @settings(max_examples=15, deadline=None)
 def test_random_client_kills_leave_no_stale_locks_or_torn_data(
