@@ -6,6 +6,10 @@ Commands:
 * ``demo`` — the quickstart walkthrough (same as examples/quickstart.py).
 * ``experiments [IDS...]`` — regenerate reconstructed tables/figures.
 * ``ycsb --workload A --system gengar`` — one YCSB run with knobs.
+* ``trace --out trace.json`` — instrumented YCSB run, exported as Chrome
+  ``trace_event`` JSON (load in Perfetto / ``chrome://tracing``).
+* ``metrics --format prom`` — one YCSB run, metric registry rendered as
+  Prometheus text (or a versioned JSON snapshot).
 """
 
 from __future__ import annotations
@@ -80,6 +84,77 @@ def _cmd_ycsb(args: argparse.Namespace) -> int:
     return 0
 
 
+def _instrumented_ycsb(args: argparse.Namespace):
+    """Boot one system, attach a span recorder, run a YCSB pass.
+
+    Returns ``(system, runner_result, recorder)``; ``recorder`` is None when
+    the obs layer's kill switch is off.
+    """
+    from repro import obs
+    from repro.bench.experiments import bench_config, boot
+    from repro.bench.runner import YcsbRunner
+    from repro.workloads.ycsb import WORKLOADS
+
+    spec = WORKLOADS[args.workload.upper()].scaled(
+        record_count=args.records, value_size=args.value_size)
+    system = boot(args.system, seed=args.seed, num_servers=args.servers,
+                  num_clients=args.clients, config_overrides=bench_config())
+    recorder = obs.install(system.sim)
+    runner = YcsbRunner(system, spec, num_workers=args.clients,
+                        ops_per_worker=args.ops)
+    runner.load()
+    result = runner.run()
+    return system, result, recorder
+
+
+def _cmd_trace(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    system, result, recorder = _instrumented_ycsb(args)
+    if recorder is None:
+        print("observability layer is disabled (repro.obs.ENABLED=False)",
+              file=sys.stderr)
+        return 1
+    with open(args.out, "w") as fh:
+        json.dump(obs.chrome_trace(recorder), fh)
+    print(f"wrote {args.out}: {len(recorder)} spans "
+          f"({recorder.dropped} dropped) over {len(recorder.tracks())} tracks "
+          f"from {result.total_ops} YCSB-{result.workload} ops")
+    if args.spans:
+        with open(args.spans, "w") as fh:
+            fh.write(obs.spans_jsonl(recorder))
+        print(f"wrote {args.spans}: one JSON object per span")
+    return 0
+
+
+def _cmd_metrics(args: argparse.Namespace) -> int:
+    import json
+
+    from repro import obs
+
+    system, _result, _recorder = _instrumented_ycsb(args)
+    if args.format == "prom":
+        sys.stdout.write(obs.prometheus_text(system.sim.metrics))
+    else:
+        json.dump(obs.registry_snapshot(system.sim.metrics), sys.stdout,
+                  indent=2, sort_keys=True)
+        sys.stdout.write("\n")
+    return 0
+
+
+def _add_ycsb_knobs(p: argparse.ArgumentParser) -> None:
+    p.add_argument("--workload", default="A", choices=list("ABCDEFabcdef"))
+    p.add_argument("--system", default="gengar")
+    p.add_argument("--records", type=int, default=300)
+    p.add_argument("--value-size", type=int, default=1024)
+    p.add_argument("--servers", type=int, default=2)
+    p.add_argument("--clients", type=int, default=2)
+    p.add_argument("--ops", type=int, default=200)
+    p.add_argument("--seed", type=int, default=1)
+
+
 def main(argv: list[str] | None = None) -> int:
     parser = argparse.ArgumentParser(prog="repro", description=__doc__)
     sub = parser.add_subparsers(dest="command", required=True)
@@ -91,14 +166,21 @@ def main(argv: list[str] | None = None) -> int:
     p_exp.add_argument("ids", nargs="*", help="experiment ids (default: all)")
 
     p_ycsb = sub.add_parser("ycsb", help="one YCSB run")
-    p_ycsb.add_argument("--workload", default="A", choices=list("ABCDEFabcdef"))
-    p_ycsb.add_argument("--system", default="gengar")
-    p_ycsb.add_argument("--records", type=int, default=300)
-    p_ycsb.add_argument("--value-size", type=int, default=1024)
-    p_ycsb.add_argument("--servers", type=int, default=2)
-    p_ycsb.add_argument("--clients", type=int, default=2)
-    p_ycsb.add_argument("--ops", type=int, default=200)
-    p_ycsb.add_argument("--seed", type=int, default=1)
+    _add_ycsb_knobs(p_ycsb)
+
+    p_trace = sub.add_parser(
+        "trace", help="instrumented YCSB run -> Chrome trace JSON")
+    _add_ycsb_knobs(p_trace)
+    p_trace.add_argument("--out", default="trace.json",
+                         help="Chrome trace_event output path")
+    p_trace.add_argument("--spans", default=None,
+                         help="also dump the raw span log as JSONL here")
+
+    p_metrics = sub.add_parser(
+        "metrics", help="one YCSB run -> metric registry dump")
+    _add_ycsb_knobs(p_metrics)
+    p_metrics.add_argument("--format", default="prom",
+                           choices=["prom", "json"])
 
     args = parser.parse_args(argv)
     handler = {
@@ -106,6 +188,8 @@ def main(argv: list[str] | None = None) -> int:
         "demo": _cmd_demo,
         "experiments": _cmd_experiments,
         "ycsb": _cmd_ycsb,
+        "trace": _cmd_trace,
+        "metrics": _cmd_metrics,
     }[args.command]
     return handler(args)
 

@@ -118,7 +118,7 @@ class ChaosSoak:
 
     def __init__(self, seed: int = 7, smoke: bool = False,
                  dump_trace: bool = False, kill_clients: bool = False,
-                 crash_master: bool = False):
+                 crash_master: bool = False, record_spans: bool = False):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
@@ -130,6 +130,10 @@ class ChaosSoak:
         self.config = soak_config(smoke, kill_clients=kill_clients,
                                   crash_master=crash_master)
         self.sim = Simulator(seed=seed)
+        self.recorder = None
+        if record_spans:
+            from repro import obs
+            self.recorder = obs.install(self.sim)
         if dump_trace:
             self.sim.tracer = Tracer(
                 self.sim, capacity=50_000,
@@ -573,13 +577,25 @@ class ChaosSoak:
 
 def run_soak(seed: int = 7, smoke: bool = False,
              dump_trace: bool = False, kill_clients: bool = False,
-             crash_master: bool = False) -> Dict[str, Any]:
+             crash_master: bool = False,
+             trace_out: Optional[str] = None,
+             span_log: Optional[str] = None) -> Dict[str, Any]:
     """One full soak; returns the audit report (see :class:`ChaosSoak`)."""
     soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace,
-                     kill_clients=kill_clients, crash_master=crash_master)
+                     kill_clients=kill_clients, crash_master=crash_master,
+                     record_spans=bool(trace_out or span_log))
     report = soak.run()
     if dump_trace and soak.sim.tracer is not None:
         report["trace"] = soak.sim.tracer.render(limit=200)
+    if soak.recorder is not None:
+        from repro import obs
+        if trace_out:
+            with open(trace_out, "w") as fh:
+                json.dump(obs.chrome_trace(soak.recorder), fh)
+        if span_log:
+            with open(span_log, "w") as fh:
+                fh.write(obs.spans_jsonl(soak.recorder))
+        report["spans_recorded"] = soak.recorder.recorded
     return report
 
 
@@ -593,6 +609,11 @@ def main(argv=None) -> int:
                         help="write the JSON report here")
     parser.add_argument("--dump-trace", action="store_true",
                         help="record fault/retry/failover trace and dump it")
+    parser.add_argument("--trace-out", type=str, default=None,
+                        help="record op spans and write Chrome trace JSON "
+                             "here (load in Perfetto)")
+    parser.add_argument("--span-log", type=str, default=None,
+                        help="write the raw span log as JSONL here")
     parser.add_argument("--kill-clients", action="store_true",
                         help="add the crash-tolerance phase: kill a "
                              "lock-holding client mid-write (leases, "
@@ -607,7 +628,8 @@ def main(argv=None) -> int:
     report = run_soak(seed=args.seed, smoke=args.smoke,
                       dump_trace=args.dump_trace,
                       kill_clients=args.kill_clients,
-                      crash_master=args.crash_master)
+                      crash_master=args.crash_master,
+                      trace_out=args.trace_out, span_log=args.span_log)
     if args.check_determinism:
         second = run_soak(seed=args.seed, smoke=args.smoke,
                           kill_clients=args.kill_clients,

@@ -130,6 +130,40 @@ def bench_ycsb(record_count: int, num_workers: int, ops_per_worker: int,
 
 
 # ----------------------------------------------------------------------
+# Observability artifacts
+# ----------------------------------------------------------------------
+def export_trace(trace_out: Optional[Path], span_log: Optional[Path],
+                 seed: int = 42) -> None:
+    """Run one *separate* instrumented smoke-size YCSB-B pass and export it.
+
+    Deliberately not the measured run: attaching the span recorder would
+    taint the wall-clock numbers, so the artifacts come from their own
+    small pass (identical virtual behaviour — spans add no simulated
+    events — just extra Python work).
+    """
+    if trace_out is None and span_log is None:
+        return
+    from repro import obs
+
+    sim = Simulator(seed=seed)
+    system = build_system("gengar", sim, num_servers=2, num_clients=2)
+    recorder = obs.install(sim)
+    spec = WORKLOAD_B.scaled(record_count=64, value_size=128)
+    runner = YcsbRunner(system, spec, num_workers=2, ops_per_worker=50)
+    runner.load()
+    runner.run()
+    if recorder is None:
+        print("observability layer disabled; no trace artifacts written")
+        return
+    if trace_out is not None:
+        trace_out.write_text(json.dumps(obs.chrome_trace(recorder)))
+        print(f"wrote {trace_out}: {len(recorder)} spans")
+    if span_log is not None:
+        span_log.write_text(obs.spans_jsonl(recorder))
+        print(f"wrote {span_log}")
+
+
+# ----------------------------------------------------------------------
 # Harness plumbing
 # ----------------------------------------------------------------------
 def measure(smoke: bool = False) -> Dict[str, Any]:
@@ -204,10 +238,17 @@ def main(argv=None) -> int:
                         help="tiny run for CI smoke testing")
     parser.add_argument("--out", default=DEFAULT_OUT,
                         help=f"output JSON path (default: {DEFAULT_OUT})")
+    parser.add_argument("--trace-out", default=None,
+                        help="also emit a Chrome trace from a separate "
+                             "instrumented smoke run")
+    parser.add_argument("--span-log", default=None,
+                        help="also emit a JSONL span dump from that run")
     args = parser.parse_args(argv)
 
     doc = run_harness(Path(args.out), set_baseline=args.set_baseline,
                       smoke=args.smoke)
+    export_trace(Path(args.trace_out) if args.trace_out else None,
+                 Path(args.span_log) if args.span_log else None)
     cur, spd = doc["current"], doc["speedup"]
     print(f"kernel: {cur['kernel']['events_per_sec']:,.0f} events/s "
           f"(x{spd['kernel_events_per_sec'] or 1.0} vs baseline)")

@@ -255,8 +255,9 @@ class GengarClient:
             return
         if self._fenced or self.sim.now >= self.lease_deadline:
             self.m_fence_rejections.add()
-            trace(self.sim, "fence", f"{what} refused: lease lapsed",
-                  client=self.name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                      client=self.name)
             raise FencedError(
                 f"{what}: lease lapsed (fenced={self._fenced}); "
                 "reattach_master() to rejoin")
@@ -374,18 +375,30 @@ class GengarClient:
         ``max_attempts``, optionally re-attaching automatically; a deadline
         turns an unbounded stall into :class:`DeadlineExceededError`.
         """
-        data = yield from self._resilient(
-            "gread", lambda: self._gread_once(gaddr, offset, length))
-        return data
+        rec = self.sim.spans
+        if rec is None:
+            data = yield from self._resilient(
+                "gread", lambda: self._gread_once(gaddr, offset, length))
+            return data
+        t0 = self.sim.now
+        op = rec.next_op()
+        try:
+            data = yield from self._resilient(
+                "gread", lambda: self._gread_once(gaddr, offset, length, op),
+                span_op=op)
+            return data
+        finally:
+            rec.record(self.name, "op.gread", t0, op=op, gaddr=hex(gaddr))
 
     def _gread_once(self, gaddr: int, offset: int = 0,
-                    length: Optional[int] = None) -> Generator[Any, Any, bytes]:
+                    length: Optional[int] = None,
+                    span_op: int = 0) -> Generator[Any, Any, bytes]:
         self._require_attached()
         self._check_lease_fence("gread")
         start = self.sim.now
         meta = self._cached_meta(gaddr)
         if meta is None:
-            meta = yield from self._meta(gaddr)
+            meta = yield from self._meta(gaddr, span_op=span_op)
         if length is None:
             length = meta.size - offset
         self._check_bounds(meta, offset, length)
@@ -405,7 +418,8 @@ class GengarClient:
             # Partial overlap: force the write down before reading remotely.
             yield from self.gsync(server_id=pending.server_id)
 
-        data = yield from self._remote_read(gaddr, meta, offset, length)
+        data = yield from self._remote_read(gaddr, meta, offset, length,
+                                            span_op=span_op)
         self._note_access(gaddr, read=True)
         self.h_read.record(self.sim.now - start)
         return data
@@ -417,11 +431,23 @@ class GengarClient:
         write whose proxy ring is unavailable or stalled falls back to the
         direct-to-NVM path instead of blocking.
         """
-        yield from self._resilient(
-            "gwrite", lambda: self._gwrite_once(gaddr, data, offset))
+        rec = self.sim.spans
+        if rec is None:
+            yield from self._resilient(
+                "gwrite", lambda: self._gwrite_once(gaddr, data, offset))
+            return
+        t0 = self.sim.now
+        op = rec.next_op()
+        try:
+            yield from self._resilient(
+                "gwrite", lambda: self._gwrite_once(gaddr, data, offset, op),
+                span_op=op)
+        finally:
+            rec.record(self.name, "op.gwrite", t0, op=op, gaddr=hex(gaddr),
+                       bytes=len(data))
 
-    def _gwrite_once(self, gaddr: int, data: bytes,
-                     offset: int = 0) -> Generator[Any, Any, None]:
+    def _gwrite_once(self, gaddr: int, data: bytes, offset: int = 0,
+                     span_op: int = 0) -> Generator[Any, Any, None]:
         self._require_attached()
         self._check_lease_fence("gwrite")
         if not data:
@@ -429,7 +455,7 @@ class GengarClient:
         start = self.sim.now
         meta = self._cached_meta(gaddr)
         if meta is None:
-            meta = yield from self._meta(gaddr)
+            meta = yield from self._meta(gaddr, span_op=span_op)
         self._check_bounds(meta, offset, len(data))
         yield from self.node.cpu_work()
         self.m_writes.add()
@@ -443,22 +469,28 @@ class GengarClient:
         )
         staged = False
         if use_proxy:
-            staged = yield from self._proxy_write(conn, gaddr, offset, data)
+            staged = yield from self._proxy_write(conn, gaddr, offset, data,
+                                                  span_op=span_op)
         if staged:
             self.m_proxy_writes.add(len(data))
         else:
-            yield from self._direct_write(conn, gaddr, meta, offset, data)
+            degraded = use_proxy or (self.config.enable_proxy
+                                     and self.config.degraded_mode
+                                     and conn.ring is None)
+            yield from self._direct_write(conn, gaddr, meta, offset, data,
+                                          span_op=span_op, degraded=degraded)
             self.m_direct_writes.add(len(data))
             if use_proxy:
                 # _proxy_write declined: the ring is presumed stalled.
                 self.m_degraded_writes.add()
-                trace(self.sim, "degraded", "stalled ring -> direct write",
-                      client=self.name, gaddr=hex(gaddr))
-            elif (self.config.enable_proxy and self.config.degraded_mode
-                  and conn.ring is None):
+                if self.sim.tracer is not None:
+                    trace(self.sim, "degraded", "stalled ring -> direct write",
+                          client=self.name, gaddr=hex(gaddr))
+            elif degraded:
                 self.m_degraded_writes.add()
-                trace(self.sim, "degraded", "no ring -> direct write",
-                      client=self.name, gaddr=hex(gaddr))
+                if self.sim.tracer is not None:
+                    trace(self.sim, "degraded", "no ring -> direct write",
+                          client=self.name, gaddr=hex(gaddr))
         self._note_access(gaddr, read=False)
         self.h_write.record(self.sim.now - start)
 
@@ -471,10 +503,21 @@ class GengarClient:
         staged writes are recorded in :attr:`fault_log` and the sync
         trivially completes).
         """
-        yield from self._resilient(
-            "gsync", lambda: self._gsync_once(server_id))
+        rec = self.sim.spans
+        if rec is None:
+            yield from self._resilient(
+                "gsync", lambda: self._gsync_once(server_id))
+            return
+        t0 = self.sim.now
+        op = rec.next_op()
+        try:
+            yield from self._resilient(
+                "gsync", lambda: self._gsync_once(server_id, op), span_op=op)
+        finally:
+            rec.record(self.name, "op.gsync", t0, op=op)
 
-    def _gsync_once(self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
+    def _gsync_once(self, server_id: Optional[int] = None,
+                    span_op: int = 0) -> Generator[Any, Any, None]:
         self._require_attached()
         self._check_lease_fence("gsync")
         targets = [server_id] if server_id is not None else sorted(self._conns)
@@ -491,6 +534,8 @@ class GengarClient:
                 continue
             if conn.written <= conn.drained_known:
                 continue
+            rec = self.sim.spans
+            t0 = self.sim.now if rec is not None else 0
             backoff = 0
             while conn.drained_known < conn.written:
                 yield from self._poll_drained(conn)
@@ -498,6 +543,9 @@ class GengarClient:
                     backoff = min(backoff + 1, 5)
                     yield self.sim.sleep(500 * (1 << backoff))
             self._prune_overlay(sid)
+            if rec is not None:
+                rec.record(self.name, "phase.drain_wait", t0, op=span_op,
+                           server=sid)
 
     def reattach_server(self, server_id: int) -> Generator[Any, Any, list]:
         """Re-establish state with a recovered server.
@@ -580,7 +628,8 @@ class GengarClient:
         if self._crashed:
             return
         self._crashed = True
-        trace(self.sim, "fault", "client crashed", client=self.name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "client crashed", client=self.name)
 
     def revive(self) -> None:
         """Bring a crashed client back as a *zombie*: its lease has usually
@@ -589,7 +638,8 @@ class GengarClient:
         if not self._crashed:
             return
         self._crashed = False
-        trace(self.sim, "fault", "client revived", client=self.name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "client revived", client=self.name)
         if (self.lease_ns and not self._fenced
                 and self.sim.now < self.lease_deadline):
             self._start_heartbeat()
@@ -629,8 +679,9 @@ class GengarClient:
                 continue
             self._fenced = True
             self.m_fence_rejections.add()
-            trace(self.sim, "fence", "heartbeat fenced", client=self.name,
-                  reason=reason)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fence", "heartbeat fenced", client=self.name,
+                      reason=reason)
             return
 
     def _note_renewal(self, lease_ns: int) -> None:
@@ -646,7 +697,8 @@ class GengarClient:
             self._retry_rng = self.sim.rng.stream(f"{self.name}.retry")
         return self._retry_rng
 
-    def _resilient(self, op: str, attempt_factory) -> Generator[Any, Any, Any]:
+    def _resilient(self, op: str, attempt_factory,
+                   span_op: int = 0) -> Generator[Any, Any, Any]:
         """Run one op under the active :class:`RetryPolicy`.
 
         Pay-as-you-go: with the default policy (one attempt, no deadline)
@@ -675,16 +727,23 @@ class GengarClient:
                         f"{op} gave up after {self.sim.now - start} ns "
                         f"(deadline {policy.deadline_ns} ns): {exc}") from exc
                 self.m_retries.add()
-                trace(self.sim, "retry", f"{op} attempt {attempt} failed",
-                      client=self.name, cause=type(exc).__name__)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "retry", f"{op} attempt {attempt} failed",
+                          client=self.name, cause=type(exc).__name__)
                 server_id = getattr(exc, "server_id", None)
                 if self.config.auto_reattach and server_id is not None:
                     yield from self._auto_reattach(server_id)
                 elif (self.config.auto_reattach
                         and isinstance(exc, MasterUnavailableError)):
                     yield from self._auto_reattach_master()
+                rec = self.sim.spans
+                t_wait = self.sim.now if rec is not None else 0
                 yield self.sim.sleep(
                     policy.backoff_ns(attempt, self._jitter_rng()))
+                if rec is not None:
+                    rec.record(self.name, "phase.retry_wait", t_wait,
+                               op=span_op, attempt=attempt,
+                               cause=type(exc).__name__)
                 attempt += 1
 
     def _attempt_with_deadline(self, op: str, attempt_factory, start: int,
@@ -710,8 +769,9 @@ class GengarClient:
         if proc.triggered:
             return proc.value  # raises the attempt's failure, if any
         self.m_deadline_misses.add()
-        trace(self.sim, "retry", f"{op} abandoned at deadline",
-              client=self.name, elapsed_ns=self.sim.now - start)
+        if self.sim.tracer is not None:
+            trace(self.sim, "retry", f"{op} abandoned at deadline",
+                  client=self.name, elapsed_ns=self.sim.now - start)
         raise DeadlineExceededError(
             f"{op} exceeded its {policy.deadline_ns} ns deadline")
 
@@ -730,9 +790,10 @@ class GengarClient:
             try:
                 lost = yield from self.reattach_server(server_id)
             except (RetryableError, RpcError) as exc:
-                trace(self.sim, "failover", "re-attach failed",
-                      client=self.name, server=server_id,
-                      cause=type(exc).__name__)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "failover", "re-attach failed",
+                          client=self.name, server=server_id,
+                          cause=type(exc).__name__)
             else:
                 self.m_failovers.add()
                 if lost:
@@ -742,8 +803,9 @@ class GengarClient:
                     "server_id": server_id,
                     "lost": lost,
                 })
-                trace(self.sim, "failover", "re-attached", client=self.name,
-                      server=server_id, lost=len(lost))
+                if self.sim.tracer is not None:
+                    trace(self.sim, "failover", "re-attached",
+                          client=self.name, server=server_id, lost=len(lost))
         finally:
             self._reattach_gates.pop(server_id, None)
             gate.succeed()
@@ -763,12 +825,14 @@ class GengarClient:
             try:
                 yield from self.reattach_master()
             except (RetryableError, RpcError) as exc:
-                trace(self.sim, "failover", "master re-attach failed",
-                      client=self.name, cause=type(exc).__name__)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "failover", "master re-attach failed",
+                          client=self.name, cause=type(exc).__name__)
             else:
                 self.m_master_failovers.add()
-                trace(self.sim, "failover", "re-attached to master",
-                      client=self.name, epoch=self.fence_epoch)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "failover", "re-attached to master",
+                          client=self.name, epoch=self.fence_epoch)
         finally:
             self._reattach_master_gate = None
             gate.succeed()
@@ -821,6 +885,20 @@ class GengarClient:
         the inline proxy path (proxy disabled, payload too large for a ring
         slot or for NIC inlining) fall back to the regular gwrite path.
         """
+        rec = self.sim.spans
+        if rec is None:
+            yield from self._gwrite_batch_once(writes)
+            return
+        t0 = self.sim.now
+        op = rec.next_op()
+        try:
+            yield from self._gwrite_batch_once(writes, span_op=op)
+        finally:
+            rec.record(self.name, "op.gwrite_batch", t0, op=op,
+                       writes=len(writes))
+
+    def _gwrite_batch_once(self, writes,
+                           span_op: int = 0) -> Generator[Any, Any, None]:
         self._require_attached()
         self._check_lease_fence("gwrite_batch")
         start = self.sim.now
@@ -831,7 +909,7 @@ class GengarClient:
                 raise FatalError("empty write")
             meta = self._cached_meta(gaddr)
             if meta is None:
-                meta = yield from self._meta(gaddr)
+                meta = yield from self._meta(gaddr, span_op=span_op)
             self._check_bounds(meta, 0, len(data))
             conn = self._conns[meta.server_id]
             commit = self.config.proxy_commit
@@ -852,6 +930,8 @@ class GengarClient:
                     continue
             fallback.append((gaddr, data))
 
+        rec = self.sim.spans
+        t_stage = self.sim.now if rec is not None else 0
         if staged:
             # One CPU pass covers building every WQE in the batch.
             yield from self.node.cpu_work()
@@ -904,23 +984,40 @@ class GengarClient:
                 self._last_staged = (conn.desc.server_id, gaddr, 0, data)
                 self._note_access(gaddr, read=False)
                 self.h_write.record(self.sim.now - start)
+        if rec is not None and staged:
+            rec.record(self.name, "phase.batch_stage", t_stage, op=span_op,
+                       servers=len(staged), staged=len(pending))
         for gaddr, data in fallback:
             yield from self.gwrite(gaddr, data)
 
     # Lock API (delegates to the consistency layer) ----------------------
     def glock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
         """Acquire the object's lock (exclusive by default, shared if not)."""
-        if write:
-            yield from self.locks.acquire_write(gaddr)
-        else:
-            yield from self.locks.acquire_read(gaddr)
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
+        try:
+            if write:
+                yield from self.locks.acquire_write(gaddr)
+            else:
+                yield from self.locks.acquire_read(gaddr)
+        finally:
+            if rec is not None:
+                rec.record(self.name, "op.glock", t0, op=rec.next_op(),
+                           gaddr=hex(gaddr), write=write)
 
     def gunlock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
         """Release the object's lock.  Write unlocks sync first."""
-        if write:
-            yield from self.locks.release_write(gaddr)
-        else:
-            yield from self.locks.release_read(gaddr)
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
+        try:
+            if write:
+                yield from self.locks.release_write(gaddr)
+            else:
+                yield from self.locks.release_read(gaddr)
+        finally:
+            if rec is not None:
+                rec.record(self.name, "op.gunlock", t0, op=rec.next_op(),
+                           gaddr=hex(gaddr), write=write)
 
     # ------------------------------------------------------------------
     # Metadata
@@ -942,12 +1039,18 @@ class GengarClient:
         self._meta_cache[meta.gaddr] = meta
         self._meta_epoch[meta.gaddr] = self._srv_epoch.get(meta.server_id, 0)
 
-    def _meta(self, gaddr: int) -> Generator[Any, Any, ObjectMeta]:
+    def _meta(self, gaddr: int,
+              span_op: int = 0) -> Generator[Any, Any, ObjectMeta]:
         meta = self._cached_meta(gaddr)
         if meta is not None:
             return meta
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
         meta = yield from self._master_call("lookup", {"gaddr": gaddr})
         self.m_lookups.add()
+        if rec is not None:
+            rec.record(self.name, "phase.meta_lookup", t0, op=span_op,
+                       gaddr=hex(gaddr))
         if self.config.metadata_cache:
             self._store_meta(meta)
         return meta
@@ -968,45 +1071,66 @@ class GengarClient:
     # Read path
     # ------------------------------------------------------------------
     def _remote_read(self, gaddr: int, meta: ObjectMeta, offset: int,
-                     length: int) -> Generator[Any, Any, bytes]:
+                     length: int,
+                     span_op: int = 0) -> Generator[Any, Any, bytes]:
+        rec = self.sim.spans
         for _attempt in range(_MAX_META_RETRIES):
             conn = self._conns[meta.server_id]
             if self.config.enable_cache and meta.cached:
                 # One READ covering the tag and the requested range.
                 span = CACHE_TAG_BYTES + offset + length
+                t0 = self.sim.now if rec is not None else 0
                 raw = yield from self._rdma_read(
                     conn, conn.desc.cache_rkey, meta.cache_offset, span
                 )
                 if tag_matches(raw, gaddr):
                     self.m_cache_hits.add()
-                    trace(self.sim, "cache", "read hit", client=self.name,
-                          gaddr=hex(gaddr), bytes=length)
+                    if rec is not None:
+                        rec.record(self.name, "phase.cache_read", t0,
+                                   op=span_op, hit=True, bytes=length)
+                    if self.sim.tracer is not None:
+                        trace(self.sim, "cache", "read hit", client=self.name,
+                              gaddr=hex(gaddr), bytes=length)
                     return raw[CACHE_TAG_BYTES + offset : CACHE_TAG_BYTES + offset + length]
                 # Stale metadata (object demoted / slot reused): refresh.
                 self.m_tag_misses.add()
-                trace(self.sim, "cache", "tag mismatch -> refresh",
-                      client=self.name, gaddr=hex(gaddr))
+                if rec is not None:
+                    rec.record(self.name, "phase.cache_read", t0,
+                               op=span_op, hit=False, bytes=length)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "cache", "tag mismatch -> refresh",
+                          client=self.name, gaddr=hex(gaddr))
                 self._invalidate_meta(gaddr)
-                meta = yield from self._meta(gaddr)
+                meta = yield from self._meta(gaddr, span_op=span_op)
                 continue
+            t0 = self.sim.now if rec is not None else 0
             data = yield from self._rdma_read(
                 conn, conn.desc.data_rkey, meta.nvm_offset + offset, length
             )
             self.m_nvm_reads.add()
-            trace(self.sim, "read", "nvm read", client=self.name,
-                  gaddr=hex(gaddr), bytes=length)
+            if rec is not None:
+                rec.record(self.name, "phase.nvm_read", t0, op=span_op,
+                           bytes=length)
+            if self.sim.tracer is not None:
+                trace(self.sim, "read", "nvm read", client=self.name,
+                      gaddr=hex(gaddr), bytes=length)
             return data
         if self.config.degraded_mode:
             # Cache bypass: NVM is the source of truth, so when the DRAM
             # cache keeps thrashing (e.g. a server replaying promotions
             # after a restart) a degraded client reads the home copy.
             conn = self._conns[meta.server_id]
+            t0 = self.sim.now if rec is not None else 0
             data = yield from self._rdma_read(
                 conn, conn.desc.data_rkey, meta.nvm_offset + offset, length
             )
             self.m_degraded_reads.add()
-            trace(self.sim, "degraded", "metadata thrash -> nvm read",
-                  client=self.name, gaddr=hex(gaddr), bytes=length)
+            if rec is not None:
+                rec.record(self.name, "phase.degraded_read", t0, op=span_op,
+                           bytes=length)
+            if self.sim.tracer is not None:
+                trace(self.sim, "degraded", "metadata thrash -> nvm read",
+                      client=self.name, gaddr=hex(gaddr), bytes=length)
             return data
         raise FatalError(f"metadata thrash reading {gaddr:#x}")
 
@@ -1014,7 +1138,8 @@ class GengarClient:
     # Write paths
     # ------------------------------------------------------------------
     def _proxy_write(self, conn: _ServerConn, gaddr: int, offset: int,
-                     data: bytes) -> Generator[Any, Any, bool]:
+                     data: bytes,
+                     span_op: int = 0) -> Generator[Any, Any, bool]:
         """Stage one write into the proxy ring.
 
         Returns True once staged.  Returns False — *declining* the proxy
@@ -1023,6 +1148,8 @@ class GengarClient:
         direct NVM write cannot be overtaken by an older staged one when the
         ring eventually drains.
         """
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
         ring = conn.ring
         if conn.written - conn.drained_known >= ring.slots:
             ok = yield from self._await_ring_space(conn)
@@ -1071,8 +1198,12 @@ class GengarClient:
             if scratch_off is not None:
                 self._scratch_free.put(scratch_off)
         self._check_wc(wc, "proxy write", conn, ring=True)
-        trace(self.sim, "proxy", "staged write", client=self.name,
-              gaddr=hex(gaddr), slot=slot, bytes=len(data))
+        if rec is not None:
+            rec.record(self.name, "phase.proxy_stage", t0, op=span_op,
+                       server=conn.desc.server_id, bytes=len(data))
+        if self.sim.tracer is not None:
+            trace(self.sim, "proxy", "staged write", client=self.name,
+                  gaddr=hex(gaddr), slot=slot, bytes=len(data))
         # The drained counter is 1-based: write #seq is drained once the
         # counter reaches seq + 1.
         self._overlay[gaddr] = _PendingWrite(
@@ -1082,7 +1213,15 @@ class GengarClient:
         return True
 
     def _direct_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
-                      offset: int, data: bytes) -> Generator[Any, Any, None]:
+                      offset: int, data: bytes, span_op: int = 0,
+                      degraded: bool = False) -> Generator[Any, Any, None]:
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
+        if rec is not None and degraded:
+            # Instant marker: the proxy path was declined and this write is
+            # falling back to a direct NVM write.
+            rec.record(self.name, "phase.degraded_fallback", t0, end_ns=t0,
+                       op=span_op)
         yield from self._rdma_write(
             conn, conn.desc.data_rkey, meta.nvm_offset + offset, data
         )
@@ -1090,6 +1229,9 @@ class GengarClient:
             fresh = yield from self._verified_cache_write(conn, gaddr, meta, offset, data)
             if not fresh:
                 self._invalidate_meta(gaddr)
+        if rec is not None:
+            rec.record(self.name, "phase.direct_write", t0, op=span_op,
+                       bytes=len(data), degraded=degraded)
 
     def _verified_cache_write(self, conn: _ServerConn, gaddr: int, meta: ObjectMeta,
                               offset: int, data: bytes) -> Generator[Any, Any, bool]:
@@ -1286,7 +1428,9 @@ class GengarClient:
                 elif verdict == "fenced":
                     self._fenced = True
                     self.m_fence_rejections.add()
-                    trace(self.sim, "fence", "report fenced", client=self.name)
+                    if self.sim.tracer is not None:
+                        trace(self.sim, "fence", "report fenced",
+                              client=self.name)
             else:
                 updates = reply
             for gaddr, cached, cache_offset in updates:

@@ -91,8 +91,9 @@ class LockOps:
             return
         if client.fenced or self.sim.now >= client.lease_deadline:
             client.m_fence_rejections.add()
-            trace(self.sim, "fence", f"{what} refused: lease lapsed",
-                  client=client.name, gaddr=hex(gaddr))
+            if self.sim.tracer is not None:
+                trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                      client=client.name, gaddr=hex(gaddr))
             raise FencedError(
                 f"{what} of {gaddr:#x}: lease expired at "
                 f"t={client.lease_deadline} (now {self.sim.now}); "
@@ -196,8 +197,10 @@ class LockOps:
             if (not word & WRITER_BIT or lock_owner(word) != client.uid
                     or lock_epoch(word) != client.fence_epoch):
                 client.m_fence_rejections.add()
-                trace(self.sim, "fence", "release refused: word not ours",
-                      client=client.name, gaddr=hex(gaddr), word=hex(word))
+                if self.sim.tracer is not None:
+                    trace(self.sim, "fence", "release refused: word not ours",
+                          client=client.name, gaddr=hex(gaddr),
+                          word=hex(word))
                 raise FencedError(
                     f"write-unlock of {gaddr:#x}: word {word:#x} does not carry "
                     f"uid {client.uid} at epoch {client.fence_epoch} "

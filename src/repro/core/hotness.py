@@ -246,17 +246,23 @@ class LruPolicy:
             if gaddr in self._cached or gaddr in set(promotions):
                 continue
             size = self._sizes[gaddr]
+            if size > capacity:
+                continue  # can never fit
             while used + size > capacity and cached_by_age:
-                victim = cached_by_age.pop(0)
+                # Peek-then-pop, like the other policies: a victim too
+                # recent to evict for THIS candidate must stay in the pool
+                # (popping it first silently excluded it — and aborting the
+                # whole plan handicapped LRU against smaller, still-placeable
+                # candidates later in the recency order).
+                victim = cached_by_age[0]
                 if self._last_touch.get(victim, 0) >= self._last_touch.get(gaddr, 0):
                     break
+                cached_by_age.pop(0)
                 demotions.append(victim)
                 used -= self._sizes[victim]
             if used + size <= capacity:
                 promotions.append(gaddr)
                 used += size
-            else:
-                break
         return PlacementPlan(promotions=tuple(promotions), demotions=tuple(demotions))
 
 

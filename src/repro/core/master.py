@@ -321,8 +321,10 @@ class Master:
         if self.config.client_lease_ns:
             self._leases[name] = self.sim.now + self.config.client_lease_ns
             self._start_lease_sweeper()
-            trace(self.sim, "lease", "lease granted", client=name, uid=uid,
-                  epoch=epoch, lease_ns=self.config.client_lease_ns)
+            if self.sim.tracer is not None:
+                trace(self.sim, "lease", "lease granted", client=name,
+                      uid=uid, epoch=epoch,
+                      lease_ns=self.config.client_lease_ns)
         return {
             "servers": [h.descriptor for h in self._servers.values()],
             "config": self.config,
@@ -342,8 +344,9 @@ class Master:
             return {"ok": True, "lease_ns": self.config.client_lease_ns}
         if verdict == "fenced":
             self.fence_rejections.add()
-            trace(self.sim, "fence", "renew rejected: epoch retired",
-                  client=name, epoch=epoch)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fence", "renew rejected: epoch retired",
+                      client=name, epoch=epoch)
         return {"ok": False, "reason": verdict}
 
     # ------------------------------------------------------------------
@@ -397,7 +400,8 @@ class Master:
             return  # renewed / re-attached while this sweep was in flight
         del self._leases[name]
         self.lease_expiries.add()
-        trace(self.sim, "lease", "lease expired", client=name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "lease", "lease expired", client=name)
         yield from self._fence_and_recover(name)
 
     def _fence_and_recover(self, name: str) -> Generator[Any, Any, int]:
@@ -439,8 +443,9 @@ class Master:
             except RpcError:
                 pass  # dead server: its DRAM (and the ring) are gone anyway
         self.lock_recoveries.add(recovered)
-        trace(self.sim, "lease", "client fenced", client=name,
-              epoch=self._epochs.get(name, 0), locks_recovered=recovered)
+        if self.sim.tracer is not None:
+            trace(self.sim, "lease", "client fenced", client=name,
+                  epoch=self._epochs.get(name, 0), locks_recovered=recovered)
         return recovered
 
     # ------------------------------------------------------------------
@@ -556,7 +561,8 @@ class Master:
             return
         self.node.endpoint.alive = False
         self.crashes += 1
-        trace(self.sim, "fault", "master crashed")
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "master crashed")
 
     def recover(self) -> None:
         """Restart the master process with empty volatile state.
@@ -572,7 +578,8 @@ class Master:
         self._client_uids = {}
         self._epochs = {}
         self._leases = {}
-        trace(self.sim, "fault", "master restarted; volatile state lost")
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "master restarted; volatile state lost")
 
     def recovery_process(self, rebuild: bool = True) -> Generator[Any, Any, int]:
         """Journal-driven failover: rebuild the directory from the servers'
@@ -594,13 +601,16 @@ class Master:
                 recovered = yield from self.rebuild()
                 self.journal_replayed.add(recovered)
             else:
-                trace(self.sim, "fault",
-                      "no journal replay: master reopens with an empty directory")
+                if self.sim.tracer is not None:
+                    trace(self.sim, "fault",
+                          "no journal replay: master reopens with an empty "
+                          "directory")
         finally:
             self._recovering = False
         self.failovers.add()
-        trace(self.sim, "failover", "master recovered", objects=recovered,
-              journal=self.config.metadata_journal)
+        if self.sim.tracer is not None:
+            trace(self.sim, "failover", "master recovered", objects=recovered,
+                  journal=self.config.metadata_journal)
         if self.config.client_lease_ns:
             self.sim.spawn(self._orphan_lock_sweep(), name="master.orphan_sweep")
         return recovered
@@ -626,8 +636,9 @@ class Master:
                 continue
             if owner:
                 recovered += 1
-                trace(self.sim, "lease", "orphan lock recovered",
-                      gaddr=hex(record.gaddr), owner_uid=owner)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "lease", "orphan lock recovered",
+                          gaddr=hex(record.gaddr), owner_uid=owner)
         # Retire the orphans' proxy rings too: a zombie that never
         # re-attached must not keep landing staged writes on objects whose
         # locks were just handed back.  Re-attached clients are exactly the
@@ -641,8 +652,10 @@ class Master:
             except RpcError:
                 continue  # dead server: its DRAM (and the rings) are gone
         self.lock_recoveries.add(recovered)
-        trace(self.sim, "lease", "post-failover orphan sweep done",
-              locks_recovered=recovered, rings_retired=sorted(set(retired)))
+        if self.sim.tracer is not None:
+            trace(self.sim, "lease", "post-failover orphan sweep done",
+                  locks_recovered=recovered,
+                  rings_retired=sorted(set(retired)))
 
     def on_server_recovered(self, server_id: int) -> int:
         """Reconcile the directory after a server restart.
@@ -663,8 +676,9 @@ class Master:
                 dropped += 1
             record.pinned = False
             record.pinned_by = None
-        trace(self.sim, "fault", "directory reconciled after restart",
-              server=server_id, dropped_cache_entries=dropped)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "directory reconciled after restart",
+                  server=server_id, dropped_cache_entries=dropped)
         return dropped
 
     def force_unlock(self, gaddr: int) -> Generator[Any, Any, int]:
@@ -705,6 +719,8 @@ class Master:
         )
         if plan.is_noop:
             return
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
         for gaddr in plan.demotions:
             record = self.directory.lookup(gaddr)
             if record is not None and record.pinned:
@@ -712,6 +728,10 @@ class Master:
             yield from self._demote(handle, policy, gaddr)
         for gaddr in plan.promotions:
             yield from self._promote(handle, policy, gaddr)
+        if rec is not None:
+            rec.record("master", "master.plan_epoch", t0, server=sid,
+                       promotions=len(plan.promotions),
+                       demotions=len(plan.demotions))
 
     def _tag_overhead(self, sid: int) -> int:
         cached_count = sum(

@@ -61,6 +61,7 @@ class _ClientRing:
     mr: object  # ring MemoryRegion
     counter_offset: int  # region-relative offset of the drained counter
     drained: int = 0
+    client: str = ""  # owning client's name (span/trace attribution)
 
 
 #: RPC footprint: buffers for control traffic (attach/promote/demote).
@@ -201,6 +202,8 @@ class MemoryServer:
             return existing.cache_offset
         slot_offset = self.cache_alloc.alloc(CACHE_TAG_BYTES + size)  # may raise OutOfMemory
         nvm_offset = offset_of(gaddr)
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
         yield from self.node.cpu_work()
         data = yield from self.data_device.read(nvm_offset, size)
         yield from self.cache_mr.write(slot_offset, pack_cache_tag(gaddr) + data)
@@ -208,8 +211,11 @@ class MemoryServer:
         # half-initialized slot that it then gets overwritten by stale data.
         self.cached[gaddr] = _CacheEntry(cache_offset=slot_offset, size=size)
         self.promotions.add()
-        trace(self.sim, "cache", "promoted", server=self.node.name,
-              gaddr=hex(gaddr), bytes=size)
+        if rec is not None:
+            rec.record(self.node.name, "srv.promote_copy", t0, bytes=size)
+        if self.sim.tracer is not None:
+            trace(self.sim, "cache", "promoted", server=self.node.name,
+                  gaddr=hex(gaddr), bytes=size)
         return slot_offset
 
     def _handle_demote(self, request: dict) -> Generator[Any, Any, bool]:
@@ -227,8 +233,9 @@ class MemoryServer:
         yield from self.cache_mr.write(entry.cache_offset, pack_cache_tag(0, flags=0))
         self.cache_alloc.free(entry.cache_offset)
         self.demotions.add()
-        trace(self.sim, "cache", "demoted", server=self.node.name,
-              gaddr=hex(gaddr))
+        if self.sim.tracer is not None:
+            trace(self.sim, "cache", "demoted", server=self.node.name,
+                  gaddr=hex(gaddr))
         return True
 
     def _handle_attach(self, request: dict) -> Generator[Any, Any, RingDescriptor]:
@@ -260,7 +267,8 @@ class MemoryServer:
         )
         counter_offset = slots * slot_size
         mr.write_u64(counter_offset, 0)
-        ring = _ClientRing(ring_base=ring_base, mr=mr, counter_offset=counter_offset)
+        ring = _ClientRing(ring_base=ring_base, mr=mr,
+                           counter_offset=counter_offset, client=client_name)
         self._rings[client_name] = ring
         # Pre-post one doorbell recv per slot; the drain loop reposts.
         for _ in range(slots):
@@ -441,8 +449,9 @@ class MemoryServer:
             qp.recv_cq.push(WorkCompletion(
                 wr_id=0, opcode=Opcode.RECV, context={"poison": True},
             ))
-        trace(self.sim, "lease", "proxy ring retired",
-              server=self.node.name, client=client_name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "lease", "proxy ring retired",
+                  server=self.node.name, client=client_name)
         return True
 
     def _handle_retire_ring(self, request: dict) -> Generator[Any, Any, bool]:
@@ -498,6 +507,8 @@ class MemoryServer:
                 yield gate
             slot = wc.imm_data
             self.ring_occupancy.adjust(+1)
+            rec = self.sim.spans
+            t0 = self.sim.now if rec is not None else 0
             yield from self.node.cpu_work()  # parse the doorbell + header
             base = slot * slot_size
             header = ring.mr.peek(base, PROXY_HEADER_BYTES)
@@ -517,12 +528,17 @@ class MemoryServer:
                     torn = not proxy_commit_ok(commit, ring.drained, frame)
                 if torn:
                     self.torn_skipped.add()
-                    trace(self.sim, "fault", "torn slot skipped",
-                          server=self.node.name, slot=slot, seq=ring.drained)
+                    if self.sim.tracer is not None:
+                        trace(self.sim, "fault", "torn slot skipped",
+                              server=self.node.name, slot=slot,
+                              seq=ring.drained)
                     ring.drained += 1
                     ring.mr.write_u64(ring.counter_offset, ring.drained)
                     qp.post_recv(ring.mr, offset=ring.counter_offset, length=0)
                     self.ring_occupancy.adjust(-1)
+                    if rec is not None:
+                        rec.record(self.node.name, "srv.drain", t0,
+                                   client=ring.client, torn=True)
                     continue
             payload = ring.mr.peek(base + PROXY_HEADER_BYTES, length)
 
@@ -536,13 +552,17 @@ class MemoryServer:
             yield from self.data_device.write(offset_of(gaddr) + obj_offset, payload)
 
             ring.drained += 1
-            trace(self.sim, "proxy", "drained", server=self.node.name,
-                  gaddr=hex(gaddr), bytes=length, seq=ring.drained)
+            if self.sim.tracer is not None:
+                trace(self.sim, "proxy", "drained", server=self.node.name,
+                      gaddr=hex(gaddr), bytes=length, seq=ring.drained)
             ring.mr.write_u64(ring.counter_offset, ring.drained)
             qp.post_recv(ring.mr, offset=ring.counter_offset, length=0)
             self.drained_writes.add()
             self.drained_bytes.add(length)
             self.ring_occupancy.adjust(-1)
+            if rec is not None:
+                rec.record(self.node.name, "srv.drain", t0,
+                           client=ring.client, bytes=length, torn=False)
 
     # ------------------------------------------------------------------
     # Failure injection
@@ -594,7 +614,8 @@ class MemoryServer:
         self._drain_qps.clear()
         # The lock table lived in DRAM: every lock is implicitly released.
         self.lock_mr.poke(0, bytes(self.lock_mr.length))
-        trace(self.sim, "fault", "server crashed", server=self.node.name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "server crashed", server=self.node.name)
 
     def recover(self) -> None:
         """Restart the server process (empty DRAM state, NVM intact).
@@ -605,7 +626,8 @@ class MemoryServer:
         DRAM copies.
         """
         self.node.endpoint.alive = True
-        trace(self.sim, "fault", "server recovered", server=self.node.name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "server recovered", server=self.node.name)
 
     def stall_drains(self, duration_ns: int) -> None:
         """Freeze every proxy drain loop for ``duration_ns`` (fault
@@ -624,15 +646,18 @@ class MemoryServer:
         gate = self.sim.event(name=f"{self.node.name}.drain_stall")
         self._drain_gate = gate
         self.sim.schedule(duration_ns, self._release_drain_gate, gate)
-        trace(self.sim, "fault", "drain loops stalled",
-              server=self.node.name, duration_ns=duration_ns)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "drain loops stalled",
+                  server=self.node.name, duration_ns=duration_ns)
 
     def _release_drain_gate(self, gate) -> None:
         if not gate.triggered:
             gate.succeed()
         if self._drain_gate is gate:
             self._drain_gate = None
-            trace(self.sim, "fault", "drain loops released", server=self.node.name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fault", "drain loops released",
+                      server=self.node.name)
 
     @property
     def is_alive(self) -> bool:

@@ -204,8 +204,9 @@ class FaultInjector:
             self._windows.append(w)
         if self._windows:
             self.fabric.set_fault_hook(self._verdict)
-        trace(self.sim, "fault", "fault plan installed",
-              faults=len(self.plan), horizon_ns=self.plan.horizon_ns)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "fault plan installed",
+                  faults=len(self.plan), horizon_ns=self.plan.horizon_ns)
         return self
 
     def uninstall(self) -> None:
@@ -232,7 +233,7 @@ class FaultInjector:
             dropped = self._rng.random() < drop_prob
         else:
             dropped = False
-        if dropped:
+        if dropped and self.sim.tracer is not None:
             trace(self.sim, "fault", "message dropped",
                   src=src, dst=dst, bytes=nbytes)
         return dropped, extra_ns
@@ -241,30 +242,38 @@ class FaultInjector:
     # Timed actions
     # ------------------------------------------------------------------
     def _do_crash(self, server_id: int) -> None:
-        trace(self.sim, "fault", "injecting server crash", server=server_id)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting server crash",
+                  server=server_id)
         self.servers[server_id].crash()
         self.crashes_injected.add()
 
     def _do_recover(self, server_id: int, reconcile: bool) -> None:
-        trace(self.sim, "fault", "injecting server recovery", server=server_id)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting server recovery",
+                  server=server_id)
         self.servers[server_id].recover()
         if reconcile and self.master is not None:
             self.master.on_server_recovered(server_id)
         self.recoveries_injected.add()
 
     def _do_stall(self, server_id: int, duration_ns: int) -> None:
-        trace(self.sim, "fault", "injecting ring stall",
-              server=server_id, duration_ns=duration_ns)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting ring stall",
+                  server=server_id, duration_ns=duration_ns)
         self.servers[server_id].stall_drains(duration_ns)
         self.stalls_injected.add()
 
     def _do_master_crash(self) -> None:
-        trace(self.sim, "fault", "injecting master crash")
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting master crash")
         self.master.crash()
         self.master_crashes_injected.add()
 
     def _do_master_recover(self, rebuild: bool) -> None:
-        trace(self.sim, "fault", "injecting master recovery", rebuild=rebuild)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting master recovery",
+                  rebuild=rebuild)
         self.master.recover()
         # recovery_process must ALWAYS run: it is the only thing that
         # clears the "recovering" gate.  rebuild=False just means it
@@ -274,8 +283,9 @@ class FaultInjector:
         self.master_recoveries_injected.add()
 
     def _do_client_crash(self, client_name: str, tear_inflight: bool) -> None:
-        trace(self.sim, "fault", "injecting client crash",
-              client=client_name, tear=tear_inflight)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting client crash",
+                  client=client_name, tear=tear_inflight)
         client = self.clients[client_name]
         if tear_inflight:
             self._tear_inflight_write(client)
@@ -283,7 +293,9 @@ class FaultInjector:
         self.client_crashes_injected.add()
 
     def _do_client_recover(self, client_name: str) -> None:
-        trace(self.sim, "fault", "injecting client revival", client=client_name)
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "injecting client revival",
+                  client=client_name)
         self.clients[client_name].revive()
         self.client_recoveries_injected.add()
 
@@ -299,8 +311,9 @@ class FaultInjector:
             PROXY_HEADER_BYTES, pack_proxy_commit, pack_proxy_slot)
 
         if client._last_staged is None:
-            trace(self.sim, "fault", "no staged write to tear",
-                  client=client.name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fault", "no staged write to tear",
+                      client=client.name)
             return
         sid, gaddr, offset, data = client._last_staged
         server = self.servers.get(sid)
@@ -313,8 +326,9 @@ class FaultInjector:
             return
         slots = conn.ring.slots
         if conn.written - ring_state.drained >= slots:
-            trace(self.sim, "fault", "ring full; tear skipped",
-                  client=client.name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fault", "ring full; tear skipped",
+                      client=client.name)
             return
         seq = conn.written
         conn.written += 1
@@ -331,8 +345,9 @@ class FaultInjector:
         self.sim.spawn(self._deliver_torn_doorbell(client, conn, base, slot),
                        name=f"faults.tear.{client.name}")
         self.torn_injected.add()
-        trace(self.sim, "fault", "torn slot planted", client=client.name,
-              server=sid, slot=slot, seq=seq, cut=cut, of=len(full))
+        if self.sim.tracer is not None:
+            trace(self.sim, "fault", "torn slot planted", client=client.name,
+                  server=sid, slot=slot, seq=seq, cut=cut, of=len(full))
 
     def _deliver_torn_doorbell(self, client: "GengarClient", conn, base: int,
                                slot: int) -> Any:
@@ -360,5 +375,6 @@ class FaultInjector:
         try:
             yield conn.data_qp.post_send(wr)
         except QpError:
-            trace(self.sim, "fault", "torn doorbell dropped (QP down)",
-                  client=client.name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "fault", "torn doorbell dropped (QP down)",
+                      client=client.name)

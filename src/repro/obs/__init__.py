@@ -1,0 +1,30 @@
+"""repro.obs — the pool-wide observability layer.
+
+Spans (:mod:`repro.obs.spans`) attribute every op's virtual nanoseconds to
+typed protocol phases; exporters (:mod:`repro.obs.export`) turn the span log
+and the metric registry into Chrome ``trace_event`` JSON, JSONL, Prometheus
+text, and a versioned snapshot dict.  See ``docs/OBSERVABILITY.md``.
+"""
+
+from repro.obs.export import (
+    SNAPSHOT_SCHEMA,
+    chrome_trace,
+    parse_prometheus,
+    prometheus_text,
+    registry_snapshot,
+    spans_jsonl,
+)
+from repro.obs.spans import ENABLED, Span, SpanRecorder, install
+
+__all__ = [
+    "ENABLED",
+    "SNAPSHOT_SCHEMA",
+    "Span",
+    "SpanRecorder",
+    "chrome_trace",
+    "install",
+    "parse_prometheus",
+    "prometheus_text",
+    "registry_snapshot",
+    "spans_jsonl",
+]

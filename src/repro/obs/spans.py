@@ -1,0 +1,194 @@
+"""Op spans: phase-attributed latency capture for every pool operation.
+
+The data path is instrumented with *spans* — ``(track, name, start_ns,
+end_ns)`` intervals recorded at the end of each protocol phase.  A span
+recorder attached to a simulator (``sim.spans = SpanRecorder(sim)``) turns
+every client op into a parent span with typed child phases (meta-cache
+lookup, RDMA verb post→completion, proxy staging, degraded fallback, retry
+waits), and the server/master sides join in with drain, promotion-copy, and
+RPC-service spans.  The recorder feeds two sinks at once:
+
+* **per-phase histograms** in ``sim.metrics`` (``span.<name>``), so phase
+  latency distributions ride the normal metrics/exporter path, and
+* an optional bounded **span log** for structured export — Chrome
+  ``trace_event`` JSON (Perfetto / ``chrome://tracing``) or JSONL (see
+  :mod:`repro.obs.export`).
+
+Zero-cost-when-off contract
+---------------------------
+
+``sim.spans`` is ``None`` by default, and every instrumented call site
+checks that (plus the module-level :data:`ENABLED` kill switch, consulted at
+attach time) *before* constructing a span, formatting a field, or even
+reading the clock a second time.  The disabled hot path therefore pays one
+attribute load and one ``is None`` test per op — no allocations, no extra
+simulated events — which the overhead guard in ``tests/obs/test_overhead.py``
+enforces against the ``BENCH_perf.json`` baseline.
+
+Span taxonomy (``docs/OBSERVABILITY.md`` has the full contract):
+
+``op.*``
+    Client-visible operations: ``op.gread``, ``op.gwrite``,
+    ``op.gwrite_batch``, ``op.gsync``, ``op.glock``, ``op.gunlock``.
+    Each carries a per-client ``op`` id that its child phases repeat.
+``phase.*``
+    Protocol phases inside an op: ``phase.meta_lookup``,
+    ``phase.cache_read`` (hit or tag-miss probe), ``phase.nvm_read``,
+    ``phase.degraded_read``, ``phase.proxy_stage``, ``phase.batch_stage``,
+    ``phase.direct_write``, ``phase.degraded_fallback``,
+    ``phase.drain_wait``, ``phase.retry_wait``.
+``srv.*``
+    Server background work: ``srv.drain`` (one staged frame applied to
+    NVM/cache), ``srv.promote_copy`` (NVM→DRAM promotion copy).
+``rpc.*``
+    Control-plane service time, one span per handled request
+    (``rpc.gmalloc``, ``rpc.lookup``, ``rpc.report``, ``rpc.attach``, …)
+    on the serving node's track.
+``master.*``
+    Master housekeeping: ``master.plan_epoch`` (one placement epoch).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Dict, Iterable, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover
+    from repro.sim.kernel import Simulator
+
+__all__ = ["ENABLED", "Span", "SpanRecorder", "install"]
+
+#: Module-level kill switch: when False, :func:`install` refuses to attach a
+#: recorder, so one flag flip (e.g. from a bench harness or conftest) turns
+#: the whole observability layer off without touching call sites.
+ENABLED = True
+
+
+class Span:
+    """One closed interval of attributed work on a track."""
+
+    __slots__ = ("track", "name", "start_ns", "end_ns", "op", "fields")
+
+    def __init__(self, track: str, name: str, start_ns: int, end_ns: int,
+                 op: int = 0, fields: Optional[Dict[str, Any]] = None):
+        self.track = track
+        self.name = name
+        self.start_ns = start_ns
+        self.end_ns = end_ns
+        self.op = op
+        self.fields = fields
+
+    @property
+    def duration_ns(self) -> int:
+        return self.end_ns - self.start_ns
+
+    def to_dict(self) -> Dict[str, Any]:
+        """Plain-dict form (the JSONL export row)."""
+        d: Dict[str, Any] = {
+            "track": self.track,
+            "name": self.name,
+            "start_ns": self.start_ns,
+            "end_ns": self.end_ns,
+        }
+        if self.op:
+            d["op"] = self.op
+        if self.fields:
+            d["fields"] = self.fields
+        return d
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (f"<Span {self.name} on {self.track} "
+                f"[{self.start_ns}..{self.end_ns}]ns>")
+
+
+class SpanRecorder:
+    """Collects spans for one simulator run.
+
+    Recording is *end-driven*: instrumented code captures ``start = sim.now``
+    (guarded by the enabled check), does the work, then calls :meth:`record`
+    once the phase closes.  There is no open-span bookkeeping to corrupt when
+    generators interleave, and a phase that raises simply never records.
+
+    The span log is bounded by ``capacity``; beyond it, spans still feed the
+    per-phase histograms but the structured log counts them in
+    :attr:`dropped` instead of growing without bound.
+    """
+
+    def __init__(self, sim: "Simulator", capacity: int = 250_000,
+                 keep_spans: bool = True, histograms: bool = True):
+        if capacity < 1:
+            raise ValueError("capacity must be positive")
+        self.sim = sim
+        self.capacity = capacity
+        self.keep_spans = keep_spans
+        self.histograms = histograms
+        self.spans: List[Span] = []
+        self.recorded = 0
+        self.dropped = 0
+        self._next_op = 0
+        self._metrics = sim.metrics
+
+    # ------------------------------------------------------------------
+    def next_op(self) -> int:
+        """Mint a correlation id for one client op (child phases repeat it)."""
+        self._next_op += 1
+        return self._next_op
+
+    def record(self, track: str, name: str, start_ns: int,
+               end_ns: Optional[int] = None, op: int = 0,
+               **fields: Any) -> None:
+        """Close one span; ``end_ns`` defaults to the current instant."""
+        end = self.sim.now if end_ns is None else end_ns
+        self.recorded += 1
+        if self.histograms:
+            self._metrics.histogram("span." + name).record(end - start_ns)
+        if not self.keep_spans:
+            return
+        if len(self.spans) >= self.capacity:
+            self.dropped += 1
+            return
+        self.spans.append(Span(track, name, start_ns, end, op,
+                               fields or None))
+
+    # ------------------------------------------------------------------
+    def by_name(self, name: str) -> List[Span]:
+        """Logged spans with exactly this name."""
+        return [s for s in self.spans if s.name == name]
+
+    def names(self) -> Dict[str, int]:
+        """Span-name → logged-count summary (sorted for stable rendering)."""
+        out: Dict[str, int] = {}
+        for s in self.spans:
+            out[s.name] = out.get(s.name, 0) + 1
+        return dict(sorted(out.items()))
+
+    def tracks(self) -> List[str]:
+        """Every track that logged at least one span, in first-seen order."""
+        seen: Dict[str, None] = {}
+        for s in self.spans:
+            seen.setdefault(s.track, None)
+        return list(seen)
+
+    def clear(self) -> None:
+        self.spans.clear()
+        self.dropped = 0
+
+    def __len__(self) -> int:
+        return len(self.spans)
+
+    def __iter__(self) -> Iterable[Span]:
+        return iter(self.spans)
+
+
+def install(sim: "Simulator", capacity: int = 250_000,
+            keep_spans: bool = True) -> Optional[SpanRecorder]:
+    """Attach a fresh recorder to ``sim`` and return it.
+
+    Honors the module :data:`ENABLED` kill switch: when it is False this is
+    a no-op returning ``None``, so harnesses can wire ``--trace-out`` style
+    flags unconditionally and still ship an instrumentation-free run.
+    """
+    if not ENABLED:
+        return None
+    recorder = SpanRecorder(sim, capacity=capacity, keep_spans=keep_spans)
+    sim.spans = recorder
+    return recorder

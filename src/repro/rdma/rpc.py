@@ -123,6 +123,8 @@ class RpcServer:
     def _handle(self, qp: QueuePair, raw: bytes) -> Generator[Any, Any, None]:
         req_id, method, request = pickle.loads(raw)
         self.requests.add()
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
         handler = self._handlers.get(method)
         if handler is None:
             reply = ("err", f"no such method: {method}")
@@ -147,6 +149,8 @@ class RpcServer:
         done = qp.post_send(wr)
         yield done
         self._resp_ring.free.put(slot)
+        if rec is not None:
+            rec.record(self.name, "rpc." + method, t0, ok=reply[0] == "ok")
 
 
 class RpcClient:

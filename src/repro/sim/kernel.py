@@ -203,6 +203,9 @@ class Simulator:
         self.metrics = MetricRegistry(self)
         #: Optional protocol tracer (see repro.sim.trace).
         self.tracer = None
+        #: Optional span recorder (see repro.obs.spans).  None keeps every
+        #: instrumented hot path on its allocation-free disabled branch.
+        self.spans = None
 
     # ------------------------------------------------------------------
     @property

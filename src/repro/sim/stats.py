@@ -54,7 +54,8 @@ class Histogram:
     memory-bounded while percentiles remain unbiased estimates.
     """
 
-    __slots__ = ("name", "count", "total", "min", "max", "_samples", "_max_samples", "_rng_state")
+    __slots__ = ("name", "count", "total", "min", "max", "_samples",
+                 "_max_samples", "_rng_state", "_sorted")
 
     def __init__(self, name: str, max_samples: int = 100_000):
         if max_samples <= 0:
@@ -69,11 +70,16 @@ class Histogram:
         # Cheap deterministic LCG for the reservoir; avoids pulling in the
         # registry (histograms must not perturb workload RNG streams).
         self._rng_state = 0x9E3779B97F4A7C15
+        # Sorted view of _samples, built lazily on the first percentile and
+        # reused until the next record() — a snapshot() asks for several
+        # percentiles and must not pay one full sort per quantile.
+        self._sorted: Optional[List[float]] = None
 
     def record(self, value: float) -> None:
         """Add one sample."""
         self.count += 1
         self.total += value
+        self._sorted = None
         if self.min is None or value < self.min:
             self.min = value
         if self.max is None or value > self.max:
@@ -100,7 +106,9 @@ class Histogram:
             raise ValueError(f"percentile out of range: {p}")
         if not self._samples:
             return 0.0
-        ordered = sorted(self._samples)
+        ordered = self._sorted
+        if ordered is None:
+            ordered = self._sorted = sorted(self._samples)
         rank = max(0, min(len(ordered) - 1, math.ceil(p / 100.0 * len(ordered)) - 1))
         return ordered[rank]
 
@@ -135,7 +143,8 @@ class TimeWeightedStat:
     ``level * dt`` between updates.
     """
 
-    __slots__ = ("name", "sim", "_level", "_last_change", "_integral", "peak")
+    __slots__ = ("name", "sim", "_level", "_last_change", "_integral", "peak",
+                 "_created")
 
     def __init__(self, name: str, sim: "Simulator", initial: float = 0.0):
         self.name = name
@@ -144,6 +153,9 @@ class TimeWeightedStat:
         self._last_change = sim.now
         self._integral = 0.0
         self.peak = initial
+        # Averages integrate from creation, not t=0: a stat created mid-run
+        # must not be diluted by a phantom zero-level prefix it never held.
+        self._created = sim.now
 
     @property
     def level(self) -> float:
@@ -163,12 +175,13 @@ class TimeWeightedStat:
         self.update(self._level + delta)
 
     def time_average(self) -> float:
-        """Average level from t=0 up to now."""
+        """Average level from this stat's creation up to now."""
         now = self.sim.now
-        if now == 0:
+        span = now - self._created
+        if span <= 0:
             return self._level
         integral = self._integral + self._level * (now - self._last_change)
-        return integral / now
+        return integral / span
 
 
 class MetricRegistry:

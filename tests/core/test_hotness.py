@@ -196,3 +196,59 @@ def test_never_cache_policy_is_inert():
 def test_placement_plan_noop_flag():
     assert PlacementPlan((), ()).is_noop
     assert not PlacementPlan((1,), ()).is_noop
+
+
+def test_lru_considers_later_candidates_after_unplaceable_one():
+    """Regression: a candidate that cannot evict its way in must not abort
+    the whole plan.
+
+    The old victim loop popped candidates' victims before checking recency
+    and, worse, broke out of the candidate loop entirely the first time an
+    object could not be placed — silently pinning the cache and starving
+    smaller, still-placeable candidates later in the recency order.  Here
+    the most recent uncached object (size 2) cannot fit without evicting a
+    *more recent* cached victim, but the next candidate (size 1) fits in
+    the free space as-is: the fixed planner promotes it, the old one
+    returned an empty plan.
+    """
+    lru = LruPolicy()
+    for g, size in [(0x10, 1), (0xA0, 2), (0xB0, 1)]:
+        lru.track(g, size)
+    lru.record(0xB0, 1, 0)  # touch 1 (oldest)
+    lru.record(0xA0, 1, 0)  # touch 2
+    lru.record(0x10, 1, 0)  # touch 3 (most recent, cached)
+    lru.on_promoted(0x10)
+
+    plan = lru.plan(capacity=2, used=1)
+    assert plan.demotions == ()  # the recent victim stays put
+    assert plan.promotions == (0xB0,)  # old code: () — plan aborted
+
+
+def test_lru_oversized_candidate_skipped_not_fatal():
+    """An object larger than the whole cache is skipped, and planning
+    continues with the remaining candidates."""
+    lru = LruPolicy()
+    lru.track(1, 100)
+    lru.track(2, 8)
+    lru.record(1, 1, 0)
+    lru.record(2, 1, 0)
+    plan = lru.plan(capacity=16, used=0)
+    assert plan.promotions == (2,)
+
+
+def test_lru_victim_survives_check_failure():
+    """A victim spared by the recency check must stay in the working list
+    (the old code popped it *before* checking, so one spared victim was
+    silently dropped from consideration for the rest of the plan)."""
+    lru = LruPolicy()
+    for g in (1, 2, 3):
+        lru.track(g, 1)
+    lru.record(3, 1, 0)  # touch 1: uncached, oldest
+    lru.record(1, 1, 0)  # touch 2: cached victim
+    lru.record(2, 1, 0)  # touch 3: uncached, most recent
+    lru.on_promoted(1)
+    # Candidate 2 (touch 3) may evict victim 1 (touch 2); candidate 3
+    # (touch 1) may not have evicted it.  Full plan: demote 1, promote 2.
+    plan = lru.plan(capacity=1, used=1)
+    assert plan.demotions == (1,)
+    assert plan.promotions == (2,)

@@ -119,3 +119,72 @@ def test_metric_registry_fetch_or_create():
     l1 = sim.metrics.level("depth")
     assert sim.metrics.level("depth") is l1
     assert set(sim.metrics.names()) == {"reads", "lat", "depth"}
+
+
+def test_time_weighted_mid_run_creation_no_phantom_prefix():
+    """Regression: a stat created at t=1000 must average from its creation,
+    not from t=0.  The old denominator (``sim.now`` alone) diluted mid-run
+    stats with a phantom zero-level prefix they never actually held."""
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(1000)
+        level = TimeWeightedStat("late", sim, initial=6.0)
+        yield sim.timeout(500)  # held 6.0 for all 500 ns of its life
+        return level
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    level = p.value
+    # Old code: integral/now = 3000/1500 = 2.0.  Correct: 6.0.
+    assert level.time_average() == pytest.approx(6.0)
+
+
+def test_time_weighted_mid_run_creation_partial_window():
+    sim = Simulator()
+
+    def proc(sim):
+        yield sim.timeout(100)
+        level = TimeWeightedStat("late", sim, initial=0.0)
+        yield sim.timeout(10)
+        level.update(8.0)
+        yield sim.timeout(30)
+        return level
+
+    p = sim.spawn(proc(sim))
+    sim.run()
+    # Life: 40 ns (t=100..140); integral = 0*10 + 8*30 = 240 -> avg 6.0.
+    assert p.value.time_average() == pytest.approx(6.0)
+
+
+def test_histogram_sorted_view_cached_and_invalidated():
+    """percentile() sorts once per record(), not once per call: a
+    snapshot's four quantiles must reuse one sorted view, and a new sample
+    must invalidate it."""
+    h = Histogram("lat")
+    for v in (5.0, 1.0, 3.0):
+        h.record(v)
+    assert h.p50 == 3.0
+    # The cached view is reused (identity, not just equality).
+    first = h._sorted
+    assert first is not None
+    h.snapshot()
+    assert h._sorted is first
+    # A new minimum must be visible immediately: stale cache would miss it.
+    h.record(0.5)
+    assert h._sorted is None
+    assert h.percentile(0.0) == 0.5
+    assert h.min == 0.5
+
+
+def test_histogram_sorted_cache_with_reservoir_replacement():
+    h = Histogram("lat", max_samples=4)
+    for v in (4.0, 3.0, 2.0, 1.0):
+        h.record(v)
+    assert h.percentile(100.0) == 4.0
+    # Overflow the reservoir: whatever happens to the sample set, the
+    # cached order must be rebuilt, never reused stale.
+    for v in (9.0, 8.0, 7.0, 6.0, 5.0):
+        h.record(v)
+    assert h.percentile(100.0) == max(h._samples)
+    assert h.percentile(0.0) == min(h._samples)

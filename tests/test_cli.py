@@ -1,5 +1,7 @@
 """Tests for the ``python -m repro`` command-line interface."""
 
+import json
+
 import pytest
 
 from repro.__main__ import main
@@ -42,3 +44,36 @@ def test_experiments_single(capsys):
 def test_requires_command():
     with pytest.raises(SystemExit):
         main([])
+
+
+def test_trace_writes_chrome_json(tmp_path, capsys):
+    out_path = tmp_path / "trace.json"
+    span_path = tmp_path / "spans.jsonl"
+    assert main(["trace", "--out", str(out_path), "--spans", str(span_path),
+                 "--workload", "B", "--ops", "60", "--records", "64",
+                 "--clients", "2", "--servers", "2"]) == 0
+    doc = json.loads(out_path.read_text())
+    assert doc["displayTimeUnit"] == "ms"
+    names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
+    assert "op.gread" in names and "op.gwrite" in names
+    lines = span_path.read_text().splitlines()
+    assert lines and all(json.loads(line)["name"] for line in lines)
+    out = capsys.readouterr().out
+    assert "spans" in out and str(out_path) in out
+
+
+def test_metrics_prometheus_text(capsys):
+    assert main(["metrics", "--workload", "B", "--ops", "60",
+                 "--records", "64", "--clients", "2", "--servers", "2"]) == 0
+    out = capsys.readouterr().out
+    assert "# TYPE gengar_" in out
+    assert "gengar_" in out and "_total" in out
+
+
+def test_metrics_json_snapshot(capsys):
+    assert main(["metrics", "--format", "json", "--workload", "C",
+                 "--ops", "40", "--records", "50",
+                 "--clients", "1", "--servers", "1"]) == 0
+    snap = json.loads(capsys.readouterr().out)
+    assert snap["schema"] == 1
+    assert "counters" in snap and "histograms" in snap
