@@ -77,6 +77,18 @@ class KvStore:
         data = yield from client.gread(gaddr)
         return data
 
+    def multi_get(self, client, key_ids) -> Generator[Any, Any, List[bytes]]:
+        """Batched point reads, in argument order.
+
+        Routes through :meth:`~repro.core.client.GengarClient.gread_many`,
+        so the reads go out as one doorbell per home server and complete
+        out of order — a closed-loop worker batching its read runs this way
+        pays roughly one round trip for the whole batch.
+        """
+        gaddrs = [self.gaddr_of(k) for k in key_ids]
+        results = yield from client.gread_many(gaddrs)
+        return results
+
     def put(self, client, key_id: int, value: bytes) -> Generator[Any, Any, None]:
         """Full-value update."""
         if len(value) != self.value_size:
@@ -87,12 +99,18 @@ class KvStore:
         yield from client.gwrite(gaddr, value)
 
     def scan(self, client, start_key: int, count: int) -> Generator[Any, Any, List[bytes]]:
-        """Read up to ``count`` records in key order starting at start_key."""
+        """Read up to ``count`` records in key order starting at start_key.
+
+        The whole range goes out as one doorbell-batched ``gread_many`` —
+        and since consecutively loaded records tend to be NVM-adjacent, a
+        scan is exactly the shape server-side read combining collapses into
+        a single device transfer.
+        """
         idx = bisect.bisect_left(self._sorted_keys, start_key)
-        results: List[bytes] = []
-        for key_id in self._sorted_keys[idx : idx + count]:
-            data = yield from client.gread(self._index[key_id])
-            results.append(data)
+        keys = self._sorted_keys[idx : idx + count]
+        if not keys:
+            return []
+        results = yield from client.gread_many([self._index[k] for k in keys])
         return results
 
     def read_modify_write(self, client, key_id: int,

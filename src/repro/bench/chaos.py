@@ -118,11 +118,13 @@ class ChaosSoak:
 
     def __init__(self, seed: int = 7, smoke: bool = False,
                  dump_trace: bool = False, kill_clients: bool = False,
-                 crash_master: bool = False, record_spans: bool = False):
+                 crash_master: bool = False, record_spans: bool = False,
+                 prefetch: bool = False):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
         self.crash_master = crash_master
+        self.prefetch = prefetch
         self.records = 24 if smoke else 48
         self.value_size = 512
         self.num_workers = 2 if smoke else 4
@@ -508,6 +510,71 @@ class ChaosSoak:
                     "master outage")
 
     # ------------------------------------------------------------------
+    def prefetch_phase(self) -> None:
+        """Prefetch/fault interaction: crash the home server while the
+        hotness-driven prefetch pump has a batch in flight.
+
+        The prefetch path is advisory-or-nothing: a crash may drop the
+        in-flight batch on the floor, but it must never wedge the client's
+        pump, poison the metadata cache, or surface corrupt bytes.  The
+        phase hammers a fresh working set to the admission threshold,
+        kills server 0 synchronously (so the spawned pump's RPC or the
+        master's promotion copy is mid-flight), rides out the outage on
+        the resilient profile, then audits a full read-back.
+        """
+        sim = self.sim
+        client = self.pool.clients[0]
+        master = self.pool.master
+        payloads: Dict[int, bytes] = {}
+        requests_before = master.prefetch_requests.count
+
+        def run_phase(c):
+            gaddrs = []
+            for i in range(16):
+                g = yield from c.gmalloc(self.value_size)
+                data = self.encode(10_000 + i, i)
+                yield from c.gwrite(g, data)
+                payloads[g] = data
+                gaddrs.append(g)
+            yield from c.gsync()
+            # Touch every object up to the admission threshold so the pump
+            # spawns with a full nomination queue...
+            for _ in range(self.config.admission_threshold):
+                for g in gaddrs:
+                    yield from c.gread(g, length=64)
+            # ...then kill server 0 immediately: the pump (a separate
+            # process) is now racing a dead home server.
+            self.pool.servers[0].crash()
+            yield sim.timeout(120_000)
+            self.pool.servers[0].recover()
+            master.on_server_recovered(0)
+            yield sim.timeout(60_000)
+            # Full read-back: every byte must still be a value we wrote.
+            for g in gaddrs:
+                try:
+                    data = yield from c.gread(g)
+                except (RetryableError, DeadlineExceededError):
+                    self.ops_typed_failures += 1
+                    continue
+                if bytes(data) != payloads[g]:
+                    self.violations.append(
+                        f"prefetch-phase: gaddr {g:#x} read back corrupt "
+                        f"bytes after crash (head={bytes(data[:16])!r})")
+                self.ops_ok += 1
+
+        self.pool.run(run_phase(client))
+        # Let any straggling pump/promotion processes settle.
+        self.sim.run(until=self.sim.now + 200_000)
+        if master.prefetch_requests.count <= requests_before:
+            self.violations.append(
+                "prefetch-phase: no prefetch request ever reached the "
+                "master (the pump never fired)")
+        if client._prefetch_inflight:
+            self.violations.append(
+                "prefetch-phase: the client's prefetch pump is wedged "
+                "(still marked in flight after quiesce)")
+
+    # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         self.load()
         t0 = self.sim.now
@@ -530,6 +597,8 @@ class ChaosSoak:
         self.verify()
         if self.kill_clients or self.crash_master:
             self.crash_tolerance_phase()
+        if self.prefetch:
+            self.prefetch_phase()
 
         m = self.sim.metrics
         counters = {
@@ -560,11 +629,16 @@ class ChaosSoak:
             s.torn_skipped.count for s in self.pool.servers.values())
         counters["master_failovers"] = master.failovers.count
         counters["journal_replayed"] = int(master.journal_replayed.total)
+        counters["prefetch_requests"] = master.prefetch_requests.count
+        counters["prefetch_promotions"] = int(
+            master.prefetch_promotions.total)
+        counters["prefetches"] = int(m.counter("pool.prefetches").total)
         return {
             "seed": self.seed,
             "smoke": self.smoke,
             "kill_clients": self.kill_clients,
             "crash_master": self.crash_master,
+            "prefetch": self.prefetch,
             "virtual_end_ns": self.sim.now,
             "ops_ok": self.ops_ok,
             "ops_typed_failures": self.ops_typed_failures,
@@ -577,12 +651,13 @@ class ChaosSoak:
 
 def run_soak(seed: int = 7, smoke: bool = False,
              dump_trace: bool = False, kill_clients: bool = False,
-             crash_master: bool = False,
+             crash_master: bool = False, prefetch: bool = False,
              trace_out: Optional[str] = None,
              span_log: Optional[str] = None) -> Dict[str, Any]:
     """One full soak; returns the audit report (see :class:`ChaosSoak`)."""
     soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace,
                      kill_clients=kill_clients, crash_master=crash_master,
+                     prefetch=prefetch,
                      record_spans=bool(trace_out or span_log))
     report = soak.run()
     if dump_trace and soak.sim.tracer is not None:
@@ -621,6 +696,10 @@ def main(argv=None) -> int:
     parser.add_argument("--crash-master", action="store_true",
                         help="add a master crash + journal rebuild to the "
                              "crash-tolerance phase")
+    parser.add_argument("--prefetch", action="store_true",
+                        help="add the prefetch fault-interaction phase: "
+                             "crash the home server while a hotness-driven "
+                             "prefetch batch is in flight")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run twice and require identical results")
     args = parser.parse_args(argv)
@@ -629,11 +708,13 @@ def main(argv=None) -> int:
                       dump_trace=args.dump_trace,
                       kill_clients=args.kill_clients,
                       crash_master=args.crash_master,
+                      prefetch=args.prefetch,
                       trace_out=args.trace_out, span_log=args.span_log)
     if args.check_determinism:
         second = run_soak(seed=args.seed, smoke=args.smoke,
                           kill_clients=args.kill_clients,
-                          crash_master=args.crash_master)
+                          crash_master=args.crash_master,
+                          prefetch=args.prefetch)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
                 "lost_reports", "tainted_keys", "counters", "violations"]
         mismatched = [k for k in keys if report[k] != second[k]]

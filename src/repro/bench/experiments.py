@@ -60,7 +60,14 @@ class ExperimentResult:
 # Shared construction helpers
 # ---------------------------------------------------------------------------
 def bench_config(**overrides) -> Callable[[GengarConfig], GengarConfig]:
-    """Config-override hook preserving each system's mechanism switches."""
+    """Config-override hook preserving each system's mechanism switches.
+
+    Client-driven prefetch is *off* here: the paper experiments measure
+    the paper's epoch-based hot-data identification, and prefetch would
+    promote hot objects for every placement policy alike (contaminating
+    E8's comparison and the E6/E7 hit-ratio sweeps).  The prefetch path
+    is an extension, measured by ``bench/perf.py`` / ``BENCH_perf.json``.
+    """
 
     def apply(base: GengarConfig) -> GengarConfig:
         tuned = replace(
@@ -72,6 +79,7 @@ def bench_config(**overrides) -> Callable[[GengarConfig], GengarConfig]:
             demote_threshold=0.5,
             proxy_ring_slots=32,
             proxy_slot_size=4 * KIB,
+            prefetch_depth=0,
         )
         return replace(tuned, **overrides)
 

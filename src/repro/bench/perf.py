@@ -21,6 +21,23 @@ Usage::
     PYTHONPATH=src python -m repro.bench.perf                 # update "current"
     PYTHONPATH=src python -m repro.bench.perf --set-baseline  # (re)capture baseline
     PYTHONPATH=src python -m repro.bench.perf --smoke         # tiny CI smoke run
+    PYTHONPATH=src python -m repro.bench.perf --guard-against BENCH_perf.json
+
+``--guard-against`` is the CI regression gate: it re-measures the kernel
+microbenchmark and the medium YCSB run, compares against the committed
+file's ``current`` section, and exits non-zero if either the kernel's
+``events_per_sec`` or ycsb_medium's ``sim_throughput_ops_s`` regressed
+more than 10%.  It never writes the JSON file.
+
+``__slots__`` note: the per-object bookkeeping types on the hot path
+(``Counter``, ``ObjectStats``, WRs, span tuples) all declare ``__slots__``.
+Measured on this container (CPython 3.11, 64 live ``ObjectStats`` with
+20k attribute-churn iterations, best of 5): attribute access is at parity
+with dict-backed instances (0.95-1.05x — modern CPython inline caches close
+the gap), but the footprint is 80 bytes/object vs 176 with ``__dict__``,
+a 2.2x shrink that keeps the master's directory and hotness tables (one
+record per allocated object, thousands live in the medium run) cache-
+resident.  The win is memory and allocation rate, not raw access latency.
 
 The JSON layout::
 
@@ -115,6 +132,8 @@ def bench_ycsb(record_count: int, num_workers: int, ops_per_worker: int,
     t0 = time.perf_counter()
     result = runner.run()
     dt = time.perf_counter() - t0
+    batches = sim.metrics.histogram("pool.read_batch")
+    depth = (batches.snapshot()["mean"] if batches.count else 1.0)
     return {
         "record_count": record_count,
         "num_workers": num_workers,
@@ -126,6 +145,8 @@ def bench_ycsb(record_count: int, num_workers: int, ops_per_worker: int,
         "virtual_time_ns": sim.now,
         "sim_throughput_ops_s": result.throughput_ops_s,
         "cache_hit_ratio": result.cache_hit_ratio,
+        #: Mean RDMA READs per gread_many doorbell — effective pipelining.
+        "read_pipeline_depth": round(depth, 2),
     }
 
 
@@ -230,6 +251,55 @@ def run_harness(out_path: Path, set_baseline: bool = False,
     return doc
 
 
+#: Regression tolerance for ``--guard-against`` (fraction of committed value).
+GUARD_FLOOR = 0.9
+
+
+def run_guard(guard_path: Path) -> int:
+    """CI regression gate: re-measure and compare against a committed file.
+
+    Runs the full-size kernel microbenchmark and the medium YCSB pass
+    regardless of ``--smoke`` — ``sim_throughput_ops_s`` is a virtual
+    (machine-independent) number, so it only compares against the committed
+    figure when measured at the committed run shape.  Exits 1 on a >10%
+    regression of either guarded metric; never writes the JSON file.
+    """
+    try:
+        committed = json.loads(guard_path.read_text())
+    except (OSError, ValueError) as exc:
+        print(f"perf-guard: cannot read {guard_path}: {exc}")
+        return 1
+    ref = committed.get("current") or {}
+
+    kernel = bench_kernel()
+    medium = bench_ycsb(record_count=1000, num_workers=8, ops_per_worker=500)
+
+    checks = []
+    for label, got, want in (
+        ("kernel events_per_sec", kernel["events_per_sec"],
+         (ref.get("kernel") or {}).get("events_per_sec")),
+        ("ycsb_medium sim_throughput_ops_s", medium["sim_throughput_ops_s"],
+         (ref.get("ycsb_medium") or {}).get("sim_throughput_ops_s")),
+    ):
+        if not want:
+            print(f"perf-guard: no committed reference for {label}; skipped")
+            continue
+        ratio = got / want
+        ok = ratio >= GUARD_FLOOR
+        print(f"perf-guard {label}: {got:,.0f} vs committed {want:,.0f} "
+              f"(x{ratio:.3f}) {'OK' if ok else 'REGRESSION'}")
+        checks.append(ok)
+    print(f"perf-guard ycsb_medium cache_hit_ratio: "
+          f"{medium['cache_hit_ratio']:.4f}, "
+          f"read_pipeline_depth: {medium['read_pipeline_depth']}")
+    if checks and all(checks):
+        print("perf-guard: PASS")
+        return 0
+    print(f"perf-guard: FAIL (regression beyond x{GUARD_FLOOR} "
+          f"of the committed current section)")
+    return 1
+
+
 def main(argv=None) -> int:
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--set-baseline", action="store_true",
@@ -243,7 +313,15 @@ def main(argv=None) -> int:
                              "instrumented smoke run")
     parser.add_argument("--span-log", default=None,
                         help="also emit a JSONL span dump from that run")
+    parser.add_argument("--guard-against", default=None, metavar="PATH",
+                        help="regression-gate mode: compare a fresh "
+                             "measurement against this committed JSON's "
+                             "'current' section and exit 1 on a >10%% "
+                             "regression (writes nothing)")
     args = parser.parse_args(argv)
+
+    if args.guard_against:
+        return run_guard(Path(args.guard_against))
 
     doc = run_harness(Path(args.out), set_baseline=args.set_baseline,
                       smoke=args.smoke)
@@ -256,7 +334,9 @@ def main(argv=None) -> int:
         if cur.get(scale):
             print(f"{scale}: {cur[scale]['ops_per_sec_wallclock']:,.1f} ops/s "
                   f"wall-clock, virtual {cur[scale]['sim_throughput_ops_s']:,.0f} ops/s "
-                  f"(x{spd[f'{scale}_ops_per_sec'] or 1.0} vs baseline)")
+                  f"(x{spd[f'{scale}_ops_per_sec'] or 1.0} vs baseline), "
+                  f"hit ratio {cur[scale]['cache_hit_ratio']:.4f}, "
+                  f"pipeline depth {cur[scale]['read_pipeline_depth']}")
     print(f"wrote {args.out}")
     return 0
 

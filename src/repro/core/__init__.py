@@ -12,8 +12,9 @@ Public surface:
 
 from repro.core.addressing import GlobalAddress, make_gaddr, offset_of, server_of
 from repro.core.api import GengarPool
-from repro.core.client import GengarClient, RetryPolicy
+from repro.core.client import GengarClient, GFuture, RetryPolicy
 from repro.core.errors import (
+    BatchError,
     ClientError,
     DeadlineExceededError,
     FatalError,
@@ -42,6 +43,8 @@ __all__ = [
     "Master",
     "MemoryServer",
     "ClientError",
+    "BatchError",
+    "GFuture",
     "FatalError",
     "RetryableError",
     "ServerUnavailableError",

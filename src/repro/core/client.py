@@ -34,6 +34,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.core.config import GengarConfig
 from repro.core.consistency import LockOps
 from repro.core.errors import (
+    BatchError,
     ClientError,
     DeadlineExceededError,
     FatalError,
@@ -43,6 +44,7 @@ from repro.core.errors import (
     ServerUnavailableError,
     StaleRingError,
 )
+from repro.core.hotness import AccessPredictor
 from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
@@ -55,6 +57,8 @@ from repro.core.protocol import (
     proxy_payload_capacity,
     tag_matches,
 )
+from repro.core.server import ReadCombineGroup
+from repro.rdma.cq import CompletionMux
 from repro.rdma.mr import AccessFlags
 from repro.rdma.rpc import RpcError
 from repro.rdma.wr import Opcode, WcStatus, WorkRequest
@@ -63,8 +67,10 @@ from repro.sim.trace import trace
 
 __all__ = [
     "GengarClient",
+    "GFuture",
     "RetryPolicy",
     "ClientError",
+    "BatchError",
     "FatalError",
     "RetryableError",
     "ServerUnavailableError",
@@ -142,6 +148,41 @@ _SCRATCH_SLOT_SIZE = 256 * 1024
 _MAX_META_RETRIES = 4
 
 
+class GFuture:
+    """Handle on an asynchronous pool operation.
+
+    Returned by :meth:`GengarClient.gread_async` / ``gwrite_async``.  The
+    op runs as its own simulation process inside the client's outstanding-op
+    window; the future is how the issuing process harvests the result:
+
+    * ``yield from fut.wait()`` — block until done, return the op's value
+      (re-raising its typed error, if any),
+    * ``fut.done`` / ``fut.result()`` — non-blocking poll for pipelined
+      loops that overlap issue with completion.
+    """
+
+    __slots__ = ("_proc",)
+
+    def __init__(self, proc):
+        self._proc = proc
+
+    @property
+    def done(self) -> bool:
+        return self._proc.triggered
+
+    def result(self):
+        """The op's value (or its raised error).  Only valid once done."""
+        if not self._proc.triggered:
+            raise FatalError("GFuture.result() before completion; "
+                             "use `yield from fut.wait()` to block")
+        return self._proc.value
+
+    def wait(self) -> Generator[Any, Any, Any]:
+        """Process helper: block until the op completes."""
+        yield self._proc
+        return self._proc.value
+
+
 class GengarClient:
     """One application's handle on the pool.
 
@@ -208,6 +249,28 @@ class GengarClient:
         self._scratch_mr = None
         self._scratch_free: Optional[Store] = None
 
+        # ---- async op window (gread_async / gwrite_async) ----------------
+        #: Token pool bounding concurrently outstanding async ops; created
+        #: at attach from ``config.max_outstanding_reads``.
+        self._op_tokens: Optional[Store] = None
+        self._async_inflight = 0
+        #: High-water mark of concurrently outstanding async ops — what the
+        #: window tests and the perf harness report as pipelining pressure.
+        self._async_peak = 0
+
+        # ---- prefetch (hotness-driven background promotion) --------------
+        #: Per-object read touches, feeding the admission filter: an object
+        #: is nominated for promotion only at its
+        #: ``admission_threshold``-th read (one-touch objects never are).
+        self._touch_counts: Dict[int, int] = {}
+        #: Addresses already nominated (squelches duplicate requests while
+        #: a promotion is pending or the object is believed cached).
+        self._prefetch_requested: set = set()
+        self._prefetch_queue: list = []
+        self._prefetch_inflight = False
+        #: Stride/frequency predictor; None while prefetch is disabled.
+        self._predictor: Optional[AccessPredictor] = None
+
         m = self.sim.metrics
         self.m_reads = m.counter("pool.reads")
         self.m_writes = m.counter("pool.writes")
@@ -227,8 +290,12 @@ class GengarClient:
         self.m_lease_renewals = m.counter("pool.lease_renewals")
         self.m_fence_rejections = m.counter("pool.fence_rejections")
         self.m_master_failovers = m.counter("pool.master_failovers")
+        self.m_prefetches = m.counter("pool.prefetches")
         self.h_read = m.histogram("pool.read_latency")
         self.h_write = m.histogram("pool.write_latency")
+        #: Per-doorbell batch sizes from gread_many — mean = effective
+        #: read-pipelining depth, reported by the perf harness.
+        self.h_read_batch = m.histogram("pool.read_batch")
 
     # ------------------------------------------------------------------
     @property
@@ -311,6 +378,13 @@ class GengarClient:
         for i in range(_SCRATCH_SLOTS):
             self._scratch_free.put(i * _SCRATCH_SLOT_SIZE)
 
+        self._op_tokens = Store(self.sim, name=f"{self.name}.op_window")
+        for i in range(self.config.max_outstanding_reads):
+            self._op_tokens.put(i)
+        if (self.config.enable_cache and self.config.prefetch_depth > 0
+                and self.config.metadata_cache):
+            self._predictor = AccessPredictor(depth=self.config.prefetch_depth)
+
         for desc in info["servers"]:
             conn = self._conns.get(desc.server_id)
             if conn is None:
@@ -365,6 +439,8 @@ class GengarClient:
                 "gfree", {"gaddr": gaddr, "req_id": req_id}))
         self._invalidate_meta(gaddr)
         self._access_counts.pop(gaddr, None)
+        self._touch_counts.pop(gaddr, None)
+        self._prefetch_requested.discard(gaddr)
 
     def gread(self, gaddr: int, offset: int = 0,
               length: Optional[int] = None) -> Generator[Any, Any, bytes]:
@@ -538,6 +614,12 @@ class GengarClient:
             t0 = self.sim.now if rec is not None else 0
             backoff = 0
             while conn.drained_known < conn.written:
+                if conn.ring is None:
+                    # Ring torn down mid-wait (crash / reattach handshake):
+                    # same verdict as finding it down up front.
+                    raise StaleRingError(
+                        f"gsync: ring to server {sid} is down with writes "
+                        "still staged", server_id=sid)
                 yield from self._poll_drained(conn)
                 if conn.drained_known < conn.written:
                     backoff = min(backoff + 1, 5)
@@ -856,22 +938,284 @@ class GengarClient:
 
     # Batched operations --------------------------------------------------
     def gread_many(self, gaddrs) -> Generator[Any, Any, list]:
-        """Issue many reads concurrently (doorbell batching); results in
-        argument order.  The first failure propagates."""
+        """Read many whole objects with true doorbell batching; results in
+        argument order.
+
+        Reads are grouped by home server; each group's RDMA READs (DRAM
+        cache or NVM, per object) are posted with a single
+        :meth:`~repro.rdma.qp.QueuePair.post_send_many` doorbell, and
+        completions are consumed *out of order* as they arrive — a finished
+        read is processed (and its scratch slot recycled) while
+        earlier-posted reads are still in flight.  Adjacent NVM reads in a
+        doorbell are additionally tagged for server-side read combining.
+
+        Items the batched path cannot serve — overlay partial overlaps,
+        objects larger than a scratch slot, stale cache tags, failed
+        completions — fall back to serial :meth:`gread` (which retries per
+        the :class:`RetryPolicy`); the first failure, in argument order,
+        propagates.
+        """
+        gaddrs = list(gaddrs)
+        rec = self.sim.spans
+        if rec is None:
+            results = yield from self._gread_many_once(gaddrs)
+            return results
+        t0 = self.sim.now
+        op = rec.next_op()
+        try:
+            results = yield from self._gread_many_once(gaddrs, span_op=op)
+            return results
+        finally:
+            rec.record(self.name, "op.gread_many", t0, op=op,
+                       reads=len(gaddrs))
+
+    def _gread_many_once(self, gaddrs,
+                         span_op: int = 0) -> Generator[Any, Any, list]:
         self._require_attached()
-        procs = [self.sim.spawn(self.gread(g), name=f"{self.name}.batchr")
-                 for g in gaddrs]
-        yield self.sim.all_of(procs)
-        return [p.value for p in procs]
+        self._check_lease_fence("gread_many")
+        start = self.sim.now
+        rec = self.sim.spans
+        results: list = [None] * len(gaddrs)
+        fallback: list = []  # indices routed through serial gread
+        groups: Dict[int, list] = {}  # server_id -> [(idx, gaddr, meta, len)]
+        for idx, gaddr in enumerate(gaddrs):
+            meta = self._cached_meta(gaddr)
+            if meta is None:
+                try:
+                    meta = yield from self._meta(gaddr, span_op=span_op)
+                except ClientError:
+                    fallback.append(idx)  # serial gread retries the lookup
+                    continue
+            length = meta.size
+            pending = self._overlay.get(gaddr)
+            if pending is not None:
+                if pending.offset == 0 and len(pending.data) >= length:
+                    self.m_reads.add()
+                    self.m_overlay_hits.add()
+                    self._note_access(gaddr, read=True)
+                    self.h_read.record(self.sim.now - start)
+                    results[idx] = pending.data[:length]
+                else:
+                    fallback.append(idx)  # partial overlap: gread syncs first
+                continue
+            if length > _SCRATCH_SLOT_SIZE - CACHE_TAG_BYTES:
+                fallback.append(idx)  # chunked path stays serial
+                continue
+            groups.setdefault(meta.server_id, []).append(
+                (idx, gaddr, meta, length))
+
+        if groups:
+            # One CPU pass covers building every WQE in the batch.
+            yield from self.node.cpu_work()
+        mux = CompletionMux(self.sim, name=f"{self.name}.readmux")
+
+        def _consume_one():
+            """Process whichever posted read completes next."""
+            tag, ev = yield from mux.next()
+            idx, gaddr, length, span, conn, scratch_off, cached, t_post = tag
+            try:
+                wc = ev.value
+                self._check_wc(wc, "RDMA read", conn)
+            except ClientError:
+                self._scratch_free.put(scratch_off)
+                fallback.append(idx)  # serial gread applies the RetryPolicy
+                return
+            raw = self._scratch_mr.peek(scratch_off, span)
+            self._scratch_free.put(scratch_off)
+            if cached:
+                if not tag_matches(raw, gaddr):
+                    # Stale metadata (demoted / slot reused): refresh via the
+                    # serial path, which re-looks-up and retries.
+                    self.m_tag_misses.add()
+                    if rec is not None:
+                        rec.record(self.name, "phase.cache_read", t_post,
+                                   op=span_op, hit=False, bytes=length)
+                    self._invalidate_meta(gaddr)
+                    self._prefetch_requested.discard(gaddr)
+                    fallback.append(idx)
+                    return
+                self.m_cache_hits.add()
+                results[idx] = raw[CACHE_TAG_BYTES : CACHE_TAG_BYTES + length]
+                if rec is not None:
+                    rec.record(self.name, "phase.cache_read", t_post,
+                               op=span_op, hit=True, bytes=length)
+            else:
+                self.m_nvm_reads.add()
+                results[idx] = raw
+                if rec is not None:
+                    rec.record(self.name, "phase.nvm_read", t_post,
+                               op=span_op, bytes=length)
+            self.m_reads.add()
+            self._note_access(gaddr, read=True)
+            self.h_read.record(self.sim.now - start)
+
+        def _post(conn, wrs, tags):
+            """Ring one doorbell for a server's accumulated READs."""
+            self._attach_combine_groups(wrs)
+            self.h_read_batch.record(len(wrs))
+            for ev, tag in zip(conn.data_qp.post_send_many(wrs), tags):
+                mux.add(ev, tag)
+
+        for sid in sorted(groups):
+            conn = self._conns[sid]
+            wrs: list = []
+            tags: list = []
+            for idx, gaddr, meta, length in groups[sid]:
+                # Scratch acquisition can never deadlock on our own batch:
+                # recycle completed reads first, and if none are in flight
+                # while WRs are pending here, ring the doorbell early (a
+                # batch larger than the scratch pool degrades to several
+                # doorbells instead of wedging).
+                while True:
+                    ok, scratch_off = self._scratch_free.try_get()
+                    if ok:
+                        break
+                    if len(mux):
+                        yield from _consume_one()
+                    elif wrs:
+                        _post(conn, wrs, tags)
+                        wrs, tags = [], []
+                    else:
+                        scratch_off = yield self._scratch_free.get()
+                        break
+                cached = self.config.enable_cache and meta.cached
+                if cached:
+                    span = CACHE_TAG_BYTES + length
+                    rkey, roff = conn.desc.cache_rkey, meta.cache_offset
+                else:
+                    span = length
+                    rkey, roff = conn.desc.data_rkey, meta.nvm_offset
+                wrs.append(WorkRequest(
+                    opcode=Opcode.RDMA_READ,
+                    local_mr=self._scratch_mr, local_offset=scratch_off,
+                    length=span, remote_rkey=rkey, remote_offset=roff,
+                ))
+                tags.append((idx, gaddr, length, span, conn, scratch_off,
+                             cached, self.sim.now))
+            if wrs:
+                _post(conn, wrs, tags)
+
+        inflight = len(mux)
+        t_wait = self.sim.now
+        while len(mux):
+            yield from _consume_one()
+        if rec is not None and inflight:
+            rec.record(self.name, "phase.pipeline_wait", t_wait, op=span_op,
+                       inflight=inflight)
+
+        failures: list = []
+        for idx in sorted(fallback):
+            try:
+                results[idx] = yield from self.gread(gaddrs[idx])
+            except ClientError as exc:
+                failures.append((idx, exc))
+        if failures:
+            raise failures[0][1]
+        return results
+
+    @staticmethod
+    def _attach_combine_groups(wrs) -> None:
+        """Tag contiguous READs in one doorbell for server-side combining.
+
+        Runs of RDMA_READ WRs whose remote ranges are adjacent within the
+        same remote region share a
+        :class:`~repro.core.server.ReadCombineGroup`; the target services
+        the whole run as a single device transfer (one per-transfer setup
+        charge — the Optane win) and slices each member's bytes out of it.
+        """
+        by_rkey: Dict[int, list] = {}
+        for wr in wrs:
+            if wr.opcode is Opcode.RDMA_READ:
+                by_rkey.setdefault(wr.remote_rkey, []).append(wr)
+        for rkey, group in by_rkey.items():
+            group.sort(key=lambda w: w.remote_offset)
+            run = [group[0]]
+            for wr in group[1:]:
+                prev = run[-1]
+                if wr.remote_offset == prev.remote_offset + prev.length:
+                    run.append(wr)
+                else:
+                    GengarClient._seal_combine_run(rkey, run)
+                    run = [wr]
+            GengarClient._seal_combine_run(rkey, run)
+
+    @staticmethod
+    def _seal_combine_run(rkey: int, run: list) -> None:
+        if len(run) < 2:
+            return
+        base = run[0].remote_offset
+        total = run[-1].remote_offset + run[-1].length - base
+        grp = ReadCombineGroup(rkey=rkey, base_offset=base,
+                               total_length=total, members=len(run))
+        for wr in run:
+            wr.combine = grp
 
     def gwrite_many(self, writes) -> Generator[Any, Any, None]:
-        """Issue many ``(gaddr, data)`` writes concurrently."""
+        """Issue many ``(gaddr, data)`` writes concurrently.
+
+        Every item is attempted even when siblings fail; failures are
+        collected and raised together as :class:`BatchError`, whose
+        ``failures`` attribute lists ``(index, error)`` pairs in argument
+        order — callers know exactly which writes landed and which did not.
+        """
         self._require_attached()
+        writes = list(writes)
         procs = [self.sim.spawn(self.gwrite(g, data), name=f"{self.name}.batchw")
                  for g, data in writes]
-        yield self.sim.all_of(procs)
-        for p in procs:
-            _ = p.value  # surface failures
+        failures: list = []
+        for i, p in enumerate(procs):
+            try:
+                yield p
+            except ClientError as exc:
+                failures.append((i, exc))
+        if failures:
+            raise BatchError("gwrite_many", failures)
+
+    # Async operations ----------------------------------------------------
+    def gread_async(self, gaddr: int, offset: int = 0,
+                    length: Optional[int] = None) -> "GFuture":
+        """Issue a read without blocking; returns a :class:`GFuture`.
+
+        The op runs as its own process inside the client's outstanding-op
+        window (``config.max_outstanding_reads``): issue never blocks the
+        caller, but ops past the window queue for a slot before touching
+        the wire, bounding scratch/QP pressure.  Harvest with
+        ``yield from fut.wait()``.
+        """
+        self._require_attached()
+        proc = self.sim.spawn(self._windowed(self.gread(gaddr, offset, length)),
+                              name=f"{self.name}.aread")
+        return GFuture(proc)
+
+    def gwrite_async(self, gaddr: int, data: bytes,
+                     offset: int = 0) -> "GFuture":
+        """Issue a write without blocking; returns a :class:`GFuture`.
+
+        Same windowing as :meth:`gread_async`.  Note ``gsync`` only covers
+        proxy writes already *staged*: to guarantee durability ordering,
+        ``yield from fut.wait()`` before syncing.
+        """
+        self._require_attached()
+        proc = self.sim.spawn(self._windowed(self.gwrite(gaddr, data, offset)),
+                              name=f"{self.name}.awrite")
+        return GFuture(proc)
+
+    def _windowed(self, op_gen) -> Generator[Any, Any, Any]:
+        """Run one async op inside the outstanding-op window."""
+        rec = self.sim.spans
+        t0 = self.sim.now
+        token = yield self._op_tokens.get()
+        if rec is not None and self.sim.now > t0:
+            rec.record(self.name, "phase.pipeline_wait", t0, waiting="window")
+        self._async_inflight += 1
+        if self._async_inflight > self._async_peak:
+            self._async_peak = self._async_inflight
+        try:
+            result = yield from op_gen
+            return result
+        finally:
+            self._async_inflight -= 1
+            self._op_tokens.put(token)
 
     def gwrite_batch(self, writes) -> Generator[Any, Any, None]:
         """Doorbell-batched proxy writes for many small ``(gaddr, data)``
@@ -1101,6 +1445,8 @@ class GengarClient:
                     trace(self.sim, "cache", "tag mismatch -> refresh",
                           client=self.name, gaddr=hex(gaddr))
                 self._invalidate_meta(gaddr)
+                # Demoted since we prefetched it: eligible to nominate again.
+                self._prefetch_requested.discard(gaddr)
                 meta = yield from self._meta(gaddr, span_op=span_op)
                 continue
             t0 = self.sim.now if rec is not None else 0
@@ -1285,16 +1631,23 @@ class GengarClient:
                         if self.config.degraded_mode else 0)
         backoff = 0
         stalled_polls = 0
-        while conn.written - conn.drained_known + need > conn.ring.slots:
-            advanced = yield from self._poll_drained(conn)
+        while True:
+            if conn.ring is None:
+                # Torn down mid-wait; staging is impossible until reattach.
+                raise StaleRingError(
+                    f"ring to server {conn.desc.server_id} torn down while "
+                    "waiting for slot space", server_id=conn.desc.server_id)
             if conn.written - conn.drained_known + need <= conn.ring.slots:
-                break
+                return True
+            advanced = yield from self._poll_drained(conn)
+            if conn.ring is not None and (
+                    conn.written - conn.drained_known + need <= conn.ring.slots):
+                return True
             stalled_polls = 0 if advanced else stalled_polls + 1
             if patience and stalled_polls >= patience:
                 return False
             backoff = min(backoff + 1, 5)
             yield self.sim.sleep(500 * (1 << backoff))
-        return True
 
     def _prune_overlay(self, server_id: int) -> None:
         conn = self._conns[server_id]
@@ -1394,6 +1747,8 @@ class GengarClient:
             counts = [0, 0]
             self._access_counts[gaddr] = counts
         counts[0 if read else 1] += 1
+        if read and self._predictor is not None:
+            self._note_read_for_prefetch(gaddr)
         self._ops_since_report += 1
         if (self._ops_since_report >= self.config.report_every_ops
                 and not self._report_inflight):
@@ -1439,3 +1794,108 @@ class GengarClient:
                     self._store_meta(meta.with_cache(cached, cache_offset))
         finally:
             self._report_inflight = False
+
+    # ------------------------------------------------------------------
+    # Prefetch (hotness-driven background promotion)
+    # ------------------------------------------------------------------
+    def _note_read_for_prefetch(self, gaddr: int) -> None:
+        """Admission filter + nomination: called on every read when prefetch
+        is enabled.  An object crossing ``admission_threshold`` touches is
+        queued for a background promotion request — exactly once while it
+        stays (believed) cached — so one-touch objects never pollute the
+        DRAM cache on the client's initiative."""
+        touches = self._touch_counts.get(gaddr, 0) + 1
+        self._touch_counts[gaddr] = touches
+        self._predictor.observe(gaddr)
+        if touches != self.config.admission_threshold:
+            return
+        meta = self._cached_meta(gaddr)
+        if meta is None or meta.cached:
+            return
+        if not self._prefetch_safe(meta):
+            return
+        if gaddr in self._prefetch_requested:
+            return
+        self._prefetch_requested.add(gaddr)
+        self._prefetch_queue.append(gaddr)
+        if not self._prefetch_inflight:
+            self._prefetch_inflight = True
+            self.sim.spawn(self._send_prefetch(),
+                           name=f"{self.name}.prefetch")
+
+    def _prefetch_safe(self, meta: ObjectMeta) -> bool:
+        """Whether promoting this object behind our back stays coherent.
+
+        A prefetch promotion races this client's own writes: until the
+        reply lands, the client believes the object uncached, so a write
+        that bypasses the proxy ring (too large for a slot, or proxy off)
+        goes straight to NVM and never freshens the just-filled cache
+        slot — a validly-tagged slot holding stale bytes.  Writes that
+        ride the ring are safe: the server's drain takes a fresh cache
+        lookup after every NVM apply, and promotion copies redo on
+        concurrent drains.  So: nominate only objects whose every
+        possible write is guaranteed to flow through the drain.
+        """
+        if not self.config.enable_proxy:
+            return False
+        return meta.size <= proxy_payload_capacity(
+            self.config.proxy_slot_size, commit=self.config.proxy_commit)
+
+    def _send_prefetch(self) -> Generator[Any, Any, None]:
+        """Background promotion pump: drains the nomination queue in
+        batches of ``prefetch_depth``, topping each batch up with the
+        stride/frequency predictor's guesses.  Entirely advisory — a dead
+        master or home server drops the batch on the floor; a later read
+        simply re-nominates.  Runs off the critical path: no gread ever
+        waits on it."""
+        rec = self.sim.spans
+        try:
+            while self._prefetch_queue:
+                t0 = self.sim.now
+                depth = self.config.prefetch_depth
+                batch = self._prefetch_queue[:depth]
+                del self._prefetch_queue[:len(batch)]
+                entries = [(g, self._touch_counts.get(g, 1)) for g in batch]
+                if len(entries) < depth:
+                    # Speculative top-up: predicted-next addresses ride along
+                    # in the same request for free.
+                    for g in self._predictor.predict():
+                        if len(entries) >= depth:
+                            break
+                        if g in self._prefetch_requested:
+                            continue
+                        meta = self._cached_meta(g)
+                        if meta is None or meta.cached:
+                            continue
+                        if not self._prefetch_safe(meta):
+                            continue
+                        self._prefetch_requested.add(g)
+                        entries.append((g, self._touch_counts.get(g, 1)))
+                try:
+                    updates = yield from self._master_call(
+                        "prefetch", {"entries": entries, "client": self.name})
+                except (MasterUnavailableError, RpcError):
+                    for g, _reads in entries:
+                        self._prefetch_requested.discard(g)
+                    return
+                self.m_prefetches.add(len(entries))
+                promoted = 0
+                for gaddr, cached, cache_offset in updates:
+                    meta = self._cached_meta(gaddr)
+                    if meta is not None:
+                        self._store_meta(meta.with_cache(cached, cache_offset))
+                    if cached:
+                        promoted += 1
+                    else:
+                        # Promotion declined (cache full / server down):
+                        # eligible to nominate again later.
+                        self._prefetch_requested.discard(gaddr)
+                if rec is not None:
+                    rec.record(self.name, "phase.prefetch", t0,
+                               requested=len(entries), promoted=promoted)
+                if self.sim.tracer is not None:
+                    trace(self.sim, "prefetch", "batch prefetched",
+                          client=self.name, requested=len(entries),
+                          promoted=promoted)
+        finally:
+            self._prefetch_inflight = False

@@ -83,6 +83,18 @@ class GengarConfig:
     #: lookup RPC per access (for overhead experiments).
     metadata_cache: bool = True
 
+    # ---- read pipelining + prefetch ---------------------------------------
+    #: Window of concurrently outstanding async ops per client
+    #: (``gread_async``/``gwrite_async`` block for a window slot past this).
+    max_outstanding_reads: int = 16
+    #: Max objects per client-driven prefetch request to the master; 0
+    #: disables prefetch entirely (no predictor, no background promotions).
+    prefetch_depth: int = 8
+    #: Reads of an uncached object before the client nominates it for
+    #: promotion (the admission filter: one-touch objects are never cached
+    #: on the client's initiative).
+    admission_threshold: int = 2
+
     # ---- resilience ------------------------------------------------------
     #: Modelled RC retransmission budget: how long a verb retransmits into
     #: silence before completing with RETRY_EXCEEDED (dead-peer detection).
@@ -154,6 +166,12 @@ class GengarConfig:
             raise ValueError("degraded_patience_polls must be positive")
         if self.client_lease_ns < 0 or self.lease_check_ns < 0:
             raise ValueError("lease intervals must be non-negative (0 disables)")
+        if self.max_outstanding_reads < 1:
+            raise ValueError("max_outstanding_reads must be at least 1")
+        if self.prefetch_depth < 0:
+            raise ValueError("prefetch_depth must be non-negative (0 disables)")
+        if self.admission_threshold < 1:
+            raise ValueError("admission_threshold must be at least 1")
 
     # Convenience ablation constructors -----------------------------------
     def ablate(self, *, cache: bool | None = None, proxy: bool | None = None) -> "GengarConfig":

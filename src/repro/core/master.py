@@ -26,6 +26,7 @@ from repro.core.protocol import (
     JOURNAL_OP_FREE,
     ObjectMeta,
     ServerDescriptor,
+    proxy_payload_capacity,
 )
 from repro.rdma.rpc import RpcError, RpcServer
 from repro.sim.trace import trace
@@ -99,6 +100,7 @@ class Master:
         self.rpc.register("gfree", self._handle_gfree)
         self.rpc.register("lookup", self._handle_lookup)
         self.rpc.register("report", self._handle_report)
+        self.rpc.register("prefetch", self._handle_prefetch)
         self.rpc.register("attach", self._handle_attach)
         self.rpc.register("renew", self._handle_renew)
 
@@ -124,6 +126,8 @@ class Master:
         m = self.sim.metrics
         self.allocations = m.counter("master.allocations")
         self.reports = m.counter("master.reports")
+        self.prefetch_requests = m.counter("master.prefetch_requests")
+        self.prefetch_promotions = m.counter("master.prefetch_promotions")
         self.promote_ops = m.counter("master.promotions")
         self.demote_ops = m.counter("master.demotions")
         self.lease_renewals = m.counter("master.lease_renewals")
@@ -298,6 +302,52 @@ class Master:
             self.fence_rejections.add()
         return {"updates": updates, "lease": verdict}
 
+    def _handle_prefetch(self, request: dict) -> Generator[Any, Any, List[Tuple[int, bool, int]]]:
+        """Client-driven promotion hints — the prefetch fast path.
+
+        Clients nominate objects that crossed their admission threshold (or
+        that their stride/frequency predictor expects next), each with the
+        read count observed so far.  The master validates every entry
+        against the directory, folds the counts into the home server's
+        placement policy (so a freshly prefetched object carries enough
+        score to survive the next epoch's demotion sweep instead of
+        thrashing), and promotes uncached entries immediately — no
+        epoch-boundary wait.  The reply carries each live entry's current
+        location, so the requesting client can hit the DRAM cache on its
+        very next read; already-cached entries resolve to their existing
+        slot, which is how a client learns locations other clients' traffic
+        earned.
+
+        Advisory end to end: unknown addresses (freed, or wrong stride
+        guesses) are skipped, and a failed promotion (cache full, server
+        down) is reported as uncached rather than raised.
+        """
+        self._check_serving()
+        yield from self.node.cpu_work()
+        updates: List[Tuple[int, bool, int]] = []
+        self.prefetch_requests.add()
+        if not self.config.enable_cache:
+            return updates
+        before = self.promote_ops.count
+        for gaddr, reads in request["entries"]:
+            record = self.directory.lookup(gaddr)
+            if record is None:
+                continue  # freed concurrently, or a wrong stride guess
+            policy = self._policies[record.server_id]
+            if reads > 0:
+                policy.record(gaddr, reads, 0)
+            if not record.cached:
+                yield from self._promote(
+                    self._servers[record.server_id], policy, gaddr)
+                record = self.directory.lookup(gaddr)
+                if record is None:
+                    continue
+            updates.append((gaddr, record.cached, record.cache_offset))
+        promoted = self.promote_ops.count - before
+        if promoted:
+            self.prefetch_promotions.add(promoted)
+        return updates
+
     def _handle_attach(self, request: dict) -> Generator[Any, Any, dict]:
         yield from self.node.cpu_work()
         name = request["client"]
@@ -461,7 +511,11 @@ class Master:
         """
         record = self.directory.get(gaddr)
         handle = self._servers[record.server_id]
-        yield from self._promote(handle, self._policies[record.server_id], gaddr)
+        # Pins are an explicit operator decision, so they bypass the
+        # drain-coherence promotion gate; the pinning caller knows the
+        # object's writes may need the verified-cache-write round trip.
+        yield from self._promote(handle, self._policies[record.server_id],
+                                 gaddr, force=True)
         record.pinned = True
         record.pinned_by = client
 
@@ -741,9 +795,30 @@ class Master:
         # small margin for this epoch's promotions.
         return (cached_count + 16) * CACHE_TAG_BYTES * 4
 
-    def _promote(self, handle: _ServerHandle, policy, gaddr: int) -> Generator[Any, Any, None]:
+    def _drain_coherent(self, size: int) -> bool:
+        """Whether a cached copy of a ``size``-byte object stays coherent.
+
+        With the proxy enabled, a write rides the ring (and the server's
+        drain refreshes the cache slot) only if it fits a slot; a larger
+        write goes one-sided straight to NVM.  A client that has not yet
+        heard about a promotion updates nothing else — so promoting an
+        object whose writes can bypass the drain leaves a window where a
+        validly-tagged slot holds stale bytes.  Such objects are simply
+        not cacheable.  With the proxy off every write is direct and
+        clients pay the verified-cache-write round trip instead, so size
+        does not matter.
+        """
+        if not self.config.enable_proxy:
+            return True
+        return size <= proxy_payload_capacity(
+            self.config.proxy_slot_size, commit=self.config.proxy_commit)
+
+    def _promote(self, handle: _ServerHandle, policy, gaddr: int,
+                 force: bool = False) -> Generator[Any, Any, None]:
         record = self.directory.lookup(gaddr)
         if record is None or record.cached:
+            return
+        if not force and not self._drain_coherent(record.size):
             return
         try:
             cache_offset = yield from handle.rpc.call(
@@ -751,6 +826,21 @@ class Master:
             )
         except RpcError:
             return  # server-side allocation failed (fragmentation); skip
+        record = self.directory.lookup(gaddr)
+        if record is None:
+            # Freed while our RPC was in flight.  Undo: a slot must never
+            # outlive its object — the tag is keyed by gaddr alone, so it
+            # would validate for a future reallocation at the same address
+            # and serve it stale bytes.
+            try:
+                yield from handle.rpc.call("demote", {"gaddr": gaddr})
+            except RpcError:
+                pass  # server down; its cache dies with it
+            return
+        if record.cached:
+            # A concurrent promote (planner vs prefetch) won the race; the
+            # server idempotently returned its slot.  Nothing to account.
+            return
         self.directory.mark_cached(gaddr, cache_offset)
         policy.on_promoted(gaddr)
         self.promote_ops.add()

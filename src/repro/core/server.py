@@ -22,7 +22,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
     from repro.rdma.qp import QueuePair
 
-from repro.core.addressing import offset_of
+from repro.core.addressing import make_gaddr, offset_of
 from repro.core.allocator import ExtentAllocator, OutOfMemory
 from repro.core.config import GengarConfig
 from repro.core.layout import DramCarver
@@ -67,6 +67,87 @@ class _ClientRing:
 #: RPC footprint: buffers for control traffic (attach/promote/demote).
 _RPC_BUFFERS = 16
 _RPC_BUFFER_SIZE = 4096
+
+
+class ReadCombineGroup:
+    """Shared token for adjacent reads rung with one doorbell.
+
+    Built by the client when it detects that several RDMA_READ WRs in one
+    ``post_send_many`` batch target contiguous ranges of the same remote
+    region; attached to each member WR (``wr.combine``).  The target's
+    :class:`ReadCombiner` uses it to service the whole group with a single
+    device transfer — one per-transfer setup charge instead of one per
+    member, which is where the Optane read-combining win comes from.
+    """
+
+    __slots__ = ("rkey", "base_offset", "total_length", "members",
+                 "_event", "_data")
+
+    def __init__(self, rkey: int, base_offset: int, total_length: int,
+                 members: int):
+        self.rkey = rkey
+        self.base_offset = base_offset
+        self.total_length = total_length
+        self.members = members
+        self._event = None  # in-flight combined transfer (set by the first)
+        self._data = None  # the combined bytes, once fetched
+
+    def slice_for(self, wr) -> bytes:
+        lo = wr.remote_offset - self.base_offset
+        return self._data[lo : lo + wr.length]
+
+
+class ReadCombiner:
+    """Target-side service for :class:`ReadCombineGroup` tokens.
+
+    Installed on the server's endpoint (``endpoint.read_combiner``) and
+    consulted by the QP machinery for RDMA_READ WRs carrying a group: the
+    first member to arrive performs one device read spanning the whole
+    group and publishes the bytes on the token; members arriving while that
+    transfer is in flight park on its event; members arriving after slice
+    immediately.  Per-member wire costs (request, response) are unchanged —
+    only the device transfer is coalesced.
+
+    Crash safety: a member whose endpoint died before its target phase
+    never reaches the combiner (it completes RETRY_EXCEEDED), and a member
+    parked on the in-flight event always wakes because the device model
+    completes transfers regardless of endpoint liveness — no wedge.
+    """
+
+    def __init__(self, server: "MemoryServer"):
+        self.server = server
+        m = server.sim.metrics
+        name = server.node.name
+        self.combined_reads = m.counter(f"{name}.combine.transfers")
+        self.combined_members = m.counter(f"{name}.combine.members")
+        self.combined_bytes = m.counter(f"{name}.combine.bytes")
+
+    def fetch(self, mr, wr) -> Generator[Any, Any, bytes]:
+        group: ReadCombineGroup = wr.combine
+        if group._data is not None:
+            return group.slice_for(wr)
+        if group._event is not None:
+            yield group._event
+            return group.slice_for(wr)
+        sim = self.server.sim
+        group._event = sim.event(name=f"{self.server.node.name}.combine")
+        rec = sim.spans
+        t0 = sim.now if rec is not None else 0
+        data = yield from mr.read(group.base_offset, group.total_length,
+                                  need=AccessFlags.REMOTE_READ)
+        group._data = data
+        group._event.succeed()
+        self.combined_reads.add()
+        self.combined_members.add(group.members)
+        self.combined_bytes.add(group.total_length)
+        if rec is not None:
+            rec.record(self.server.node.name, "srv.read_combine", t0,
+                       bytes=group.total_length, members=group.members)
+        if sim.tracer is not None:
+            trace(sim, "read", "combined device read",
+                  server=self.server.node.name,
+                  bytes=group.total_length, members=group.members)
+        return group.slice_for(wr)
 
 
 class MemoryServer:
@@ -161,6 +242,17 @@ class MemoryServer:
         #: Fault injection: when set, drain loops park on this event.
         self._drain_gate = None
         self.crashes = 0
+        #: Per-object applied-write sequence, bumped by every drained frame.
+        #: Promotion copies race drains: a frame applied while the copy is
+        #: in flight (entry not yet published) reaches NVM but not the slot,
+        #: so _handle_promote redoes the copy until a full pass sees no
+        #: concurrent apply.  Entries are pruned at scrub (free) time.
+        self._applied_seq: Dict[int, int] = {}
+
+        #: Adjacent reads in one doorbell batch collapse into single device
+        #: transfers; the QP machinery finds the combiner via the endpoint.
+        self.read_combiner = ReadCombiner(self)
+        node.endpoint.read_combiner = self.read_combiner
 
         m = self.sim.metrics
         self.drained_writes = m.counter(f"{node.name}.proxy.drained")
@@ -205,10 +297,18 @@ class MemoryServer:
         rec = self.sim.spans
         t0 = self.sim.now if rec is not None else 0
         yield from self.node.cpu_work()
-        data = yield from self.data_device.read(nvm_offset, size)
-        yield from self.cache_mr.write(slot_offset, pack_cache_tag(gaddr) + data)
         # Publish locally *after* the copy so the drain loop never updates a
         # half-initialized slot that it then gets overwritten by stale data.
+        # The flip side: a frame drained *during* the copy reaches NVM only
+        # (the entry is unpublished), so the copy would install pre-drain
+        # bytes under a valid tag — permanently stale.  Redo the copy until
+        # one full pass races no concurrent apply to this object.
+        while True:
+            seq_before = self._applied_seq.get(gaddr, 0)
+            data = yield from self.data_device.read(nvm_offset, size)
+            yield from self.cache_mr.write(slot_offset, pack_cache_tag(gaddr) + data)
+            if self._applied_seq.get(gaddr, 0) == seq_before:
+                break
         self.cached[gaddr] = _CacheEntry(cache_offset=slot_offset, size=size)
         self.promotions.add()
         if rec is not None:
@@ -292,6 +392,19 @@ class MemoryServer:
         allocation critical path, at free time.
         """
         offset, size = request["offset"], request["size"]
+        gaddr = make_gaddr(self.server_id, offset)
+        self._applied_seq.pop(gaddr, None)
+        # A scrub means the object is dead; a cache slot must not outlive
+        # it.  Normally the master demotes before scrubbing, but a promote
+        # that raced the free can publish a slot after that demote check —
+        # and its gaddr-keyed tag would validate for the next allocation at
+        # this extent.  Kill it here, where object death is authoritative.
+        entry = self.cached.pop(gaddr, None)
+        if entry is not None:
+            yield from self.cache_mr.write(
+                entry.cache_offset, pack_cache_tag(0, flags=0))
+            self.cache_alloc.free(entry.cache_offset)
+            self.demotions.add()
         yield from self.node.cpu_work()
         zeros = bytes(min(size, 64 * 1024))
         pos = 0
@@ -542,14 +655,19 @@ class MemoryServer:
                     continue
             payload = ring.mr.peek(base + PROXY_HEADER_BYTES, length)
 
-            # Freshen the cached copy first so hot readers see it as early
-            # as possible; then persist to the NVM home.
+            # Persist to the NVM home first, then — atomically with the
+            # write's completion — bump the applied sequence and take a
+            # *fresh* cache lookup.  The ordering closes the promotion race
+            # both ways: a promote copy that missed this frame's bytes either
+            # sees the bump (and redoes its copy) or published its entry
+            # before this lookup (and the frame lands in the slot here).
+            yield from self.data_device.write(offset_of(gaddr) + obj_offset, payload)
+            self._applied_seq[gaddr] = self._applied_seq.get(gaddr, 0) + 1
             entry = self.cached.get(gaddr)
             if entry is not None and obj_offset + length <= entry.size:
                 yield from self.cache_mr.write(
                     entry.cache_offset + CACHE_TAG_BYTES + obj_offset, payload
                 )
-            yield from self.data_device.write(offset_of(gaddr) + obj_offset, payload)
 
             ring.drained += 1
             if self.sim.tracer is not None:

@@ -28,18 +28,23 @@ enforces against the ``BENCH_perf.json`` baseline.
 Span taxonomy (``docs/OBSERVABILITY.md`` has the full contract):
 
 ``op.*``
-    Client-visible operations: ``op.gread``, ``op.gwrite``,
-    ``op.gwrite_batch``, ``op.gsync``, ``op.glock``, ``op.gunlock``.
-    Each carries a per-client ``op`` id that its child phases repeat.
+    Client-visible operations: ``op.gread``, ``op.gread_many``,
+    ``op.gwrite``, ``op.gwrite_batch``, ``op.gsync``, ``op.glock``,
+    ``op.gunlock``.  Each carries a per-client ``op`` id that its child
+    phases repeat.
 ``phase.*``
     Protocol phases inside an op: ``phase.meta_lookup``,
     ``phase.cache_read`` (hit or tag-miss probe), ``phase.nvm_read``,
     ``phase.degraded_read``, ``phase.proxy_stage``, ``phase.batch_stage``,
     ``phase.direct_write``, ``phase.degraded_fallback``,
-    ``phase.drain_wait``, ``phase.retry_wait``.
+    ``phase.drain_wait``, ``phase.retry_wait``, ``phase.pipeline_wait``
+    (a batched/async op draining its outstanding reads or queuing for a
+    window slot), ``phase.prefetch`` (one background promotion request).
 ``srv.*``
     Server background work: ``srv.drain`` (one staged frame applied to
-    NVM/cache), ``srv.promote_copy`` (NVM→DRAM promotion copy).
+    NVM/cache), ``srv.promote_copy`` (NVM→DRAM promotion copy),
+    ``srv.read_combine`` (one combined device transfer serving a group of
+    adjacent doorbell-batched reads).
 ``rpc.*``
     Control-plane service time, one span per handled request
     (``rpc.gmalloc``, ``rpc.lookup``, ``rpc.report``, ``rpc.attach``, …)

@@ -49,3 +49,41 @@ class CompletionQueue:
 
     def __len__(self) -> int:
         return len(self._store)
+
+
+class CompletionMux:
+    """Out-of-order consumption of a set of completion events.
+
+    ``post_send``/``post_send_many`` return one event per WR, but a caller
+    that waits on them in posting order serializes on the *slowest prefix* —
+    a completed read parked behind an uncompleted one cannot release its
+    scratch buffer or be processed.  The mux funnels completions into a
+    FIFO in *completion* order instead: :meth:`add` registers an event with
+    an opaque tag, :meth:`next` blocks for whichever registered event fires
+    first and returns ``(tag, event)``.
+
+    Completion order is deterministic (it is the simulator's event order),
+    so two identically seeded runs consume in the same sequence.
+    """
+
+    __slots__ = ("_store", "_outstanding")
+
+    def __init__(self, sim: "Simulator", name: str = "mux"):
+        self._store = Store(sim, name=name)
+        self._outstanding = 0
+
+    def add(self, event, tag: Any = None) -> None:
+        """Register an event; its (tag, event) pair is delivered via
+        :meth:`next` once it triggers (immediately if it already has)."""
+        self._outstanding += 1
+        event.add_callback(lambda ev, _tag=tag: self._store.put((_tag, ev)))
+
+    def next(self) -> Generator[Any, Any, tuple]:
+        """Process helper: block until any registered event completes."""
+        pair = yield self._store.get()
+        self._outstanding -= 1
+        return pair
+
+    def __len__(self) -> int:
+        """Registered events not yet consumed through :meth:`next`."""
+        return self._outstanding

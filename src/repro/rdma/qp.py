@@ -268,7 +268,16 @@ class QueuePair:
                 mr.check(wr.remote_offset, wr.length, AccessFlags.REMOTE_READ)
             except MrError:
                 raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR) from None
-            data = yield from mr.read(wr.remote_offset, wr.length, need=AccessFlags.REMOTE_READ)
+            combiner = (getattr(remote_ep, "read_combiner", None)
+                        if wr.combine is not None else None)
+            if combiner is not None:
+                # Adjacent reads rung with one doorbell: the target services
+                # the whole group as a single device transfer and each WR
+                # slices its range from it.  Wire cost is unchanged — every
+                # member still returns its own response bytes.
+                data = yield from combiner.fetch(mr, wr)
+            else:
+                data = yield from mr.read(wr.remote_offset, wr.length, need=AccessFlags.REMOTE_READ)
             return (wr.length, data)
 
         if wr.opcode in (Opcode.RDMA_WRITE, Opcode.RDMA_WRITE_IMM):

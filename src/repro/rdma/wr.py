@@ -71,6 +71,12 @@ class WorkRequest:
     compare: int = 0
     swap: int = 0
     add: int = 0
+    # Read-combining token: RDMA_READ WRs rung with one doorbell whose
+    # remote ranges are adjacent may share a group object here; a target
+    # with a read combiner installed services the whole group as a single
+    # device transfer (see repro.core.server.ReadCombiner).  None (the
+    # default) means the WR is serviced individually.
+    combine: Optional[object] = None
 
     def __post_init__(self) -> None:
         if self.inline_data is not None:

@@ -13,6 +13,13 @@ D     95% read / 5% insert           latest                   read-latest
 E     95% scan / 5% insert           zipfian (scan starts)    short scans
 F     50% read / 50% read-mod-write  zipfian                  RMW
 ====  =============================  =======================  ============
+
+Point READs are independent, so the driver
+(:class:`repro.bench.runner.YcsbRunner`) coalesces each worker's runs of
+consecutive READ ops into one batched ``multi_get`` (the client's
+doorbell-batched ``gread_many``); SCAN ranges batch the same way.  The op
+*stream* produced here is identical either way — batching only changes how
+the driver issues it.
 """
 
 from __future__ import annotations

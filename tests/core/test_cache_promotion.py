@@ -41,8 +41,11 @@ def test_promoted_reads_hit_cache_and_get_faster():
     client = pool.clients[0]
 
     def app(sim):
-        gaddr = yield from client.gmalloc(4096)
-        yield from client.gwrite(gaddr, b"x" * 4096)
+        # 2 KiB: large enough that the DRAM/NVM latency gap is measurable,
+        # small enough to fit a proxy slot — objects whose writes could
+        # bypass the proxy ring are not promotable (drain coherence).
+        gaddr = yield from client.gmalloc(2048)
+        yield from client.gwrite(gaddr, b"x" * 2048)
         yield from client.gsync()
 
         cold = []

@@ -119,7 +119,9 @@ def ycsb_b_recorder():
 
 def test_smoke_has_op_spans(ycsb_b_recorder):
     names = ycsb_b_recorder.names()
-    assert names.get("op.gread", 0) > 0
+    # The YCSB driver batches read runs, so point reads surface as
+    # op.gread_many doorbell batches.
+    assert names.get("op.gread_many", 0) > 0
     assert names.get("op.gwrite", 0) > 0
 
 
@@ -140,16 +142,26 @@ def test_smoke_has_proxy_write_and_drain_spans(ycsb_b_recorder):
 
 
 def test_smoke_phases_correlate_to_parent_ops(ycsb_b_recorder):
-    op_ids = {s.op for s in ycsb_b_recorder.by_name("op.gread")}
+    parents = (ycsb_b_recorder.by_name("op.gread")
+               + ycsb_b_recorder.by_name("op.gread_many"))
+    op_ids = {s.op for s in parents}
     child_ids = {s.op for s in ycsb_b_recorder.by_name("phase.nvm_read")}
     assert child_ids, "nvm reads must carry their parent op id"
     assert child_ids <= op_ids
     # Phases land inside their parent op's interval.
-    by_op = {s.op: s for s in ycsb_b_recorder.by_name("op.gread")}
+    by_op = {s.op: s for s in parents}
     for child in ycsb_b_recorder.by_name("phase.nvm_read"):
         parent = by_op[child.op]
         assert parent.start_ns <= child.start_ns
         assert child.end_ns <= parent.end_ns
+
+
+def test_smoke_has_pipelining_and_prefetch_spans(ycsb_b_recorder):
+    names = ycsb_b_recorder.names()
+    # Doorbell-batched reads drain their in-flight completions...
+    assert names.get("phase.pipeline_wait", 0) > 0
+    # ...and the hotness-driven prefetch pump issues promotion requests.
+    assert names.get("phase.prefetch", 0) > 0
 
 
 def test_smoke_rpc_and_master_spans_present(ycsb_b_recorder):

@@ -55,7 +55,8 @@ def test_trace_writes_chrome_json(tmp_path, capsys):
     doc = json.loads(out_path.read_text())
     assert doc["displayTimeUnit"] == "ms"
     names = {e["name"] for e in doc["traceEvents"] if e["ph"] == "X"}
-    assert "op.gread" in names and "op.gwrite" in names
+    # Point reads ride doorbell-batched gread_many in the YCSB driver.
+    assert "op.gread_many" in names and "op.gwrite" in names
     lines = span_path.read_text().splitlines()
     assert lines and all(json.loads(line)["name"] for line in lines)
     out = capsys.readouterr().out
