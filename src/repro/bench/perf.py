@@ -121,33 +121,188 @@ def bench_kernel(num_procs: int = 64, timeouts_per_proc: int = 2000,
 # YCSB-B macro runs
 # ----------------------------------------------------------------------
 def bench_ycsb(record_count: int, num_workers: int, ops_per_worker: int,
-               seed: int = 42, value_size: int = 128) -> Dict[str, Any]:
-    """One full YCSB-B run on the Gengar system; wall-clock + virtual stats."""
+               seed: int = 42, value_size: int = 128,
+               repeats: int = 1) -> Dict[str, Any]:
+    """One full YCSB-B run on the Gengar system; wall-clock + virtual stats.
+
+    With ``repeats > 1`` the wall-clock figure is the best of N runs (noise
+    only slows a run down); the virtual-side numbers are asserted identical
+    across repeats — same seed, same simulation, bit for bit.
+    """
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        sim = Simulator(seed=seed)
+        system = build_system("gengar", sim, num_servers=2, num_clients=2)
+        spec = WORKLOAD_B.scaled(record_count=record_count, value_size=value_size)
+        runner = YcsbRunner(system, spec, num_workers=num_workers,
+                            ops_per_worker=ops_per_worker)
+        runner.load()
+        t0 = time.perf_counter()
+        result = runner.run()
+        dt = time.perf_counter() - t0
+        batches = sim.metrics.histogram("pool.read_batch")
+        depth = (batches.snapshot()["mean"] if batches.count else 1.0)
+        sample = {
+            "record_count": record_count,
+            "num_workers": num_workers,
+            "ops_per_worker": ops_per_worker,
+            "total_ops": result.total_ops,
+            "seconds": dt,
+            "ops_per_sec_wallclock": result.total_ops / dt if dt > 0 else 0.0,
+            # Virtual-side invariants: must not move under wall-clock-only work.
+            "virtual_time_ns": sim.now,
+            "sim_throughput_ops_s": result.throughput_ops_s,
+            "cache_hit_ratio": result.cache_hit_ratio,
+            #: Mean RDMA READs per gread_many doorbell — effective pipelining.
+            "read_pipeline_depth": round(depth, 2),
+        }
+        if best is not None:
+            for key in ("virtual_time_ns", "sim_throughput_ops_s",
+                        "cache_hit_ratio", "read_pipeline_depth"):
+                assert sample[key] == best[key], (
+                    f"non-deterministic virtual metric {key}: "
+                    f"{sample[key]} != {best[key]}")
+        if best is None or sample["ops_per_sec_wallclock"] > best["ops_per_sec_wallclock"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+# ----------------------------------------------------------------------
+# Hot-path microbenchmarks: RPC round trips and doorbell batches
+# ----------------------------------------------------------------------
+def _two_node_rig(seed: int = 7):
+    """A minimal two-endpoint rig (no Gengar stack) for verb-layer benches."""
+    from repro.hardware.memory import MemoryDevice
+    from repro.hardware.network import Fabric
+    from repro.hardware.nic import Nic
+    from repro.hardware.specs import CONNECTX5_NIC, LinkSpec, MemorySpec
+    from repro.rdma import RdmaEndpoint, connect
+
+    def dram(name):
+        return MemorySpec(name=name, kind="dram", capacity_bytes=1 << 22,
+                          read_latency_ns=80, write_latency_ns=80,
+                          read_bw=16.0, write_bw=16.0, channels=4)
+
     sim = Simulator(seed=seed)
-    system = build_system("gengar", sim, num_servers=2, num_clients=2)
-    spec = WORKLOAD_B.scaled(record_count=record_count, value_size=value_size)
-    runner = YcsbRunner(system, spec, num_workers=num_workers,
-                        ops_per_worker=ops_per_worker)
-    runner.load()
-    t0 = time.perf_counter()
-    result = runner.run()
-    dt = time.perf_counter() - t0
-    batches = sim.metrics.histogram("pool.read_batch")
-    depth = (batches.snapshot()["mean"] if batches.count else 1.0)
-    return {
-        "record_count": record_count,
-        "num_workers": num_workers,
-        "ops_per_worker": ops_per_worker,
-        "total_ops": result.total_ops,
-        "seconds": dt,
-        "ops_per_sec_wallclock": result.total_ops / dt if dt > 0 else 0.0,
-        # Virtual-side invariants: must not move under wall-clock-only work.
-        "virtual_time_ns": sim.now,
-        "sim_throughput_ops_s": result.throughput_ops_s,
-        "cache_hit_ratio": result.cache_hit_ratio,
-        #: Mean RDMA READs per gread_many doorbell — effective pipelining.
-        "read_pipeline_depth": round(depth, 2),
-    }
+    fabric = Fabric(sim, LinkSpec(bandwidth=12.5, propagation_ns=500))
+    mem_a = MemoryDevice(sim, dram("a.mem"), name="a.mem")
+    mem_b = MemoryDevice(sim, dram("b.mem"), name="b.mem")
+    ep_a = RdmaEndpoint(sim, "a", Nic(sim, CONNECTX5_NIC, "a.nic"), fabric)
+    ep_b = RdmaEndpoint(sim, "b", Nic(sim, CONNECTX5_NIC, "b.nic"), fabric)
+    qp_a, qp_b = connect(ep_a, ep_b)
+    return sim, (ep_a, mem_a, qp_a), (ep_b, mem_b, qp_b)
+
+
+def bench_rpc(calls: int = 1000, repeats: int = 3) -> Dict[str, Any]:
+    """Wall-clock cost of an RPC round trip (control-plane hot path).
+
+    One client process issues ``calls`` sequential echo RPCs; the per-call
+    and per-event ns figures expose the full stack cost — framing, SEND/RECV
+    verb state machines, CQ delivery, demux — per kernel dispatch.
+    """
+    from repro.rdma import RpcClient, RpcServer
+
+    best: Optional[Dict[str, Any]] = None
+    for _ in range(max(1, repeats)):
+        sim, (ep_a, mem_a, qp_a), (ep_b, mem_b, qp_b) = _two_node_rig()
+        server = RpcServer(ep_b, mem_b, base=0, name="srv.rpc")
+        server.register("echo", lambda req: req)
+        server.serve(qp_b)
+        client = RpcClient(ep_a, qp_a, mem_a, base=0, name="cli.rpc")
+
+        def caller(sim, n):
+            for i in range(n):
+                yield from client.call("echo", i)
+
+        proc = sim.spawn(caller(sim, calls))
+        base = sim.total_dispatched
+        t0 = time.perf_counter()
+        sim.run_until_complete(proc)
+        dt = time.perf_counter() - t0
+        events = sim.total_dispatched - base
+        sample = {
+            "calls": calls,
+            "seconds": dt,
+            "calls_per_sec": calls / dt if dt > 0 else 0.0,
+            "ns_per_call": dt / calls * 1e9,
+            "dispatched_events": events,
+            "events_per_call": round(events / calls, 2),
+            "ns_per_event": dt / events * 1e9 if events else 0.0,
+            "virtual_time_ns": sim.now,
+        }
+        if best is None or sample["calls_per_sec"] > best["calls_per_sec"]:
+            best = sample
+    assert best is not None
+    return best
+
+
+def bench_doorbell(batches: int = 120, batch_size: int = 16,
+                   repeats: int = 3) -> Dict[str, Any]:
+    """Wall-clock cost of doorbell-batched one-sided reads.
+
+    Each iteration posts ``batch_size`` RDMA READs with one
+    ``post_send_many`` doorbell (timers armed via one batched kernel call)
+    and consumes completions out of order through a :class:`CompletionMux` —
+    the data-plane fast path ``gread_many`` drives.  Reported per-WR and
+    per-event ns make trampoline regressions visible in isolation from the
+    Gengar client logic.
+    """
+    from repro.rdma import Opcode, WorkRequest
+    from repro.rdma.cq import CompletionMux
+    from repro.rdma.mr import AccessFlags
+
+    best: Optional[Dict[str, Any]] = None
+    total_wrs = batches * batch_size
+    for _ in range(max(1, repeats)):
+        sim, (ep_a, mem_a, qp_a), (ep_b, mem_b, qp_b) = _two_node_rig()
+        local_mr = ep_a.register_mr(mem_a, 0, 1 << 20, access=AccessFlags.ALL,
+                                    name="db.local")
+        remote_mr = ep_b.register_mr(mem_b, 0, 1 << 20, access=AccessFlags.ALL,
+                                     name="db.remote")
+
+        def driver(sim):
+            for _b in range(batches):
+                wrs = [
+                    WorkRequest(
+                        opcode=Opcode.RDMA_READ,
+                        remote_rkey=remote_mr.rkey,
+                        remote_offset=i * 64,
+                        local_mr=local_mr,
+                        local_offset=i * 64,
+                        length=64,
+                        wr_id=i,
+                    )
+                    for i in range(batch_size)
+                ]
+                mux = CompletionMux(sim, name="db.mux")
+                for i, ev in enumerate(qp_a.post_send_many(wrs)):
+                    mux.add(ev, tag=i)
+                for _ in range(batch_size):
+                    yield mux.next_event()
+
+        proc = sim.spawn(driver(sim))
+        base = sim.total_dispatched
+        t0 = time.perf_counter()
+        sim.run_until_complete(proc)
+        dt = time.perf_counter() - t0
+        events = sim.total_dispatched - base
+        sample = {
+            "batches": batches,
+            "batch_size": batch_size,
+            "wrs": total_wrs,
+            "seconds": dt,
+            "wrs_per_sec": total_wrs / dt if dt > 0 else 0.0,
+            "ns_per_wr": dt / total_wrs * 1e9,
+            "dispatched_events": events,
+            "events_per_wr": round(events / total_wrs, 2),
+            "ns_per_event": dt / events * 1e9 if events else 0.0,
+            "virtual_time_ns": sim.now,
+        }
+        if best is None or sample["wrs_per_sec"] > best["wrs_per_sec"]:
+            best = sample
+    assert best is not None
+    return best
 
 
 # ----------------------------------------------------------------------
@@ -192,17 +347,25 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
     stored under ``baseline`` / ``current``."""
     if smoke:
         kernel = bench_kernel(num_procs=8, timeouts_per_proc=200, repeats=1)
+        rpc = bench_rpc(calls=100, repeats=1)
+        doorbell = bench_doorbell(batches=15, batch_size=8, repeats=1)
         ycsb_small = bench_ycsb(record_count=64, num_workers=2, ops_per_worker=50)
         ycsb_medium = None
     else:
         kernel = bench_kernel()
-        ycsb_small = bench_ycsb(record_count=200, num_workers=4, ops_per_worker=250)
-        ycsb_medium = bench_ycsb(record_count=1000, num_workers=8, ops_per_worker=500)
+        rpc = bench_rpc()
+        doorbell = bench_doorbell()
+        ycsb_small = bench_ycsb(record_count=200, num_workers=4,
+                                ops_per_worker=250, repeats=2)
+        ycsb_medium = bench_ycsb(record_count=1000, num_workers=8,
+                                 ops_per_worker=500, repeats=3)
     out: Dict[str, Any] = {
         "captured_at": time.strftime("%Y-%m-%dT%H:%M:%S"),
         "python": platform.python_version(),
         "smoke": smoke,
         "kernel": kernel,
+        "rpc": rpc,
+        "doorbell": doorbell,
         "ycsb_small": ycsb_small,
     }
     if ycsb_medium is not None:
@@ -220,6 +383,10 @@ def compute_speedup(current: Dict[str, Any], baseline: Dict[str, Any]) -> Dict[s
     return {
         "kernel_events_per_sec": _ratio(
             current.get("kernel"), baseline.get("kernel"), "events_per_sec"),
+        "rpc_calls_per_sec": _ratio(
+            current.get("rpc"), baseline.get("rpc"), "calls_per_sec"),
+        "doorbell_wrs_per_sec": _ratio(
+            current.get("doorbell"), baseline.get("doorbell"), "wrs_per_sec"),
         "ycsb_small_ops_per_sec": _ratio(
             current.get("ycsb_small"), baseline.get("ycsb_small"),
             "ops_per_sec_wallclock"),
@@ -272,7 +439,8 @@ def run_guard(guard_path: Path) -> int:
     ref = committed.get("current") or {}
 
     kernel = bench_kernel()
-    medium = bench_ycsb(record_count=1000, num_workers=8, ops_per_worker=500)
+    medium = bench_ycsb(record_count=1000, num_workers=8, ops_per_worker=500,
+                        repeats=2)
 
     checks = []
     for label, got, want in (
@@ -288,6 +456,16 @@ def run_guard(guard_path: Path) -> int:
         ok = ratio >= GUARD_FLOOR
         print(f"perf-guard {label}: {got:,.0f} vs committed {want:,.0f} "
               f"(x{ratio:.3f}) {'OK' if ok else 'REGRESSION'}")
+        checks.append(ok)
+    # Determinism guard (noise-free, machine-independent): the medium run's
+    # final virtual time must match the committed figure exactly — any drift
+    # means event ordering changed, not just wall-clock speed.
+    want_vt = (ref.get("ycsb_medium") or {}).get("virtual_time_ns")
+    if want_vt:
+        ok = medium["virtual_time_ns"] == want_vt
+        print(f"perf-guard ycsb_medium virtual_time_ns: "
+              f"{medium['virtual_time_ns']} vs committed {want_vt} "
+              f"{'OK' if ok else 'ORDERING DRIFT'}")
         checks.append(ok)
     print(f"perf-guard ycsb_medium cache_hit_ratio: "
           f"{medium['cache_hit_ratio']:.4f}, "
@@ -330,6 +508,14 @@ def main(argv=None) -> int:
     cur, spd = doc["current"], doc["speedup"]
     print(f"kernel: {cur['kernel']['events_per_sec']:,.0f} events/s "
           f"(x{spd['kernel_events_per_sec'] or 1.0} vs baseline)")
+    if cur.get("rpc"):
+        print(f"rpc: {cur['rpc']['ns_per_call']:,.0f} ns/call "
+              f"({cur['rpc']['events_per_call']} events/call, "
+              f"{cur['rpc']['ns_per_event']:,.0f} ns/event)")
+    if cur.get("doorbell"):
+        print(f"doorbell: {cur['doorbell']['ns_per_wr']:,.0f} ns/WR "
+              f"({cur['doorbell']['events_per_wr']} events/WR, "
+              f"{cur['doorbell']['ns_per_event']:,.0f} ns/event)")
     for scale in ("ycsb_small", "ycsb_medium"):
         if cur.get(scale):
             print(f"{scale}: {cur[scale]['ops_per_sec_wallclock']:,.1f} ops/s "

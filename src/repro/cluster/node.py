@@ -64,7 +64,7 @@ class Node:
         """Occupy one core for ``duration_ns`` (default: the per-op cost)."""
         if duration_ns is None:
             duration_ns = self.spec.cpu_op_ns
-        with (yield from self._cpu.acquire()):
+        with (yield self._cpu.request()):
             if duration_ns > 0:
                 yield self.sim.sleep(duration_ns)
 

@@ -1011,7 +1011,7 @@ class GengarClient:
 
         def _consume_one():
             """Process whichever posted read completes next."""
-            tag, ev = yield from mux.next()
+            tag, ev = yield mux.next_event()
             idx, gaddr, length, span, conn, scratch_off, cached, t_post = tag
             try:
                 wc = ev.value

@@ -168,26 +168,29 @@ class FaultInjector:
                     "use plan.shifted(...) to anchor it")
         self._installed = True
 
+        timed = []
         for f in self.plan.timed:
             if isinstance(f, ServerCrash):
-                self.sim.schedule(f.at_ns - now, self._do_crash, f.server_id)
+                timed.append((f.at_ns - now, self._do_crash, (f.server_id,)))
             elif isinstance(f, ServerRecover):
-                self.sim.schedule(f.at_ns - now, self._do_recover,
-                                  f.server_id, f.reconcile)
+                timed.append((f.at_ns - now, self._do_recover,
+                              (f.server_id, f.reconcile)))
             elif isinstance(f, MasterCrash):
-                self.sim.schedule(f.at_ns - now, self._do_master_crash)
+                timed.append((f.at_ns - now, self._do_master_crash, ()))
             elif isinstance(f, MasterRecover):
-                self.sim.schedule(f.at_ns - now, self._do_master_recover,
-                                  f.rebuild)
+                timed.append((f.at_ns - now, self._do_master_recover,
+                              (f.rebuild,)))
             elif isinstance(f, ClientCrash):
-                self.sim.schedule(f.at_ns - now, self._do_client_crash,
-                                  f.client, f.tear_inflight)
+                timed.append((f.at_ns - now, self._do_client_crash,
+                              (f.client, f.tear_inflight)))
             elif isinstance(f, ClientRecover):
-                self.sim.schedule(f.at_ns - now, self._do_client_recover,
-                                  f.client)
+                timed.append((f.at_ns - now, self._do_client_recover,
+                              (f.client,)))
             else:  # RingStall
-                self.sim.schedule(f.at_ns - now, self._do_stall,
-                                  f.server_id, f.duration_ns)
+                timed.append((f.at_ns - now, self._do_stall,
+                              (f.server_id, f.duration_ns)))
+        # Arm the whole plan with one kernel call (same order as one-by-one).
+        self.sim.schedule_many(timed)
 
         for f in self.plan.windows:
             if isinstance(f, LossyLink):

@@ -135,7 +135,7 @@ class MemoryDevice:
         start = self.sim.now
         self.queue_depth.adjust(+1)
         try:
-            with (yield from self._channels.acquire()):
+            with (yield self._channels.request()):
                 yield self.sim.sleep(self.read_service_time(nbytes))
         finally:
             self.queue_depth.adjust(-1)
@@ -150,7 +150,7 @@ class MemoryDevice:
         start = self.sim.now
         self.queue_depth.adjust(+1)
         try:
-            with (yield from self._channels.acquire()):
+            with (yield self._channels.request()):
                 yield self.sim.sleep(self.write_service_time(nbytes))
         finally:
             self.queue_depth.adjust(-1)

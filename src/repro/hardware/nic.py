@@ -52,13 +52,13 @@ class Nic:
     def tx_process(self) -> Generator[Any, Any, None]:
         """Pay the initiator-side cost of posting one work element."""
         yield from self._msg_limiter.consume(1.0)
-        with (yield from self._tx.acquire()):
+        with (yield self._tx.request()):
             yield self.sim.sleep(self.spec.processing_ns)
         self.tx_messages.add()
 
     def rx_process(self) -> Generator[Any, Any, None]:
         """Pay the responder-side cost of handling one inbound packet."""
-        with (yield from self._rx.acquire()):
+        with (yield self._rx.request()):
             yield self.sim.sleep(self.spec.processing_ns)
         self.rx_messages.add()
 

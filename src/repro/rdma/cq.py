@@ -47,6 +47,15 @@ class CompletionQueue:
         wc = yield self._store.get()
         return wc
 
+    def next_event(self):
+        """Direct completion path: the event that fires with the next WC.
+
+        ``wc = yield cq.next_event()`` is equivalent to
+        ``wc = yield from cq.wait()`` without the intermediate generator
+        frame — preferred in dispatch loops (RPC serve/demux).
+        """
+        return self._store.get()
+
     def __len__(self) -> int:
         return len(self._store)
 
@@ -66,11 +75,13 @@ class CompletionMux:
     so two identically seeded runs consume in the same sequence.
     """
 
-    __slots__ = ("_store", "_outstanding")
+    __slots__ = ("_store", "_outstanding", "_consumed_cb")
 
     def __init__(self, sim: "Simulator", name: str = "mux"):
         self._store = Store(sim, name=name)
         self._outstanding = 0
+        # Bound once; registered on every next_event() result.
+        self._consumed_cb = self._consumed
 
     def add(self, event, tag: Any = None) -> None:
         """Register an event; its (tag, event) pair is delivered via
@@ -78,10 +89,20 @@ class CompletionMux:
         self._outstanding += 1
         event.add_callback(lambda ev, _tag=tag: self._store.put((_tag, ev)))
 
+    def next_event(self):
+        """Direct completion path: the event firing with the next
+        ``(tag, event)`` pair, for ``tag, ev = yield mux.next_event()`` —
+        no intermediate generator frame per consumed completion."""
+        ev = self._store.get()
+        ev.add_callback(self._consumed_cb)
+        return ev
+
+    def _consumed(self, _ev) -> None:
+        self._outstanding -= 1
+
     def next(self) -> Generator[Any, Any, tuple]:
         """Process helper: block until any registered event completes."""
-        pair = yield self._store.get()
-        self._outstanding -= 1
+        pair = yield self.next_event()
         return pair
 
     def __len__(self) -> int:

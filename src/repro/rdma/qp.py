@@ -82,6 +82,10 @@ class QueuePair:
         self.remote: Optional["QueuePair"] = None
         self._recv_queue: Store = Store(self.sim, name=f"{self.name}.rq")
         self._send_gate = Resource(self.sim, capacity=1, name=f"{self.name}.sq")
+        # Precomputed once: posting is on the hot path of every verb, so
+        # avoid a per-WR f-string for the completion-event / process names.
+        self._wr_event_name = f"{self.name}.wr"
+        self._exec_name = f"{self.name}.exec"
 
     # ------------------------------------------------------------------
     @property
@@ -118,8 +122,8 @@ class QueuePair:
         if not self.is_connected:
             raise QpError(f"{self.name} is not connected")
         self._validate_send(wr)
-        done = self.sim.event(name=f"{self.name}.wr{wr.wr_id}")
-        self.sim.spawn(self._execute(wr, done), name=f"{self.name}.exec")
+        done = self.sim.event(name=self._wr_event_name)
+        self.sim.spawn(self._execute(wr, done), name=self._exec_name)
         return done
 
     def post_send_many(self, wrs) -> list[Event]:
@@ -139,13 +143,16 @@ class QueuePair:
         wrs = list(wrs)
         for wr in wrs:
             self._validate_send(wr)
-        events: list[Event] = []
         sim = self.sim
-        exec_name = f"{self.name}.exec"
-        for wr in wrs:
-            done = sim.event(name=f"{self.name}.wr{wr.wr_id}")
-            sim.spawn(self._execute(wr, done), name=exec_name)
-            events.append(done)
+        ev_name = self._wr_event_name
+        events: list[Event] = [sim.event(name=ev_name) for _ in wrs]
+        # One kernel call arms every WR's verb process (batched doorbell);
+        # bootstrap order — and thus virtual-time behaviour — is identical
+        # to spawning one at a time.
+        sim.spawn_many(
+            [self._execute(wr, done) for wr, done in zip(wrs, events)],
+            name=self._exec_name,
+        )
         return events
 
     # ------------------------------------------------------------------
@@ -164,7 +171,7 @@ class QueuePair:
         # ---- Initiator phase: gather payload, inject into the fabric -----
         payload: bytes = b""
         request_wire_bytes = 0
-        with (yield from self._send_gate.acquire()):
+        with (yield self._send_gate.request()):
             yield from local.nic.tx_process()
             try:
                 payload = yield from self._gather_payload(wr)
@@ -307,7 +314,7 @@ class QueuePair:
             except MrError:
                 raise _RemoteFault(WcStatus.REMOTE_ACCESS_ERROR) from None
             # The target NIC serializes atomics; model with a per-endpoint gate.
-            with (yield from remote_ep.atomic_gate.acquire()):
+            with (yield remote_ep.atomic_gate.request()):
                 old_bytes = yield from mr.read(
                     wr.remote_offset, ATOMIC_OPERAND_BYTES, need=AccessFlags.REMOTE_ATOMIC
                 )

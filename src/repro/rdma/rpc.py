@@ -97,6 +97,8 @@ class RpcServer:
         self._resp_ring = _BufferRing(endpoint, device, base + span, num_buffers, buffer_size, f"{self.name}.tx")
         self.buffer_size = buffer_size
         self.requests = self.sim.metrics.counter(f"{self.name}.requests")
+        # Precomputed: one handler process is spawned per request.
+        self._handler_name = f"{self.name}.handler"
 
     def register(self, method: str, handler: Callable) -> None:
         """Expose ``handler`` under ``method``."""
@@ -112,13 +114,13 @@ class RpcServer:
             slot = yield self._recv_ring.free.get()
             qp.post_recv(self._recv_ring.mr, self._recv_ring.offset(slot),
                          self.buffer_size, wr_id=slot)
-            wc = yield from qp.recv_cq.wait()
+            wc = yield qp.recv_cq.next_event()
             if wc.opcode is not Opcode.RECV:  # our own response completions
                 continue
             raw = self._recv_ring.mr.peek(wc.recv_offset, wc.byte_len)
             self._recv_ring.free.put(wc.wr_id)
             # Handle concurrently so a slow handler doesn't block the ring.
-            self.sim.spawn(self._handle(qp, raw), name=f"{self.name}.handler")
+            self.sim.spawn(self._handle(qp, raw), name=self._handler_name)
 
     def _handle(self, qp: QueuePair, raw: bytes) -> Generator[Any, Any, None]:
         req_id, method, request = pickle.loads(raw)
@@ -180,6 +182,8 @@ class RpcClient:
         self._send_ring = _BufferRing(endpoint, device, base + span, num_buffers, buffer_size, f"{self.name}.tx")
         self._pending: Dict[int, Event] = {}
         self._demux_running = False
+        # Precomputed: every call creates one reply event.
+        self._reply_event_name = f"{self.name}.req"
 
     # ------------------------------------------------------------------
     def call(self, method: str, request: Any = None) -> Generator[Any, Any, Any]:
@@ -196,7 +200,7 @@ class RpcClient:
         self.qp.post_recv(self._recv_ring.mr, self._recv_ring.offset(recv_slot),
                           self.buffer_size, wr_id=recv_slot)
 
-        reply_event = self.sim.event(name=f"{self.name}.req{req_id}")
+        reply_event = self.sim.event(name=self._reply_event_name)
         self._pending[req_id] = reply_event
         if not self._demux_running:
             self._demux_running = True
@@ -225,7 +229,7 @@ class RpcClient:
 
     def _demux_loop(self) -> Generator[Any, Any, None]:
         while True:
-            wc = yield from self.qp.recv_cq.wait()
+            wc = yield self.qp.recv_cq.next_event()
             if wc.opcode is not Opcode.RECV:
                 continue
             raw = self._recv_ring.mr.peek(wc.recv_offset, wc.byte_len)

@@ -1,27 +1,44 @@
 """The discrete-event loop and process scheduler.
 
-:class:`Simulator` owns a priority queue of ``(time, sequence, callable)``
-entries.  Equal-time entries run in scheduling order (the monotonically
-increasing sequence number breaks ties), which makes every run with the same
-seed bit-for-bit reproducible.
+:class:`Simulator` owns a *calendar queue*: a dict of per-instant buckets
+(``{time: [(fn, args), ...]}``) plus a small min-heap of the occupied
+instants.  Scheduling appends to the target instant's bucket; the heap is
+touched only when an instant becomes occupied, so the per-event cost is a
+dict probe and a list append instead of an O(log n) heap push.  Dispatch
+drains one bucket at a time in append order.
+
+Ordering contract (pinned by ``tests/sim/test_dispatch_trace.py``): events
+run in ``(time, seq)`` order where ``seq`` is the global scheduling order —
+entries for one instant are appended strictly in the order they were
+scheduled, and instants are consumed in time order, so the total dispatch
+order is exactly what the original single-heap kernel produced.  Every run
+with the same seed is bit-for-bit reproducible.
 
 :class:`Process` adapts a Python generator into the event system: each value
 the generator yields must be an :class:`~repro.sim.primitives.Event` (or a
 ``Process``, which is itself an event that fires when the generator returns).
 
-Fast-path notes: the ``run`` loops bind the heap and ``heappop`` to locals
-and dispatch all entries sharing a timestamp in one inner batch (one clock
-write and one ``until`` comparison per *instant* instead of per event).
-:meth:`Simulator.sleep` hands out pooled :class:`Timeout` objects for the
-fire-and-forget ``yield sim.sleep(n)`` pattern used throughout the hardware
-models.  All of this is wall-clock only — virtual-time results are
-bit-for-bit identical to the straightforward loop.
+Fast-path notes: the ``run`` loops bind the bucket machinery to locals and
+dispatch a whole instant per outer iteration (one clock write and one
+``until`` comparison per *instant*); completion fast paths in
+:mod:`repro.sim.primitives` append to the calendar inline.
+:meth:`Simulator.sleep` hands out pooled :class:`Timeout` objects (refilled
+in small batches) for the fire-and-forget ``yield sim.sleep(n)`` pattern
+used throughout the hardware models, and :meth:`Simulator.schedule_many` /
+:meth:`Simulator.timeout_many` / :meth:`Simulator.spawn_many` arm N timers
+or processes with one kernel call.  All of this is wall-clock only —
+virtual-time results are bit-for-bit identical to the straightforward loop.
+
+Profiling/debug: assign ``sim.dispatch_hook = lambda when, fn: ...`` to
+observe every dispatch; the hot loops are swapped for an instrumented
+variant while it is set, so the disabled path stays branch-free.
+See ``docs/KERNEL.md`` for the design rationale.
 """
 
 from __future__ import annotations
 
 from heapq import heappop, heappush
-from typing import Any, Callable, Generator, Optional
+from typing import Any, Callable, Generator, Iterable, Optional, Sequence
 
 from repro.sim.primitives import _PENDING, Event, Interrupt, Timeout
 
@@ -33,6 +50,11 @@ class SimulationError(RuntimeError):
 # First resume of a generator must be send(None); this sentinel marks it so a
 # legitimate event *value* that happens to be an Event is not misinterpreted.
 _BOOTSTRAP = object()
+
+#: Dormant pooled timeouts created per :meth:`Simulator.sleep` refill when
+#: the free list runs dry (vectorized pool refill: one batch allocation
+#: instead of a construct-per-wait cold path).
+_SLEEP_REFILL = 8
 
 
 #: The generator type a process function must return.
@@ -48,9 +70,10 @@ class Process(Event):
     a process object ("join").
     """
 
-    __slots__ = ("_generator", "_waiting_on", "_wake")
+    __slots__ = ("_generator", "_send", "_waiting_on", "_wake")
 
-    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = ""):
+    def __init__(self, sim: "Simulator", generator: ProcessGenerator, name: str = "",
+                 _defer: bool = False):
         super().__init__(sim, name=name or getattr(generator, "__name__", "process"))
         if not hasattr(generator, "send"):
             raise TypeError(
@@ -58,11 +81,23 @@ class Process(Event):
                 "did you call a plain function instead of a generator function?"
             )
         self._generator = generator
+        # Bound once: resuming the generator is the hottest call in the
+        # simulator, so skip the attribute lookup on every wake-up.
+        self._send = generator.send
         self._waiting_on: Optional[Event] = None
         # Bound once: every yield registers this same callback object.
         self._wake = self._on_wait_complete
-        # Kick off the first step from the loop, not inline.
-        sim.schedule(0, self._step, _BOOTSTRAP, False)
+        if not _defer:
+            # Kick off the first step from the loop, not inline.  Inlined
+            # sim.schedule(0, self._step, _BOOTSTRAP, False) — spawn is hot.
+            buckets = sim._buckets
+            t = sim._now
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [(self._step, (_BOOTSTRAP, False))]
+                heappush(sim._instants, t)
+            else:
+                b.append((self._step, (_BOOTSTRAP, False)))
 
     # ------------------------------------------------------------------
     @property
@@ -97,13 +132,13 @@ class Process(Event):
         if exc is not None:
             self._step(exc, True)
             return
-        if self.triggered:
-            return
+        if self._value is not _PENDING or self._exception is not None:
+            return  # process already finished (interrupt raced the wake-up)
         # Inlined success path of _step: resume → next wait.  This runs once
         # per yield in every process, so the generic _step (which also
         # handles bootstrap and thrown exceptions) is bypassed here.
         try:
-            target = self._generator.send(event._value)
+            target = self._send(event._value)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -148,7 +183,7 @@ class Process(Event):
             if is_exception:
                 target = self._generator.throw(payload)
             else:
-                target = self._generator.send(None if payload is _BOOTSTRAP else payload)
+                target = self._send(None if payload is _BOOTSTRAP else payload)
         except StopIteration as stop:
             self.succeed(stop.value)
             return
@@ -170,7 +205,7 @@ class Process(Event):
 
 
 class Simulator:
-    """The event loop: a virtual clock plus a priority queue of callbacks.
+    """The event loop: a virtual clock plus a calendar queue of callbacks.
 
     Typical usage::
 
@@ -187,14 +222,25 @@ class Simulator:
 
     def __init__(self, seed: int = 0):
         self._now = 0
-        self._heap: list[tuple[int, int, Callable, tuple]] = []
-        self._sequence = 0
+        #: Calendar queue: per-instant buckets of ``(fn, args)`` entries in
+        #: scheduling order.  A bucket exists exactly while its instant has
+        #: pending entries (it stays in the dict during its own dispatch so
+        #: zero-delay scheduling lands in the live batch).
+        self._buckets: dict[int, list] = {}
+        #: Min-heap of occupied instants (each pushed once, when its bucket
+        #: is created).  The heap sees one entry per *instant*, not per
+        #: event — that amortization is the core of the calendar design.
+        self._instants: list[int] = []
         self.seed = seed
         #: Total events dispatched over this simulator's lifetime (the
         #: denominator of the perf harness's events/sec figure).
         self.total_dispatched = 0
         #: Free list backing :meth:`sleep` (see Timeout pooling notes).
         self._timeout_pool: list[Timeout] = []
+        #: Optional per-dispatch observer ``hook(when, fn)`` for profiling
+        #: and the dispatch-order pin test.  While set, the run loops switch
+        #: to an instrumented variant; when None the hot loops are untouched.
+        self.dispatch_hook: Optional[Callable[[int, Callable], None]] = None
         # Imported lazily to avoid a cycle at module import time.
         from repro.sim.rng import RngRegistry
         from repro.sim.stats import MetricRegistry
@@ -217,8 +263,35 @@ class Simulator:
         """Run ``fn(*args)`` after ``delay`` ns of virtual time."""
         if delay < 0:
             raise ValueError(f"cannot schedule into the past (delay={delay})")
-        self._sequence = seq = self._sequence + 1
-        heappush(self._heap, (self._now + int(delay), seq, fn, args))
+        t = self._now + int(delay)
+        b = self._buckets.get(t)
+        if b is None:
+            self._buckets[t] = [(fn, args)]
+            heappush(self._instants, t)
+        else:
+            b.append((fn, args))
+
+    def schedule_many(self, items: Iterable[tuple]) -> None:
+        """Batched arming: schedule ``(delay, fn, args)`` entries in order.
+
+        Virtual-time semantics are identical to calling :meth:`schedule`
+        once per item in list order; the batch exists so callers arming many
+        callbacks at once (fault plans, doorbell batches) pay the kernel
+        entry and local binding once.
+        """
+        buckets = self._buckets
+        instants = self._instants
+        now = self._now
+        for delay, fn, args in items:
+            if delay < 0:
+                raise ValueError(f"cannot schedule into the past (delay={delay})")
+            t = now + int(delay)
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [(fn, args)]
+                heappush(instants, t)
+            else:
+                b.append((fn, args))
 
     # ------------------------------------------------------------------
     # Factories
@@ -231,6 +304,20 @@ class Simulator:
         """Create an event that fires ``delay`` ns from now."""
         return Timeout(self, int(delay), value)
 
+    def timeout_many(self, delays: Sequence[int], value: Any = None) -> list:
+        """Arm N independent timers with one kernel call.
+
+        Returns a list of fresh (unpooled) :class:`Timeout` events, one per
+        delay, armed in list order — virtual semantics identical to calling
+        :meth:`timeout` per delay, with the construction and calendar
+        bindings batched.  Use for retry fan-outs and fault plans; the
+        returned events are safe to store and compose (unlike ``sleep()``).
+        """
+        out = []
+        for d in delays:
+            out.append(Timeout(self, int(d), value))
+        return out
+
     def sleep(self, delay: int, value: Any = None) -> Timeout:
         """A pooled timeout for the fire-and-forget ``yield sim.sleep(n)``
         pattern.
@@ -238,20 +325,47 @@ class Simulator:
         Semantically identical to :meth:`timeout` (same scheduling, same
         virtual-time behaviour), but the returned event is recycled through
         a free list right after it fires, sparing hot paths one allocation
-        per wait.  **Contract:** yield the result immediately and do not
-        retain it past its firing — use :meth:`timeout` for events you
-        store, compose into conditions, or inspect later.
+        per wait.  The free list is refilled in small batches when it runs
+        dry.  **Contract:** yield the result immediately and do not retain
+        it past its firing — use :meth:`timeout` for events you store,
+        compose into conditions, or inspect later.  (The pool rules are
+        pinned by ``tests/sim/test_sleep_pool.py`` and documented in
+        ``docs/KERNEL.md``.)
         """
         pool = self._timeout_pool
-        if pool:
-            t = pool.pop()
-            t._reuse(int(delay), value)
-            return t
-        return Timeout(self, int(delay), value, pool=pool)
+        if not pool:
+            # Vectorized refill: allocate a batch of dormant pooled timeouts
+            # in one go; each hand-out below arms via the _reuse fast path.
+            pool.extend(Timeout(self, 0, pool=pool, arm=False)
+                        for _ in range(_SLEEP_REFILL))
+        t = pool.pop()
+        t._reuse(int(delay), value)
+        return t
 
     def spawn(self, generator: ProcessGenerator, name: str = "") -> Process:
         """Start a new process from a generator; returns the joinable handle."""
         return Process(self, generator, name=name)
+
+    def spawn_many(self, generators: Sequence[ProcessGenerator],
+                   name: str = "") -> list:
+        """Start N processes with one kernel call (batched bootstrap arming).
+
+        Identical to calling :meth:`spawn` per generator in order — each
+        process's bootstrap step is appended to the current instant in list
+        order — but the calendar bindings are paid once.  This is the
+        doorbell-batch fast path: ``post_send_many`` arms one process per WR
+        through here.
+        """
+        procs = [Process(self, g, name=name, _defer=True) for g in generators]
+        buckets = self._buckets
+        t = self._now
+        b = buckets.get(t)
+        if b is None:
+            b = buckets[t] = []
+            heappush(self._instants, t)
+        for p in procs:
+            b.append((p._step, (_BOOTSTRAP, False)))
+        return procs
 
     def all_of(self, events) -> Event:
         """Event that fires when every event in ``events`` has succeeded."""
@@ -281,25 +395,85 @@ class Simulator:
         Returns:
             The virtual time at which execution stopped.
         """
-        heap = self._heap
+        if max_events is not None or self.dispatch_hook is not None:
+            return self._run_instrumented(until, max_events)
+        buckets = self._buckets
+        instants = self._instants
         pop = heappop
         dispatched = 0
         try:
-            while heap:
-                when = heap[0][0]
+            while instants:
+                when = instants[0]
                 if until is not None and when > until:
                     break
+                pop(instants)
                 self._now = when
-                # Same-timestamp batch: drain every entry due at `when` with
-                # one clock write and one `until` check for the whole batch.
-                while heap and heap[0][0] == when:
-                    if max_events is not None and dispatched >= max_events:
-                        raise SimulationError(
-                            f"exceeded max_events={max_events}; likely a livelock"
-                        )
-                    _t, _s, fn, args = pop(heap)
-                    fn(*args)
-                    dispatched += 1
+                bucket = buckets[when]
+                i = 0
+                try:
+                    # The list iterator sees entries appended mid-batch, so
+                    # zero-delay scheduling lands in this same instant.
+                    for fn, args in bucket:
+                        i += 1
+                        fn(*args)
+                except BaseException:
+                    # Put the unconsumed suffix back so a resumed run sees
+                    # exactly the entries the old per-event loop would have.
+                    dispatched += i - 1
+                    del bucket[:i]
+                    if bucket:
+                        heappush(instants, when)
+                    else:
+                        del buckets[when]
+                    raise
+                dispatched += i
+                del buckets[when]
+            if until is not None and until > self._now:
+                self._now = until
+            return self._now
+        finally:
+            self.total_dispatched += dispatched
+
+    def _run_instrumented(self, until: Optional[int],
+                          max_events: Optional[int]) -> int:
+        """The ``run`` slow path: max_events accounting and/or dispatch_hook.
+
+        Kept separate so the unobserved hot loop stays branch-free; the
+        semantics (dispatch order, exact max_events behaviour, ``until``
+        clock handling) are identical.
+        """
+        buckets = self._buckets
+        instants = self._instants
+        pop = heappop
+        hook = self.dispatch_hook
+        dispatched = 0
+        try:
+            while instants:
+                when = instants[0]
+                if until is not None and when > until:
+                    break
+                pop(instants)
+                self._now = when
+                bucket = buckets[when]
+                i = 0
+                try:
+                    while i < len(bucket):
+                        if max_events is not None and dispatched >= max_events:
+                            raise SimulationError(
+                                f"exceeded max_events={max_events}; likely a livelock"
+                            )
+                        fn, args = bucket[i]
+                        i += 1
+                        if hook is not None:
+                            hook(when, fn)
+                        fn(*args)
+                        dispatched += 1
+                finally:
+                    if i < len(bucket):
+                        del bucket[:i]
+                        heappush(instants, when)
+                    else:
+                        del buckets[when]
             if until is not None and until > self._now:
                 self._now = until
             return self._now
@@ -313,29 +487,91 @@ class Simulator:
         Like :meth:`run`, ``max_events`` allows exactly that many dispatches
         and raises on the first dispatch beyond the limit.
         """
-        heap = self._heap
+        if max_events is not None or self.dispatch_hook is not None:
+            return self._ruc_instrumented(process, max_events)
+        buckets = self._buckets
+        instants = self._instants
         pop = heappop
         dispatched = 0
         try:
-            while not process.triggered:
-                if not heap:
+            while process._value is _PENDING and process._exception is None:
+                if not instants:
                     raise SimulationError(
                         f"deadlock: process {process.name!r} is waiting but the "
                         "event queue is empty"
                     )
-                if max_events is not None and dispatched >= max_events:
-                    raise SimulationError(f"exceeded max_events={max_events}")
-                when, _seq, fn, args = pop(heap)
+                when = pop(instants)
                 self._now = when
-                fn(*args)
-                dispatched += 1
+                bucket = buckets[when]
+                i = 0
+                try:
+                    for fn, args in bucket:
+                        i += 1
+                        fn(*args)
+                        if (process._value is not _PENDING
+                                or process._exception is not None):
+                            break
+                except BaseException:
+                    dispatched += i - 1
+                    del bucket[:i]
+                    if bucket:
+                        heappush(instants, when)
+                    else:
+                        del buckets[when]
+                    raise
+                dispatched += i
+                if i < len(bucket):  # completed mid-instant; keep the rest
+                    del bucket[:i]
+                    heappush(instants, when)
+                else:
+                    del buckets[when]
+        finally:
+            self.total_dispatched += dispatched
+        return process.value
+
+    def _ruc_instrumented(self, process: Event,
+                          max_events: Optional[int]) -> Any:
+        """``run_until_complete`` slow path (max_events and/or hook)."""
+        buckets = self._buckets
+        instants = self._instants
+        pop = heappop
+        hook = self.dispatch_hook
+        dispatched = 0
+        try:
+            while not process.triggered:
+                if not instants:
+                    raise SimulationError(
+                        f"deadlock: process {process.name!r} is waiting but the "
+                        "event queue is empty"
+                    )
+                when = pop(instants)
+                self._now = when
+                bucket = buckets[when]
+                i = 0
+                try:
+                    while i < len(bucket) and not process.triggered:
+                        if max_events is not None and dispatched >= max_events:
+                            raise SimulationError(f"exceeded max_events={max_events}")
+                        fn, args = bucket[i]
+                        i += 1
+                        if hook is not None:
+                            hook(when, fn)
+                        fn(*args)
+                        dispatched += 1
+                finally:
+                    if i < len(bucket):
+                        del bucket[:i]
+                        heappush(instants, when)
+                    else:
+                        del buckets[when]
         finally:
             self.total_dispatched += dispatched
         return process.value
 
     def peek(self) -> Optional[int]:
         """Time of the next scheduled entry, or None if the queue is empty."""
-        return self._heap[0][0] if self._heap else None
+        return self._instants[0] if self._instants else None
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
-        return f"<Simulator t={self._now}ns queued={len(self._heap)}>"
+        queued = sum(len(b) for b in self._buckets.values())
+        return f"<Simulator t={self._now}ns queued={queued}>"

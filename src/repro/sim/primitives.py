@@ -117,8 +117,14 @@ class Event:
             self._scheduled = True
             # Inlined sim.schedule(0, self._dispatch) — completion is hot.
             sim = self.sim
-            sim._sequence = seq = sim._sequence + 1
-            heappush(sim._heap, (sim._now, seq, self._dispatch, ()))
+            buckets = sim._buckets
+            t = sim._now
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [(self._dispatch, ())]
+                heappush(sim._instants, t)
+            else:
+                b.append((self._dispatch, ()))
         return self
 
     def fail(self, exception: BaseException) -> "Event":
@@ -131,8 +137,14 @@ class Event:
         if not self._scheduled:
             self._scheduled = True
             sim = self.sim
-            sim._sequence = seq = sim._sequence + 1
-            heappush(sim._heap, (sim._now, seq, self._dispatch, ()))
+            buckets = sim._buckets
+            t = sim._now
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [(self._dispatch, ())]
+                heappush(sim._instants, t)
+            else:
+                b.append((self._dispatch, ()))
         return self
 
     def add_callback(self, fn: Callable[["Event"], None]) -> None:
@@ -195,7 +207,7 @@ class Timeout(Event):
     __slots__ = ("delay", "_pool", "_firecb")
 
     def __init__(self, sim: "Simulator", delay: int, value: Any = None,
-                 pool: Optional[list] = None):
+                 pool: Optional[list] = None, arm: bool = True):
         if delay < 0:
             raise ValueError(f"negative timeout: {delay}")
         Event.__init__(self, sim)
@@ -203,10 +215,25 @@ class Timeout(Event):
         self._pool = pool
         # Bind once: scheduling re-creates no method object on reuse.
         self._firecb = self._fire
-        self._scheduled = True
-        sim.schedule(delay, self._firecb, value)
+        if arm:
+            self._scheduled = True
+            # Inlined sim.schedule(delay, self._firecb, value); a None value
+            # schedules no-arg (firing falls through to _fire's default) so
+            # the default case skips a one-tuple per timer.
+            buckets = sim._buckets
+            t = sim._now + delay
+            entry = (self._firecb, (value,) if value is not None else ())
+            b = buckets.get(t)
+            if b is None:
+                buckets[t] = [entry]
+                heappush(sim._instants, t)
+            else:
+                b.append(entry)
+        # arm=False leaves a dormant pooled timeout (kernel sleep-pool
+        # refill); Simulator.sleep arms it through _reuse before handing
+        # it out.
 
-    def _fire(self, value: Any) -> None:
+    def _fire(self, value: Any = None) -> None:
         # The event only becomes `triggered` at its due time, so conditions
         # and state inspection see a pending event until then.  The dispatch
         # logic is inlined here (rather than calling Event._dispatch) because
@@ -242,8 +269,15 @@ class Timeout(Event):
         self.delay = delay
         # Inlined sim.schedule (delay already validated non-negative).
         sim = self.sim
-        sim._sequence = seq = sim._sequence + 1
-        heappush(sim._heap, (sim._now + delay, seq, self._firecb, (value,)))
+        buckets = sim._buckets
+        t = sim._now + delay
+        entry = (self._firecb, (value,) if value is not None else ())
+        b = buckets.get(t)
+        if b is None:
+            buckets[t] = [entry]
+            heappush(sim._instants, t)
+        else:
+            b.append(entry)
 
     def __repr__(self) -> str:  # pragma: no cover - debug aid
         state = "pending"

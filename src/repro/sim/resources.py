@@ -100,7 +100,13 @@ class Resource:
             raise RuntimeError(f"resource {self.name!r} over-released")
 
     def acquire(self) -> Generator[Event, Any, Request]:
-        """Process-style helper: ``req = yield from resource.acquire()``."""
+        """Process-style helper: ``req = yield from resource.acquire()``.
+
+        Hot paths should prefer the frame-free equivalent
+        ``with (yield resource.request()):`` — the request event succeeds
+        with itself, so yielding it directly delivers the same
+        :class:`Request` without this extra generator.
+        """
         req = self.request()
         yield req
         return req
@@ -198,7 +204,7 @@ class FifoChannel:
 
     def transfer(self, nbytes: int) -> Generator[Event, Any, None]:
         """Process helper: occupy the channel for the payload's wire time."""
-        with (yield from self._gate.acquire()):
+        with (yield self._gate.request()):
             if nbytes > 0:
                 yield self.sim.sleep(self.busy_time(nbytes))
                 self.bytes_moved += nbytes
@@ -238,7 +244,7 @@ class TokenBucket:
         if tokens > self.burst:
             raise ValueError(f"cannot consume {tokens} > burst {self.burst}")
         # Serialize consumers so arrival order is honoured.
-        with (yield from self._gate.acquire()):
+        with (yield self._gate.request()):
             self._refill()
             if self._tokens < tokens:
                 deficit = tokens - self._tokens

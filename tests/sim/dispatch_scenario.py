@@ -1,0 +1,84 @@
+"""The shared scenario behind the same-seed dispatch-order pin.
+
+A seeded YCSB-B run over the full Gengar pool with a chaos mix layered on
+top (ring stalls on both servers, a lossy-link window with retransmits, and
+a latency spike).  The kernel determinism contract says the dispatch order
+of such a run is a pure function of the seed: every dispatch happens at a
+well-defined (time, seq) position regardless of how the event queue is
+implemented internally.
+
+``tests/sim/test_dispatch_trace.py`` replays this scenario and compares the
+per-dispatch (time, callback) trace against a committed golden fingerprint
+captured from the pre-calendar-queue heap kernel — so the slotted-queue
+kernel (and any future queue rewrite) is pinned to the exact same total
+order the original single-heap implementation produced.
+"""
+
+from __future__ import annotations
+
+from hashlib import sha256
+from typing import Callable, List, Optional, Tuple
+
+SCENARIO_SEED = 1234
+
+#: Bump only when the *scenario itself* changes (workload shape, fault plan),
+#: never to paper over a kernel ordering change.
+SCENARIO_VERSION = 1
+
+
+def run_scenario(install_hook: Optional[Callable] = None):
+    """Build the pool, arm the chaos mix, run YCSB-B; returns the simulator.
+
+    ``install_hook(sim)`` is called right after the simulator is created and
+    before anything is scheduled, so a dispatch hook can observe the whole
+    run including the bootstrap handshake.
+    """
+    from repro.baselines.common import build_system
+    from repro.bench.runner import YcsbRunner
+    from repro.faults import FaultPlan, LatencySpike, LossyLink, RingStall
+    from repro.sim.kernel import Simulator
+    from repro.workloads.ycsb import WORKLOAD_B
+
+    sim = Simulator(seed=SCENARIO_SEED)
+    if install_hook is not None:
+        install_hook(sim)
+    system = build_system("gengar", sim, num_servers=2, num_clients=2)
+    plan = FaultPlan.of(
+        RingStall(at_ns=60_000, duration_ns=40_000, server_id=0),
+        LossyLink(start_ns=90_000, end_ns=160_000, drop_prob=0.2),
+        LatencySpike(start_ns=170_000, end_ns=230_000, extra_ns=2_500),
+        RingStall(at_ns=240_000, duration_ns=50_000, server_id=1),
+    )
+    system.pool.inject_faults(plan, rng_name="faults.pin")
+    spec = WORKLOAD_B.scaled(record_count=48, value_size=96)
+    runner = YcsbRunner(system, spec, num_workers=3, ops_per_worker=90)
+    runner.load()
+    runner.run()
+    return sim
+
+
+def fingerprint(trace: List[Tuple[int, str]]) -> dict:
+    """Stable digest of a dispatch trace.
+
+    The full trace is tens of thousands of entries, so the golden stores a
+    hash over the whole (time, callback) sequence plus sparse checkpoints
+    for debuggability on mismatch.
+    """
+    h = sha256()
+    for when, name in trace:
+        h.update(b"%d:%s;" % (when, name.encode()))
+    return {
+        "version": SCENARIO_VERSION,
+        "seed": SCENARIO_SEED,
+        "dispatches": len(trace),
+        "sha256": h.hexdigest(),
+        "final_time_ns": trace[-1][0] if trace else 0,
+        "checkpoints": [
+            [i, trace[i][0], trace[i][1]] for i in range(0, len(trace), 2500)
+        ],
+    }
+
+
+def callback_name(fn) -> str:
+    """A refactor-stable label for a scheduled callback."""
+    return getattr(fn, "__qualname__", None) or type(fn).__name__

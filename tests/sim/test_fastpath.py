@@ -99,10 +99,13 @@ def test_sleep_recycles_objects_through_the_pool():
 
     sim.spawn(worker(sim))
     sim.run()
-    # A firing timeout recycles *after* its callback runs (which is where
-    # the next sleep() is requested), so sequential sleeps ping-pong between
-    # two pooled objects instead of allocating 50.
-    assert len(sim._timeout_pool) == 2
+    # The pool refills in one batch of _SLEEP_REFILL dormant timeouts when
+    # empty; sequential sleeps then ping-pong through that batch (a firing
+    # timeout recycles *after* its callback runs, which is where the next
+    # sleep() is requested) instead of allocating 50.
+    from repro.sim.kernel import _SLEEP_REFILL
+
+    assert len(sim._timeout_pool) == _SLEEP_REFILL
 
 
 def test_sleep_rejects_negative_delay():
@@ -157,6 +160,79 @@ def test_total_dispatched_counts_run_until_complete():
     p = sim.spawn(worker(sim))
     sim.run_until_complete(p)
     assert sim.total_dispatched > 0
+
+
+# ----------------------------------------------------------------------
+# Batched arming APIs must be order-identical to their one-at-a-time forms
+# ----------------------------------------------------------------------
+def test_schedule_many_matches_sequential_schedule():
+    def drive(batched):
+        sim = Simulator()
+        fired = []
+        items = [(5, fired.append, ("a",)), (3, fired.append, ("b",)),
+                 (5, fired.append, ("c",)), (0, fired.append, ("d",))]
+        if batched:
+            sim.schedule_many(items)
+        else:
+            for delay, fn, args in items:
+                sim.schedule(delay, fn, *args)
+        sim.run()
+        return fired, sim.now
+
+    assert drive(True) == drive(False) == (["d", "b", "a", "c"], 5)
+
+
+def test_schedule_many_rejects_negative_delay():
+    sim = Simulator()
+    with pytest.raises(ValueError):
+        sim.schedule_many([(1, lambda: None, ()), (-2, lambda: None, ())])
+
+
+def test_timeout_many_matches_sequential_timeouts():
+    def drive(batched):
+        sim = Simulator()
+        trace = []
+
+        def waiter(sim, ev, tag):
+            got = yield ev
+            trace.append((sim.now, tag, got))
+
+        delays = [30, 10, 20, 10]
+        if batched:
+            events = sim.timeout_many(delays, value="v")
+        else:
+            events = [sim.timeout(d, value="v") for d in delays]
+        for i, ev in enumerate(events):
+            sim.spawn(waiter(sim, ev, i))
+        sim.run()
+        return trace, sim.now
+
+    assert drive(True) == drive(False)
+
+
+def test_spawn_many_matches_sequential_spawns():
+    def drive(batched):
+        sim = Simulator()
+        trace = []
+
+        def worker(sim, tag):
+            trace.append(("start", tag, sim.now))
+            yield sim.timeout(tag + 1)
+            trace.append(("end", tag, sim.now))
+            return tag
+
+        gens = [worker(sim, i) for i in range(4)]
+        procs = sim.spawn_many(gens) if batched else [sim.spawn(g) for g in gens]
+        sim.run()
+        return trace, [p.value for p in procs]
+
+    assert drive(True) == drive(False)
+
+
+def test_spawn_many_rejects_non_generators():
+    sim = Simulator()
+    with pytest.raises(TypeError):
+        sim.spawn_many([lambda: None])  # type: ignore[list-item]
 
 
 # ----------------------------------------------------------------------

@@ -1,0 +1,164 @@
+"""Pins for the pooled ``sleep()`` lifecycle contract.
+
+``Simulator.sleep`` hands out recycled :class:`Timeout` objects from a free
+list (refilled in batches).  The contract — documented in ``docs/KERNEL.md``
+— is: yield the result immediately, do not retain it past its firing.  These
+tests pin what actually happens at the contract's edges (reuse after fire,
+retained references, double yield, interrupt interaction) so the pool can
+get hotter without its semantics drifting silently.
+"""
+
+import pytest
+
+from repro.sim.kernel import _SLEEP_REFILL, Simulator
+from repro.sim.primitives import Interrupt
+
+
+def test_reuse_after_fire_hands_back_the_same_object():
+    sim = Simulator()
+    seen = []
+
+    def worker(sim):
+        first = sim.sleep(5)
+        seen.append(first)
+        yield first
+        # first has fired and been recycled; the next sleep must pop a
+        # pooled object (the free list never grows past the refill batch).
+        second = sim.sleep(5)
+        seen.append(second)
+        yield second
+
+    sim.spawn(worker(sim))
+    sim.run()
+    a, b = seen
+    assert a in sim._timeout_pool and b in sim._timeout_pool
+    # Batch refill semantics: allocation happened once, up front.
+    assert len(sim._timeout_pool) == _SLEEP_REFILL
+
+
+def test_retained_reference_still_reads_fired_state():
+    """Retaining the object past firing is outside the contract, but reads
+    of the *fired* state stay coherent until someone else re-arms it."""
+    sim = Simulator()
+    held = []
+
+    def worker(sim):
+        t = sim.sleep(7, value="payload")
+        held.append(t)
+        got = yield t
+        held.append(got)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    t = held[0]
+    assert held[1] == "payload"
+    assert t.triggered and t.ok and t.value == "payload"
+    # It went back to the free list exactly once.
+    assert sim._timeout_pool.count(t) == 1
+
+
+def test_yielding_a_fired_pooled_timeout_twice_resumes_immediately():
+    """A second yield of an already-processed pooled timeout resumes at the
+    current instant with the same value (late add_callback goes through the
+    scheduler) — it does not wait for a new firing."""
+    sim = Simulator()
+    trace = []
+
+    def worker(sim):
+        t = sim.sleep(10, value="v")
+        first = yield t
+        trace.append((sim.now, first))
+        second = yield t  # contract violation, but pinned: immediate redelivery
+        trace.append((sim.now, second))
+
+    sim.spawn(worker(sim))
+    sim.run()
+    assert trace == [(10, "v"), (10, "v")]
+
+
+def test_rearmed_pooled_timeout_is_a_fresh_wait_for_its_new_holder():
+    """Once recycled and re-armed by another sleep(), the object is a fully
+    reset event: pending, new delay, new value — no state leaks from the
+    previous use."""
+    sim = Simulator()
+    order = []
+
+    def first(sim):
+        t = sim.sleep(5, value="old")
+        yield t
+        order.append(("first", sim.now, t))
+
+    def second(sim):
+        yield sim.sleep(6)  # after first's timeout has been recycled
+        t = sim.sleep(5, value="new")
+        order.append(("second-armed", sim.now, t))
+        got = yield t
+        order.append(("second", sim.now, got))
+
+    sim.spawn(first(sim))
+    sim.spawn(second(sim))
+    sim.run()
+    assert [(tag, now) for tag, now, _ in order] == [
+        ("first", 5), ("second-armed", 6), ("second", 11)]
+    # The re-armed wait delivered the *new* value even if the object was
+    # the recycled one from the first sleep.
+    assert order[2][2] == "new"
+
+
+def test_interrupt_while_sleeping_recycles_exactly_once():
+    """Fault-injector-style cancellation: interrupting a process parked on a
+    pooled sleep must not double-step the process when the stale timeout
+    fires, and the timeout must return to the pool exactly once."""
+    sim = Simulator()
+    resumed = []
+    stale = []
+
+    def sleeper(sim):
+        t = sim.sleep(100)
+        stale.append(t)
+        try:
+            yield t
+        except Interrupt:
+            yield sim.sleep(500)
+        resumed.append(sim.now)
+
+    p = sim.spawn(sleeper(sim))
+
+    def killer(sim):
+        yield sim.sleep(10)
+        p.interrupt()
+
+    sim.spawn(killer(sim))
+    sim.run()
+    # The interrupt path resumed once, at 10 + 500; the stale firing at 100
+    # did not wake the process a second time.
+    assert resumed == [510]
+    t = stale[0]
+    assert t.triggered  # it still fired at its due time, waiterless
+    assert sim._timeout_pool.count(t) == 1
+    assert len(sim._timeout_pool) == _SLEEP_REFILL
+
+
+def test_pool_respects_negative_delay_on_rearm():
+    sim = Simulator()
+
+    def worker(sim):
+        yield sim.sleep(1)
+
+    sim.spawn(worker(sim))
+    sim.run()
+    assert sim._timeout_pool  # re-arm path, not construction path
+    with pytest.raises(ValueError):
+        sim.sleep(-3)
+
+
+def test_pool_is_per_simulator():
+    sim_a, sim_b = Simulator(), Simulator()
+
+    def worker(sim):
+        yield sim.sleep(1)
+
+    sim_a.spawn(worker(sim_a))
+    sim_a.run()
+    assert sim_a._timeout_pool and not sim_b._timeout_pool
+    assert all(t.sim is sim_a for t in sim_a._timeout_pool)
