@@ -10,6 +10,10 @@ Commands:
   ``trace_event`` JSON (load in Perfetto / ``chrome://tracing``).
 * ``metrics --format prom`` — one YCSB run, metric registry rendered as
   Prometheus text (or a versioned JSON snapshot).
+* ``check HISTORY.jsonl`` — audit a recorded op history (see
+  ``bench/chaos.py --check-linearizable``) for per-key linearizability
+  and lock-model violations; exits non-zero with a minimal
+  counterexample on failure.
 """
 
 from __future__ import annotations
@@ -150,6 +154,30 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_check(args: argparse.Namespace) -> int:
+    from repro.check import check_history, load_history
+
+    ops = load_history(args.history)
+    result = check_history(ops, max_states=args.max_states)
+    stats = result.stats
+    print(f"{args.history}: {stats['ops']} ops, "
+          f"{stats['register_keys']} register keys, "
+          f"{stats['lock_keys']} lock keys")
+    if stats["undecided_keys"]:
+        print(f"undecided (state cap): "
+              f"{[hex(k) for k in stats['undecided_keys']]}", file=sys.stderr)
+    if result.ok:
+        print("history is linearizable (and lock audits pass)")
+        return 0
+    for v in result.violations:
+        print(f"FAIL: {v}", file=sys.stderr)
+    if args.counterexample:
+        n = result.dump_counterexample(args.counterexample)
+        print(f"wrote minimal counterexample ({n} ops) to "
+              f"{args.counterexample}", file=sys.stderr)
+    return 1
+
+
 def _add_ycsb_knobs(p: argparse.ArgumentParser) -> None:
     p.add_argument("--workload", default="A", choices=list("ABCDEFabcdef"))
     p.add_argument("--system", default="gengar")
@@ -188,6 +216,15 @@ def main(argv: list[str] | None = None) -> int:
     p_metrics.add_argument("--format", default="prom",
                            choices=["prom", "json"])
 
+    p_check = sub.add_parser(
+        "check", help="audit a recorded op history for linearizability")
+    p_check.add_argument("history", help="JSONL history file "
+                         "(bench/chaos.py --history-out, or any recorder dump)")
+    p_check.add_argument("--counterexample", default=None,
+                         help="write the minimal failing op set here (JSONL)")
+    p_check.add_argument("--max-states", type=int, default=200_000,
+                         help="per-key search state cap before 'undecided'")
+
     args = parser.parse_args(argv)
     handler = {
         "info": _cmd_info,
@@ -196,6 +233,7 @@ def main(argv: list[str] | None = None) -> int:
         "ycsb": _cmd_ycsb,
         "trace": _cmd_trace,
         "metrics": _cmd_metrics,
+        "check": _cmd_check,
     }[args.command]
     return handler(args)
 

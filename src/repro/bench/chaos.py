@@ -45,13 +45,14 @@ from repro.faults import (
     LossyLink,
     MasterCrash,
     MasterRecover,
+    Partition,
     RingStall,
     ServerCrash,
     ServerRecover,
 )
 from repro.hardware.specs import TEST_DRAM, TEST_NVM
 from repro.sim import Simulator
-from repro.sim.trace import Tracer
+from repro.sim.trace import Tracer, trace
 from repro.workloads.ycsb import WORKLOAD_B, Op, YcsbGenerator
 
 #: Virtual-time slack allowed past a deadline before we call it a miss
@@ -60,18 +61,25 @@ _DEADLINE_SLACK_NS = 5_000
 
 
 def soak_config(smoke: bool = False, kill_clients: bool = False,
-                crash_master: bool = False) -> GengarConfig:
+                crash_master: bool = False,
+                nemesis: bool = False) -> GengarConfig:
     """The resilient profile the soak runs under.
 
     ``kill_clients`` arms the lease/fencing/torn-slot machinery;
     ``crash_master`` arms the metadata journal so a restarted master can
-    rebuild.  Both default off, keeping the base soak byte-identical.
+    rebuild; ``nemesis`` arms the full partition-tolerant control plane
+    (journal + terms + leases + phi-accrual failure detector) for the
+    Jepsen-style partition phase.  All default off, keeping the base soak
+    byte-identical.
     """
     extras: Dict[str, Any] = {}
     if kill_clients:
         extras.update(client_lease_ns=120_000, proxy_commit=True)
     if crash_master:
         extras.update(metadata_journal=True)
+    if nemesis:
+        extras.update(client_lease_ns=120_000, metadata_journal=True,
+                      master_terms=True, failure_detector=True)
     return GengarConfig(
         cache_capacity=256 * 1024,
         epoch_ns=50_000,
@@ -119,18 +127,22 @@ class ChaosSoak:
     def __init__(self, seed: int = 7, smoke: bool = False,
                  dump_trace: bool = False, kill_clients: bool = False,
                  crash_master: bool = False, record_spans: bool = False,
-                 prefetch: bool = False):
+                 prefetch: bool = False, nemesis: bool = False,
+                 check_linearizable: bool = False):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
         self.crash_master = crash_master
         self.prefetch = prefetch
+        self.nemesis = nemesis or check_linearizable
+        self.check_linearizable = check_linearizable
         self.records = 24 if smoke else 48
         self.value_size = 512
         self.num_workers = 2 if smoke else 4
         self.ops_per_worker = 80 if smoke else 400
         self.config = soak_config(smoke, kill_clients=kill_clients,
-                                  crash_master=crash_master)
+                                  crash_master=crash_master,
+                                  nemesis=self.nemesis)
         self.sim = Simulator(seed=seed)
         self.recorder = None
         if record_spans:
@@ -140,11 +152,12 @@ class ChaosSoak:
             self.sim.tracer = Tracer(
                 self.sim, capacity=50_000,
                 categories={"fault", "retry", "failover", "degraded",
-                            "lease", "fence"})
+                            "lease", "fence", "partition", "term", "check"})
         self.pool = GengarPool.build(
             self.sim, num_servers=2,
             num_clients=3 if kill_clients else 2, config=self.config,
             dram=TEST_DRAM, nvm=TEST_NVM,
+            standby_master=self.nemesis,
         )
         spec = WORKLOAD_B.scaled(record_count=self.records,
                                  value_size=self.value_size)
@@ -162,6 +175,13 @@ class ChaosSoak:
         self.violations: List[str] = []
         self.ops_ok = 0
         self.ops_typed_failures = 0
+        #: Partition-phase state: the op-history recorder (when
+        #: ``check_linearizable``), the checker's verdict, and the version
+        #: counters the nemesis workers hand out under their write locks.
+        self.history_recorder = None
+        self.check_result = None
+        self.linearizable: Optional[bool] = None
+        self._nemesis_versions: Dict[int, int] = {}
 
     # ------------------------------------------------------------------
     def encode(self, key: int, version: int) -> bytes:
@@ -575,6 +595,216 @@ class ChaosSoak:
                 "(still marked in flight after quiesce)")
 
     # ------------------------------------------------------------------
+    # Partition nemesis (the Jepsen loop)
+    # ------------------------------------------------------------------
+    def _demote_section_writes(self, client_name: str, key: int,
+                               since_ns: int) -> None:
+        """Reclassify a failed locked section's acked writes as ``info``.
+
+        A proxy write acks at stage time; it is only *promised* once the
+        section's release (which syncs first) completes.  When the section
+        instead ends in a fence, the master may retire the client's ring
+        and drop the staged frame — so the ack is indeterminate, exactly
+        Jepsen's ``:info``: the write may or may not have taken effect.
+        """
+        hist = self.sim.history
+        if hist is None:
+            return
+        for rec in reversed(hist.ops):
+            if rec["t0"] < since_ns:
+                break
+            if (rec["client"] == client_name and rec.get("key") == key
+                    and rec["op"] == "write" and rec["status"] == "ok"):
+                rec["status"] = "info"
+                rec["t1"] = None
+                rec["error"] = "section-aborted"
+
+    def audit_worker(self, index: int, client, keys: List[int],
+                     rounds: int) -> Generator[Any, Any, None]:
+        """Closed-loop lock-protected traffic for the partition phase.
+
+        Every shared-key access rides a lock section — the consistency
+        contract only promises linearizability for lock-protected ops
+        (raw proxy writes are release-consistent: acked at stage time,
+        drained later).  Write sections are lock / write / unlock (the
+        write-unlock syncs first); read sections take the shared lock.
+        A fence mid-section makes its writes indeterminate (see
+        :meth:`_demote_section_writes`) and the worker re-attaches.
+        """
+        sim = self.sim
+        lease = self.config.client_lease_ns
+        rng = sim.rng.stream(f"chaos.nemesis.w{index}")
+        versions = self._nemesis_versions
+        for i in range(rounds):
+            key = keys[int(rng.randrange(len(keys)))]
+            gaddr = self.gaddrs[key]
+            write = rng.random() < 0.5
+            t_section = sim.now
+            try:
+                if write:
+                    yield from client.glock(gaddr)
+                    try:
+                        # Version handout is inside the exclusive section,
+                        # so versions are per-key monotone across clients.
+                        version = versions[key] + 1
+                        versions[key] = version
+                        self.attempted[key].add(version)
+                        yield from client.gwrite(
+                            gaddr, self.encode(key, version))
+                    finally:
+                        yield from client.gunlock(gaddr)
+                else:
+                    yield from client.glock(gaddr, write=False)
+                    try:
+                        data = yield from client.gread(gaddr)
+                        v = self.parse(key, bytes(data))
+                        if v is None or v not in self.attempted[key]:
+                            self.violations.append(
+                                f"nemesis: key {key} read bytes of no "
+                                f"attempted version (head={bytes(data[:24])!r})")
+                    finally:
+                        yield from client.gunlock(gaddr, write=False)
+                self.ops_ok += 1
+            except FencedError:
+                self.ops_typed_failures += 1
+                if write:
+                    self._demote_section_writes(client.name, key, t_section)
+                try:
+                    yield from client.reattach_master()
+                except ClientError:
+                    yield sim.timeout(lease // 2)
+            except ClientError:
+                self.ops_typed_failures += 1
+                if write:
+                    self._demote_section_writes(client.name, key, t_section)
+            yield sim.timeout(2_000 + int(rng.randrange(4_000)))
+
+    def _nemesis_round(self, plan: FaultPlan, extra_procs: List,
+                       keys: List[int], rounds: int, tail_ns: int,
+                       tag: str) -> None:
+        """One Jepsen iteration: arm the nemesis, run workers through it,
+        let the schedule (and any straggling recovery) play out, disarm."""
+        injector = self.pool.inject_faults(
+            plan, rng_name=f"faults.nemesis.{tag}")
+        workers = [self.audit_worker(i, c, keys, rounds)
+                   for i, c in enumerate(self.pool.clients)]
+        self.pool.run(*(list(extra_procs) + workers))
+        self.sim.run(until=max(self.sim.now, plan.horizon_ns + tail_ns))
+        injector.uninstall()
+
+    def partition_phase(self) -> None:
+        """Three nemesis rounds against the term-fenced control plane:
+
+        1. **Split-brain attempt**: partition the master away from
+           everything, promote the standby mid-partition, heal — the old
+           master must end up deposed (its first post-heal fence attempt
+           hits the journal's term fence), never having fenced a client
+           or acked an allocation after the standby's term claim.
+        2. **Heal mid-failover**: crash the *current* master inside a
+           partition and start its recovery before the heal; recovery must
+           ride out the unreachable journal and complete with a higher term.
+        3. **Asymmetric control-plane split**: clients lose the master but
+           keep the server data plane; ops complete degraded or fail typed.
+
+        With ``check_linearizable`` the whole phase is recorded and the
+        history is audited per key (register linearizability + lock-model
+        mutual exclusion and epoch monotonicity).
+        """
+        sim = self.sim
+        pool = self.pool
+        lease = self.config.client_lease_ns
+        recorder = None
+        if self.check_linearizable:
+            from repro.check import HistoryRecorder
+            recorder = HistoryRecorder(sim).install()
+            self.history_recorder = recorder
+
+        keys = list(range(min(8, self.records)))
+        # Versions start far above anything the main soak wrote, so the
+        # durability parse audit stays discriminating across phases.
+        self._nemesis_versions = {k: 1_000_000 for k in keys}
+        rounds = 10 if self.smoke else 24
+        names = (["master", "master1"]
+                 + [f"server{sid}" for sid in sorted(pool.servers)]
+                 + [c.name for c in pool.clients])
+
+        def others(master_name: str):
+            return tuple(n for n in names if n != master_name)
+
+        # --- Round 1: split-brain attempt -----------------------------
+        old_master = pool.master
+        start = sim.now + 10_000
+        plan = FaultPlan.of(Partition(
+            start_ns=start, end_ns=start + 4 * lease,
+            group_a=(old_master.node.name,),
+            group_b=others(old_master.node.name)))
+
+        def promoter():
+            yield sim.timeout(start + lease - sim.now)
+            pool.promote_standby(rebuild=True)
+            # Bounded deterministic wait for the term claim to land.
+            for _ in range(64):
+                if not pool.master._recovering:
+                    return
+                yield sim.timeout(lease // 8)
+
+        # Tail: the old master's phi crosses threshold ~6 leases after
+        # heartbeats stop; its next sweep then attempts a fence, hits the
+        # journal's term fence, and deposes itself.
+        self._nemesis_round(plan, [promoter()], keys, rounds,
+                            tail_ns=5 * lease, tag="splitbrain")
+        if pool.master is old_master or pool.master.term <= old_master.term:
+            self.violations.append(
+                "nemesis: standby promotion did not supersede the old "
+                "master's term")
+        if not old_master._deposed:
+            self.violations.append(
+                "nemesis: the partitioned old master was never deposed "
+                "after the heal (split-brain window left open)")
+
+        # --- Round 2: heal mid-failover -------------------------------
+        cur = pool.master
+        failovers_before = cur.failovers.count
+        plan = FaultPlan.heal_mid_failover(
+            at_ns=sim.now + 10_000, others=others(cur.node.name),
+            master=cur.node.name, partition_ns=3 * lease,
+            crash_after_ns=lease // 2, recover_after_ns=lease, rebuild=True)
+        self._nemesis_round(plan, [], keys, rounds,
+                            tail_ns=2 * lease, tag="healmid")
+        if cur.failovers.count <= failovers_before:
+            self.violations.append(
+                "nemesis: recovery started mid-partition never completed "
+                "a failover after the heal")
+
+        # --- Round 3: asymmetric control-plane split ------------------
+        cur = pool.master
+        plan = FaultPlan.control_plane_split(
+            at_ns=sim.now + 10_000,
+            clients=tuple(c.name for c in pool.clients),
+            master=cur.node.name, duration_ns=3 * lease)
+        self._nemesis_round(plan, [], keys, rounds,
+                            tail_ns=lease, tag="ctrlsplit")
+
+        # --- Check ----------------------------------------------------
+        if recorder is not None:
+            recorder.uninstall()
+            from repro.check import check_history
+            result = check_history(recorder.ops)
+            self.check_result = result
+            self.linearizable = result.ok
+            m = sim.metrics
+            m.counter("check.histories").add()
+            m.counter("check.history_ops").add(len(recorder.ops))
+            if sim.tracer is not None:
+                trace(sim, "check", "history audited",
+                      ops=len(recorder.ops), ok=result.ok,
+                      violations=len(result.violations))
+            if not result.ok:
+                m.counter("check.violations").add(len(result.violations))
+                for v in result.violations[:5]:
+                    self.violations.append(f"linearizability-check: {v}")
+
+    # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         self.load()
         t0 = self.sim.now
@@ -599,6 +829,8 @@ class ChaosSoak:
             self.crash_tolerance_phase()
         if self.prefetch:
             self.prefetch_phase()
+        if self.nemesis:
+            self.partition_phase()
 
         m = self.sim.metrics
         counters = {
@@ -633,17 +865,34 @@ class ChaosSoak:
         counters["prefetch_promotions"] = int(
             master.prefetch_promotions.total)
         counters["prefetches"] = int(m.counter("pool.prefetches").total)
+        # Partition-tolerance counters (all zero unless --nemesis armed
+        # the term-fenced control plane).  The master.* metrics live in
+        # the shared registry, so one read covers both master instances.
+        counters["suspected_clients"] = m.counter(
+            "master.suspected_clients").count
+        counters["term_claims"] = m.counter("master.term_claims").count
+        counters["depositions"] = m.counter("master.depositions").count
+        counters["master_term"] = master.term
+        counters["stale_term_rejections"] = m.counter(
+            "pool.stale_term_rejections").count
+        counters["partition_suspected"] = m.counter(
+            "pool.partition_suspected").count
+        counters["lease_lapses"] = m.counter("pool.lease_lapses").count
         return {
             "seed": self.seed,
             "smoke": self.smoke,
             "kill_clients": self.kill_clients,
             "crash_master": self.crash_master,
             "prefetch": self.prefetch,
+            "nemesis": self.nemesis,
             "virtual_end_ns": self.sim.now,
             "ops_ok": self.ops_ok,
             "ops_typed_failures": self.ops_typed_failures,
             "lost_reports": sum(len(c.fault_log) for c in self.pool.clients),
             "tainted_keys": len(self.tainted),
+            "linearizable": self.linearizable,
+            "history_ops": (len(self.history_recorder.ops)
+                            if self.history_recorder is not None else 0),
             "counters": counters,
             "violations": self.violations,
         }
@@ -652,14 +901,28 @@ class ChaosSoak:
 def run_soak(seed: int = 7, smoke: bool = False,
              dump_trace: bool = False, kill_clients: bool = False,
              crash_master: bool = False, prefetch: bool = False,
+             nemesis: bool = False, check_linearizable: bool = False,
              trace_out: Optional[str] = None,
-             span_log: Optional[str] = None) -> Dict[str, Any]:
+             span_log: Optional[str] = None,
+             history_out: Optional[str] = None,
+             counterexample_out: Optional[str] = None) -> Dict[str, Any]:
     """One full soak; returns the audit report (see :class:`ChaosSoak`)."""
     soak = ChaosSoak(seed=seed, smoke=smoke, dump_trace=dump_trace,
                      kill_clients=kill_clients, crash_master=crash_master,
-                     prefetch=prefetch,
+                     prefetch=prefetch, nemesis=nemesis,
+                     check_linearizable=check_linearizable,
                      record_spans=bool(trace_out or span_log))
     report = soak.run()
+    if soak.history_recorder is not None and history_out:
+        n = soak.history_recorder.dump_jsonl(history_out)
+        report["history_file"] = history_out
+        print(f"wrote {history_out}: {n} recorded ops", file=sys.stderr)
+    if (soak.check_result is not None and not soak.check_result.ok
+            and counterexample_out):
+        n = soak.check_result.dump_counterexample(counterexample_out)
+        report["counterexample_file"] = counterexample_out
+        print(f"wrote {counterexample_out}: minimal counterexample "
+              f"({n} ops)", file=sys.stderr)
     if dump_trace and soak.sim.tracer is not None:
         report["trace"] = soak.sim.tracer.render(limit=200)
     if soak.recorder is not None:
@@ -700,6 +963,21 @@ def main(argv=None) -> int:
                         help="add the prefetch fault-interaction phase: "
                              "crash the home server while a hotness-driven "
                              "prefetch batch is in flight")
+    parser.add_argument("--nemesis", action="store_true",
+                        help="add the partition nemesis phase: split-brain "
+                             "attempt with standby promotion, heal-mid-"
+                             "failover, and an asymmetric control-plane "
+                             "split (terms + failure detector on)")
+    parser.add_argument("--check-linearizable", action="store_true",
+                        help="record the nemesis phase as a Jepsen-style "
+                             "op history and audit it per key (implies "
+                             "--nemesis)")
+    parser.add_argument("--history-out", type=str, default=None,
+                        help="write the recorded op history as JSONL here "
+                             "(replayable via `python -m repro check`)")
+    parser.add_argument("--counterexample-out", type=str, default=None,
+                        help="on a check failure, write the minimal "
+                             "counterexample history here (the CI artifact)")
     parser.add_argument("--check-determinism", action="store_true",
                         help="run twice and require identical results")
     args = parser.parse_args(argv)
@@ -708,15 +986,20 @@ def main(argv=None) -> int:
                       dump_trace=args.dump_trace,
                       kill_clients=args.kill_clients,
                       crash_master=args.crash_master,
-                      prefetch=args.prefetch,
-                      trace_out=args.trace_out, span_log=args.span_log)
+                      prefetch=args.prefetch, nemesis=args.nemesis,
+                      check_linearizable=args.check_linearizable,
+                      trace_out=args.trace_out, span_log=args.span_log,
+                      history_out=args.history_out,
+                      counterexample_out=args.counterexample_out)
     if args.check_determinism:
         second = run_soak(seed=args.seed, smoke=args.smoke,
                           kill_clients=args.kill_clients,
                           crash_master=args.crash_master,
-                          prefetch=args.prefetch)
+                          prefetch=args.prefetch, nemesis=args.nemesis,
+                          check_linearizable=args.check_linearizable)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
-                "lost_reports", "tainted_keys", "counters", "violations"]
+                "lost_reports", "tainted_keys", "linearizable",
+                "history_ops", "counters", "violations"]
         mismatched = [k for k in keys if report[k] != second[k]]
         if mismatched:
             report["violations"].append(
@@ -735,6 +1018,9 @@ def main(argv=None) -> int:
     print(f"  virtual time: {report['virtual_end_ns'] / 1e6:.3f} ms, "
           f"ops ok: {report['ops_ok']}, "
           f"typed failures: {report['ops_typed_failures']}")
+    if report["linearizable"] is not None:
+        print(f"  linearizable: {report['linearizable']} "
+              f"({report['history_ops']} recorded ops)")
     for name, value in sorted(report["counters"].items()):
         print(f"  {name}: {value}")
     if "determinism" in report:

@@ -1,0 +1,129 @@
+"""Operation-history recording (the Jepsen ``history`` abstraction).
+
+Every public client op emits two events: an *invoke* when it starts and
+exactly one completion when it returns — ``ok`` (took effect, with the
+observed result), ``fail`` (definitely did not take effect: failed reads,
+ops refused before any side effect), or ``info`` (indeterminate: a write
+or sync whose attempt was abandoned mid-flight and may still land).
+
+The recorder keeps one dict per op rather than a flat event stream — the
+checker wants ops with ``[t0, t1]`` real-time windows, and merging
+invoke/completion pairs up front keeps the JSONL artifact human-greppable
+(one line per op, in invocation order).
+
+Values are recorded as short content digests (:meth:`HistoryRecorder.
+encode`), not payload bytes: the checker only ever compares values for
+equality, and a 4 KiB YCSB record would bloat the artifact a thousandfold
+for no extra discriminating power.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+from typing import Any, Dict, List, Optional
+
+__all__ = ["HistoryRecorder", "load_history"]
+
+
+class HistoryRecorder:
+    """Records per-op invoke/complete events via the ``sim.history`` hooks.
+
+    The client-side contract (see ``GengarClient``):
+
+    * ``tok = invoke(client, op, key, value=..., **kw)`` when a public op
+      starts.  ``key`` is the gaddr for keyed ops, ``None`` for ``sync``.
+    * exactly one of ``ok(tok, value=...)`` / ``fail(tok, exc)`` /
+      ``info(tok, exc)`` when it returns.
+
+    Ops never completed by history end (their process was still parked
+    when the run stopped) stay ``"pending"`` — the checker treats pending
+    writes like ``info`` (they may have landed) and pending reads like
+    ``fail`` (they returned nothing, so they constrain nothing).
+    """
+
+    def __init__(self, sim):
+        self.sim = sim
+        self.ops: List[Dict[str, Any]] = []
+
+    # ------------------------------------------------------------------
+    # Recording hooks (called from the client's public op wrappers)
+    # ------------------------------------------------------------------
+    def invoke(self, client: str, op: str, key: Optional[int],
+               value: Any = None, **kw: Any) -> int:
+        """Open one op; returns the token to complete it with."""
+        rec: Dict[str, Any] = {
+            "id": len(self.ops),
+            "client": client,
+            "op": op,
+            "key": key,
+            "t0": self.sim.now,
+            "t1": None,
+            "status": "pending",
+        }
+        if value is not None:
+            rec["value"] = value
+        if kw:
+            rec.update(kw)
+        self.ops.append(rec)
+        return rec["id"]
+
+    def ok(self, token: int, value: Any = None) -> None:
+        """The op completed and definitely took effect."""
+        rec = self.ops[token]
+        rec["status"] = "ok"
+        rec["t1"] = self.sim.now
+        if value is not None:
+            rec["result"] = value
+
+    def fail(self, token: int, exc: BaseException) -> None:
+        """The op failed and definitely did NOT take effect."""
+        rec = self.ops[token]
+        rec["status"] = "fail"
+        rec["t1"] = self.sim.now
+        rec["error"] = type(exc).__name__
+
+    def info(self, token: int, exc: BaseException) -> None:
+        """The op failed *indeterminately*: its side effects may still
+        occur (an abandoned write attempt keeps running in background)."""
+        rec = self.ops[token]
+        rec["status"] = "info"
+        rec["t1"] = self.sim.now
+        rec["error"] = type(exc).__name__
+
+    @staticmethod
+    def encode(data: Optional[bytes]) -> str:
+        """Short stable digest of a payload, for equality-only comparison."""
+        if data is None:
+            return ""
+        return hashlib.blake2b(bytes(data), digest_size=8).hexdigest()
+
+    # ------------------------------------------------------------------
+    # Lifecycle + serialization
+    # ------------------------------------------------------------------
+    def install(self) -> "HistoryRecorder":
+        """Start feeding this recorder from the simulator's client hooks."""
+        self.sim.history = self
+        return self
+
+    def uninstall(self) -> None:
+        if self.sim.history is self:
+            self.sim.history = None
+
+    def dump_jsonl(self, path: str) -> int:
+        """Write the history, one op per line, in invocation order."""
+        with open(path, "w", encoding="utf-8") as fh:
+            for rec in self.ops:
+                fh.write(json.dumps(rec, sort_keys=True) + "\n")
+        return len(self.ops)
+
+
+def load_history(path: str) -> List[Dict[str, Any]]:
+    """Load a JSONL history dumped by :meth:`HistoryRecorder.dump_jsonl`."""
+    ops: List[Dict[str, Any]] = []
+    with open(path, "r", encoding="utf-8") as fh:
+        for line in fh:
+            line = line.strip()
+            if line:
+                ops.append(json.loads(line))
+    return ops

@@ -19,10 +19,13 @@ from repro.core.errors import (
     DeadlineExceededError,
     FatalError,
     FencedError,
+    LeaseExpiredError,
     MasterUnavailableError,
+    PartitionSuspected,
     RetryableError,
     ServerUnavailableError,
     StaleRingError,
+    StaleTermError,
 )
 from repro.core.config import (
     CACHE_ONLY,
@@ -50,6 +53,9 @@ __all__ = [
     "ServerUnavailableError",
     "MasterUnavailableError",
     "StaleRingError",
+    "StaleTermError",
+    "PartitionSuspected",
+    "LeaseExpiredError",
     "FencedError",
     "DeadlineExceededError",
     "RetryPolicy",

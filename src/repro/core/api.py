@@ -58,13 +58,17 @@ class GengarPool:
 
     def __init__(self, sim: "Simulator", cluster: Cluster, master: Master,
                  servers: Dict[int, MemoryServer], clients: List[GengarClient],
-                 config: GengarConfig):
+                 config: GengarConfig, standby: Optional[Master] = None):
         self.sim = sim
         self.cluster = cluster
         self.master = master
         self.servers = servers
         self.clients = clients
         self.config = config
+        #: Warm standby master (``build(standby_master=True)``): wired to
+        #: every server and client but refusing to serve until
+        #: :meth:`promote_standby` runs its recovery + term claim.
+        self.standby = standby
 
     # ------------------------------------------------------------------
     @classmethod
@@ -81,6 +85,7 @@ class GengarPool:
         client_cores: int = 16,
         policy_factory=None,
         rack_plan: Optional[Dict[str, str]] = None,
+        standby_master: bool = False,
     ) -> "GengarPool":
         """Construct the cluster, wire it, and run the bootstrap handshake.
 
@@ -94,6 +99,9 @@ class GengarPool:
         rack_plan = rack_plan or {}
         node_specs = [NodeSpec(name="master", dram=dram, nvm=None,
                                rack=rack_plan.get("master"))]
+        if standby_master:
+            node_specs.append(NodeSpec(name="master1", dram=dram, nvm=None,
+                                       rack=rack_plan.get("master1")))
         for i in range(num_servers):
             node_specs.append(NodeSpec(name=f"server{i}", dram=dram, nvm=nvm,
                                        rack=rack_plan.get(f"server{i}")))
@@ -125,6 +133,23 @@ class GengarPool:
             master.add_server(server.descriptor(), rpc,
                               data_capacity=server.data_capacity)
 
+        # Warm standby: wired to every server (for the journal scan + term
+        # claim at promotion) but born recovering — it serves nothing and
+        # journals nothing until promote_standby().
+        standby: Optional[Master] = None
+        if standby_master:
+            standby_node = cluster.node("master1")
+            standby = Master(standby_node, config,
+                             policy_factory=policy_factory, standby=True)
+            for sid, server in servers.items():
+                qp_m, qp_s = connect(standby_node.endpoint, server.node.endpoint)
+                server.serve_control(qp_s)
+                rpc = RpcClient(standby_node.endpoint, qp_m, standby_node.dram,
+                                base=standby.carve_rpc_span(),
+                                name=f"master1->server{sid}")
+                standby.add_server(server.descriptor(), rpc,
+                                   data_capacity=server.data_capacity)
+
         # Clients: control to master, control + data to each server.
         clients: List[GengarClient] = []
         for cid in range(num_clients):
@@ -132,11 +157,20 @@ class GengarPool:
             client = GengarClient(client_node, name=f"client{cid}")
             qp_c, qp_m = connect(client_node.endpoint, master_node.endpoint)
             master.serve_control(qp_m)
-            client.master_rpc = RpcClient(
+            client.add_master_conn(RpcClient(
                 client_node.endpoint, qp_c, client_node.dram,
                 base=client.carve_dram(_RPC_SPAN, "rpc.master"),
                 name=f"{client.name}->master",
-            )
+            ))
+            if standby is not None:
+                qp_c2, qp_m2 = connect(client_node.endpoint,
+                                       standby.node.endpoint)
+                standby.serve_control(qp_m2)
+                client.add_master_conn(RpcClient(
+                    client_node.endpoint, qp_c2, client_node.dram,
+                    base=client.carve_dram(_RPC_SPAN, "rpc.master1"),
+                    name=f"{client.name}->master1",
+                ))
             for sid, server in servers.items():
                 ctrl_c, ctrl_s = connect(client_node.endpoint, server.node.endpoint)
                 server.serve_control(ctrl_s)
@@ -156,7 +190,8 @@ class GengarPool:
             master.start_planner()
 
         sim.run_until_complete(sim.spawn(bootstrap(sim), name="bootstrap"))
-        return cls(sim, cluster, master, servers, clients, config)
+        return cls(sim, cluster, master, servers, clients, config,
+                   standby=standby)
 
     # ------------------------------------------------------------------
     def run(self, *generators, max_events: Optional[int] = None) -> list:
@@ -170,6 +205,31 @@ class GengarPool:
         procs = [self.sim.spawn(g) for g in generators]
         self.sim.run_until_complete(self.sim.all_of(procs), max_events=max_events)
         return [p.value for p in procs]
+
+    def promote_standby(self, rebuild: bool = True):
+        """Promote the warm standby: spawn its recovery process (journal
+        replay + term claim) and return the process.
+
+        The claim journals a term above every persisted one, which makes
+        the servers reject the old incumbent's subsequent appends — the
+        deposed master cannot ack another allocation even if it is still
+        running on the far side of a partition.  Clients fail over on
+        their own: a stale-term reply (or unreachable incumbent) makes the
+        retry loop rotate to the standby's connection.
+
+        The standby keeps refusing RPCs ("master recovering") until the
+        claim lands, so promotion mid-partition is safe — it just parks
+        until the fabric heals enough to reach the journals.
+        """
+        if self.standby is None:
+            raise ValueError("pool was built without standby_master=True")
+        standby = self.standby
+        proc = self.sim.spawn(standby.recovery_process(rebuild=rebuild),
+                              name="master1.promote")
+        # The promoted standby is the pool's master from here on (the old
+        # incumbent object stays alive — and fenced — for inspection).
+        self.master, self.standby = standby, self.master
+        return proc
 
     def inject_faults(self, plan, rng_name: str = "faults"):
         """Arm a :class:`~repro.faults.plan.FaultPlan` against this pool.
@@ -248,6 +308,21 @@ class GengarPool:
                 "journal_records_replayed": int(self.master.journal_replayed.total),
                 "client_master_reattaches":
                     m.counter("pool.master_failovers").count,
+            },
+            "partitions": {
+                "master_term": self.master.term,
+                "master_deposed": self.master._deposed,
+                "standby": (self.standby.node.name
+                            if self.standby is not None else None),
+                "suspected_clients":
+                    m.counter("master.suspected_clients").count,
+                "term_claims": m.counter("master.term_claims").count,
+                "depositions": m.counter("master.depositions").count,
+                "stale_term_rejections":
+                    m.counter("pool.stale_term_rejections").count,
+                "partition_suspected":
+                    m.counter("pool.partition_suspected").count,
+                "lease_lapses": m.counter("pool.lease_lapses").count,
             },
         }
 

@@ -39,10 +39,13 @@ from repro.core.errors import (
     DeadlineExceededError,
     FatalError,
     FencedError,
+    LeaseExpiredError,
     MasterUnavailableError,
+    PartitionSuspected,
     RetryableError,
     ServerUnavailableError,
     StaleRingError,
+    StaleTermError,
 )
 from repro.core.hotness import AccessPredictor
 from repro.core.layout import DramCarver
@@ -146,6 +149,9 @@ _SCRATCH_SLOTS = 16
 _SCRATCH_SLOT_SIZE = 256 * 1024
 #: Retries after self-verification failures before declaring thrash.
 _MAX_META_RETRIES = 4
+#: Consecutive master transport failures before the client's verdict
+#: upgrades from "one lost RPC" to "the path to the master is partitioned".
+_SUSPECT_STREAK = 3
 
 
 class GFuture:
@@ -196,6 +202,16 @@ class GengarClient:
         self.name = name or node.name
         self.config: GengarConfig = GengarConfig()  # replaced at attach
         self.master_rpc: Optional["RpcClient"] = None  # wired by bootstrap
+        #: Master connections in rotation order (active + standbys); empty
+        #: unless the bootstrap wired standby masters via add_master_conn.
+        self._master_rpcs: list = []
+        #: Highest master term observed in any reply (``master_terms``);
+        #: replies below it are stale-master echoes and are rejected.
+        self._master_term = 0
+        #: Consecutive master transport failures; at the suspicion streak
+        #: the failure is reported as PartitionSuspected, not just one
+        #: more MasterUnavailableError.
+        self._master_fail_streak = 0
         self._conns: Dict[int, _ServerConn] = {}
         self._meta_cache: Dict[int, ObjectMeta] = {}
         # Epoch-based invalidation: each entry remembers the per-server epoch
@@ -290,6 +306,9 @@ class GengarClient:
         self.m_lease_renewals = m.counter("pool.lease_renewals")
         self.m_fence_rejections = m.counter("pool.fence_rejections")
         self.m_master_failovers = m.counter("pool.master_failovers")
+        self.m_lease_lapses = m.counter("pool.lease_lapses")
+        self.m_stale_terms = m.counter("pool.stale_term_rejections")
+        self.m_partition_suspected = m.counter("pool.partition_suspected")
         self.m_prefetches = m.counter("pool.prefetches")
         self.h_read = m.histogram("pool.read_latency")
         self.h_write = m.histogram("pool.write_latency")
@@ -320,14 +339,29 @@ class GengarClient:
         """
         if not self.lease_ns:
             return
-        if self._fenced or self.sim.now >= self.lease_deadline:
+        if self._fenced:
             self.m_fence_rejections.add()
             if self.sim.tracer is not None:
-                trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                trace(self.sim, "fence", f"{what} refused: epoch fenced",
                       client=self.name)
             raise FencedError(
-                f"{what}: lease lapsed (fenced={self._fenced}); "
+                f"{what}: master fenced this epoch; "
                 "reattach_master() to rejoin")
+        if self.sim.now >= self.lease_deadline:
+            # The deadline lapsed *locally* but the master never said
+            # "fenced" — typically the master was unreachable longer than
+            # one lease (its own retry backoff can outlast the lease).
+            # That is a retryable condition, not a terminal one: the
+            # resilience engine re-attaches (fresh lease, same epoch) and
+            # retries, instead of a zombie-style self-fence.
+            self.m_fence_rejections.add()
+            self.m_lease_lapses.add()
+            if self.sim.tracer is not None:
+                trace(self.sim, "lease", f"{what} parked: lease lapsed "
+                      "locally", client=self.name)
+            raise LeaseExpiredError(
+                f"{what}: lease deadline lapsed locally; re-attach to "
+                "renew before retrying")
 
     # ------------------------------------------------------------------
     # Wiring + attach (called by the deployment bootstrap)
@@ -340,17 +374,88 @@ class GengarClient:
                         rpc: "RpcClient") -> None:
         self._conns[desc.server_id] = _ServerConn(desc=desc, data_qp=data_qp, rpc=rpc)
 
+    def add_master_conn(self, rpc: "RpcClient") -> None:
+        """Register a master control connection (active or standby).  The
+        first one registered becomes the active master; the rest are the
+        rotation order :meth:`_rotate_master` walks on failover."""
+        if self.master_rpc is None:
+            self.master_rpc = rpc
+        if rpc not in self._master_rpcs:
+            self._master_rpcs.append(rpc)
+
+    def _rotate_master(self) -> None:
+        """Point the control plane at the next wired master (no-op without
+        standbys).  Stale-term protection makes this safe to do eagerly: if
+        the rotation lands on a deposed master, its replies carry a term
+        below the one we have seen and are rejected, rotating us onward."""
+        if len(self._master_rpcs) < 2:
+            return
+        try:
+            i = self._master_rpcs.index(self.master_rpc)
+        except ValueError:
+            i = -1
+        self.master_rpc = self._master_rpcs[(i + 1) % len(self._master_rpcs)]
+        if self.sim.tracer is not None:
+            trace(self.sim, "failover", "rotated to next master",
+                  client=self.name)
+
     def _master_call(self, method: str, payload) -> Generator[Any, Any, Any]:
         """Call the master, mapping transport failures and the recovering
         window into the retryable :class:`MasterUnavailableError` so the
-        resilience engine (and its auto master re-attach) can handle them."""
+        resilience engine (and its auto master re-attach) can handle them.
+
+        With ``master_terms`` the reply rides a ``{"t": term, "r": result}``
+        envelope: the term is compared against the highest this client has
+        observed, and a reply below it is a deposed master's echo —
+        rejected with :class:`StaleTermError` rather than trusted.  A
+        streak of pure transport failures upgrades the verdict to
+        :class:`PartitionSuspected`: not one lost RPC, a dead path.
+        """
         try:
             result = yield from self.master_rpc.call(method, payload)
         except RpcError as exc:
             msg = str(exc)
-            if "transport failed" in msg or "master recovering" in msg:
+            if "master deposed" in msg or "stale master term" in msg:
+                self.m_stale_terms.add()
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", f"{method} hit a deposed master",
+                          client=self.name)
+                raise StaleTermError(
+                    f"{method}: {msg}", known_term=self._master_term) from exc
+            if "transport failed" in msg:
+                self._master_fail_streak += 1
+                if self._master_fail_streak >= _SUSPECT_STREAK:
+                    self.m_partition_suspected.add()
+                    if self.sim.tracer is not None:
+                        trace(self.sim, "partition",
+                              "master path suspected partitioned",
+                              client=self.name,
+                              failures=self._master_fail_streak)
+                    raise PartitionSuspected(
+                        f"{method}: {self._master_fail_streak} consecutive "
+                        f"master transport failures ({msg})") from exc
+                raise MasterUnavailableError(f"{method}: {msg}") from exc
+            if "master recovering" in msg:
                 raise MasterUnavailableError(f"{method}: {msg}") from exc
             raise
+        self._master_fail_streak = 0
+        if (isinstance(result, dict) and len(result) == 2
+                and "t" in result and "r" in result):
+            # Term envelope (checked structurally: attach learns the config
+            # *from* this reply, so the flag may not be known yet).
+            term = result["t"]
+            if term < self._master_term:
+                self.m_stale_terms.add()
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", f"{method} reply term stale",
+                          client=self.name, reply_term=term,
+                          known_term=self._master_term)
+                raise StaleTermError(
+                    f"{method}: reply term {term} below observed "
+                    f"{self._master_term}", reply_term=term,
+                    known_term=self._master_term)
+            self._master_term = term
+            result = result["r"]
         return result
 
     def attach(self) -> Generator[Any, Any, None]:
@@ -432,7 +537,7 @@ class GengarClient:
         """Free a pool object.  Outstanding writes are synced first."""
         self._require_attached()
         if gaddr in self._overlay:
-            yield from self.gsync(server_id=self._overlay[gaddr].server_id)
+            yield from self._gsync_traced(server_id=self._overlay[gaddr].server_id)
         req_id = self._next_req_id()
         yield from self._resilient(
             "gfree", lambda: self._master_call(
@@ -451,6 +556,23 @@ class GengarClient:
         ``max_attempts``, optionally re-attaching automatically; a deadline
         turns an unbounded stall into :class:`DeadlineExceededError`.
         """
+        hist = self.sim.history
+        if hist is not None:
+            tok = hist.invoke(self.name, "read", gaddr,
+                              offset=offset, length=length)
+            try:
+                data = yield from self._gread_traced(gaddr, offset, length)
+            except BaseException as exc:
+                # Reads have no effect: a failed read is a definite no-op.
+                hist.fail(tok, exc)
+                raise
+            hist.ok(tok, value=hist.encode(data))
+            return data
+        data = yield from self._gread_traced(gaddr, offset, length)
+        return data
+
+    def _gread_traced(self, gaddr: int, offset: int = 0,
+                      length: Optional[int] = None) -> Generator[Any, Any, bytes]:
         rec = self.sim.spans
         if rec is None:
             data = yield from self._resilient(
@@ -492,7 +614,7 @@ class GengarClient:
                 lo = offset - pending.offset
                 return pending.data[lo : lo + length]
             # Partial overlap: force the write down before reading remotely.
-            yield from self.gsync(server_id=pending.server_id)
+            yield from self._gsync_traced(server_id=pending.server_id)
 
         data = yield from self._remote_read(gaddr, meta, offset, length,
                                             span_op=span_op)
@@ -507,6 +629,25 @@ class GengarClient:
         write whose proxy ring is unavailable or stalled falls back to the
         direct-to-NVM path instead of blocking.
         """
+        hist = self.sim.history
+        if hist is not None:
+            tok = hist.invoke(self.name, "write", gaddr,
+                              value=hist.encode(data), offset=offset,
+                              length=len(data))
+            try:
+                yield from self._gwrite_traced(gaddr, data, offset)
+            except BaseException as exc:
+                # A failed write is *indeterminate*: an abandoned attempt
+                # (deadline, crash) may still land later.  The checker must
+                # treat it as possibly-applied, so record info, not fail.
+                hist.info(tok, exc)
+                raise
+            hist.ok(tok)
+            return
+        yield from self._gwrite_traced(gaddr, data, offset)
+
+    def _gwrite_traced(self, gaddr: int, data: bytes,
+                       offset: int = 0) -> Generator[Any, Any, None]:
         rec = self.sim.spans
         if rec is None:
             yield from self._resilient(
@@ -579,6 +720,20 @@ class GengarClient:
         staged writes are recorded in :attr:`fault_log` and the sync
         trivially completes).
         """
+        hist = self.sim.history
+        if hist is not None:
+            tok = hist.invoke(self.name, "sync", None, server=server_id)
+            try:
+                yield from self._gsync_traced(server_id)
+            except BaseException as exc:
+                hist.info(tok, exc)  # staged writes may have drained anyway
+                raise
+            hist.ok(tok)
+            return
+        yield from self._gsync_traced(server_id)
+
+    def _gsync_traced(
+            self, server_id: Optional[int] = None) -> Generator[Any, Any, None]:
         rec = self.sim.spans
         if rec is None:
             yield from self._resilient(
@@ -749,7 +904,13 @@ class GengarClient:
             try:
                 reply = yield from self._master_call(
                     "renew", {"client": self.name, "epoch": self.fence_epoch})
-            except (MasterUnavailableError, RpcError):
+            except StaleTermError:
+                # Our master was deposed: rotate / re-attach so renewals
+                # reach the incumbent before the lease deadline does.
+                if self.config.auto_reattach:
+                    yield from self._auto_reattach_master()
+                continue
+            except (MasterUnavailableError, PartitionSuspected, RpcError):
                 continue  # master down/recovering: keep trying until fenced
             if reply.get("ok"):
                 self._note_renewal(reply.get("lease_ns", self.lease_ns))
@@ -815,8 +976,17 @@ class GengarClient:
                 server_id = getattr(exc, "server_id", None)
                 if self.config.auto_reattach and server_id is not None:
                     yield from self._auto_reattach(server_id)
+                elif isinstance(exc, LeaseExpiredError):
+                    # May raise FencedError: a lapse the master resolved by
+                    # retiring our epoch is terminal, not retryable.
+                    yield from self._lease_lapse_probe(op)
                 elif (self.config.auto_reattach
-                        and isinstance(exc, MasterUnavailableError)):
+                        and isinstance(exc, (MasterUnavailableError,
+                                             PartitionSuspected,
+                                             StaleTermError))):
+                    # All three mean "the control plane, not this op, is the
+                    # problem": re-attach (rotating to a standby master if
+                    # wired) before burning the next attempt.
                     yield from self._auto_reattach_master()
                 rec = self.sim.spans
                 t_wait = self.sim.now if rec is not None else 0
@@ -892,6 +1062,48 @@ class GengarClient:
             self._reattach_gates.pop(server_id, None)
             gate.succeed()
 
+    def _lease_lapse_probe(self, op: str) -> Generator[Any, Any, None]:
+        """Resolve a *locally* lapsed lease before the next attempt.
+
+        The lapse is ambiguous: either the master was merely unreachable
+        longer than one lease (an op parked in retry backoff outlasted the
+        deadline — recoverable), or the master actually expired us and
+        retired our epoch (our locks are gone — terminal).  A zombie must
+        not be silently re-attached under a fresh epoch mid-op, so probe
+        with a ``renew`` carrying our current epoch and let the master's
+        verdict pick the branch:
+
+        * ``ok`` — lease re-established at the same epoch; retry proceeds.
+        * ``fenced`` — the epoch was retired: mark fenced and raise the
+          terminal :class:`FencedError` the zombie contract promises.
+        * ``unknown`` — a restarted master forgot us; a full re-attach
+          re-adopts our identity (same epoch via the max rule).
+        * probe unreachable — back off and probe again next attempt.
+        """
+        try:
+            reply = yield from self._master_call(
+                "renew", {"client": self.name, "epoch": self.fence_epoch})
+        except StaleTermError:
+            if self.config.auto_reattach:
+                yield from self._auto_reattach_master()
+            return
+        except RetryableError:
+            return  # master still unreachable: keep heartbeating + retrying
+        if reply.get("ok"):
+            self._note_renewal(reply.get("lease_ns", self.lease_ns))
+            return
+        if reply.get("reason") == "unknown":
+            if self.config.auto_reattach:
+                yield from self._auto_reattach_master()
+            return
+        self._fenced = True
+        if self.sim.tracer is not None:
+            trace(self.sim, "fence", f"{op} fenced after lease lapse",
+                  client=self.name, epoch=self.fence_epoch)
+        raise FencedError(
+            f"{op}: lease lapsed and the master fenced this epoch; "
+            "reattach_master() to rejoin")
+
     def _auto_reattach_master(self) -> Generator[Any, Any, None]:
         """Coalesced master re-attach, mirroring :meth:`_auto_reattach`:
         the first op to hit a dead/recovering master runs the handshake,
@@ -910,6 +1122,10 @@ class GengarClient:
                 if self.sim.tracer is not None:
                     trace(self.sim, "failover", "master re-attach failed",
                           client=self.name, cause=type(exc).__name__)
+                # Next retry tries the next wired master (no-op without
+                # standbys): an unreachable or deposed master should not
+                # absorb the whole retry budget when a live one exists.
+                self._rotate_master()
             else:
                 self.m_master_failovers.add()
                 if self.sim.tracer is not None:
@@ -956,6 +1172,25 @@ class GengarClient:
         propagates.
         """
         gaddrs = list(gaddrs)
+        hist = self.sim.history
+        if hist is not None:
+            # One event per object, all sharing the batch's time window —
+            # conservative (wider windows admit more linearizations) but
+            # sound.
+            toks = [hist.invoke(self.name, "read", g) for g in gaddrs]
+            try:
+                results = yield from self._gread_many_traced(gaddrs)
+            except BaseException as exc:
+                for tok in toks:
+                    hist.fail(tok, exc)
+                raise
+            for tok, data in zip(toks, results):
+                hist.ok(tok, value=hist.encode(data))
+            return results
+        results = yield from self._gread_many_traced(gaddrs)
+        return results
+
+    def _gread_many_traced(self, gaddrs) -> Generator[Any, Any, list]:
         rec = self.sim.spans
         if rec is None:
             results = yield from self._gread_many_once(gaddrs)
@@ -1106,7 +1341,7 @@ class GengarClient:
         failures: list = []
         for idx in sorted(fallback):
             try:
-                results[idx] = yield from self.gread(gaddrs[idx])
+                results[idx] = yield from self._gread_traced(gaddrs[idx])
             except ClientError as exc:
                 failures.append((idx, exc))
         if failures:
@@ -1229,6 +1464,24 @@ class GengarClient:
         the inline proxy path (proxy disabled, payload too large for a ring
         slot or for NIC inlining) fall back to the regular gwrite path.
         """
+        hist = self.sim.history
+        if hist is not None:
+            writes = list(writes)
+            toks = [hist.invoke(self.name, "write", g, value=hist.encode(d),
+                                length=len(d))
+                    for g, d in writes]
+            try:
+                yield from self._gwrite_batch_traced(writes)
+            except BaseException as exc:
+                for tok in toks:
+                    hist.info(tok, exc)  # indeterminate: some may have landed
+                raise
+            for tok in toks:
+                hist.ok(tok)
+            return
+        yield from self._gwrite_batch_traced(writes)
+
+    def _gwrite_batch_traced(self, writes) -> Generator[Any, Any, None]:
         rec = self.sim.spans
         if rec is None:
             yield from self._gwrite_batch_once(writes)
@@ -1332,11 +1585,19 @@ class GengarClient:
             rec.record(self.name, "phase.batch_stage", t_stage, op=span_op,
                        servers=len(staged), staged=len(pending))
         for gaddr, data in fallback:
-            yield from self.gwrite(gaddr, data)
+            yield from self._gwrite_traced(gaddr, data)
 
     # Lock API (delegates to the consistency layer) ----------------------
     def glock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
         """Acquire the object's lock (exclusive by default, shared if not)."""
+        hist = self.sim.history
+        tok = -1
+        if hist is not None:
+            # The epoch rides the event: the checker's monotonic-epoch model
+            # asserts no lock is ever acquired under an epoch below one a
+            # later holder already presented (a fenced zombie re-locking).
+            tok = hist.invoke(self.name, "lock", gaddr, write=write,
+                              epoch=self.fence_epoch)
         rec = self.sim.spans
         t0 = self.sim.now if rec is not None else 0
         try:
@@ -1344,13 +1605,24 @@ class GengarClient:
                 yield from self.locks.acquire_write(gaddr)
             else:
                 yield from self.locks.acquire_read(gaddr)
+        except BaseException as exc:
+            if hist is not None:
+                hist.fail(tok, exc)  # an acquire that failed holds nothing
+            raise
         finally:
             if rec is not None:
                 rec.record(self.name, "op.glock", t0, op=rec.next_op(),
                            gaddr=hex(gaddr), write=write)
+        if hist is not None:
+            hist.ok(tok, value=self.fence_epoch)
 
     def gunlock(self, gaddr: int, write: bool = True) -> Generator[Any, Any, None]:
         """Release the object's lock.  Write unlocks sync first."""
+        hist = self.sim.history
+        tok = -1
+        if hist is not None:
+            tok = hist.invoke(self.name, "unlock", gaddr, write=write,
+                              epoch=self.fence_epoch)
         rec = self.sim.spans
         t0 = self.sim.now if rec is not None else 0
         try:
@@ -1358,10 +1630,16 @@ class GengarClient:
                 yield from self.locks.release_write(gaddr)
             else:
                 yield from self.locks.release_read(gaddr)
+        except BaseException as exc:
+            if hist is not None:
+                hist.fail(tok, exc)
+            raise
         finally:
             if rec is not None:
                 rec.record(self.name, "op.gunlock", t0, op=rec.next_op(),
                            gaddr=hex(gaddr), write=write)
+        if hist is not None:
+            hist.ok(tok, value=self.fence_epoch)
 
     # ------------------------------------------------------------------
     # Metadata

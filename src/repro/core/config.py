@@ -136,6 +136,26 @@ class GengarConfig:
     #: the drain loop detect and skip torn slots from a client that died
     #: mid-RDMA_WRITE.  Costs 8 bytes of slot capacity per write.
     proxy_commit: bool = False
+    #: Control-plane split-brain prevention: the master holds a monotonic
+    #: *term* (generation) journaled alongside allocations; every control
+    #: reply carries it, clients reject stale-term replies, servers reject
+    #: stale-term journal appends, and a recovering master must first claim
+    #: a higher term than any journaled one.  Requires ``metadata_journal``
+    #: (the term lives there).  Off: the control protocol is byte-identical
+    #: to the term-free build.
+    master_terms: bool = False
+    #: Phi-accrual-style failure detection over heartbeat history instead
+    #: of the raw lease deadline: a lapsed lease is first only *suspected*
+    #: (renewals were flowing irregularly — a flapping or partitioned link)
+    #: and fenced when the suspicion level crosses ``phi_threshold``.
+    #: Off: a lapsed deadline fences immediately (the PR 3 behaviour).
+    failure_detector: bool = False
+    #: Suspicion level (phi, base-10) at which a suspected client is
+    #: declared dead and fenced.  phi == k means "assuming heartbeats keep
+    #: their observed cadence, the chance they're merely late is 10^-k".
+    phi_threshold: float = 8.0
+    #: Heartbeat inter-arrival samples per client kept for the estimator.
+    phi_window: int = 16
 
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
@@ -172,6 +192,42 @@ class GengarConfig:
             raise ValueError("prefetch_depth must be non-negative (0 disables)")
         if self.admission_threshold < 1:
             raise ValueError("admission_threshold must be at least 1")
+        if self.master_terms and not self.metadata_journal:
+            raise ValueError("master_terms requires metadata_journal "
+                             "(terms are persisted in the journal)")
+        if self.phi_threshold <= 0:
+            raise ValueError("phi_threshold must be positive")
+        if self.phi_window < 2:
+            raise ValueError("phi_window needs at least two samples")
+        if self.failure_detector and not self.client_lease_ns:
+            raise ValueError("failure_detector requires client_lease_ns "
+                             "(it observes lease heartbeats)")
+
+    # Wire compatibility ---------------------------------------------------
+    # The attach reply ships this object whole, so its pickled size is
+    # protocol bytes: a field added after a capture was taken would inflate
+    # every attach even with the feature off, drifting virtual time.  Fields
+    # listed here are dropped from the pickled state while at their default
+    # and restored on load, keeping the wire image byte-identical to builds
+    # that predate them unless the feature is actually enabled.
+    _WIRE_OPTIONAL = {
+        "master_terms": False,
+        "failure_detector": False,
+        "phi_threshold": 8.0,
+        "phi_window": 16,
+    }
+
+    def __getstate__(self) -> dict:
+        state = dict(self.__dict__)
+        for name, default in self._WIRE_OPTIONAL.items():
+            if state.get(name) == default:
+                del state[name]
+        return state
+
+    def __setstate__(self, state: dict) -> None:
+        for name, default in self._WIRE_OPTIONAL.items():
+            state.setdefault(name, default)
+        self.__dict__.update(state)
 
     # Convenience ablation constructors -----------------------------------
     def ablate(self, *, cache: bool | None = None, proxy: bool | None = None) -> "GengarConfig":

@@ -31,7 +31,11 @@ from typing import TYPE_CHECKING, Any, Generator
 if TYPE_CHECKING:  # pragma: no cover
     from repro.core.client import GengarClient
 
-from repro.core.errors import DeadlineExceededError, FencedError
+from repro.core.errors import (
+    DeadlineExceededError,
+    FencedError,
+    LeaseExpiredError,
+)
 from repro.core.protocol import (
     READER_UNIT,
     WRITER_BIT,
@@ -89,15 +93,57 @@ class LockOps:
         client = self.client
         if not client.lease_ns:
             return
-        if client.fenced or self.sim.now >= client.lease_deadline:
+        if client.fenced:
             client.m_fence_rejections.add()
             if self.sim.tracer is not None:
-                trace(self.sim, "fence", f"{what} refused: lease lapsed",
+                trace(self.sim, "fence", f"{what} refused: epoch fenced",
                       client=client.name, gaddr=hex(gaddr))
             raise FencedError(
-                f"{what} of {gaddr:#x}: lease expired at "
-                f"t={client.lease_deadline} (now {self.sim.now}); "
+                f"{what} of {gaddr:#x}: master fenced this epoch; "
                 f"reattach_master() to rejoin under a fresh epoch")
+        if self.sim.now >= client.lease_deadline:
+            # The deadline lapsed *locally* but the master never said
+            # "fenced" — e.g. an op's retry backoff outlasted the lease
+            # while the master was unreachable.  That is ambiguous, not
+            # terminal: raise the retryable lapse so the resilience
+            # engine's renew probe asks the master for the real verdict
+            # (renewed at the same epoch, or a genuine FencedError).
+            client.m_fence_rejections.add()
+            client.m_lease_lapses.add()
+            if self.sim.tracer is not None:
+                trace(self.sim, "lease", f"{what} parked: lease lapsed "
+                      "locally", client=client.name, gaddr=hex(gaddr))
+            raise LeaseExpiredError(
+                f"{what} of {gaddr:#x}: lease deadline lapsed locally; "
+                f"re-attach to renew before retrying")
+
+    def _resolve_fence(self, gaddr: int, what: str) -> Generator[Any, Any, None]:
+        """Fence gate that resolves a local lease lapse *in place*.
+
+        Lock ops bypass the client's retry engine (they have their own
+        CAS loop), so the lapse must be settled here: probe the master
+        for the real verdict — renewed at the same epoch, re-adopted by a
+        restarted master, or a genuine terminal :class:`FencedError` —
+        instead of self-fencing on a deadline the master never enforced.
+        Bounded by the retry budget; if the master stays unreachable the
+        retryable lapse propagates to the caller.
+        """
+        policy = self.client.retry_policy
+        attempt = 0
+        while True:
+            try:
+                self._check_fence(gaddr, what)
+                return
+            except LeaseExpiredError:
+                if attempt >= policy.max_attempts:
+                    raise
+                # May raise FencedError: that verdict is terminal.
+                yield from self.client._lease_lapse_probe(what)
+                if self.sim.now < self.client.lease_deadline:
+                    continue  # renewed (or re-attached) in place
+                attempt += 1
+                yield self.sim.timeout(
+                    policy.backoff_ns(attempt, self.client._jitter_rng()))
 
     def _check_deadline(self, start_ns: int, gaddr: int, what: str) -> None:
         """Bound a contended acquire loop by the client's op deadline.
@@ -117,7 +163,7 @@ class LockOps:
     def acquire_write(self, gaddr: int) -> Generator[Any, Any, None]:
         """Take the exclusive lock on ``gaddr`` (blocks until acquired, or
         until the client's op deadline — if one is configured — expires)."""
-        self._check_fence(gaddr, "write-lock")
+        yield from self._resolve_fence(gaddr, "write-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
         word = write_lock_word(self.client.uid, self.client.fence_epoch)
@@ -132,7 +178,7 @@ class LockOps:
                 return
             self.retries.add()
             self._check_deadline(start, gaddr, "write-lock")
-            self._check_fence(gaddr, "write-lock")
+            yield from self._resolve_fence(gaddr, "write-lock")
             yield from self._backoff(attempt)
             attempt += 1
 
@@ -140,7 +186,7 @@ class LockOps:
         """Release the exclusive lock, after syncing outstanding writes."""
         # Fence before gsync: a zombie past its lease must not touch the
         # pool at all, not even to flush stale staged writes.
-        self._check_fence(gaddr, "write-unlock")
+        yield from self._resolve_fence(gaddr, "write-unlock")
         meta = yield from self.client._meta(gaddr)
         # Release consistency: all writes issued under the lock must be
         # durable (and cache-visible) before anyone else can acquire it.
@@ -148,11 +194,14 @@ class LockOps:
         # next holder's freshness guarantee.)
         if self.client.config.sync_on_release:
             yield from self.client.gsync(server_id=meta.server_id)
-        if self.client.config.degraded_mode:
+        if self.client.config.degraded_mode and not self.client.lease_ns:
             # A restart zeroes the lock table; a blind subtract against the
             # reset word would wrap it into a garbage state that poisons
             # every later acquire.  Verify ownership first (one extra READ,
-            # paid only in degraded mode).
+            # paid only in degraded mode).  With leases on the fenced
+            # release below performs the same verification word-level and
+            # fails *typed* — a recovered lock is a fence event there, not
+            # a usage bug, so this untyped pre-check must not preempt it.
             raw = yield from self.client._rdma_read(
                 self.client._conns[meta.server_id],
                 self.client._conns[meta.server_id].desc.lock_rkey,
@@ -214,7 +263,7 @@ class LockOps:
     def acquire_read(self, gaddr: int) -> Generator[Any, Any, None]:
         """Take a shared lock on ``gaddr`` (blocks until acquired, or until
         the client's op deadline — if one is configured — expires)."""
-        self._check_fence(gaddr, "read-lock")
+        yield from self._resolve_fence(gaddr, "read-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
         start = self.sim.now
@@ -230,7 +279,7 @@ class LockOps:
             yield from self.client._atomic_faa(meta.server_id, offset, add=_MINUS_READER)
             self.retries.add()
             self._check_deadline(start, gaddr, "read-lock")
-            self._check_fence(gaddr, "read-lock")
+            yield from self._resolve_fence(gaddr, "read-lock")
             yield from self._backoff(attempt)
             attempt += 1
 

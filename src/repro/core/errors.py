@@ -99,6 +99,35 @@ class MasterUnavailableError(RetryableError):
     """
 
 
+class StaleTermError(RetryableError):
+    """A master reply carried a term older than one this client has
+    already observed — the replying master was deposed by a successor
+    (split-brain fencing at the control-plane level).
+
+    Retryable: the result was *discarded*, never applied, so the op can
+    safely be reissued; with ``auto_reattach`` the retry loop re-attaches
+    first, which finds the current-term master.  Carries both terms for
+    diagnostics.
+    """
+
+    def __init__(self, message: str, reply_term: int = 0, known_term: int = 0):
+        super().__init__(message)
+        self.reply_term = reply_term
+        self.known_term = known_term
+
+
+class PartitionSuspected(RetryableError):
+    """Control-plane traffic is failing in a pattern that looks like a
+    network partition (repeated heartbeat failures), not a crashed master.
+
+    Retryable: partitions heal; the retry loop backs off and reissues.
+    Distinct from :class:`MasterUnavailableError` so callers (and the
+    chaos harness) can tell "the master process is gone" apart from "the
+    path to the master is gone" — the failure detector's verdict, not a
+    single RPC's.
+    """
+
+
 class FencedError(ClientError):
     """This client's lease expired and its fencing epoch was retired.
 
@@ -108,6 +137,21 @@ class FencedError(ClientError):
     exists to stop.  The only recovery is
     :meth:`~repro.core.client.GengarClient.reattach_master`, which rejoins
     under a fresh epoch.
+    """
+
+
+class LeaseExpiredError(FencedError, RetryableError):
+    """This client's lease deadline lapsed *locally* — renewals stopped
+    flowing (master unreachable, or an op parked in a retry backoff longer
+    than the lease) — but the master has not been heard to fence us.
+
+    A :class:`FencedError` (the op was refused for exactly the zombie-
+    write reason, and fail-fast callers treat it as such) that is *also*
+    :class:`RetryableError`: the safe recovery is to re-attach first
+    (re-establishing a live lease, adopting a bumped epoch if the master
+    *did* fence us meanwhile) and only then retry.  The retry loop does
+    exactly that, so a long seeded backoff no longer turns into a
+    terminal self-fence while the master was merely unreachable.
     """
 
 

@@ -24,6 +24,7 @@ from repro.core.protocol import (
     CACHE_TAG_BYTES,
     JOURNAL_OP_ALLOC,
     JOURNAL_OP_FREE,
+    JOURNAL_OP_TERM,
     ObjectMeta,
     ServerDescriptor,
     proxy_payload_capacity,
@@ -67,7 +68,8 @@ class _ServerHandle:
 class Master:
     """Runtime state of the Gengar master."""
 
-    def __init__(self, node: "Node", config: GengarConfig, policy_factory=None):
+    def __init__(self, node: "Node", config: GengarConfig, policy_factory=None,
+                 standby: bool = False):
         self.node = node
         self.sim = node.sim
         self.config = config
@@ -96,13 +98,19 @@ class Master:
         )
         self._client_uids: Dict[str, int] = {}
         self._next_uid = 1
-        self.rpc.register("gmalloc", self._handle_gmalloc)
-        self.rpc.register("gfree", self._handle_gfree)
-        self.rpc.register("lookup", self._handle_lookup)
-        self.rpc.register("report", self._handle_report)
-        self.rpc.register("prefetch", self._handle_prefetch)
-        self.rpc.register("attach", self._handle_attach)
-        self.rpc.register("renew", self._handle_renew)
+        handlers = {
+            "gmalloc": self._handle_gmalloc,
+            "gfree": self._handle_gfree,
+            "lookup": self._handle_lookup,
+            "report": self._handle_report,
+            "prefetch": self._handle_prefetch,
+            "attach": self._handle_attach,
+            "renew": self._handle_renew,
+        }
+        for method, handler in handlers.items():
+            if config.master_terms:
+                handler = self._with_term(handler)
+            self.rpc.register(method, handler)
 
         #: Lease bookkeeping (empty unless ``config.client_lease_ns``):
         #: client name -> absolute expiry time / current fencing epoch.
@@ -119,9 +127,25 @@ class Master:
         self._freed_reqs: set = set()
         #: True between recover() and the end of recovery_process(): control
         #: RPCs fail typed ("master recovering") so clients retry instead of
-        #: hitting an empty directory.
-        self._recovering = False
+        #: hitting an empty directory.  A *standby* master is born in this
+        #: state: it serves nothing until promoted via recovery_process(),
+        #: whose term claim simultaneously deposes the old incumbent.
+        self._recovering = standby
         self.crashes = 0
+        #: Control-plane generation (split-brain fencing).  0 with terms
+        #: off; a serving master's replies and journal appends all carry it.
+        self.term = 1 if config.master_terms else 0
+        #: Set once a server rejects our term — a successor claimed a higher
+        #: one.  A deposed master fails every control RPC typed until it is
+        #: restarted (recover + recovery_process claims a fresh term).
+        self._deposed = False
+        #: Phi-accrual failure-detector state (inert unless
+        #: ``config.failure_detector``): last heartbeat receipt and the
+        #: recent inter-arrival window, per client, plus who is currently
+        #: suspected (lease lapsed but cadence says "late, not dead").
+        self._hb_last: Dict[str, int] = {}
+        self._hb_intervals: Dict[str, List[int]] = {}
+        self._suspected: set = set()
 
         m = self.sim.metrics
         self.allocations = m.counter("master.allocations")
@@ -137,7 +161,12 @@ class Master:
         self.failovers = m.counter("master.failovers")
         self.journal_replayed = m.counter("master.journal_replayed")
         self.dup_rpcs = m.counter("master.dup_rpcs")
+        self.suspected_clients = m.counter("master.suspected_clients")
+        self.term_claims = m.counter("master.term_claims")
+        self.depositions = m.counter("master.depositions")
         self._planner_started = False
+        #: Highest term seen in any journal during the last rebuild().
+        self._journal_term_max = 0
 
     # ------------------------------------------------------------------
     # Wiring (called by the deployment bootstrap)
@@ -186,11 +215,27 @@ class Master:
     # ------------------------------------------------------------------
     # RPC handlers
     # ------------------------------------------------------------------
+    def _with_term(self, handler):
+        """Wrap a handler so its reply rides in the ``{"t": term, "r": ...}``
+        envelope (``master_terms`` only).  Clients compare ``t`` against the
+        highest term they have observed and discard stale-term replies —
+        the whole-control-plane analogue of per-object fencing epochs."""
+        def wrapped(request):
+            result = handler(request)
+            if hasattr(result, "send"):  # generator-style handler
+                result = yield from result
+            return {"t": self.term, "r": result}
+        return wrapped
+
     def _check_serving(self) -> None:
         """Fail typed while a restarted master is still replaying its
-        journal; clients map this to a retryable MasterUnavailableError."""
+        journal; clients map this to a retryable MasterUnavailableError.
+        A deposed master (a successor claimed a higher term) fails typed
+        too — clients map that to StaleTermError and re-attach elsewhere."""
         if self._recovering:
             raise MasterError("master recovering; retry")
+        if self._deposed:
+            raise MasterError(f"master deposed: term {self.term} superseded")
 
     def _handle_gmalloc(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
         self._check_serving()
@@ -219,13 +264,37 @@ class Master:
         if self.config.metadata_journal:
             # Durability before visibility: the allocation is journaled in
             # the home server's NVM before the client learns the address.
-            yield from handle.rpc.call("journal_append", {
+            yield from self._journal_append(handle, {
                 "op": JOURNAL_OP_ALLOC, "lock_idx": lock_idx,
                 "gaddr": record.gaddr, "size": size, "req_id": req_id,
             })
         if req_id:
             self._alloc_replies[req_id] = record.gaddr
         return record.to_meta()
+
+    def _journal_append(self, handle: _ServerHandle,
+                        payload: dict) -> Generator[Any, Any, int]:
+        """Journal one record on a server, carrying our term when terms are
+        on.  A server that already saw a higher term rejects the append —
+        the moment a partitioned master learns it has been deposed.  The
+        durability-before-visibility ordering turns that rejection into
+        write-path fencing: a stale master cannot ack a single allocation,
+        because the ack depends on exactly the append that just failed."""
+        if self.config.master_terms:
+            payload["term"] = self.term
+        try:
+            count = yield from handle.rpc.call("journal_append", payload)
+        except RpcError as exc:
+            if "stale master term" in str(exc):
+                self._deposed = True
+                self.depositions.add()
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", "journal append rejected: deposed",
+                          term=self.term)
+                raise MasterError(
+                    f"master deposed: term {self.term} superseded") from exc
+            raise
+        return count
 
     def _handle_gfree(self, request: dict) -> Generator[Any, Any, bool]:
         self._check_serving()
@@ -238,7 +307,7 @@ class Master:
         record = self.directory.remove(gaddr)
         handle = self._servers[record.server_id]
         if self.config.metadata_journal:
-            yield from handle.rpc.call("journal_append", {
+            yield from self._journal_append(handle, {
                 "op": JOURNAL_OP_FREE, "lock_idx": record.lock_idx,
                 "gaddr": gaddr, "size": record.size, "req_id": req_id,
             })
@@ -349,6 +418,12 @@ class Master:
         return updates
 
     def _handle_attach(self, request: dict) -> Generator[Any, Any, dict]:
+        if self._deposed:
+            # A deposed master must not grant leases/identities: an attach
+            # it served would park the client on a dead control plane
+            # forever (re-attach "succeeds", renewals bounce, repeat).
+            # The stale-term error sends the client to the incumbent.
+            raise MasterError(f"master deposed: term {self.term} superseded")
         yield from self.node.cpu_work()
         name = request["client"]
         uid = self._client_uids.get(name)
@@ -370,6 +445,13 @@ class Master:
         self._epochs[name] = epoch
         if self.config.client_lease_ns:
             self._leases[name] = self.sim.now + self.config.client_lease_ns
+            if self.config.failure_detector:
+                # The attach is a heartbeat: without this, a client that
+                # loses the master right after attaching has no arrival
+                # history, phi comes back infinite, and the very first
+                # lapsed sweep fences it — the spurious revocation the
+                # detector exists to prevent.
+                self._note_heartbeat(name)
             self._start_lease_sweeper()
             if self.sim.tracer is not None:
                 trace(self.sim, "lease", "lease granted", client=name,
@@ -419,6 +501,48 @@ class Master:
         if self.config.client_lease_ns:
             self._leases[name] = self.sim.now + self.config.client_lease_ns
             self.lease_renewals.add()
+            if self.config.failure_detector:
+                self._note_heartbeat(name)
+
+    # ------------------------------------------------------------------
+    # Phi-accrual failure detection (partition-aware lease expiry)
+    # ------------------------------------------------------------------
+    def _note_heartbeat(self, name: str) -> None:
+        """Feed one heartbeat receipt into the inter-arrival estimator."""
+        now = self.sim.now
+        last = self._hb_last.get(name)
+        if last is not None and now > last:
+            window = self._hb_intervals.setdefault(name, [])
+            window.append(now - last)
+            if len(window) > self.config.phi_window:
+                del window[0]
+        self._hb_last[name] = now
+        if name in self._suspected:
+            self._suspected.discard(name)
+            if self.sim.tracer is not None:
+                trace(self.sim, "partition", "suspected client heard again",
+                      client=name)
+
+    def _phi(self, name: str) -> float:
+        """Suspicion level for ``name``: how implausibly late is its next
+        heartbeat, given the cadence we actually observed?
+
+        Exponential-tail approximation of phi-accrual: with mean observed
+        inter-arrival m and silence t, P(still alive) ~ exp(-t/m), so
+        phi = t / (m * ln 10).  Flapping links inflate m, which keeps phi
+        low through the next flap — exactly the spurious-revocation
+        damping the detector exists for.
+        """
+        last = self._hb_last.get(name)
+        if last is None:
+            return float("inf")  # never heard a heartbeat at all
+        window = self._hb_intervals.get(name, [])
+        if len(window) >= 2:
+            mean = sum(window) / len(window)
+        else:
+            mean = float(self.config.client_lease_ns)
+        elapsed = self.sim.now - last
+        return elapsed / (mean * 2.302585092994046)
 
     def _start_lease_sweeper(self) -> None:
         if not self._lease_sweeper_started:
@@ -427,17 +551,52 @@ class Master:
 
     def _lease_sweeper_loop(self) -> Generator[Any, Any, None]:
         check = self.config.lease_check_ns or max(1, self.config.client_lease_ns // 4)
+        validated_ns = self.sim.now
         while True:
             yield self.sim.timeout(check)
             # A dead master detects nothing (its own clock is "stopped");
             # outbound RPCs from a crashed node would otherwise still work
             # in the model, so self-check aliveness explicitly.
-            if not self.node.endpoint.alive or self._recovering:
+            if not self.node.endpoint.alive or self._recovering or self._deposed:
                 continue
             now = self.sim.now
+            if (self.config.master_terms and self._servers
+                    and now - validated_ns >= self.config.client_lease_ns):
+                # Periodic authority re-validation against the journal (the
+                # master-lease-on-shared-storage pattern).  Without it a
+                # healed stale master whose clients happen to still
+                # heartbeat *it* would keep granting leases at its old term
+                # forever — neither side ever hears about the successor,
+                # because only the journal knows.  Rejection deposes us;
+                # every later reply then bounces clients to the incumbent.
+                validated_ns = now
+                try:
+                    yield from self._validate_term()
+                except MasterError:
+                    continue  # deposed: _check_serving refuses from now on
             expired = sorted(n for n, exp in self._leases.items() if exp <= now)
             for name in expired:
                 yield from self._expire_lease(name)
+
+    def _validate_term(self) -> Generator[Any, Any, bool]:
+        """Ask the journal whether this master's term still rules.
+
+        Appends a no-op TERM record at our own term; a server that saw a
+        successor's higher term rejects it, which :meth:`_journal_append`
+        turns into deposition + :class:`MasterError`.  Returns True when
+        the journal accepted (authority confirmed), False when it was
+        unreachable (authority unknown — act on nothing).
+        """
+        handle = self._servers[min(self._servers)]
+        try:
+            yield from self._journal_append(handle, {
+                "op": JOURNAL_OP_TERM, "lock_idx": 0, "gaddr": self.term,
+                "size": 0, "req_id": 0})
+        except RpcError as exc:
+            if "journal full" not in str(exc):
+                return False  # journal unreachable: no verdict either way
+            # A full journal still term-checked the append first: confirmed.
+        return True
 
     def _expire_lease(self, name: str) -> Generator[Any, Any, None]:
         # Re-check the deadline at processing time, not snapshot time: the
@@ -448,6 +607,42 @@ class Master:
         expiry = self._leases.get(name)
         if expiry is None or expiry > self.sim.now:
             return  # renewed / re-attached while this sweep was in flight
+        if self.config.failure_detector:
+            # Partition-aware expiry: a lapsed deadline alone is not death.
+            # While the accrued suspicion stays under the threshold the
+            # client is only *suspected* (heartbeats were flowing at a
+            # cadence that makes "late" more plausible than "dead"); its
+            # lease entry stays so every sweep re-evaluates, and fencing
+            # happens only once phi crosses the threshold.
+            phi = self._phi(name)
+            if phi < self.config.phi_threshold:
+                if name not in self._suspected:
+                    self._suspected.add(name)
+                    self.suspected_clients.add()
+                    if self.sim.tracer is not None:
+                        trace(self.sim, "partition", "client suspected",
+                              client=name, phi=round(phi, 2))
+                return
+            self._suspected.discard(name)
+        if self.config.master_terms and self._servers:
+            # Authority check before the irreversible part: lock recovery
+            # CAS-clears lock words directly, so unlike allocations it is
+            # not naturally fenced by the journal write path.  A deposed
+            # master behind a healed partition would otherwise "expire"
+            # every client it stopped hearing from and clear locks the
+            # incumbent's clients legitimately hold.  Appending a no-op
+            # TERM record at our own term makes the servers adjudicate:
+            # rejection means a successor claimed a higher term — stand
+            # down instead of fencing.
+            try:
+                confirmed = yield from self._validate_term()
+            except MasterError:
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", "lease fence aborted: deposed",
+                          client=name, term=self.term)
+                return
+            if not confirmed:
+                return  # journal unreachable: no authority to fence now
         del self._leases[name]
         self.lease_expiries.add()
         if self.sim.tracer is not None:
@@ -572,11 +767,19 @@ class Master:
             raise MasterError("metadata journal disabled; nothing to rebuild from")
         from repro.core.addressing import offset_of
 
+        self._journal_term_max = 0
         for sid in sorted(self._servers):
             handle = self._servers[sid]
             records = yield from handle.rpc.call("journal_read", {})
             live_locks = set()
             for rec in records:
+                if rec["op"] == JOURNAL_OP_TERM:
+                    # Term claims interleave with alloc/free records; the
+                    # directory replay skips them, the successor's claim
+                    # (journal max + 1) supersedes them.
+                    self._journal_term_max = max(self._journal_term_max,
+                                                 rec["gaddr"])
+                    continue
                 if rec["op"] == JOURNAL_OP_ALLOC:
                     handle.allocator.alloc_at(offset_of(rec["gaddr"]), rec["size"])
                     self.directory.add(sid, offset_of(rec["gaddr"]),
@@ -632,6 +835,10 @@ class Master:
         self._client_uids = {}
         self._epochs = {}
         self._leases = {}
+        self._hb_last = {}
+        self._hb_intervals = {}
+        self._suspected = set()
+        self._deposed = False
         if self.sim.tracer is not None:
             trace(self.sim, "fault", "master restarted; volatile state lost")
 
@@ -650,6 +857,7 @@ class Master:
         epoch); locks whose owner never re-registers are then recovered.
         """
         recovered = 0
+        claimed = not self.config.master_terms
         try:
             if rebuild and self.config.metadata_journal:
                 recovered = yield from self.rebuild()
@@ -659,8 +867,18 @@ class Master:
                     trace(self.sim, "fault",
                           "no journal replay: master reopens with an empty "
                           "directory")
+            if self.config.master_terms:
+                # Claim a term above every journaled one *before* opening
+                # for business: until the claim lands, this master keeps
+                # failing RPCs typed ("recovering"), so it can never serve
+                # concurrently with the incumbent it is deposing.
+                yield from self._claim_term(scan=not rebuild)
+                claimed = True
         finally:
-            self._recovering = False
+            # A master whose term claim never landed stays recovering: it
+            # must not serve under a possibly-stale term.
+            if claimed:
+                self._recovering = False
         self.failovers.add()
         if self.sim.tracer is not None:
             trace(self.sim, "failover", "master recovered", objects=recovered,
@@ -668,6 +886,83 @@ class Master:
         if self.config.client_lease_ns:
             self.sim.spawn(self._orphan_lock_sweep(), name="master.orphan_sweep")
         return recovered
+
+    def _claim_term(self, scan: bool = False) -> Generator[Any, Any, None]:
+        """Persist a term strictly above every journaled one.
+
+        The claim is a TERM record appended to each server's journal (the
+        term value rides the record's gaddr field).  Servers adopt the max
+        term they have journaled and reject appends below it, so the claim
+        simultaneously (a) makes the new term durable and (b) fences every
+        older master out of the write path on that server.  A concurrent
+        higher claim surfaces as our own append being rejected; we re-read
+        and re-claim above it.  Unreachable servers are retried a few
+        times, then skipped — they learn the term from the next successor
+        that can reach them (traced, so the audit sees the gap).
+        """
+        if scan:
+            # No rebuild ran: still honour journaled terms before claiming.
+            for sid in sorted(self._servers):
+                try:
+                    records = yield from self._servers[sid].rpc.call(
+                        "journal_read", {})
+                except RpcError:
+                    continue
+                for rec in records:
+                    if rec["op"] == JOURNAL_OP_TERM:
+                        self._journal_term_max = max(self._journal_term_max,
+                                                     rec["gaddr"])
+        retry_wait = max(1, self.config.client_lease_ns // 4) \
+            if self.config.client_lease_ns else 25_000
+        while True:
+            self.term = max(self.term, self._journal_term_max) + 1
+            pending = sorted(self._servers)
+            superseded = False
+            for _ in range(3):
+                still = []
+                for sid in pending:
+                    try:
+                        yield from self._servers[sid].rpc.call(
+                            "journal_append", {
+                                "op": JOURNAL_OP_TERM, "lock_idx": 0,
+                                "gaddr": self.term, "size": 0, "req_id": 0,
+                                "term": self.term,
+                            })
+                    except RpcError as exc:
+                        if "stale master term" in str(exc):
+                            superseded = True
+                        elif "journal full" in str(exc):
+                            pass  # durable records exist; term rides appends
+                        else:
+                            still.append(sid)
+                if superseded or not still:
+                    break
+                pending = still
+                yield self.sim.timeout(retry_wait)
+            if superseded:
+                # A rival claimed concurrently; its TERM record is in the
+                # journal now — re-read and go strictly above it.
+                self._journal_term_max = self.term
+                for sid in sorted(self._servers):
+                    try:
+                        records = yield from self._servers[sid].rpc.call(
+                            "journal_read", {})
+                    except RpcError:
+                        continue
+                    for rec in records:
+                        if rec["op"] == JOURNAL_OP_TERM:
+                            self._journal_term_max = max(
+                                self._journal_term_max, rec["gaddr"])
+                continue
+            if pending:
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", "term claim skipped servers",
+                          term=self.term, unreachable=pending)
+            self.term_claims.add()
+            self._deposed = False
+            if self.sim.tracer is not None:
+                trace(self.sim, "term", "term claimed", term=self.term)
+            return
 
     def _orphan_lock_sweep(self) -> Generator[Any, Any, None]:
         """Post-failover grace sweep (the restarted master lost all leases):
@@ -678,6 +973,20 @@ class Master:
         yield self.sim.timeout(self.config.client_lease_ns)
         if not self.node.endpoint.alive or self._recovering:
             return
+        if self.config.failure_detector:
+            # Partition-aware failover: a client absent after one lease may
+            # be dead — or merely on the wrong side of a partition that
+            # outlived the old master.  Retiring its rings now would greet
+            # it with StaleRingError the moment the fabric heals, so the
+            # absentees are only *suspected* for one extra grace lease;
+            # whoever re-attaches during it keeps its rings and locks.
+            if self.sim.tracer is not None:
+                trace(self.sim, "partition",
+                      "orphan sweep deferred: absent clients suspected",
+                      reattached=sorted(self._client_uids))
+            yield self.sim.timeout(self.config.client_lease_ns)
+            if not self.node.endpoint.alive or self._recovering:
+                return
         known = sorted(set(self._client_uids.values()))
         recovered = 0
         for record in list(self.directory.objects()):

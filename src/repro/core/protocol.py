@@ -100,13 +100,16 @@ JOURNAL_RECORD_BYTES = _JOURNAL.size  # 32
 JOURNAL_MAGIC = 0x4721
 JOURNAL_OP_ALLOC = 1
 JOURNAL_OP_FREE = 2
+#: Master-term claim (split-brain fencing): the term value rides in the
+#: ``gaddr`` field; lock_idx/size/req_id are zero.  Replay takes the max.
+JOURNAL_OP_TERM = 3
 #: Bytes reserved at the journal base for the record-count header word.
 JOURNAL_HEADER_BYTES = 64
 
 
 def pack_journal_record(op: int, lock_idx: int, gaddr: int, size: int,
                         req_id: int = 0) -> bytes:
-    if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE):
+    if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE, JOURNAL_OP_TERM):
         raise ValueError(f"unknown journal op {op}")
     return _JOURNAL.pack(JOURNAL_MAGIC, op, lock_idx, gaddr, size, req_id)
 

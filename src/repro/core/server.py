@@ -29,6 +29,7 @@ from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
     JOURNAL_HEADER_BYTES,
+    JOURNAL_OP_TERM,
     JOURNAL_RECORD_BYTES,
     PROXY_COMMIT_BYTES,
     PROXY_HEADER_BYTES,
@@ -219,6 +220,13 @@ class MemoryServer:
             self.journal_base = data_device.capacity - journal_span
             self.data_capacity = self.journal_base
             self._journal_count = 0
+            #: Highest master term this server has accepted (``master_terms``):
+            #: appends below it are rejected, which is what actually fences a
+            #: deposed master out of the pool's write path.  Volatile, but
+            #: re-learned from TERM records on the first post-restart
+            #: journal_read — which every recovering master issues before
+            #: claiming.
+            self._term_max = 0
         else:
             self.journal_base = None
             self.data_capacity = data_device.capacity
@@ -423,6 +431,21 @@ class MemoryServer:
         """
         if self.journal_base is None:
             raise ServerError("metadata journal disabled on this server")
+        term = request.get("term")
+        if term is not None:
+            # Term fencing, checked before anything else (a full journal
+            # must not mask a deposed master): adopt monotonically, reject
+            # anything below the adopted max.  The exact message is a
+            # cross-module contract — the master maps it to deposition, the
+            # client to StaleTermError.
+            if term < self._term_max:
+                if self.sim.tracer is not None:
+                    trace(self.sim, "term", "journal append rejected",
+                          server=self.node.name, term=term,
+                          current=self._term_max)
+                raise ServerError(
+                    f"stale master term {term} (current {self._term_max})")
+            self._term_max = term
         if self._journal_count >= self.config.journal_entries:
             raise ServerError("metadata journal full")
         record = pack_journal_record(
@@ -461,6 +484,11 @@ class MemoryServer:
             op, lock_idx, gaddr, size, req_id = unpack_journal_record(
                 raw[i * JOURNAL_RECORD_BYTES:(i + 1) * JOURNAL_RECORD_BYTES]
             )
+            if op == JOURNAL_OP_TERM:
+                # Re-learn the adopted term across a server restart: the
+                # recovering master always reads before claiming, so this
+                # runs before any new append could be checked.
+                self._term_max = max(self._term_max, gaddr)
             records.append({"op": op, "lock_idx": lock_idx,
                             "gaddr": gaddr, "size": size, "req_id": req_id})
         return records

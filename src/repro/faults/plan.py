@@ -242,6 +242,79 @@ class FaultPlan:
         return cls(faults=tuple(faults))
 
     # ------------------------------------------------------------------
+    # Composed nemesis schedules (the Jepsen-style chaos building blocks)
+    # ------------------------------------------------------------------
+    @classmethod
+    def partition_then_crash_master(cls, at_ns: int, *,
+                                    others: Tuple[str, ...],
+                                    master: str = "master",
+                                    partition_ns: int = 200_000,
+                                    crash_after_ns: int = 50_000,
+                                    recover_after_heal_ns: int = 50_000,
+                                    rebuild: bool = True) -> "FaultPlan":
+        """Partition the master away from ``others``, crash it while it is
+        still unreachable, heal, then restart it.
+
+        The nastiest control-plane sequence: clients first see a *partition*
+        (RPCs stall, the path is gone), which silently becomes a *crash*
+        (volatile state gone too) before the fabric heals — any client that
+        treated the partition verdict as "master dead, state intact" is
+        wrong, and any master restart that trusts pre-partition volatile
+        state is wrong.  Recovery lands after the heal so the journal is
+        reachable for the term claim.
+        """
+        heal = at_ns + partition_ns
+        return cls.of(
+            Partition(start_ns=at_ns, end_ns=heal,
+                      group_a=(master,), group_b=tuple(others)),
+            MasterCrash(at_ns=at_ns + crash_after_ns),
+            MasterRecover(at_ns=heal + recover_after_heal_ns,
+                          rebuild=rebuild),
+        )
+
+    @classmethod
+    def control_plane_split(cls, at_ns: int, *, clients: Tuple[str, ...],
+                            master: str = "master",
+                            duration_ns: int = 200_000) -> "FaultPlan":
+        """Asymmetric split: ``clients`` keep the server data plane but
+        lose the master control plane (both directions) for the window.
+
+        Data ops that need no metadata keep working; control ops (renew,
+        gmalloc, lookup misses) must fail *typed* within their deadline —
+        this is the schedule the degraded-mode tests run under.
+        """
+        end = at_ns + duration_ns
+        faults: list = []
+        for client in clients:
+            faults.append(LossyLink(start_ns=at_ns, end_ns=end,
+                                    drop_prob=1.0, src=client, dst=master))
+            faults.append(LossyLink(start_ns=at_ns, end_ns=end,
+                                    drop_prob=1.0, src=master, dst=client))
+        return cls.of(*faults)
+
+    @classmethod
+    def heal_mid_failover(cls, at_ns: int, *, others: Tuple[str, ...],
+                          master: str = "master",
+                          partition_ns: int = 300_000,
+                          crash_after_ns: int = 50_000,
+                          recover_after_ns: int = 100_000,
+                          rebuild: bool = True) -> "FaultPlan":
+        """Crash the partitioned master and *restart it mid-partition*, so
+        its recovery (journal scan, term claim) begins against an
+        unreachable fabric and the heal arrives in the middle of it.
+
+        Exercises the recovering master's retry loop: it must refuse to
+        serve until the claim lands post-heal, and clients must keep
+        getting typed "recovering" errors rather than hangs meanwhile.
+        """
+        return cls.of(
+            Partition(start_ns=at_ns, end_ns=at_ns + partition_ns,
+                      group_a=(master,), group_b=tuple(others)),
+            MasterCrash(at_ns=at_ns + crash_after_ns),
+            MasterRecover(at_ns=at_ns + recover_after_ns, rebuild=rebuild),
+        )
+
+    # ------------------------------------------------------------------
     @property
     def timed(self) -> Tuple[Fault, ...]:
         """Crash/recover/stall actions, in time order (ties keep plan order)."""

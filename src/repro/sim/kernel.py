@@ -252,6 +252,10 @@ class Simulator:
         #: Optional span recorder (see repro.obs.spans).  None keeps every
         #: instrumented hot path on its allocation-free disabled branch.
         self.spans = None
+        #: Optional operation-history recorder (see repro.check.history):
+        #: Jepsen-style invoke/ok/fail/info events for the linearizability
+        #: checker.  Same contract as ``spans``: None costs nothing.
+        self.history = None
 
     # ------------------------------------------------------------------
     @property

@@ -1,0 +1,91 @@
+"""History recorder semantics: ok/fail/info, pay-as-you-go, JSONL I/O."""
+
+from repro.check import HistoryRecorder, load_history
+from repro.sim import Simulator
+
+from tests.core.conftest import build_pool, fast_config
+
+
+def test_recorder_merges_invoke_and_completion():
+    sim = Simulator(seed=1)
+    rec = HistoryRecorder(sim)
+    t_ok = rec.invoke("c0", "write", 0x10, value="a")
+    t_fail = rec.invoke("c0", "read", 0x10)
+    t_info = rec.invoke("c1", "write", 0x10, value="b")
+    t_pending = rec.invoke("c1", "read", 0x20)
+    rec.ok(t_ok)
+    rec.fail(t_fail, ValueError("boom"))
+    rec.info(t_info, TimeoutError("gone"))
+    by_status = {r["status"]: r for r in rec.ops}
+    assert set(by_status) == {"ok", "fail", "info", "pending"}
+    assert by_status["fail"]["error"] == "ValueError"
+    assert by_status["info"]["error"] == "TimeoutError"
+    assert rec.ops[t_pending]["t1"] is None
+
+
+def test_encode_is_a_short_stable_digest():
+    assert HistoryRecorder.encode(None) == ""
+    assert HistoryRecorder.encode(b"abc") == HistoryRecorder.encode(b"abc")
+    assert HistoryRecorder.encode(b"abc") != HistoryRecorder.encode(b"abd")
+    assert len(HistoryRecorder.encode(b"x" * 4096)) == 16
+
+
+def test_dump_and_load_roundtrip(tmp_path):
+    sim = Simulator(seed=1)
+    rec = HistoryRecorder(sim)
+    rec.ok(rec.invoke("c0", "write", 0x10, value="a"))
+    rec.fail(rec.invoke("c0", "read", 0x10), KeyError("x"))
+    path = tmp_path / "history.jsonl"
+    assert rec.dump_jsonl(str(path)) == 2
+    assert load_history(str(path)) == rec.ops
+
+
+def test_install_uninstall_toggles_the_sim_hook():
+    sim = Simulator(seed=1)
+    assert sim.history is None  # zero-cost default: no recorder wired
+    rec = HistoryRecorder(sim).install()
+    assert sim.history is rec
+    rec.uninstall()
+    assert sim.history is None
+    # Uninstalling a recorder that lost the hook must not clobber the winner.
+    rec2 = HistoryRecorder(sim).install()
+    rec.uninstall()
+    assert sim.history is rec2
+
+
+def test_pool_ops_record_jepsen_statuses():
+    """End to end: a recorded pool run emits invoke-merged ops with the
+    Jepsen semantics — ok for effects, fail for failed reads (definite
+    no-ops), lock ops carrying their fencing epoch."""
+    sim, pool = build_pool(num_servers=1, num_clients=1,
+                           config=fast_config(client_lease_ns=100_000))
+    client = pool.clients[0]
+    rec = HistoryRecorder(sim).install()
+
+    def work(sim):
+        gaddr = yield from client.gmalloc(64)
+        yield from client.glock(gaddr)
+        yield from client.gwrite(gaddr, b"R" * 64)
+        yield from client.gunlock(gaddr)
+        data = yield from client.gread(gaddr)
+        return gaddr, data
+
+    ((gaddr, data),) = pool.run(work(sim))
+    rec.uninstall()
+    assert data == b"R" * 64
+
+    by_op = {}
+    for r in rec.ops:
+        by_op.setdefault(r["op"], []).append(r)
+    assert set(by_op) >= {"write", "read", "lock", "unlock"}
+    for r in rec.ops:
+        assert r["status"] == "ok"
+        assert r["t1"] is not None and r["t1"] >= r["t0"]
+    (write,) = by_op["write"]
+    (read,) = by_op["read"]
+    assert write["key"] == read["key"] == gaddr
+    # Values are digests, and the read observed exactly what was written.
+    assert read["result"] == write["value"] == HistoryRecorder.encode(b"R" * 64)
+    (lock,) = by_op["lock"]
+    assert lock["key"] == gaddr and lock["write"] is True
+    assert lock["epoch"] == 0
