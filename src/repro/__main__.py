@@ -12,8 +12,9 @@ Commands:
   Prometheus text (or a versioned JSON snapshot).
 * ``check HISTORY.jsonl`` — audit a recorded op history (see
   ``bench/chaos.py --check-linearizable``) for per-key linearizability
-  and lock-model violations; exits non-zero with a minimal
-  counterexample on failure.
+  and lock-model violations; histories containing transactions are
+  additionally checked for atomicity + strict serializability.  Exits
+  non-zero with a minimal counterexample on failure.
 """
 
 from __future__ import annotations
@@ -155,7 +156,7 @@ def _cmd_metrics(args: argparse.Namespace) -> int:
 
 
 def _cmd_check(args: argparse.Namespace) -> int:
-    from repro.check import check_history, load_history
+    from repro.check import check_history, check_txn_history, load_history
 
     ops = load_history(args.history)
     result = check_history(ops, max_states=args.max_states)
@@ -166,13 +167,31 @@ def _cmd_check(args: argparse.Namespace) -> int:
     if stats["undecided_keys"]:
         print(f"undecided (state cap): "
               f"{[hex(k) for k in stats['undecided_keys']]}", file=sys.stderr)
-    if result.ok:
-        print("history is linearizable (and lock audits pass)")
+    results = [result]
+    if any("txn" in rec for rec in ops):
+        txn_result = check_txn_history(ops, max_states=args.max_states)
+        ts = txn_result.stats
+        print(f"transactions: {ts['txns']} "
+              f"({ts['committed']} committed, {ts['aborted']} aborted, "
+              f"{ts['indeterminate']} indeterminate) "
+              f"over {ts['components']} key components")
+        if ts["undecided_components"]:
+            print(f"undecided txn components (state cap): "
+                  f"{ts['undecided_components']}", file=sys.stderr)
+        results.append(txn_result)
+    if all(r.ok for r in results):
+        if len(results) > 1:
+            print("history is linearizable and strictly serializable "
+                  "(atomicity + lock audits pass)")
+        else:
+            print("history is linearizable (and lock audits pass)")
         return 0
-    for v in result.violations:
-        print(f"FAIL: {v}", file=sys.stderr)
+    for r in results:
+        for v in r.violations:
+            print(f"FAIL: {v}", file=sys.stderr)
     if args.counterexample:
-        n = result.dump_counterexample(args.counterexample)
+        failing = next(r for r in results if not r.ok)
+        n = failing.dump_counterexample(args.counterexample)
         print(f"wrote minimal counterexample ({n} ops) to "
               f"{args.counterexample}", file=sys.stderr)
     return 1
@@ -217,7 +236,8 @@ def main(argv: list[str] | None = None) -> int:
                            choices=["prom", "json"])
 
     p_check = sub.add_parser(
-        "check", help="audit a recorded op history for linearizability")
+        "check", help="audit a recorded op history for linearizability "
+                      "(+ txn serializability)")
     p_check.add_argument("history", help="JSONL history file "
                          "(bench/chaos.py --history-out, or any recorder dump)")
     p_check.add_argument("--counterexample", default=None,

@@ -53,6 +53,13 @@ from repro.faults import (
 from repro.hardware.specs import TEST_DRAM, TEST_NVM
 from repro.sim import Simulator
 from repro.sim.trace import Tracer, trace
+from repro.workloads.bank import (
+    BankSpec,
+    bank_read_balances,
+    bank_setup,
+    bank_total,
+    bank_transfer,
+)
 from repro.workloads.ycsb import WORKLOAD_B, Op, YcsbGenerator
 
 #: Virtual-time slack allowed past a deadline before we call it a miss
@@ -60,17 +67,25 @@ from repro.workloads.ycsb import WORKLOAD_B, Op, YcsbGenerator
 _DEADLINE_SLACK_NS = 5_000
 
 
+class _MidCommitKill(Exception):
+    """Raised out of a victim's commit hook to unwind its worker after
+    the crash landed — the simulated analogue of the process dying with
+    the commit half-done."""
+
+
 def soak_config(smoke: bool = False, kill_clients: bool = False,
                 crash_master: bool = False,
-                nemesis: bool = False) -> GengarConfig:
+                nemesis: bool = False, txn: bool = False) -> GengarConfig:
     """The resilient profile the soak runs under.
 
     ``kill_clients`` arms the lease/fencing/torn-slot machinery;
     ``crash_master`` arms the metadata journal so a restarted master can
     rebuild; ``nemesis`` arms the full partition-tolerant control plane
     (journal + terms + leases + phi-accrual failure detector) for the
-    Jepsen-style partition phase.  All default off, keeping the base soak
-    byte-identical.
+    Jepsen-style partition phase; ``txn`` arms distributed transactions
+    (intent records + leases + the journal, so both the lease sweep and a
+    rebuilt master's orphan sweep can roll intents forward).  All default
+    off, keeping the base soak byte-identical.
     """
     extras: Dict[str, Any] = {}
     if kill_clients:
@@ -80,6 +95,10 @@ def soak_config(smoke: bool = False, kill_clients: bool = False,
     if nemesis:
         extras.update(client_lease_ns=120_000, metadata_journal=True,
                       master_terms=True, failure_detector=True)
+    if txn:
+        extras.update(enable_txn=True, client_lease_ns=120_000,
+                      metadata_journal=True,
+                      lock_acquire_timeout_ns=100_000)
     return GengarConfig(
         cache_capacity=256 * 1024,
         epoch_ns=50_000,
@@ -128,7 +147,9 @@ class ChaosSoak:
                  dump_trace: bool = False, kill_clients: bool = False,
                  crash_master: bool = False, record_spans: bool = False,
                  prefetch: bool = False, nemesis: bool = False,
-                 check_linearizable: bool = False):
+                 check_linearizable: bool = False,
+                 kill_mid_commit: bool = False,
+                 check_serializable: bool = False):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
@@ -136,13 +157,16 @@ class ChaosSoak:
         self.prefetch = prefetch
         self.nemesis = nemesis or check_linearizable
         self.check_linearizable = check_linearizable
+        self.kill_mid_commit = kill_mid_commit or check_serializable
+        self.check_serializable = check_serializable
         self.records = 24 if smoke else 48
         self.value_size = 512
         self.num_workers = 2 if smoke else 4
         self.ops_per_worker = 80 if smoke else 400
         self.config = soak_config(smoke, kill_clients=kill_clients,
                                   crash_master=crash_master,
-                                  nemesis=self.nemesis)
+                                  nemesis=self.nemesis,
+                                  txn=self.kill_mid_commit)
         self.sim = Simulator(seed=seed)
         self.recorder = None
         if record_spans:
@@ -152,10 +176,12 @@ class ChaosSoak:
             self.sim.tracer = Tracer(
                 self.sim, capacity=50_000,
                 categories={"fault", "retry", "failover", "degraded",
-                            "lease", "fence", "partition", "term", "check"})
+                            "lease", "fence", "partition", "term", "check",
+                            "txn"})
         self.pool = GengarPool.build(
             self.sim, num_servers=2,
-            num_clients=3 if kill_clients else 2, config=self.config,
+            num_clients=3 if (kill_clients or self.kill_mid_commit) else 2,
+            config=self.config,
             dram=TEST_DRAM, nvm=TEST_NVM,
             standby_master=self.nemesis,
         )
@@ -182,6 +208,13 @@ class ChaosSoak:
         self.check_result = None
         self.linearizable: Optional[bool] = None
         self._nemesis_versions: Dict[int, int] = {}
+        #: Transaction-phase state: the txn-history recorder (when
+        #: ``check_serializable``), the auditor's verdict, and the bank
+        #: phase's conservation outcome.
+        self.txn_history_recorder = None
+        self.txn_check_result = None
+        self.serializable: Optional[bool] = None
+        self.bank_total_ok: Optional[bool] = None
 
     # ------------------------------------------------------------------
     def encode(self, key: int, version: int) -> bytes:
@@ -805,6 +838,234 @@ class ChaosSoak:
                     self.violations.append(f"linearizability-check: {v}")
 
     # ------------------------------------------------------------------
+    # Mid-commit kill nemesis (the transaction phase)
+    # ------------------------------------------------------------------
+    _KILL_POINTS = ("pre-intent", "post-intent", "mid-apply",
+                    "pre-clear", "post-clear")
+
+    def _arm_mid_commit_kill(self, victim, point: str, nth: int,
+                             also_master: bool = False) -> Dict[str, Any]:
+        """Arm the victim's commit hook to crash the ``nth`` time one of
+        its commits passes ``point`` — and optionally take the master
+        down in the same instant, so the intent must survive into the
+        rebuilt master's orphan sweep instead of the lease sweep."""
+        state = {"n": 0, "fired": False}
+
+        def hook(p: str, txn) -> None:
+            if p != point:
+                return
+            state["n"] += 1
+            if state["n"] < nth:
+                return
+            state["fired"] = True
+            victim.txn.commit_hook = None
+            victim.crash()
+            self.sim.metrics.counter("faults.client_crashes").add()
+            if also_master:
+                self.pool.master.crash()
+                self.sim.metrics.counter("faults.master_crashes").add()
+            if self.sim.tracer is not None:
+                trace(self.sim, "fault", "mid-commit kill", point=p,
+                      txn=txn.id, master=also_master)
+            raise _MidCommitKill(point)
+
+        victim.txn.commit_hook = hook
+        return state
+
+    def _bank_worker(self, client, gaddrs: List[int], spec: BankSpec,
+                     count: int, rng_tag: str) -> Generator[Any, Any, None]:
+        """Closed-loop random transfers; rides out fences and aborts."""
+        sim = self.sim
+        lease = self.config.client_lease_ns
+        rng = sim.rng.stream(f"chaos.txn.{rng_tag}")
+
+        def proc(sim):
+            for _ in range(count):
+                i = rng.randrange(spec.accounts)
+                j = rng.randrange(spec.accounts)
+                if i == j:
+                    j = (j + 1) % spec.accounts
+                amount = 1 + rng.randrange(spec.max_transfer)
+                try:
+                    yield from bank_transfer(
+                        client, gaddrs[i], gaddrs[j], amount)
+                    self.ops_ok += 1
+                except _MidCommitKill:
+                    return  # this worker just died mid-commit
+                except FencedError:
+                    self.ops_typed_failures += 1
+                    try:
+                        yield from client.reattach_master()
+                    except ClientError:
+                        yield sim.timeout(lease // 2)
+                except ClientError:
+                    # Wait-die deaths past the retry budget, lock
+                    # timeouts, aborts on an unreachable server — all
+                    # typed, none fatal to the worker.
+                    self.ops_typed_failures += 1
+                yield sim.timeout(1_000 + int(rng.randrange(3_000)))
+
+        return proc(sim)
+
+    def _rejoin(self, client) -> Generator[Any, Any, None]:
+        sim = self.sim
+        lease = self.config.client_lease_ns
+
+        def proc(sim):
+            for _ in range(8):
+                try:
+                    yield from client.reattach_master()
+                    return
+                except ClientError:
+                    yield sim.timeout(lease // 2)
+
+        return proc(sim)
+
+    def _bank_audit(self, gaddrs: List[int], spec: BankSpec,
+                    tag: str) -> None:
+        """Byte-level conservation read-back: a torn transfer (one leg
+        applied, the other lost with the client) breaks the total."""
+        sim = self.sim
+        lease = self.config.client_lease_ns
+        client = self.pool.clients[0]
+        out: Dict[str, int] = {}
+
+        def audit(sim):
+            for _ in range(6):
+                try:
+                    balances = yield from bank_read_balances(client, gaddrs)
+                    out["total"] = bank_total(balances)
+                    return
+                except FencedError:
+                    try:
+                        yield from client.reattach_master()
+                    except ClientError:
+                        yield sim.timeout(lease)
+                except ClientError:
+                    yield sim.timeout(lease)
+
+        self.pool.run(audit(sim))
+        if out.get("total") != spec.expected_total:
+            self.bank_total_ok = False
+            self.violations.append(
+                f"txn-phase {tag}: conserved total {out.get('total')} != "
+                f"{spec.expected_total} (a transfer became visible torn)")
+        elif self.bank_total_ok is None:
+            self.bank_total_ok = True
+
+    def txn_phase(self) -> None:
+        """Crash-atomic transactions under a mid-commit kill nemesis.
+
+        Bank-transfer rounds (conserved-total invariant) with a victim
+        client killed at seeded points across the whole commit window:
+        before the intent lands (clean rollback — buffered writes die
+        with the client), right after the commit point, between the
+        per-server applies (the torn case the intent record exists for),
+        and around the intent clear.  The lease sweep must roll every
+        post-commit-point intent forward before force-unlocking.
+        Master-crash rounds kill the client AND the master in the same
+        instant: the on-NVM intent must then survive into the rebuilt
+        master's orphan sweep.  With ``check_serializable`` the whole
+        phase is recorded and audited for atomicity + strict
+        serializability.
+        """
+        sim = self.sim
+        pool = self.pool
+        lease = self.config.client_lease_ns
+        recorder = None
+        if self.check_serializable and sim.history is None:
+            from repro.check import HistoryRecorder
+            recorder = HistoryRecorder(sim).install()
+            self.txn_history_recorder = recorder
+
+        spec = BankSpec(accounts=8, initial_balance=1000, max_transfer=50)
+        holder: Dict[str, List[int]] = {}
+
+        def setup(sim):
+            holder["gaddrs"] = yield from bank_setup(pool.clients[0], spec)
+
+        pool.run(setup(sim))
+        gaddrs = holder["gaddrs"]
+
+        rng = sim.rng.stream("chaos.txn.nemesis")
+        victim = pool.clients[2]
+        others = [pool.clients[0], pool.clients[1]]
+        per_round = 4 if self.smoke else 8
+
+        # Round 0: pure contention, no faults — wait-die and the
+        # serializability of healthy concurrent transfers.
+        pool.run(*[self._bank_worker(c, gaddrs, spec, per_round + 4,
+                                     f"warm.{c.name}")
+                   for c in pool.clients])
+        self._bank_audit(gaddrs, spec, "warmup")
+
+        # Client-kill rounds: cycle through every commit-window point.
+        points = self._KILL_POINTS[:3] if self.smoke else self._KILL_POINTS
+        for r, point in enumerate(points):
+            nth = 1 + rng.randrange(2)
+            state = self._arm_mid_commit_kill(victim, point, nth)
+            procs = [self._bank_worker(victim, gaddrs, spec, per_round,
+                                       f"kill{r}.victim")]
+            procs += [self._bank_worker(c, gaddrs, spec, per_round // 2,
+                                        f"kill{r}.{c.name}")
+                      for c in others]
+            pool.run(*procs)
+            victim.txn.commit_hook = None
+            if state["fired"]:
+                # Let the lease lapse; the sweep consults the intent and
+                # rolls forward past the commit point, back otherwise.
+                sim.run(until=sim.now + 5 * lease)
+                victim.revive()
+                pool.run(self._rejoin(victim))
+            self._bank_audit(gaddrs, spec, f"client-kill@{point}")
+
+        # Master-crash rounds: the lease table dies with the master, so
+        # the rebuilt master's orphan sweep is the only recovery path.
+        master_points = (("post-intent",) if self.smoke
+                         else ("post-intent", "mid-apply"))
+        for r, point in enumerate(master_points):
+            nth = 1 + rng.randrange(2)
+            state = self._arm_mid_commit_kill(victim, point, nth,
+                                              also_master=True)
+            procs = [self._bank_worker(victim, gaddrs, spec, per_round,
+                                       f"mkill{r}.victim")]
+            procs += [self._bank_worker(c, gaddrs, spec, per_round // 2,
+                                        f"mkill{r}.{c.name}")
+                      for c in others]
+            pool.run(*procs)
+            victim.txn.commit_hook = None
+            if state["fired"]:
+                sim.run(until=sim.now + 2 * lease)
+                master = pool.master
+                master.recover()
+                sim.spawn(master.recovery_process(rebuild=True),
+                          name="master.recovery")
+                # Term claim + journal replay + orphan sweep (which rolls
+                # the surviving intent forward before force-unlocking).
+                sim.run(until=sim.now + 6 * lease)
+                victim.revive()
+                pool.run(self._rejoin(victim))
+            self._bank_audit(gaddrs, spec, f"master-crash@{point}")
+
+        if recorder is not None:
+            recorder.uninstall()
+            from repro.check import check_txn_history
+            result = check_txn_history(recorder.ops)
+            self.txn_check_result = result
+            self.serializable = result.ok
+            m = sim.metrics
+            m.counter("check.txn_histories").add()
+            m.counter("check.txn_history_ops").add(len(recorder.ops))
+            if sim.tracer is not None:
+                trace(sim, "check", "txn history audited",
+                      ops=len(recorder.ops), ok=result.ok,
+                      violations=len(result.violations))
+            if not result.ok:
+                m.counter("check.violations").add(len(result.violations))
+                for v in result.violations[:5]:
+                    self.violations.append(f"serializability-check: {v}")
+
+    # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         self.load()
         t0 = self.sim.now
@@ -831,6 +1092,8 @@ class ChaosSoak:
             self.prefetch_phase()
         if self.nemesis:
             self.partition_phase()
+        if self.kill_mid_commit:
+            self.txn_phase()
 
         m = self.sim.metrics
         counters = {
@@ -878,6 +1141,15 @@ class ChaosSoak:
         counters["partition_suspected"] = m.counter(
             "pool.partition_suspected").count
         counters["lease_lapses"] = m.counter("pool.lease_lapses").count
+        # Transaction counters (all zero unless --kill-mid-commit armed
+        # the txn feature and its bank phase).
+        counters["txn_begins"] = m.counter("pool.txn_begins").count
+        counters["txn_commits"] = m.counter("pool.txn_commits").count
+        counters["txn_aborts"] = m.counter("pool.txn_aborts").count
+        counters["txn_wait_die"] = m.counter("pool.txn_wait_die").count
+        counters["txn_handoffs"] = m.counter("pool.txn_handoffs").count
+        counters["txn_rolled_forward"] = m.counter(
+            "master.txn_rolled_forward").count
         return {
             "seed": self.seed,
             "smoke": self.smoke,
@@ -885,6 +1157,7 @@ class ChaosSoak:
             "crash_master": self.crash_master,
             "prefetch": self.prefetch,
             "nemesis": self.nemesis,
+            "kill_mid_commit": self.kill_mid_commit,
             "virtual_end_ns": self.sim.now,
             "ops_ok": self.ops_ok,
             "ops_typed_failures": self.ops_typed_failures,
@@ -893,6 +1166,11 @@ class ChaosSoak:
             "linearizable": self.linearizable,
             "history_ops": (len(self.history_recorder.ops)
                             if self.history_recorder is not None else 0),
+            "serializable": self.serializable,
+            "bank_total_ok": self.bank_total_ok,
+            "txn_history_ops": (len(self.txn_history_recorder.ops)
+                                if self.txn_history_recorder is not None
+                                else 0),
             "counters": counters,
             "violations": self.violations,
         }
@@ -902,6 +1180,8 @@ def run_soak(seed: int = 7, smoke: bool = False,
              dump_trace: bool = False, kill_clients: bool = False,
              crash_master: bool = False, prefetch: bool = False,
              nemesis: bool = False, check_linearizable: bool = False,
+             kill_mid_commit: bool = False,
+             check_serializable: bool = False,
              trace_out: Optional[str] = None,
              span_log: Optional[str] = None,
              history_out: Optional[str] = None,
@@ -911,15 +1191,21 @@ def run_soak(seed: int = 7, smoke: bool = False,
                      kill_clients=kill_clients, crash_master=crash_master,
                      prefetch=prefetch, nemesis=nemesis,
                      check_linearizable=check_linearizable,
+                     kill_mid_commit=kill_mid_commit,
+                     check_serializable=check_serializable,
                      record_spans=bool(trace_out or span_log))
     report = soak.run()
-    if soak.history_recorder is not None and history_out:
-        n = soak.history_recorder.dump_jsonl(history_out)
-        report["history_file"] = history_out
-        print(f"wrote {history_out}: {n} recorded ops", file=sys.stderr)
-    if (soak.check_result is not None and not soak.check_result.ok
-            and counterexample_out):
-        n = soak.check_result.dump_counterexample(counterexample_out)
+    if history_out:
+        dumper = soak.history_recorder or soak.txn_history_recorder
+        if dumper is not None:
+            n = dumper.dump_jsonl(history_out)
+            report["history_file"] = history_out
+            print(f"wrote {history_out}: {n} recorded ops", file=sys.stderr)
+    failed_check = next(
+        (r for r in (soak.check_result, soak.txn_check_result)
+         if r is not None and not r.ok), None)
+    if failed_check is not None and counterexample_out:
+        n = failed_check.dump_counterexample(counterexample_out)
         report["counterexample_file"] = counterexample_out
         print(f"wrote {counterexample_out}: minimal counterexample "
               f"({n} ops)", file=sys.stderr)
@@ -972,6 +1258,15 @@ def main(argv=None) -> int:
                         help="record the nemesis phase as a Jepsen-style "
                              "op history and audit it per key (implies "
                              "--nemesis)")
+    parser.add_argument("--kill-mid-commit", action="store_true",
+                        help="add the transaction phase: bank transfers "
+                             "with clients (and the master) killed at "
+                             "seeded points inside the commit window, "
+                             "audited for conserved totals")
+    parser.add_argument("--check-serializable", action="store_true",
+                        help="record the transaction phase and audit it "
+                             "for atomicity + strict serializability "
+                             "(implies --kill-mid-commit)")
     parser.add_argument("--history-out", type=str, default=None,
                         help="write the recorded op history as JSONL here "
                              "(replayable via `python -m repro check`)")
@@ -988,6 +1283,8 @@ def main(argv=None) -> int:
                       crash_master=args.crash_master,
                       prefetch=args.prefetch, nemesis=args.nemesis,
                       check_linearizable=args.check_linearizable,
+                      kill_mid_commit=args.kill_mid_commit,
+                      check_serializable=args.check_serializable,
                       trace_out=args.trace_out, span_log=args.span_log,
                       history_out=args.history_out,
                       counterexample_out=args.counterexample_out)
@@ -996,10 +1293,13 @@ def main(argv=None) -> int:
                           kill_clients=args.kill_clients,
                           crash_master=args.crash_master,
                           prefetch=args.prefetch, nemesis=args.nemesis,
-                          check_linearizable=args.check_linearizable)
+                          check_linearizable=args.check_linearizable,
+                          kill_mid_commit=args.kill_mid_commit,
+                          check_serializable=args.check_serializable)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
                 "lost_reports", "tainted_keys", "linearizable",
-                "history_ops", "counters", "violations"]
+                "history_ops", "serializable", "bank_total_ok",
+                "txn_history_ops", "counters", "violations"]
         mismatched = [k for k in keys if report[k] != second[k]]
         if mismatched:
             report["violations"].append(
@@ -1021,6 +1321,12 @@ def main(argv=None) -> int:
     if report["linearizable"] is not None:
         print(f"  linearizable: {report['linearizable']} "
               f"({report['history_ops']} recorded ops)")
+    if report["serializable"] is not None:
+        print(f"  serializable: {report['serializable']} "
+              f"({report['txn_history_ops']} recorded ops)")
+    if report["bank_total_ok"] is not None:
+        print(f"  bank conservation: "
+              f"{'PASS' if report['bank_total_ok'] else 'FAIL'}")
     for name, value in sorted(report["counters"].items()):
         print(f"  {name}: {value}")
     if "determinism" in report:

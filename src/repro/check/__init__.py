@@ -16,13 +16,19 @@ Two halves, wired so the simulator pays nothing unless both are asked for:
   exclusive holds, per-client fencing-epoch monotonicity).  On failure it
   extracts a minimal failing prefix as the counterexample.
 
+* :mod:`repro.check.serialize` — the transactional sibling: an
+  atomicity audit (no aborted transaction's write may ever be observed)
+  plus a strict-serializability search over whole transactions grouped
+  by txn id, with the same minimal-counterexample extraction.
+
 The ``repro check`` CLI verb replays a JSONL history file through the
-checker; ``bench/chaos.py --check-linearizable`` records and checks a
-history in one run.
+checkers; ``bench/chaos.py --check-linearizable`` /
+``--check-serializable`` record and check a history in one run.
 """
 
 from repro.check.history import HistoryRecorder, load_history
 from repro.check.linearize import CheckResult, Violation, check_history
+from repro.check.serialize import check_txn_history
 
 __all__ = [
     "HistoryRecorder",
@@ -30,4 +36,5 @@ __all__ = [
     "CheckResult",
     "Violation",
     "check_history",
+    "check_txn_history",
 ]

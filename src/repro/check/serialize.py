@@ -1,0 +1,310 @@
+"""Offline atomicity + strict-serializability checking for transactions.
+
+Transactional histories (see ``repro.txn``) record three op kinds, all
+carrying a ``txn`` id: one spanning ``"txn"`` record per transaction
+(``ok`` = committed, ``fail`` = aborted, ``info``/``pending`` =
+indeterminate — the client died or handed its commit to recovery, and the
+durable intent may still be rolled forward), plus ``"txn_read"`` /
+``"txn_write"`` records for the read- and write-sets.
+
+**Atomicity audit** (no search): a read must never observe a value that
+only an *aborted* transaction wrote — an aborted or incomplete
+transaction leaking even one write is exactly the partial-visibility bug
+the intent protocol exists to prevent.
+
+**Strict serializability** (Wing & Gong over whole transactions): the
+committed transactions must admit a total order in which every read sees
+the latest preceding write to its key, and that order must respect real
+time — transaction *b* after *a* whenever *a* completed before *b*
+began.  Indeterminate transactions are optional (window ``[t0, ∞)``) and
+may be woven in wherever they help, mirroring the register checker's
+treatment of indeterminate writes.  Non-transactional reads/writes on
+keys that transactions also touch participate as singleton transactions,
+so mixed histories are checked whole.
+
+Soundness choices match :mod:`repro.check.linearize`: initial values are
+bound by the first read, indeterminate effects are optional, and a state-
+cap exhaustion reports "undecided" rather than guessing.  What this
+checker deliberately does NOT prove: a committed write to a key nobody
+reads again is unobservable in the history (the chaos soak's byte-level
+read-back audit covers that), and reads served from a transaction's own
+write buffer are internal and unrecorded.
+
+On failure it reports the shortest completion-order prefix of committed
+transactions that already fails — the minimal counterexample.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Dict, List, Optional, Tuple
+
+from repro.check.linearize import DEFAULT_MAX_STATES, CheckResult, Violation
+
+__all__ = ["check_txn_history"]
+
+_UNBOUND = object()
+
+
+@dataclass
+class _TxnNode:
+    """One transaction (or singleton non-txn op) as the search sees it."""
+
+    tid: str
+    client: str = ""
+    status: str = "indeterminate"  # committed | aborted | indeterminate
+    t0: int = 0
+    t1: float = float("inf")
+    #: (key, value) pairs in read order; key = (gaddr, offset).
+    reads: List[Tuple[Tuple[int, int], Any]] = field(default_factory=list)
+    writes: Dict[Tuple[int, int], Any] = field(default_factory=dict)
+    recs: List[Dict[str, Any]] = field(default_factory=list)
+
+
+def _key_of(rec: Dict[str, Any]) -> Tuple[int, int]:
+    return (rec["key"], rec.get("offset") or 0)
+
+
+def _collect(ops: List[Dict[str, Any]]) -> List[_TxnNode]:
+    """Group the history into transaction nodes (txn ids + singletons)."""
+    txns: Dict[str, _TxnNode] = {}
+
+    def node_for(tid: str) -> _TxnNode:
+        node = txns.get(tid)
+        if node is None:
+            node = txns[tid] = _TxnNode(tid=tid)
+        return node
+
+    plain: List[Dict[str, Any]] = []
+    for rec in ops:
+        op = rec["op"]
+        if op == "txn":
+            node = node_for(rec["txn"])
+            node.client = rec["client"]
+            node.t0 = rec["t0"]
+            if rec["status"] == "ok":
+                node.status = "committed"
+                node.t1 = rec["t1"]
+            elif rec["status"] == "fail":
+                node.status = "aborted"
+            else:
+                node.status = "indeterminate"
+            node.recs.insert(0, rec)
+        elif op == "txn_read":
+            node = node_for(rec["txn"])
+            if rec["status"] == "ok":
+                node.reads.append((_key_of(rec), rec.get("result")))
+            node.recs.append(rec)
+        elif op == "txn_write":
+            node = node_for(rec["txn"])
+            node.writes[_key_of(rec)] = rec.get("value")
+            node.recs.append(rec)
+        elif op in ("read", "write"):
+            plain.append(rec)
+
+    # Non-transactional ops join as singleton transactions — but only on
+    # keys transactions also touch; pure register traffic stays with the
+    # register checker.
+    txn_keys = {k[0] for node in txns.values()
+                for k in list(node.writes) + [r[0] for r in node.reads]}
+    for rec in plain:
+        if rec["key"] not in txn_keys:
+            continue
+        key = (rec["key"], rec.get("offset") or 0)
+        node = _TxnNode(tid=f"_op{rec['id']}", client=rec["client"],
+                        t0=rec["t0"], recs=[rec])
+        if rec["op"] == "read":
+            if rec["status"] != "ok":
+                continue  # a failed/pending read constrains nothing
+            node.status = "committed"
+            node.t1 = rec["t1"]
+            node.reads.append((key, rec.get("result")))
+        else:
+            if rec["status"] == "ok":
+                node.status = "committed"
+                node.t1 = rec["t1"]
+            elif rec["status"] in ("info", "pending"):
+                node.status = "indeterminate"
+            else:
+                continue  # failed writes are definite no-ops
+            node.writes[key] = rec.get("value")
+        txns[node.tid] = node
+    return list(txns.values())
+
+
+# ----------------------------------------------------------------------
+# Atomicity: no read may observe an aborted transaction's write
+# ----------------------------------------------------------------------
+def _check_atomicity(nodes: List[_TxnNode],
+                     violations: List[Violation]) -> None:
+    aborted_writes: Dict[Tuple[int, int], Dict[Any, _TxnNode]] = {}
+    live_values: Dict[Tuple[int, int], set] = {}
+    for node in nodes:
+        for key, value in node.writes.items():
+            if node.status == "aborted":
+                aborted_writes.setdefault(key, {})[value] = node
+            else:
+                live_values.setdefault(key, set()).add(value)
+    for node in nodes:
+        if node.status == "aborted":
+            continue
+        for key, value in node.reads:
+            writer = aborted_writes.get(key, {}).get(value)
+            if writer is None or value in live_values.get(key, ()):
+                continue
+            violations.append(Violation(
+                key=key[0], kind="txn-atomicity",
+                detail=f"{node.client} read a value of {key[0]:#x} that "
+                       f"only aborted transaction {writer.tid} ever wrote "
+                       "(a rolled-back write became visible)",
+                ops=node.recs + writer.recs))
+
+
+# ----------------------------------------------------------------------
+# Strict serializability: Wing & Gong over whole transactions
+# ----------------------------------------------------------------------
+def _serializable(required: List[_TxnNode], optional: List[_TxnNode],
+                  max_states: int) -> Optional[bool]:
+    """True/False, or None when the state cap was exhausted (undecided)."""
+    if not required:
+        return True
+    nodes = required + optional
+    n_req = len(required)
+    windows = [(node.t0, node.t1) for node in nodes]
+    preds: List[int] = []
+    for i in range(len(nodes)):
+        mask = 0
+        for j in range(n_req):
+            if i != j and windows[j][1] < windows[i][0]:
+                mask |= 1 << j
+        preds.append(mask)
+
+    full_req = (1 << n_req) - 1
+    seen = set()
+    # Depth-first over (done-bitmask, key -> value store image).
+    stack: List[Tuple[int, int, tuple]] = [(0, 0, ())]
+    while stack:
+        if len(seen) > max_states:
+            return None
+        done_req, done_all, state_t = stack.pop()
+        if done_req == full_req:
+            return True
+        memo = (done_all, state_t)
+        if memo in seen:
+            continue
+        seen.add(memo)
+        state = dict(state_t)
+        for i, node in enumerate(nodes):
+            bit = 1 << i
+            if done_all & bit:
+                continue
+            if (preds[i] & ~done_req) & full_req:
+                continue  # a completed predecessor is not serialized yet
+            # Reads see the store before the txn's own writes (the write
+            # buffer was local; recorded reads all hit the global state).
+            new_state = None
+            legal = True
+            for key, value in node.reads:
+                src = new_state if new_state is not None else state
+                cur = src.get(key, _UNBOUND)
+                if cur is _UNBOUND:
+                    # First serialized access is a read: bind the unknown
+                    # initial value of this key.
+                    if new_state is None:
+                        new_state = dict(state)
+                    new_state[key] = value
+                elif cur != value:
+                    legal = False
+                    break
+            if not legal:
+                continue
+            if new_state is None:
+                new_state = dict(state)
+            new_state.update(node.writes)
+            new_req = done_req | bit if i < n_req else done_req
+            stack.append((new_req, done_all | bit,
+                          tuple(sorted(new_state.items()))))
+    return False
+
+
+def _minimal_prefix(required: List[_TxnNode], optional: List[_TxnNode],
+                    max_states: int) -> List[Dict[str, Any]]:
+    """Shortest completion-order prefix of committed txns that fails."""
+    for k in range(1, len(required) + 1):
+        prefix = required[:k]
+        horizon = max(node.t1 for node in prefix)
+        opt = [node for node in optional if node.t0 <= horizon]
+        if _serializable(prefix, opt, max_states) is False:
+            return [rec for node in prefix + opt for rec in node.recs]
+    return [rec for node in required + optional for rec in node.recs]
+
+
+def _components(nodes: List[_TxnNode]) -> List[List[_TxnNode]]:
+    """Partition transactions into key-connected components; disjoint
+    components serialize independently, which keeps the search small."""
+    parent: Dict[Any, Any] = {}
+
+    def find(x):
+        while parent.setdefault(x, x) != x:
+            parent[x] = parent[parent[x]]
+            x = parent[x]
+        return x
+
+    def union(a, b):
+        parent[find(a)] = find(b)
+
+    for node in nodes:
+        keys = list(node.writes) + [key for key, _v in node.reads]
+        for key in keys:
+            union(("t", node.tid), ("k", key))
+    groups: Dict[Any, List[_TxnNode]] = {}
+    for node in nodes:
+        groups.setdefault(find(("t", node.tid)), []).append(node)
+    return list(groups.values())
+
+
+# ----------------------------------------------------------------------
+# Entry point
+# ----------------------------------------------------------------------
+def check_txn_history(ops: List[Dict[str, Any]],
+                      max_states: int = DEFAULT_MAX_STATES) -> CheckResult:
+    """Audit a transactional history; see the module docstring."""
+    nodes = _collect(ops)
+    violations: List[Violation] = []
+    _check_atomicity(nodes, violations)
+
+    searchable = [n for n in nodes if n.status != "aborted"
+                  and (n.reads or n.writes)]
+    undecided = 0
+    components = _components(searchable)
+    for comp in components:
+        required = [n for n in comp if n.status == "committed"]
+        optional = [n for n in comp if n.status == "indeterminate"]
+        required.sort(key=lambda node: (node.t1, node.t0))
+        verdict = _serializable(required, optional, max_states)
+        if verdict is None:
+            undecided += 1
+        elif verdict is False:
+            witness = _minimal_prefix(required, optional, max_states)
+            violations.append(Violation(
+                key=None, kind="txn-serializability",
+                detail="no strict-serializable order of the committed "
+                       "transactions exists within their real-time windows",
+                ops=witness))
+
+    by_status: Dict[str, int] = {"committed": 0, "aborted": 0,
+                                 "indeterminate": 0}
+    real_txns = [n for n in nodes if not n.tid.startswith("_op")]
+    for node in real_txns:
+        by_status[node.status] += 1
+    stats = {
+        "ops": len(ops),
+        "txns": len(real_txns),
+        "committed": by_status["committed"],
+        "aborted": by_status["aborted"],
+        "indeterminate": by_status["indeterminate"],
+        "components": len(components),
+        "undecided_components": undecided,
+        "violations": len(violations),
+    }
+    return CheckResult(ok=not violations, violations=violations, stats=stats)

@@ -324,6 +324,23 @@ class GengarPool:
                     m.counter("pool.partition_suspected").count,
                 "lease_lapses": m.counter("pool.lease_lapses").count,
             },
+            "txn": {
+                "enabled": self.config.enable_txn,
+                "begins": m.counter("pool.txn_begins").count,
+                "commits": m.counter("pool.txn_commits").count,
+                "aborts": m.counter("pool.txn_aborts").count,
+                "wait_die_deaths": m.counter("pool.txn_wait_die").count,
+                "commit_handoffs": m.counter("pool.txn_handoffs").count,
+                "rolled_forward":
+                    m.counter("master.txn_rolled_forward").count,
+                "lock_timeouts": m.counter("pool.lock_timeouts").count,
+                "intents_journaled": sum(
+                    m.counter(f"{s.node.name}.txn.intents").count
+                    for s in self.servers.values()),
+                "writes_applied": sum(
+                    m.counter(f"{s.node.name}.txn.applied").count
+                    for s in self.servers.values()),
+            },
         }
 
     def metrics_snapshot(self) -> Dict[str, float]:

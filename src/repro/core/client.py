@@ -40,12 +40,16 @@ from repro.core.errors import (
     FatalError,
     FencedError,
     LeaseExpiredError,
+    LockTimeoutError,
     MasterUnavailableError,
     PartitionSuspected,
     RetryableError,
     ServerUnavailableError,
     StaleRingError,
     StaleTermError,
+    TxnAbortedError,
+    TxnError,
+    TxnWaitDieError,
 )
 from repro.core.hotness import AccessPredictor
 from repro.core.layout import DramCarver
@@ -81,6 +85,10 @@ __all__ = [
     "StaleRingError",
     "FencedError",
     "DeadlineExceededError",
+    "LockTimeoutError",
+    "TxnError",
+    "TxnAbortedError",
+    "TxnWaitDieError",
 ]
 
 
@@ -224,6 +232,9 @@ class GengarClient:
         self._ops_since_report = 0
         self._report_inflight = False
         self.locks = LockOps(self)
+        #: Lazily constructed transaction engine (see the ``txn`` property);
+        #: stays None — zero cost — unless transactions are actually used.
+        self._txn_manager = None
         self._attached = False
         #: Unique id assigned by the master at attach; tags write locks so
         #: abandoned ones are attributable and recoverable.
@@ -1640,6 +1651,18 @@ class GengarClient:
                            gaddr=hex(gaddr), write=write)
         if hist is not None:
             hist.ok(tok, value=self.fence_epoch)
+
+    # Transactions (delegates to repro.txn) ------------------------------
+    @property
+    def txn(self):
+        """This client's :class:`~repro.txn.TxnManager` (requires
+        ``config.enable_txn``); constructed on first use so the txn-free
+        path pays nothing."""
+        if self._txn_manager is None:
+            from repro.txn import TxnManager
+
+            self._txn_manager = TxnManager(self)
+        return self._txn_manager
 
     # ------------------------------------------------------------------
     # Metadata

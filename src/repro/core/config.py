@@ -157,6 +157,26 @@ class GengarConfig:
     #: Heartbeat inter-arrival samples per client kept for the estimator.
     phi_window: int = 16
 
+    # ---- transactions -----------------------------------------------------
+    #: Multi-object crash-atomic transactions (``repro.txn``): lock-ordered
+    #: 2PL with wait-die, a durable per-transaction intent record in server
+    #: NVM as the single commit point, and master-side roll-forward/back on
+    #: client death.  Off: no intent region is carved, no stamp table is
+    #: registered, and the protocol + virtual time stay byte-identical to
+    #: the txn-free build.
+    enable_txn: bool = False
+    #: Intent-record slots per server (one per in-flight committing txn
+    #: whose coordinator is that server).
+    txn_intent_entries: int = 64
+    #: Bytes per intent slot; a txn whose pickled intent record exceeds
+    #: this aborts cleanly at commit rather than truncating.
+    txn_intent_slot_bytes: int = 4096
+    #: Bound on how long a lock acquire spins on a *held* word before
+    #: raising a typed ``LockTimeoutError`` (backoff between attempts rides
+    #: ``RetryPolicy``'s seeded jitter).  0 keeps the legacy spin-until-
+    #: op-deadline behaviour byte-identical.
+    lock_acquire_timeout_ns: int = 0
+
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
@@ -202,6 +222,14 @@ class GengarConfig:
         if self.failure_detector and not self.client_lease_ns:
             raise ValueError("failure_detector requires client_lease_ns "
                              "(it observes lease heartbeats)")
+        if self.txn_intent_entries < 1:
+            raise ValueError("txn_intent_entries must be at least 1")
+        if self.txn_intent_slot_bytes < 128:
+            raise ValueError("txn intent slots must hold at least a small "
+                             "record (128 bytes)")
+        if self.lock_acquire_timeout_ns < 0:
+            raise ValueError("lock_acquire_timeout_ns must be non-negative "
+                             "(0 disables)")
 
     # Wire compatibility ---------------------------------------------------
     # The attach reply ships this object whole, so its pickled size is
@@ -215,6 +243,10 @@ class GengarConfig:
         "failure_detector": False,
         "phi_threshold": 8.0,
         "phi_window": 16,
+        "enable_txn": False,
+        "txn_intent_entries": 64,
+        "txn_intent_slot_bytes": 4096,
+        "lock_acquire_timeout_ns": 0,
     }
 
     def __getstate__(self) -> dict:

@@ -35,6 +35,7 @@ from repro.core.errors import (
     DeadlineExceededError,
     FencedError,
     LeaseExpiredError,
+    LockTimeoutError,
 )
 from repro.core.protocol import (
     READER_UNIT,
@@ -68,6 +69,7 @@ class LockOps:
         m = self.sim.metrics
         self.acquires = m.counter("pool.lock_acquires")
         self.retries = m.counter("pool.lock_retries")
+        self.timeouts = m.counter("pool.lock_timeouts")
 
     # ------------------------------------------------------------------
     def _backoff(self, attempt: int) -> Generator[Any, Any, None]:
@@ -75,6 +77,42 @@ class LockOps:
         # Capped exponential backoff with jitter to break convoys.
         delay = min(base * (1 << min(attempt, 6)), 64 * base)
         yield self.sim.timeout(self._rng.randrange(base, delay + 1))
+
+    def _contention_wait(self, attempt: int, timeout_ns: int) -> Generator[Any, Any, None]:
+        """Backoff between acquire attempts.
+
+        The legacy path (no acquisition timeout) keeps its own capped
+        exponential; with a timeout configured the wait rides
+        :class:`~repro.core.client.RetryPolicy`'s seeded-jitter schedule so
+        contenders and op retries share one tuning surface.
+        """
+        if timeout_ns:
+            policy = self.client.retry_policy
+            yield self.sim.timeout(
+                policy.backoff_ns(attempt + 1, self.client._jitter_rng()))
+        else:
+            yield from self._backoff(attempt)
+
+    def _effective_timeout(self, timeout_ns) -> int:
+        if timeout_ns is None:
+            return self.client.config.lock_acquire_timeout_ns
+        return timeout_ns
+
+    def _check_acquire_timeout(self, start_ns: int, timeout_ns: int,
+                               gaddr: int, what: str) -> None:
+        """Bound the spin on a *held* word by the acquisition timeout.
+
+        Unlike :meth:`_check_deadline` (the whole-op budget) this is a lock
+        -layer verdict: the word is owned by someone else and has stayed so
+        for ``timeout_ns``.  The typed error lets callers apply policy —
+        the txn layer consults the holder's wait-die stamp, plain callers
+        give up instead of convoying.
+        """
+        if timeout_ns and self.sim.now - start_ns >= timeout_ns:
+            self.timeouts.add()
+            raise LockTimeoutError(
+                f"{what} of {gaddr:#x} still held after "
+                f"{self.sim.now - start_ns} ns (acquire timeout {timeout_ns} ns)")
 
     def _word_offset(self, lock_idx: int) -> int:
         return lock_idx * 8
@@ -160,9 +198,15 @@ class LockOps:
                 f"{self.sim.now - start_ns} ns (deadline {deadline} ns)")
 
     # ------------------------------------------------------------------
-    def acquire_write(self, gaddr: int) -> Generator[Any, Any, None]:
+    def acquire_write(self, gaddr: int, timeout_ns=None) -> Generator[Any, Any, None]:
         """Take the exclusive lock on ``gaddr`` (blocks until acquired, or
-        until the client's op deadline — if one is configured — expires)."""
+        until the client's op deadline — if one is configured — expires).
+
+        ``timeout_ns`` overrides ``config.lock_acquire_timeout_ns`` for
+        this acquire (``None`` = use the config; 0 = spin legacy-style);
+        a positive value bounds the spin on a held word with a typed
+        :class:`LockTimeoutError`."""
+        timeout_ns = self._effective_timeout(timeout_ns)
         yield from self._resolve_fence(gaddr, "write-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
@@ -178,8 +222,9 @@ class LockOps:
                 return
             self.retries.add()
             self._check_deadline(start, gaddr, "write-lock")
+            self._check_acquire_timeout(start, timeout_ns, gaddr, "write-lock")
             yield from self._resolve_fence(gaddr, "write-lock")
-            yield from self._backoff(attempt)
+            yield from self._contention_wait(attempt, timeout_ns)
             attempt += 1
 
     def release_write(self, gaddr: int) -> Generator[Any, Any, None]:
@@ -260,9 +305,12 @@ class LockOps:
                 return
         raise LockError(f"write-unlock of {gaddr:#x}: lock word thrashing")
 
-    def acquire_read(self, gaddr: int) -> Generator[Any, Any, None]:
+    def acquire_read(self, gaddr: int, timeout_ns=None) -> Generator[Any, Any, None]:
         """Take a shared lock on ``gaddr`` (blocks until acquired, or until
-        the client's op deadline — if one is configured — expires)."""
+        the client's op deadline — if one is configured — expires).
+
+        ``timeout_ns`` as in :meth:`acquire_write`."""
+        timeout_ns = self._effective_timeout(timeout_ns)
         yield from self._resolve_fence(gaddr, "read-lock")
         meta = yield from self.client._meta(gaddr)
         offset = self._word_offset(meta.lock_idx)
@@ -279,8 +327,9 @@ class LockOps:
             yield from self.client._atomic_faa(meta.server_id, offset, add=_MINUS_READER)
             self.retries.add()
             self._check_deadline(start, gaddr, "read-lock")
+            self._check_acquire_timeout(start, timeout_ns, gaddr, "read-lock")
             yield from self._resolve_fence(gaddr, "read-lock")
-            yield from self._backoff(attempt)
+            yield from self._contention_wait(attempt, timeout_ns)
             attempt += 1
 
     def release_read(self, gaddr: int) -> Generator[Any, Any, None]:

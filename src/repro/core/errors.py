@@ -163,3 +163,48 @@ class DeadlineExceededError(ClientError):
     its side effects — including a write landing after all — may still
     occur; the caller only knows the op did not complete *in time*.
     """
+
+
+class LockTimeoutError(ClientError):
+    """A lock acquire found the word held past the configured acquisition
+    timeout (``lock_acquire_timeout_ns``).
+
+    Like :class:`DeadlineExceededError`, this sits outside both branches:
+    it is a typed, clean outcome — no lock state was changed — but the
+    right reaction is policy, not a blind retry (the transaction layer
+    consults the holder's wait-die stamp; plain callers back off or give
+    up).  Only raised when the timeout knob is set; at the default the
+    acquire spins exactly as before.
+    """
+
+
+class TxnError(ClientError):
+    """Base class for transaction-layer failures (``repro.txn``)."""
+
+
+class TxnAbortedError(TxnError):
+    """The transaction aborted cleanly *before* its commit point: every
+    lock was (or will be) released, no buffered write became visible, and
+    the caller may simply re-run the transaction.
+
+    Carries ``reason`` — e.g. ``"fenced"`` (an epoch went stale at commit
+    validation), ``"oversize"`` (intent record exceeded a slot), or
+    ``"wait-die"`` (see :class:`TxnWaitDieError`).
+    """
+
+    def __init__(self, message: str, reason: str = "abort"):
+        super().__init__(message)
+        self.reason = reason
+
+
+class TxnWaitDieError(TxnAbortedError):
+    """Wait-die contention abort: this (younger) transaction met a lock
+    held by an older one and died rather than wait, preventing deadlock.
+
+    The standard recovery is to retry the whole transaction with the
+    *same* timestamp so it ages and eventually wins; the txn manager's
+    ``run`` helper does this automatically.
+    """
+
+    def __init__(self, message: str):
+        super().__init__(message, reason="wait-die")

@@ -15,6 +15,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.rdma.qp import QueuePair
     from repro.rdma.rpc import RpcClient
 
+from repro.core.addressing import server_of
 from repro.core.allocator import ExtentAllocator, OutOfMemory, PoolAllocationPolicy
 from repro.core.config import GengarConfig
 from repro.core.directory import Directory
@@ -23,6 +24,7 @@ from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
     JOURNAL_OP_ALLOC,
+    JOURNAL_OP_FENCE,
     JOURNAL_OP_FREE,
     JOURNAL_OP_TERM,
     ObjectMeta,
@@ -116,6 +118,11 @@ class Master:
         #: client name -> absolute expiry time / current fencing epoch.
         self._leases: Dict[str, int] = {}
         self._epochs: Dict[str, int] = {}
+        #: uid -> minimum acceptable epoch, journal-rebuilt across a master
+        #: restart (the volatile ``_epochs`` map alone would let a zombie
+        #: fenced while the old master was dying re-attach at its retired
+        #: epoch).  Consulted by attach, populated only by :meth:`rebuild`.
+        self._retired_epochs: Dict[int, int] = {}
         self._lease_sweeper_started = False
         #: Idempotency: req_id -> gaddr for executed gmallocs, and the set
         #: of executed gfree req_ids.  A client whose RPC executed but whose
@@ -164,6 +171,7 @@ class Master:
         self.suspected_clients = m.counter("master.suspected_clients")
         self.term_claims = m.counter("master.term_claims")
         self.depositions = m.counter("master.depositions")
+        self.txn_rolled_forward = m.counter("master.txn_rolled_forward")
         self._planner_started = False
         #: Highest term seen in any journal during the last rebuild().
         self._journal_term_max = 0
@@ -438,10 +446,14 @@ class Master:
                 uid = self._next_uid
                 self._next_uid += 1
             self._client_uids[name] = uid
-        # The fencing epoch is the max of both views: ours is ahead if we
-        # fenced this client while it was away (it rejoins under the fresh
-        # epoch); the client's is ahead if *we* restarted and lost it.
-        epoch = max(self._epochs.get(name, 0), request.get("epoch", 0))
+        # The fencing epoch is the max of all three views: ours is ahead if
+        # we fenced this client while it was away (it rejoins under the
+        # fresh epoch); the client's is ahead if *we* restarted and lost
+        # it; and the journal-rebuilt retirement floor is ahead of BOTH
+        # when the client was fenced while dead and the master restarted —
+        # neither volatile view ever saw the bump.
+        epoch = max(self._epochs.get(name, 0), request.get("epoch", 0),
+                    self._retired_epochs.get(uid, 0))
         self._epochs[name] = epoch
         if self.config.client_lease_ns:
             self._leases[name] = self.sim.now + self.config.client_lease_ns
@@ -664,6 +676,20 @@ class Master:
         old_epoch = self._epochs.get(name, 0)
         if fencing:
             self._epochs[name] = old_epoch + 1
+            if self.config.metadata_journal:
+                # Durability before destruction: persist the retirement
+                # before any lock is cleared, so a master that dies mid-
+                # sweep (and rebuilds with a blank epoch map) still refuses
+                # to re-grant the epoch whose locks it was recovering.
+                yield from self._journal_fence(uid, old_epoch + 1)
+        # Crash-atomic transactions: before force-unlocking anything, roll
+        # the dead client's durable intents forward.  Ordering matters — a
+        # lock cleared first could admit a new writer whose bytes a late
+        # roll-forward would then clobber.  Transactions that never reached
+        # their intent append roll *back* implicitly: the buffered write-set
+        # died with the client, so force-unlock alone erases them.
+        if self.config.enable_txn:
+            yield from self._txn_recover(owners=[uid])
         recovered = 0
         for record in list(self.directory.objects()):
             handle = self._servers[record.server_id]
@@ -692,6 +718,82 @@ class Master:
             trace(self.sim, "lease", "client fenced", client=name,
                   epoch=self._epochs.get(name, 0), locks_recovered=recovered)
         return recovered
+
+    def _journal_fence(self, uid: int, epoch: int) -> Generator[Any, Any, None]:
+        """Journal an epoch retirement on the first reachable server.
+
+        Best-effort across servers: rebuild scans every journal, so one
+        durable copy suffices.  If no journal is reachable the sweep
+        proceeds un-journaled — exactly today's (pre-journal) guarantee.
+        """
+        payload = {"op": JOURNAL_OP_FENCE, "lock_idx": 0, "gaddr": uid,
+                   "size": epoch, "req_id": 0}
+        for sid in sorted(self._servers):
+            try:
+                yield from self._journal_append(self._servers[sid],
+                                                dict(payload))
+                return
+            except MasterError:
+                raise  # deposed mid-sweep: no authority to keep fencing
+            except RpcError:
+                continue  # server (or its journal) down: try the next one
+
+    def _txn_recover(self, owners: Optional[list] = None,
+                     exclude: Optional[list] = None) -> Generator[Any, Any, int]:
+        """Roll committed-but-unapplied transactions forward from their
+        durable intent records (see ``repro.txn``).
+
+        Scans every reachable server's intent region for records owned by
+        ``owners`` (a named dead client) or NOT owned by ``exclude`` (the
+        post-failover survivors), applies each write-set to its home
+        servers, and clears the intent.  Applies are idempotent absolute
+        byte writes, so racing a half-dead zombie that is still applying
+        the same intent converges on the same final state.  An intent
+        whose target server is unreachable is left in place for the next
+        sweep — clearing it early would forfeit the roll-forward.
+        Returns the number of transactions completed.
+        """
+        rec = self.sim.spans
+        t0 = self.sim.now if rec is not None else 0
+        completed = 0
+        for sid in sorted(self._servers):
+            try:
+                records = yield from self._servers[sid].rpc.call(
+                    "txn_intent_scan", {"owners": owners, "exclude": exclude})
+            except RpcError:
+                continue  # coordinator down: its intents wait for it
+            for record in records:
+                by_server: Dict[int, list] = {}
+                for entry in record["writes"]:
+                    by_server.setdefault(server_of(entry[0]), []).append(entry)
+                applied = True
+                for tsid in sorted(by_server):
+                    handle = self._servers.get(tsid)
+                    if handle is None:
+                        applied = False
+                        continue
+                    try:
+                        yield from handle.rpc.call(
+                            "txn_apply", {"writes": by_server[tsid]})
+                    except RpcError:
+                        applied = False
+                if not applied:
+                    continue  # retry whole-txn on a later sweep
+                try:
+                    yield from self._servers[sid].rpc.call(
+                        "txn_intent_clear", {"txn": record["txn"]})
+                except RpcError:
+                    continue  # re-applying later is harmless (idempotent)
+                completed += 1
+                self.txn_rolled_forward.add()
+                if self.sim.tracer is not None:
+                    trace(self.sim, "txn", "rolled forward",
+                          txn=record["txn"], owner=record["owner"],
+                          writes=len(record["writes"]))
+        if rec is not None:
+            rec.record(self.node.name, "txn.recover", t0,
+                       rolled_forward=completed)
+        return completed
 
     # ------------------------------------------------------------------
     # Admin API: pin/unpin an object in DRAM (used by microbenchmarks and
@@ -780,6 +882,14 @@ class Master:
                     self._journal_term_max = max(self._journal_term_max,
                                                  rec["gaddr"])
                     continue
+                if rec["op"] == JOURNAL_OP_FENCE:
+                    # Epoch retirement (uid in gaddr, floor in size): the
+                    # attach path refuses to grant this uid anything below
+                    # the journaled floor.
+                    uid = rec["gaddr"]
+                    self._retired_epochs[uid] = max(
+                        self._retired_epochs.get(uid, 0), rec["size"])
+                    continue
                 if rec["op"] == JOURNAL_OP_ALLOC:
                     handle.allocator.alloc_at(offset_of(rec["gaddr"]), rec["size"])
                     self.directory.add(sid, offset_of(rec["gaddr"]),
@@ -834,6 +944,7 @@ class Master:
         self.reset_volatile_state()
         self._client_uids = {}
         self._epochs = {}
+        self._retired_epochs = {}  # journal-rebuilt, not volatile carry-over
         self._leases = {}
         self._hb_last = {}
         self._hb_intervals = {}
@@ -988,6 +1099,12 @@ class Master:
             if not self.node.endpoint.alive or self._recovering:
                 return
         known = sorted(set(self._client_uids.values()))
+        # Roll forward any intent whose owner did not re-attach, BEFORE the
+        # orphan locks are cleared (same ordering argument as the lease
+        # sweep): a committed transaction must become fully visible before
+        # its write-set's locks can be handed to anyone else.
+        if self.config.enable_txn:
+            yield from self._txn_recover(exclude=known)
         recovered = 0
         for record in list(self.directory.objects()):
             handle = self._servers[record.server_id]

@@ -103,13 +103,19 @@ JOURNAL_OP_FREE = 2
 #: Master-term claim (split-brain fencing): the term value rides in the
 #: ``gaddr`` field; lock_idx/size/req_id are zero.  Replay takes the max.
 JOURNAL_OP_TERM = 3
+#: Fencing-epoch retirement: the fenced client's uid rides in ``gaddr``
+#: and the freshly granted (post-bump) epoch in ``size``.  Replay takes
+#: the max per uid, so a restarted master — whose epoch map is volatile —
+#: can never re-grant an epoch the lease sweep already retired.
+JOURNAL_OP_FENCE = 4
 #: Bytes reserved at the journal base for the record-count header word.
 JOURNAL_HEADER_BYTES = 64
 
 
 def pack_journal_record(op: int, lock_idx: int, gaddr: int, size: int,
                         req_id: int = 0) -> bytes:
-    if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE, JOURNAL_OP_TERM):
+    if op not in (JOURNAL_OP_ALLOC, JOURNAL_OP_FREE, JOURNAL_OP_TERM,
+                  JOURNAL_OP_FENCE):
         raise ValueError(f"unknown journal op {op}")
     return _JOURNAL.pack(JOURNAL_MAGIC, op, lock_idx, gaddr, size, req_id)
 

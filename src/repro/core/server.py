@@ -15,6 +15,7 @@ loop and the (rare) promote/demote RPC handlers driven by the master.
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator
 
@@ -22,7 +23,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
     from repro.rdma.qp import QueuePair
 
-from repro.core.addressing import make_gaddr, offset_of
+from repro.core.addressing import make_gaddr, offset_of, server_of
 from repro.core.allocator import ExtentAllocator, OutOfMemory
 from repro.core.config import GengarConfig
 from repro.core.layout import DramCarver
@@ -188,6 +189,11 @@ class MemoryServer:
         self.rpc.register("retire_ring", self._handle_retire_ring)
         self.rpc.register("retire_rings_except", self._handle_retire_rings_except)
         self.rpc.register("clear_lock_if_orphan", self._handle_clear_lock_if_orphan)
+        self.rpc.register("txn_intent_put", self._handle_txn_intent_put)
+        self.rpc.register("txn_intent_clear", self._handle_txn_intent_clear)
+        self.rpc.register("txn_intent_scan", self._handle_txn_intent_scan)
+        self.rpc.register("txn_apply", self._handle_txn_apply)
+        self.rpc.register("txn_desc", self._handle_txn_desc)
 
         # Lock table.
         lock_bytes = config.lock_table_entries * 8
@@ -231,6 +237,37 @@ class MemoryServer:
             self.journal_base = None
             self.data_capacity = data_device.capacity
 
+        # Optional durable txn-intent region, carved below the journal tail
+        # (intents must survive a server power cycle so the master can roll
+        # committed transactions forward after any crash combination).  Each
+        # fixed-size slot holds one pickled intent record behind an 8-byte
+        # length header; length 0 marks the slot free.
+        if config.enable_txn:
+            intent_span = config.txn_intent_entries * config.txn_intent_slot_bytes
+            self.intent_base = self.data_capacity - intent_span
+            self.data_capacity = self.intent_base
+            #: Volatile txn-id -> slot map; ``None`` forces a rebuild from
+            #: the NVM headers (first use after construction or a restart).
+            self._intent_index: Dict[str, int] | None = None
+        else:
+            self.intent_base = None
+            self._intent_index = None
+
+        # Advisory wait-die stamp table (``enable_txn``): one 8-byte stamp
+        # per lock-table entry, written one-sided by lock holders and read
+        # one-sided by contenders.  Never authoritative — a zero (unknown)
+        # stamp always resolves to "wait", which is safe.
+        if config.enable_txn:
+            stamp_bytes = config.lock_table_entries * 8
+            stamp_base = carver.carve(stamp_bytes, "txnstamps")
+            self.stamp_mr = node.endpoint.register_mr(
+                node.dram, stamp_base, stamp_bytes,
+                access=AccessFlags.LOCAL | AccessFlags.REMOTE_READ | AccessFlags.REMOTE_WRITE,
+                name=f"{node.name}.txnstamps",
+            )
+        else:
+            self.stamp_mr = None
+
         # Data region: the contributed device minus the journal tail.
         self.data_mr = node.endpoint.register_mr(
             data_device, 0, data_device.capacity,
@@ -269,6 +306,8 @@ class MemoryServer:
         self.promotions = m.counter(f"{node.name}.cache.promotions")
         self.demotions = m.counter(f"{node.name}.cache.demotions")
         self.torn_skipped = m.counter(f"{node.name}.proxy.torn_skipped")
+        self.txn_intents = m.counter(f"{node.name}.txn.intents")
+        self.txn_applied = m.counter(f"{node.name}.txn.applied")
 
     # ------------------------------------------------------------------
     def descriptor(self) -> ServerDescriptor:
@@ -566,6 +605,181 @@ class MemoryServer:
             yield from self.lock_mr.write(lock_idx * 8, new.to_bytes(8, "little"))
         return owner
 
+    # ------------------------------------------------------------------
+    # Transaction intents + deterministic apply (``enable_txn``)
+    # ------------------------------------------------------------------
+    def _intent_offset(self, slot: int) -> int:
+        return self.intent_base + slot * self.config.txn_intent_slot_bytes
+
+    def _require_intents(self) -> None:
+        if self.intent_base is None:
+            raise ServerError("txn intents disabled on this server")
+
+    def _intent_load_index(self) -> Generator[Any, Any, None]:
+        """Rebuild the volatile txn-id -> slot map from the NVM headers.
+
+        Runs on first use after construction or a server restart, which is
+        what makes the intent region authoritative across crashes: the map
+        is a cache of what NVM says, never the other way around.
+        """
+        index: Dict[str, int] = {}
+        for slot in range(self.config.txn_intent_entries):
+            base = self._intent_offset(slot)
+            raw = yield from self.data_device.read(base, 8)
+            length = int.from_bytes(raw, "little")
+            if not length:
+                continue
+            blob = yield from self.data_device.read(base + 8, length)
+            index[pickle.loads(blob)["txn"]] = slot
+        if self._intent_index:
+            # A concurrent first-use already rebuilt (and may have taken
+            # reservations since): NVM truth for txns we did not know,
+            # but never clobber the live map with this stale snapshot.
+            for txn_id, slot in index.items():
+                self._intent_index.setdefault(txn_id, slot)
+        else:
+            self._intent_index = index
+
+    def _handle_txn_intent_put(self, request: dict) -> Generator[Any, Any, int]:
+        """Durably persist one transaction's intent record — the commit
+        point of the whole protocol.
+
+        Write-ahead ordering like the journal: the pickled record lands
+        before the 8-byte length header, so a crash between the two leaves
+        the slot free rather than half-valid.  Idempotent per txn id (a
+        retried commit overwrites its own slot).  Returns the slot index.
+        """
+        self._require_intents()
+        record = {
+            "txn": request["txn"],
+            "owner": request["owner"],
+            "epoch": request["epoch"],
+            "writes": request["writes"],
+        }
+        blob = pickle.dumps(record)
+        if len(blob) > self.config.txn_intent_slot_bytes - 8:
+            raise ServerError(
+                f"txn intent record too large ({len(blob)} bytes > slot "
+                f"capacity {self.config.txn_intent_slot_bytes - 8})")
+        yield from self.node.cpu_work()
+        if self._intent_index is None:
+            yield from self._intent_load_index()
+        slot = self._intent_index.get(record["txn"])
+        reserved = slot is None
+        if reserved:
+            used = set(self._intent_index.values())
+            slot = next((s for s in range(self.config.txn_intent_entries)
+                         if s not in used), None)
+            if slot is None:
+                raise ServerError("txn intent region full")
+            # Reserve in the volatile index BEFORE yielding to NVM: two
+            # commits landing concurrently would otherwise both see the
+            # slot as free and the second would overwrite the first's
+            # durable record — whose later clear then destroys it.
+            self._intent_index[record["txn"]] = slot
+        base = self._intent_offset(slot)
+        try:
+            yield from self.data_device.write(base + 8, blob)
+            yield from self.data_device.write(
+                base, len(blob).to_bytes(8, "little"))
+        except BaseException:
+            if reserved:  # nothing durable yet: return the slot
+                self._intent_index.pop(record["txn"], None)
+            raise
+        self.txn_intents.add()
+        if self.sim.tracer is not None:
+            trace(self.sim, "txn", "intent persisted", server=self.node.name,
+                  txn=record["txn"], writes=len(record["writes"]))
+        return slot
+
+    def _handle_txn_intent_clear(self, request: dict) -> Generator[Any, Any, bool]:
+        """Retire a transaction's intent record (post-apply, or rollback of
+        a record that lost its race with recovery).  Idempotent."""
+        self._require_intents()
+        yield from self.node.cpu_work()
+        if self._intent_index is None:
+            yield from self._intent_load_index()
+        slot = self._intent_index.pop(request["txn"], None)
+        if slot is None:
+            return False
+        yield from self.data_device.write(
+            self._intent_offset(slot), (0).to_bytes(8, "little"))
+        if self.sim.tracer is not None:
+            trace(self.sim, "txn", "intent cleared", server=self.node.name,
+                  txn=request["txn"])
+        return True
+
+    def _handle_txn_intent_scan(self, request: dict) -> Generator[Any, Any, list]:
+        """Recovery: return the decoded intent records on this server,
+        optionally filtered to a set of owner uids.
+
+        Reads through NVM (rebuilding the volatile index if a restart wiped
+        it), so it works on a freshly recovered server process.  Filters:
+        ``owners`` keeps only those uids (a lease expiry names the dead
+        client); ``exclude`` keeps every uid NOT listed (the post-failover
+        orphan sweep names the survivors).
+        """
+        self._require_intents()
+        yield from self.node.cpu_work()
+        if self._intent_index is None:
+            yield from self._intent_load_index()
+        owners = request.get("owners")
+        exclude = set(request.get("exclude") or ())
+        records = []
+        for txn_id in sorted(self._intent_index):
+            base = self._intent_offset(self._intent_index[txn_id])
+            raw = yield from self.data_device.read(base, 8)
+            length = int.from_bytes(raw, "little")
+            if not length:
+                continue
+            blob = yield from self.data_device.read(base + 8, length)
+            record = pickle.loads(blob)
+            if owners is not None and record["owner"] not in owners:
+                continue
+            if record["owner"] in exclude:
+                continue
+            records.append(record)
+        return records
+
+    def _handle_txn_apply(self, request: dict) -> Generator[Any, Any, int]:
+        """Apply a committed write-set fragment to this server's NVM home
+        (and freshen any cached copy), exactly like a proxy drain.
+
+        Idempotent by construction — the payload bytes are absolute, so a
+        zombie client and the recovering master both applying the same
+        intent converge on the same final state.
+        """
+        yield from self.node.cpu_work()
+        applied = 0
+        for gaddr, obj_offset, payload in request["writes"]:
+            if server_of(gaddr) != self.server_id:
+                raise ServerError(
+                    f"txn_apply for {gaddr:#x} routed to wrong server "
+                    f"{self.server_id}")
+            payload = bytes(payload)
+            yield from self.data_device.write(
+                offset_of(gaddr) + obj_offset, payload)
+            self._applied_seq[gaddr] = self._applied_seq.get(gaddr, 0) + 1
+            entry = self.cached.get(gaddr)
+            if entry is not None and obj_offset + len(payload) <= entry.size:
+                yield from self.cache_mr.write(
+                    entry.cache_offset + CACHE_TAG_BYTES + obj_offset, payload)
+            applied += 1
+            self.txn_applied.add()
+        return applied
+
+    def _handle_txn_desc(self, request: dict) -> Generator[Any, Any, dict]:
+        """Lazy per-server txn plumbing: the wait-die stamp table's rkey.
+
+        Kept out of :meth:`descriptor` so the attach reply (protocol bytes)
+        is unchanged when transactions are off — clients fetch this once,
+        on first transactional contact with the server.
+        """
+        if self.stamp_mr is None:
+            raise ServerError("txn stamps disabled on this server")
+        yield from self.node.cpu_work()
+        return {"stamp_rkey": self.stamp_mr.rkey}
+
     def _retire_ring(self, client_name: str) -> bool:
         """Free one client's ring resources (shared by the retire RPCs).
 
@@ -760,6 +974,13 @@ class MemoryServer:
         self._drain_qps.clear()
         # The lock table lived in DRAM: every lock is implicitly released.
         self.lock_mr.poke(0, bytes(self.lock_mr.length))
+        if self.stamp_mr is not None:
+            # Wait-die stamps lived in DRAM too; zero = "holder unknown",
+            # which contenders resolve to the safe verdict (wait).
+            self.stamp_mr.poke(0, bytes(self.stamp_mr.length))
+        # The intent *records* are in NVM and survive; only the volatile
+        # txn-id -> slot map is lost, so force a rebuild on next use.
+        self._intent_index = None
         if self.sim.tracer is not None:
             trace(self.sim, "fault", "server crashed", server=self.node.name)
 

@@ -99,6 +99,20 @@ class QueuePair:
         mr.check(offset, length, AccessFlags.LOCAL)
         self._recv_queue.put(_RecvDescriptor(wr_id, mr, offset, length))
 
+    def cancel_recv(self, wr_id: int, mr: MemoryRegion) -> bool:
+        """Withdraw a posted receive buffer that can no longer be consumed.
+
+        Models the recv-flush a real QP performs on entering the error
+        state (``WR_FLUSH_ERR``): after a send fails with RETRY_EXCEEDED
+        the peer is gone, so a reply buffer posted for its response would
+        otherwise sit in the receive queue forever.  Returns False if the
+        buffer was already consumed by an earlier incoming message.
+        """
+        for desc in self._recv_queue._items:
+            if desc.wr_id == wr_id and desc.mr is mr:
+                return self._recv_queue.remove(desc)
+        return False
+
     def _validate_send(self, wr: WorkRequest) -> None:
         if wr.opcode is Opcode.RECV:
             raise QpError("post RECV via post_recv()")

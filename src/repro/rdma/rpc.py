@@ -220,6 +220,12 @@ class RpcClient:
         self._send_ring.free.put(send_slot)
         if not send_wc.ok:
             self._pending.pop(req_id, None)
+            # Flush the reply buffer posted for this call (QP error-state
+            # recv flush): the dead peer can never consume it, and leaking
+            # one slot per failed call would wedge every later call on
+            # this client once the ring runs dry.
+            if self.qp.cancel_recv(recv_slot, self._recv_ring.mr):
+                self._recv_ring.free.put(recv_slot)
             raise RpcError(f"rpc transport failed: {send_wc.status.value}")
 
         status, result = yield reply_event

@@ -162,6 +162,17 @@ class Store:
             return True, item
         return False, None
 
+    def remove(self, item: Any) -> bool:
+        """Withdraw a specific queued ``item`` (identity match) out of
+        FIFO order.  Returns False if it is not queued — e.g. a getter
+        already consumed it."""
+        try:
+            self._items.remove(item)
+        except ValueError:
+            return False
+        self._admit_blocked_putter()
+        return True
+
     def _accept(self, item: Any) -> None:
         while self._getters:
             getter = self._getters.popleft()

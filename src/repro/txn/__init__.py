@@ -1,0 +1,11 @@
+"""Crash-atomic multi-object transactions over the Gengar pool.
+
+``repro.txn`` layers lock-ordered two-phase locking, a wait-die contention
+policy, and a durable intent record (the single commit point) on top of the
+existing glock/gread/gsync primitives.  See :mod:`repro.txn.manager` for
+the protocol and ``docs/PROTOCOLS.md`` §10 for the recovery rules.
+"""
+
+from repro.txn.manager import Transaction, TxnManager
+
+__all__ = ["Transaction", "TxnManager"]

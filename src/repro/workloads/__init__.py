@@ -1,5 +1,15 @@
-"""Workload generators: YCSB-style key-value mixes and text corpora."""
+"""Workload generators: YCSB-style key-value mixes, text corpora, and a
+Jepsen-style transactional bank."""
 
+from repro.workloads.bank import (
+    BankSpec,
+    bank_read_balances,
+    bank_setup,
+    bank_total,
+    bank_transfer,
+    decode_balance,
+    encode_balance,
+)
 from repro.workloads.corpus import CorpusGenerator
 from repro.workloads.traces import (
     ReplayResult,
@@ -29,6 +39,13 @@ from repro.workloads.zipf import (
 )
 
 __all__ = [
+    "BankSpec",
+    "bank_setup",
+    "bank_transfer",
+    "bank_read_balances",
+    "bank_total",
+    "encode_balance",
+    "decode_balance",
     "ZipfianGenerator",
     "ScrambledZipfianGenerator",
     "UniformGenerator",

@@ -1,0 +1,119 @@
+"""Bounded lock acquisition (``lock_acquire_timeout_ns``).
+
+The contract: with the knob unset (0, the default) a contended acquire
+spins exactly as it always has; with it set, a word held past the budget
+raises a *typed* :class:`LockTimeoutError` — a clean verdict (no lock
+state changed) that callers turn into policy (the txn layer consults
+wait-die stamps; plain callers give up instead of convoying).  A per-call
+``timeout_ns`` overrides the config either way.
+"""
+
+from repro.core.errors import LockTimeoutError
+from tests.core.conftest import build_pool, fast_config
+
+HOLD_NS = 500_000
+
+
+def _alloc(pool, client):
+    def setup(sim):
+        return (yield from client.gmalloc(128))
+
+    (gaddr,) = pool.run(setup(pool.sim))
+    return gaddr
+
+
+def _hold(client, gaddr, hold_ns=HOLD_NS):
+    def holder(sim):
+        yield from client.glock(gaddr)
+        yield sim.timeout(hold_ns)
+        yield from client.gunlock(gaddr)
+
+    return holder
+
+
+def test_config_timeout_raises_typed_error():
+    sim, pool = build_pool(seed=1, num_servers=1, num_clients=2,
+                           config=fast_config(lock_acquire_timeout_ns=80_000))
+    c0, c1 = pool.clients
+    g = _alloc(pool, c0)
+
+    def contender(sim):
+        yield sim.timeout(20_000)
+        t0 = sim.now
+        try:
+            yield from c1.glock(g)
+        except LockTimeoutError:
+            return sim.now - t0
+        return None
+
+    _, waited = pool.run(_hold(c0, g)(sim), contender(sim))
+    assert waited is not None and waited >= 80_000
+    assert sim.metrics.counter("pool.lock_timeouts").count == 1
+    # The verdict was clean: once the holder released, the word is free.
+    def after(sim):
+        yield from c1.glock(g)
+        yield from c1.gunlock(g)
+        return True
+
+    (ok,) = pool.run(after(sim))
+    assert ok
+
+
+def test_default_spins_legacy_style():
+    sim, pool = build_pool(seed=2, num_servers=1, num_clients=2,
+                           config=fast_config())
+    c0, c1 = pool.clients
+    g = _alloc(pool, c0)
+
+    def contender(sim):
+        yield sim.timeout(20_000)
+        yield from c1.glock(g)
+        acquired_at = sim.now
+        yield from c1.gunlock(g)
+        return acquired_at
+
+    _, acquired_at = pool.run(_hold(c0, g)(sim), contender(sim))
+    # No typed failure, no timeout counter — it just waited the holder out.
+    assert acquired_at >= HOLD_NS
+    assert sim.metrics.counter("pool.lock_timeouts").count == 0
+
+
+def test_per_call_override_beats_config():
+    sim, pool = build_pool(seed=3, num_servers=1, num_clients=2,
+                           config=fast_config())  # config knob unset
+    c0, c1 = pool.clients
+    g = _alloc(pool, c0)
+    outcome = {}
+
+    def contender(sim):
+        yield sim.timeout(20_000)
+        try:
+            yield from c1.locks.acquire_write(g, timeout_ns=60_000)
+        except LockTimeoutError as exc:
+            outcome["err"] = str(exc)
+
+    pool.run(_hold(c0, g)(sim), contender(sim))
+    assert "acquire timeout 60000 ns" in outcome["err"]
+    assert sim.metrics.counter("pool.lock_timeouts").count == 1
+
+
+def test_backoff_schedule_is_deterministic_per_seed():
+    def run_once():
+        sim, pool = build_pool(
+            seed=7, num_servers=1, num_clients=2,
+            config=fast_config(lock_acquire_timeout_ns=90_000))
+        c0, c1 = pool.clients
+        g = _alloc(pool, c0)
+
+        def contender(sim):
+            yield sim.timeout(20_000)
+            try:
+                yield from c1.glock(g)
+            except LockTimeoutError:
+                pass
+            return sim.now
+
+        _, t = pool.run(_hold(c0, g)(sim), contender(sim))
+        return t, sim.metrics.counter("pool.lock_retries").count
+
+    assert run_once() == run_once()  # seeded jitter, not wall-clock noise

@@ -218,3 +218,38 @@ def test_rpc_many_sequential_calls_reuse_buffers(rig):
 
     assert rig.run(proc(rig.sim)) == 30
     assert server.requests.count == 30
+
+
+def test_rpc_failed_calls_to_dead_peer_do_not_exhaust_recv_ring(rig):
+    """A dead peer must fail every call typed, forever — not just the
+    first ring's worth.
+
+    Each call posts a reply buffer before sending; when the send dies
+    with RETRY_EXCEEDED that buffer can never be consumed, so it must be
+    flushed back to the ring (QP error-state recv flush).  Before the
+    flush existed, failed call N+1 > num_buffers would block on the
+    empty free list forever — a client that outlived a crashed master
+    wedged instead of riding its retry loop.
+    """
+    server, client = build_rpc(rig)
+    server.register("echo", lambda req: req)
+    rig.ep_b.alive = False
+
+    def proc(sim):
+        failures = 0
+        for _ in range(3 * 8):  # 3x the ring, every one must fail typed
+            try:
+                yield from client.call("echo", "hi")
+            except RpcError:
+                failures += 1
+        return failures
+
+    assert rig.run(proc(rig.sim)) == 24
+
+    # The peer comes back: the ring must be whole again and calls work.
+    rig.ep_b.alive = True
+
+    def after(sim):
+        return (yield from client.call("echo", "back"))
+
+    assert rig.run(after(rig.sim)) == "back"
