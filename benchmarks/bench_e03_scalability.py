@@ -2,6 +2,8 @@
 
 Claim validated: the one-sided data plane scales with added clients (no
 server CPU on the data path), and Gengar's advantage persists at scale.
+The E3c axis extends the paper: control-plane (metadata) throughput must
+scale with master shard count — monotonically from one shard to four.
 """
 
 from conftest import run_experiment
@@ -26,3 +28,11 @@ def test_e03_scalability(benchmark):
         assert srows[name][-1] > srows[name][0]
     # ...and Gengar's proxy advantage holds on the write-heavy mix.
     assert all(g > n for g, n in zip(srows["gengar"], srows["nvm-direct"]))
+    shards = result.table("E3c")
+    crows = {row[0]: row[1:] for row in shards.rows}
+    kops = crows["alloc/free kops/s"]
+    p99 = crows["p99 latency (us)"]
+    # Sharding the control plane raises metadata throughput monotonically
+    # across 1 -> 2 -> 4 shards, and never at the cost of tail latency.
+    assert all(b > a for a, b in zip(kops, kops[1:])), kops
+    assert all(b <= a for a, b in zip(p99, p99[1:])), p99

@@ -75,7 +75,8 @@ class _MidCommitKill(Exception):
 
 def soak_config(smoke: bool = False, kill_clients: bool = False,
                 crash_master: bool = False,
-                nemesis: bool = False, txn: bool = False) -> GengarConfig:
+                nemesis: bool = False, txn: bool = False,
+                shards: int = 1) -> GengarConfig:
     """The resilient profile the soak runs under.
 
     ``kill_clients`` arms the lease/fencing/torn-slot machinery;
@@ -84,8 +85,11 @@ def soak_config(smoke: bool = False, kill_clients: bool = False,
     (journal + terms + leases + phi-accrual failure detector) for the
     Jepsen-style partition phase; ``txn`` arms distributed transactions
     (intent records + leases + the journal, so both the lease sweep and a
-    rebuilt master's orphan sweep can roll intents forward).  All default
-    off, keeping the base soak byte-identical.
+    rebuilt master's orphan sweep can roll intents forward); ``shards``
+    partitions the control plane across that many master shards and arms
+    the per-shard failover stack (journal + terms + leases) for the
+    shard-kill phase.  All default off, keeping the base soak
+    byte-identical.
     """
     extras: Dict[str, Any] = {}
     if kill_clients:
@@ -99,6 +103,13 @@ def soak_config(smoke: bool = False, kill_clients: bool = False,
         extras.update(enable_txn=True, client_lease_ns=120_000,
                       metadata_journal=True,
                       lock_acquire_timeout_ns=100_000)
+    if shards > 1:
+        # Same resilient control-plane stack as the nemesis profile (the
+        # phi-accrual detector keeps the base soak's lossy windows from
+        # reading as client death), partitioned across N shards.
+        extras.update(num_master_shards=shards, client_lease_ns=120_000,
+                      metadata_journal=True, master_terms=True,
+                      failure_detector=True)
     return GengarConfig(
         cache_capacity=256 * 1024,
         epoch_ns=50_000,
@@ -149,13 +160,17 @@ class ChaosSoak:
                  prefetch: bool = False, nemesis: bool = False,
                  check_linearizable: bool = False,
                  kill_mid_commit: bool = False,
-                 check_serializable: bool = False):
+                 check_serializable: bool = False,
+                 shards: int = 1):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
         self.crash_master = crash_master
         self.prefetch = prefetch
-        self.nemesis = nemesis or check_linearizable
+        self.shards = shards
+        # Sharded runs route the consistency audit through the shard-kill
+        # phase instead of the (single-master) standby-promotion nemesis.
+        self.nemesis = (nemesis or check_linearizable) and shards == 1
         self.check_linearizable = check_linearizable
         self.kill_mid_commit = kill_mid_commit or check_serializable
         self.check_serializable = check_serializable
@@ -166,7 +181,8 @@ class ChaosSoak:
         self.config = soak_config(smoke, kill_clients=kill_clients,
                                   crash_master=crash_master,
                                   nemesis=self.nemesis,
-                                  txn=self.kill_mid_commit)
+                                  txn=self.kill_mid_commit,
+                                  shards=shards)
         self.sim = Simulator(seed=seed)
         self.recorder = None
         if record_spans:
@@ -179,7 +195,7 @@ class ChaosSoak:
                             "lease", "fence", "partition", "term", "check",
                             "txn"})
         self.pool = GengarPool.build(
-            self.sim, num_servers=2,
+            self.sim, num_servers=max(2, self.shards),
             num_clients=3 if (kill_clients or self.kill_mid_commit) else 2,
             config=self.config,
             dram=TEST_DRAM, nvm=TEST_NVM,
@@ -703,7 +719,10 @@ class ChaosSoak:
                 if write:
                     self._demote_section_writes(client.name, key, t_section)
                 try:
-                    yield from client.reattach_master()
+                    # A fence is terminal across the whole control plane:
+                    # re-attach every shard so the epochs converge again.
+                    for s in range(max(1, client._num_shards)):
+                        yield from client.reattach_master(s)
                 except ClientError:
                     yield sim.timeout(lease // 2)
             except ClientError:
@@ -830,6 +849,65 @@ class ChaosSoak:
             m.counter("check.history_ops").add(len(recorder.ops))
             if sim.tracer is not None:
                 trace(sim, "check", "history audited",
+                      ops=len(recorder.ops), ok=result.ok,
+                      violations=len(result.violations))
+            if not result.ok:
+                m.counter("check.violations").add(len(result.violations))
+                for v in result.violations[:5]:
+                    self.violations.append(f"linearizability-check: {v}")
+
+    def shard_phase(self) -> None:
+        """Kill one master shard mid-YCSB, one round per shard.
+
+        The audit workers keep hammering lock-protected keys while the
+        victim shard is down and through its journal rebuild; every other
+        shard must keep serving unperturbed (per-shard terms and leases),
+        and the per-shard failover must not lose a committed version or
+        admit a stale one.  With ``check_linearizable`` the whole phase is
+        recorded and audited exactly like the partition nemesis.
+        """
+        sim = self.sim
+        pool = self.pool
+        lease = self.config.client_lease_ns
+        recorder = None
+        if self.check_linearizable:
+            from repro.check import HistoryRecorder
+            recorder = HistoryRecorder(sim).install()
+            self.history_recorder = recorder
+
+        keys = list(range(min(8, self.records)))
+        # Versions start far above anything the main soak wrote, so the
+        # durability parse audit stays discriminating across phases.
+        self._nemesis_versions = {k: 2_000_000 for k in keys}
+        rounds = 10 if self.smoke else 24
+        failovers_before = pool.master.failovers.count
+        # Secondaries first, then shard 0 (the hotness aggregator): the
+        # audit must hold whichever shard is the one that dies.
+        victims = list(range(1, self.shards)) + [0]
+        for victim in victims:
+            t0 = sim.now + 10_000
+            plan = FaultPlan.of(
+                MasterCrash(at_ns=t0, shard=victim),
+                MasterRecover(at_ns=t0 + 3 * lease, rebuild=True,
+                              shard=victim))
+            self._nemesis_round(plan, [], keys, rounds,
+                                tail_ns=3 * lease, tag=f"shardkill{victim}")
+        if pool.master.failovers.count < failovers_before + len(victims):
+            self.violations.append(
+                "shard-kill: not every killed shard completed a journal "
+                "rebuild failover")
+
+        if recorder is not None:
+            recorder.uninstall()
+            from repro.check import check_history
+            result = check_history(recorder.ops)
+            self.check_result = result
+            self.linearizable = result.ok
+            m = sim.metrics
+            m.counter("check.histories").add()
+            m.counter("check.history_ops").add(len(recorder.ops))
+            if sim.tracer is not None:
+                trace(sim, "check", "shard-kill history audited",
                       ops=len(recorder.ops), ok=result.ok,
                       violations=len(result.violations))
             if not result.ok:
@@ -1092,6 +1170,8 @@ class ChaosSoak:
             self.prefetch_phase()
         if self.nemesis:
             self.partition_phase()
+        if self.shards > 1:
+            self.shard_phase()
         if self.kill_mid_commit:
             self.txn_phase()
 
@@ -1150,6 +1230,10 @@ class ChaosSoak:
         counters["txn_handoffs"] = m.counter("pool.txn_handoffs").count
         counters["txn_rolled_forward"] = m.counter(
             "master.txn_rolled_forward").count
+        # Sharded-control-plane counters (all zero at one shard).
+        counters["shard_redirects"] = m.counter("pool.shard_redirects").count
+        counters["txn_cross_shard_commits"] = m.counter(
+            "pool.txn_cross_shard_commits").count
         return {
             "seed": self.seed,
             "smoke": self.smoke,
@@ -1158,6 +1242,7 @@ class ChaosSoak:
             "prefetch": self.prefetch,
             "nemesis": self.nemesis,
             "kill_mid_commit": self.kill_mid_commit,
+            "shards": self.shards,
             "virtual_end_ns": self.sim.now,
             "ops_ok": self.ops_ok,
             "ops_typed_failures": self.ops_typed_failures,
@@ -1182,6 +1267,7 @@ def run_soak(seed: int = 7, smoke: bool = False,
              nemesis: bool = False, check_linearizable: bool = False,
              kill_mid_commit: bool = False,
              check_serializable: bool = False,
+             shards: int = 1,
              trace_out: Optional[str] = None,
              span_log: Optional[str] = None,
              history_out: Optional[str] = None,
@@ -1193,6 +1279,7 @@ def run_soak(seed: int = 7, smoke: bool = False,
                      check_linearizable=check_linearizable,
                      kill_mid_commit=kill_mid_commit,
                      check_serializable=check_serializable,
+                     shards=shards,
                      record_spans=bool(trace_out or span_log))
     report = soak.run()
     if history_out:
@@ -1263,6 +1350,12 @@ def main(argv=None) -> int:
                              "with clients (and the master) killed at "
                              "seeded points inside the commit window, "
                              "audited for conserved totals")
+    parser.add_argument("--shards", type=int, default=1,
+                        help="shard the control plane across N masters and "
+                             "add the shard-kill phase: each shard is "
+                             "crashed mid-YCSB and must journal-rebuild "
+                             "while the others keep serving (combine with "
+                             "--check-linearizable to audit the phase)")
     parser.add_argument("--check-serializable", action="store_true",
                         help="record the transaction phase and audit it "
                              "for atomicity + strict serializability "
@@ -1285,6 +1378,7 @@ def main(argv=None) -> int:
                       check_linearizable=args.check_linearizable,
                       kill_mid_commit=args.kill_mid_commit,
                       check_serializable=args.check_serializable,
+                      shards=args.shards,
                       trace_out=args.trace_out, span_log=args.span_log,
                       history_out=args.history_out,
                       counterexample_out=args.counterexample_out)
@@ -1295,7 +1389,8 @@ def main(argv=None) -> int:
                           prefetch=args.prefetch, nemesis=args.nemesis,
                           check_linearizable=args.check_linearizable,
                           kill_mid_commit=args.kill_mid_commit,
-                          check_serializable=args.check_serializable)
+                          check_serializable=args.check_serializable,
+                          shards=args.shards)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
                 "lost_reports", "tainted_keys", "linearizable",
                 "history_ops", "serializable", "bank_total_ok",

@@ -9,7 +9,10 @@ repo root:
 * **kernel microbenchmark** — raw event-loop throughput (dispatched events
   per wall-clock second) with many concurrent timeout-driven processes;
 * **YCSB-B macro runs** — operations per wall-clock second for a full
-  Gengar deployment at two scales.
+  Gengar deployment at two scales;
+* **control-plane scale-out** — virtual metadata throughput and p99 vs
+  the number of master shards (1/2/4/8), the scaling record for the
+  sharded control plane.
 
 Alongside each wall-clock figure the harness records the run's *virtual*
 results (final virtual time, simulated throughput).  Optimisations must be
@@ -306,6 +309,62 @@ def bench_doorbell(batches: int = 120, batch_size: int = 16,
 
 
 # ----------------------------------------------------------------------
+# Control-plane scale-out: throughput vs master shard count
+# ----------------------------------------------------------------------
+def bench_scaleout(shard_counts=(1, 2, 4, 8), num_servers: int = 8,
+                   num_clients: int = 8, num_workers: int = 64,
+                   ops_per_worker: int = 50, seed: int = 53) -> Dict[str, Any]:
+    """Metadata throughput and p99 latency vs ``num_master_shards``.
+
+    Pure alloc/free loops: every op is a master RPC and the data plane is
+    never touched, so the sweep isolates the control plane.  One master
+    serialises the whole fleet on its NIC; shards split the directory by
+    home server and serve in parallel.  All figures here are *virtual*
+    (simulated ns), hence machine-independent and deterministic — the knee
+    past 4 shards is real (client NICs saturate), not measurement noise.
+    """
+    from repro.core import GengarConfig, GengarPool
+
+    points = []
+    for shards in shard_counts:
+        sim = Simulator(seed=seed)
+        pool = GengarPool.build(sim, num_servers=num_servers,
+                                num_clients=num_clients,
+                                config=GengarConfig(num_master_shards=shards))
+        latencies: list = []
+
+        def worker(i, pool=pool, sim=sim, latencies=latencies):
+            client = pool.clients[i % len(pool.clients)]
+            for _ in range(ops_per_worker):
+                t0 = sim.now
+                gaddr = yield from client.gmalloc(128)
+                yield from client.gfree(gaddr)
+                latencies.append(sim.now - t0)
+
+        t0 = time.perf_counter()
+        pool.run(*[worker(i) for i in range(num_workers)])
+        dt = time.perf_counter() - t0
+        total = num_workers * ops_per_worker
+        latencies.sort()
+        p99 = latencies[min(len(latencies) - 1, int(len(latencies) * 0.99))]
+        points.append({
+            "shards": shards,
+            "total_ops": total,
+            "virtual_time_ns": sim.now,
+            "ops_per_sec_virtual": round(total / (sim.now / 1e9), 1),
+            "p99_latency_ns": p99,
+            "seconds": dt,
+        })
+    return {
+        "num_servers": num_servers,
+        "num_clients": num_clients,
+        "num_workers": num_workers,
+        "ops_per_worker": ops_per_worker,
+        "points": points,
+    }
+
+
+# ----------------------------------------------------------------------
 # Transaction commit microbenchmark
 # ----------------------------------------------------------------------
 def bench_txn(txns: int = 400, accounts: int = 16, seed: int = 42,
@@ -416,6 +475,9 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         rpc = bench_rpc(calls=100, repeats=1)
         doorbell = bench_doorbell(batches=15, batch_size=8, repeats=1)
         txn = bench_txn(txns=60, accounts=8, repeats=1)
+        scaleout = bench_scaleout(shard_counts=(1, 2), num_servers=2,
+                                  num_clients=2, num_workers=8,
+                                  ops_per_worker=20)
         ycsb_small = bench_ycsb(record_count=64, num_workers=2, ops_per_worker=50)
         ycsb_medium = None
     else:
@@ -423,6 +485,7 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         rpc = bench_rpc()
         doorbell = bench_doorbell()
         txn = bench_txn(repeats=2)
+        scaleout = bench_scaleout()
         ycsb_small = bench_ycsb(record_count=200, num_workers=4,
                                 ops_per_worker=250, repeats=2)
         ycsb_medium = bench_ycsb(record_count=1000, num_workers=8,
@@ -435,6 +498,7 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         "rpc": rpc,
         "doorbell": doorbell,
         "txn": txn,
+        "scaleout": scaleout,
         "ycsb_small": ycsb_small,
     }
     if ycsb_medium is not None:
@@ -500,8 +564,11 @@ def run_guard(guard_path: Path) -> int:
     Runs the full-size kernel microbenchmark and the medium YCSB pass
     regardless of ``--smoke`` — ``sim_throughput_ops_s`` is a virtual
     (machine-independent) number, so it only compares against the committed
-    figure when measured at the committed run shape.  Exits 1 on a >10%
-    regression of either guarded metric; never writes the JSON file.
+    figure when measured at the committed run shape.  The control-plane
+    scale-out section is re-run at full shape too and checked exactly
+    (virtual times per shard count, plus monotonic ops/s through 4 shards).
+    Exits 1 on a >10% regression of a guarded wall-clock metric or any
+    virtual-metric drift; never writes the JSON file.
     """
     try:
         committed = json.loads(guard_path.read_text())
@@ -538,6 +605,30 @@ def run_guard(guard_path: Path) -> int:
         print(f"perf-guard ycsb_medium virtual_time_ns: "
               f"{medium['virtual_time_ns']} vs committed {want_vt} "
               f"{'OK' if ok else 'ORDERING DRIFT'}")
+        checks.append(ok)
+    # Scale-out guard: all-virtual, so both checks are exact.  The sharded
+    # control plane must keep scaling monotonically through 4 shards, and
+    # each point's final virtual time must match the committed capture —
+    # any drift means the multi-shard event ordering changed.
+    want_scale = (ref.get("scaleout") or {}).get("points")
+    if want_scale:
+        scale = bench_scaleout()
+        by_shards = {p["shards"]: p for p in scale["points"]}
+        for want in want_scale:
+            got = by_shards.get(want["shards"])
+            if got is None:
+                continue
+            ok = got["virtual_time_ns"] == want["virtual_time_ns"]
+            print(f"perf-guard scaleout {want['shards']} shard(s) "
+                  f"virtual_time_ns: {got['virtual_time_ns']} vs committed "
+                  f"{want['virtual_time_ns']} {'OK' if ok else 'ORDERING DRIFT'}")
+            checks.append(ok)
+        curve = [p["ops_per_sec_virtual"] for p in scale["points"]
+                 if p["shards"] <= 4]
+        ok = all(b > a for a, b in zip(curve, curve[1:]))
+        print(f"perf-guard scaleout ops/s 1->4 shards: "
+              f"{[f'{v:,.0f}' for v in curve]} "
+              f"{'MONOTONIC' if ok else 'NOT MONOTONIC'}")
         checks.append(ok)
     print(f"perf-guard ycsb_medium cache_hit_ratio: "
           f"{medium['cache_hit_ratio']:.4f}, "
@@ -592,6 +683,11 @@ def main(argv=None) -> int:
         print(f"txn: {cur['txn']['txns_per_sec_wallclock']:,.0f} commits/s "
               f"wall-clock ({cur['txn']['virtual_ns_per_txn']:,.0f} "
               f"virtual ns/txn)")
+    if cur.get("scaleout"):
+        for pt in cur["scaleout"]["points"]:
+            print(f"scaleout {pt['shards']} shard(s): "
+                  f"{pt['ops_per_sec_virtual']:,.0f} metadata ops/s virtual, "
+                  f"p99 {pt['p99_latency_ns']:,} ns")
     for scale in ("ycsb_small", "ycsb_medium"):
         if cur.get(scale):
             print(f"{scale}: {cur[scale]['ops_per_sec_wallclock']:,.1f} ops/s "

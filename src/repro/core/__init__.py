@@ -10,7 +10,13 @@ Public surface:
   ``DRAM_ONLY`` used by ablations and baselines.
 """
 
-from repro.core.addressing import GlobalAddress, make_gaddr, offset_of, server_of
+from repro.core.addressing import (
+    GlobalAddress,
+    make_gaddr,
+    offset_of,
+    server_of,
+    shard_of,
+)
 from repro.core.api import GengarPool
 from repro.core.client import GengarClient, GFuture, RetryPolicy
 from repro.core.errors import (
@@ -21,6 +27,7 @@ from repro.core.errors import (
     FencedError,
     LeaseExpiredError,
     MasterUnavailableError,
+    NotMyShard,
     PartitionSuspected,
     RetryableError,
     ServerUnavailableError,
@@ -54,6 +61,7 @@ __all__ = [
     "MasterUnavailableError",
     "StaleRingError",
     "StaleTermError",
+    "NotMyShard",
     "PartitionSuspected",
     "LeaseExpiredError",
     "FencedError",
@@ -63,6 +71,7 @@ __all__ = [
     "GlobalAddress",
     "make_gaddr",
     "server_of",
+    "shard_of",
     "offset_of",
     "FULL",
     "CACHE_ONLY",

@@ -35,6 +35,19 @@ def server_of(gaddr: int) -> int:
     return gaddr >> OFFSET_BITS
 
 
+def shard_of(gaddr: int, num_shards: int) -> int:
+    """The master shard owning ``gaddr``'s metadata.
+
+    Sharding is by home server (``server_of % num_shards``), so the owner
+    is decidable from the address alone — no lookup, and a shard's
+    directory, allocator spans, and journals cover a disjoint server
+    subset.
+    """
+    if num_shards <= 1:
+        return 0
+    return server_of(gaddr) % num_shards
+
+
 def offset_of(gaddr: int) -> int:
     """The home-server NVM offset encoded in ``gaddr``."""
     if gaddr < 0 or gaddr >= 1 << 64:

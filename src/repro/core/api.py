@@ -35,7 +35,8 @@ from repro.cluster.cluster import Cluster, ClusterSpec
 from repro.cluster.node import NodeSpec
 from repro.core.client import GengarClient
 from repro.core.config import GengarConfig
-from repro.core.master import Master
+from repro.core.master import Master, MasterError
+from repro.core.protocol import default_shard_map
 from repro.core.server import MemoryServer
 from repro.hardware.specs import (
     CONNECTX5_NIC,
@@ -58,7 +59,8 @@ class GengarPool:
 
     def __init__(self, sim: "Simulator", cluster: Cluster, master: Master,
                  servers: Dict[int, MemoryServer], clients: List[GengarClient],
-                 config: GengarConfig, standby: Optional[Master] = None):
+                 config: GengarConfig, standby: Optional[Master] = None,
+                 masters: Optional[List[Master]] = None):
         self.sim = sim
         self.cluster = cluster
         self.master = master
@@ -69,6 +71,9 @@ class GengarPool:
         #: every server and client but refusing to serve until
         #: :meth:`promote_standby` runs its recovery + term claim.
         self.standby = standby
+        #: All master shards in shard order (``masters[0] is master``).
+        #: A single-master pool is the one-shard special case.
+        self.masters: List[Master] = masters if masters else [master]
 
     # ------------------------------------------------------------------
     @classmethod
@@ -95,10 +100,20 @@ class GengarPool:
         if num_servers < 1 or num_clients < 1:
             raise ValueError("need at least one server and one client")
         config = config or GengarConfig()
+        num_shards = config.num_master_shards
+        if num_shards > num_servers:
+            raise ValueError(
+                f"num_master_shards ({num_shards}) cannot exceed "
+                f"num_servers ({num_servers}): every shard must own at "
+                f"least one server")
 
         rack_plan = rack_plan or {}
         node_specs = [NodeSpec(name="master", dram=dram, nvm=None,
                                rack=rack_plan.get("master"))]
+        for k in range(1, num_shards):
+            node_specs.append(NodeSpec(name=f"master_s{k}", dram=dram,
+                                       nvm=None,
+                                       rack=rack_plan.get(f"master_s{k}")))
         if standby_master:
             node_specs.append(NodeSpec(name="master1", dram=dram, nvm=None,
                                        rack=rack_plan.get("master1")))
@@ -116,31 +131,59 @@ class GengarPool:
         for spec in node_specs:
             cluster.node(spec.name).endpoint.retry_timeout_ns = config.retry_timeout_ns
 
-        master = Master(cluster.node("master"), config, policy_factory=policy_factory)
+        # Shard k owns servers with sid % num_shards == k; shard 0 lives on
+        # the "master" node, so the one-shard pool is byte-identical to the
+        # historical single-master deployment.
+        masters: List[Master] = [
+            Master(cluster.node("master" if k == 0 else f"master_s{k}"),
+                   config, policy_factory=policy_factory,
+                   shard_id=k, num_shards=num_shards)
+            for k in range(num_shards)
+        ]
+        master = masters[0]
+        shard_map = default_shard_map(range(num_servers), num_shards)
         servers: Dict[int, MemoryServer] = {}
         for sid in range(num_servers):
             server_node = cluster.node(f"server{sid}")
             servers[sid] = MemoryServer(server_node, sid, config)
 
-        # Master <-> server control connections.
+        # Master <-> server control connections.  Every shard is wired to
+        # every server (cross-shard txn applies need a path), but only the
+        # owning shard registers it as owned.
         master_node = cluster.node("master")
-        for sid, server in servers.items():
-            qp_m, qp_s = connect(master_node.endpoint, server.node.endpoint)
-            server.serve_control(qp_s)
-            rpc_base = master.carve_rpc_span()
-            rpc = RpcClient(master_node.endpoint, qp_m, master_node.dram, base=rpc_base,
-                            name=f"master->server{sid}")
-            master.add_server(server.descriptor(), rpc,
-                              data_capacity=server.data_capacity)
+        for m in masters:
+            m.shard_map = dict(shard_map)
+            for sid, server in servers.items():
+                qp_m, qp_s = connect(m.node.endpoint, server.node.endpoint)
+                server.serve_control(qp_s)
+                rpc_base = m.carve_rpc_span()
+                rpc = RpcClient(m.node.endpoint, qp_m, m.node.dram,
+                                base=rpc_base,
+                                name=f"{m.node.name}->server{sid}")
+                m.add_server(server.descriptor(), rpc,
+                             data_capacity=server.data_capacity,
+                             owned=shard_map[sid] == m.shard_id)
 
-        # Warm standby: wired to every server (for the journal scan + term
-        # claim at promotion) but born recovering — it serves nothing and
-        # journals nothing until promote_standby().
+        # Shard 0 <-> peer shard control connections (cross-shard hotness
+        # aggregation: demand stats out, budgets back).
+        for m in masters[1:]:
+            qp_0, qp_k = connect(master_node.endpoint, m.node.endpoint)
+            m.serve_control(qp_k)
+            rpc = RpcClient(master_node.endpoint, qp_0, master_node.dram,
+                            base=master.carve_rpc_span(),
+                            name=f"master->{m.node.name}")
+            master.add_peer_shard(m.shard_id, rpc)
+
+        # Warm standby for shard 0: wired to every server (for the journal
+        # scan + term claim at promotion) but born recovering — it serves
+        # nothing and journals nothing until promote_standby().
         standby: Optional[Master] = None
         if standby_master:
             standby_node = cluster.node("master1")
             standby = Master(standby_node, config,
-                             policy_factory=policy_factory, standby=True)
+                             policy_factory=policy_factory, standby=True,
+                             shard_id=0, num_shards=num_shards)
+            standby.shard_map = dict(shard_map)
             for sid, server in servers.items():
                 qp_m, qp_s = connect(standby_node.endpoint, server.node.endpoint)
                 server.serve_control(qp_s)
@@ -148,20 +191,22 @@ class GengarPool:
                                 base=standby.carve_rpc_span(),
                                 name=f"master1->server{sid}")
                 standby.add_server(server.descriptor(), rpc,
-                                   data_capacity=server.data_capacity)
+                                   data_capacity=server.data_capacity,
+                                   owned=shard_map[sid] == 0)
 
         # Clients: control to master, control + data to each server.
         clients: List[GengarClient] = []
         for cid in range(num_clients):
             client_node = cluster.node(f"client{cid}")
             client = GengarClient(client_node, name=f"client{cid}")
-            qp_c, qp_m = connect(client_node.endpoint, master_node.endpoint)
-            master.serve_control(qp_m)
-            client.add_master_conn(RpcClient(
-                client_node.endpoint, qp_c, client_node.dram,
-                base=client.carve_dram(_RPC_SPAN, "rpc.master"),
-                name=f"{client.name}->master",
-            ))
+            for m in masters:
+                qp_c, qp_m = connect(client_node.endpoint, m.node.endpoint)
+                m.serve_control(qp_m)
+                client.add_master_conn(RpcClient(
+                    client_node.endpoint, qp_c, client_node.dram,
+                    base=client.carve_dram(_RPC_SPAN, f"rpc.{m.node.name}"),
+                    name=f"{client.name}->{m.node.name}",
+                ), shard=m.shard_id)
             if standby is not None:
                 qp_c2, qp_m2 = connect(client_node.endpoint,
                                        standby.node.endpoint)
@@ -183,15 +228,17 @@ class GengarPool:
                 client.add_server_conn(server.descriptor(), data_c, server_rpc)
             clients.append(client)
 
-        # Bootstrap handshake: attach every client, then start the planner.
+        # Bootstrap handshake: attach every client, then start the planners
+        # (shard 0's also arms the cross-shard aggregator).
         def bootstrap(sim):
             for client in clients:
                 yield from client.attach()
-            master.start_planner()
+            for m in masters:
+                m.start_planner()
 
         sim.run_until_complete(sim.spawn(bootstrap(sim), name="bootstrap"))
         return cls(sim, cluster, master, servers, clients, config,
-                   standby=standby)
+                   standby=standby, masters=masters)
 
     # ------------------------------------------------------------------
     def run(self, *generators, max_events: Optional[int] = None) -> list:
@@ -230,6 +277,40 @@ class GengarPool:
         # incumbent object stays alive — and fenced — for inspection).
         self.master, self.standby = standby, self.master
         return proc
+
+    def reshard(self, server_id: int, to_shard: int) -> None:
+        """Move ownership of ``server_id``'s metadata to ``to_shard``.
+
+        Instant in virtual time: the exporting shard's directory records,
+        allocator, lock bookkeeping, and dedup entries are grafted onto
+        the adopting shard, and every master installs the new shard map in
+        the same virtual instant (map epoch bumped in lockstep).  Clients
+        discover the move lazily — their next misrouted op gets a typed
+        ``not my shard`` redirect and re-resolves.
+        """
+        if not 0 <= to_shard < len(self.masters):
+            raise ValueError(f"no such shard: {to_shard}")
+        if server_id not in self.servers:
+            raise ValueError(f"no such server: {server_id}")
+        current = self.master.shard_map.get(
+            server_id, server_id % len(self.masters))
+        if current == to_shard:
+            return
+        for role, m in (("exporting", self.masters[current]),
+                        ("adopting", self.masters[to_shard])):
+            if (not m.node.endpoint.alive or m._recovering or m._deposed):
+                raise MasterError(
+                    f"reshard needs the {role} shard serving (shard "
+                    f"{m.shard_id} is down, recovering, or deposed)")
+        state = self.masters[current].export_server(server_id)
+        self.masters[to_shard].adopt_server(state)
+        new_map = dict(self.master.shard_map)
+        new_map[server_id] = to_shard
+        everyone = list(self.masters)
+        if self.standby is not None:
+            everyone.append(self.standby)
+        for m in everyone:
+            m.apply_shard_map(new_map)
 
     def inject_faults(self, plan, rng_name: str = "faults"):
         """Arm a :class:`~repro.faults.plan.FaultPlan` against this pool.
@@ -281,7 +362,13 @@ class GengarPool:
             }
         return {
             "virtual_time_ns": self.sim.now,
-            "objects": len(self.master.directory),
+            "objects": sum(len(m.directory) for m in self.masters),
+            "shards": {
+                "count": len(self.masters),
+                "map_epoch": self.master.map_epoch,
+                "owners": {m.node.name: sorted(m._servers)
+                           for m in self.masters},
+            },
             "master": {
                 "allocations": self.master.allocations.count,
                 "reports": self.master.reports.count,

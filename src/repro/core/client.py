@@ -23,6 +23,7 @@ client's local overlay, so every client observes its own writes.
 
 from __future__ import annotations
 
+import re
 from dataclasses import dataclass
 from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
@@ -31,6 +32,7 @@ if TYPE_CHECKING:  # pragma: no cover
     from repro.rdma.qp import QueuePair
     from repro.rdma.rpc import RpcClient
 
+from repro.core.addressing import server_of
 from repro.core.config import GengarConfig
 from repro.core.consistency import LockOps
 from repro.core.errors import (
@@ -42,6 +44,7 @@ from repro.core.errors import (
     LeaseExpiredError,
     LockTimeoutError,
     MasterUnavailableError,
+    NotMyShard,
     PartitionSuspected,
     RetryableError,
     ServerUnavailableError,
@@ -161,6 +164,13 @@ _MAX_META_RETRIES = 4
 #: upgrades from "one lost RPC" to "the path to the master is partitioned".
 _SUSPECT_STREAK = 3
 
+#: What a shard's "not my shard" rejection looks like on the wire; the
+#: client parses the owning shard and map epoch out of it to correct its
+#: cached shard map before retrying at the right shard.
+_NOT_MY_SHARD_RE = re.compile(
+    r"not my shard: server (\d+) is owned by shard (\d+), "
+    r"not shard (\d+) \(map epoch (\d+)\)")
+
 
 class GFuture:
     """Handle on an asynchronous pool operation.
@@ -209,17 +219,35 @@ class GengarClient:
         self.sim = node.sim
         self.name = name or node.name
         self.config: GengarConfig = GengarConfig()  # replaced at attach
-        self.master_rpc: Optional["RpcClient"] = None  # wired by bootstrap
-        #: Master connections in rotation order (active + standbys); empty
-        #: unless the bootstrap wired standby masters via add_master_conn.
-        self._master_rpcs: list = []
-        #: Highest master term observed in any reply (``master_terms``);
-        #: replies below it are stale-master echoes and are rejected.
-        self._master_term = 0
-        #: Consecutive master transport failures; at the suspicion streak
-        #: the failure is reported as PartitionSuspected, not just one
-        #: more MasterUnavailableError.
-        self._master_fail_streak = 0
+        self.master_rpc: Optional["RpcClient"] = None  # shard-0 active conn
+        #: Per-shard master connections in rotation order (active +
+        #: standbys); shard 0 is the only populated entry on an unsharded
+        #: pool.
+        self._shard_rpcs: Dict[int, list] = {}
+        #: Per-shard active connection — what :meth:`_master_call` dials.
+        self._shard_active: Dict[int, "RpcClient"] = {}
+        #: Highest master term observed in any reply, tracked PER SHARD
+        #: (``master_terms``): every shard runs its own term sequence, so
+        #: a failover on one shard must not make another shard's perfectly
+        #: healthy replies look stale.  Replies below a shard's floor are
+        #: deposed-master echoes and are rejected.
+        self._master_terms: Dict[int, int] = {}
+        #: Consecutive master transport failures, per shard; at the
+        #: suspicion streak the failure is reported as PartitionSuspected,
+        #: not just one more MasterUnavailableError.
+        self._master_fail_streaks: Dict[int, int] = {}
+        #: Client-side shard map (home server id -> owning shard), learned
+        #: at attach and corrected lazily by "not my shard" redirects that
+        #: carry a map epoch at least as new as the one cached here.
+        self._shard_map: Dict[int, int] = {}
+        self._shard_map_epoch = 0
+        self._num_shards = 1
+        #: Round-robin cursor spreading gmallocs across shards.
+        self._alloc_rr = 0
+        #: req_id -> shard memo: every retry of one logical gmalloc must
+        #: re-present its idempotency token to the SAME shard (or, after a
+        #: redirect, to the shard that inherited the dedup entry).
+        self._req_shards: Dict[int, int] = {}
         self._conns: Dict[int, _ServerConn] = {}
         self._meta_cache: Dict[int, ObjectMeta] = {}
         # Epoch-based invalidation: each entry remembers the per-server epoch
@@ -249,8 +277,9 @@ class GengarClient:
         #: In-flight auto-reattach gates, one per server: concurrent failed
         #: ops coalesce onto a single re-attach handshake.
         self._reattach_gates: Dict[int, Any] = {}
-        #: Coalescing gate for master re-attach (same pattern, one master).
-        self._reattach_master_gate: Optional[Any] = None
+        #: Coalescing gates for master re-attach, one per shard (same
+        #: pattern as the per-server gates above).
+        self._reattach_master_gates: Dict[int, Any] = {}
         # ---- lease / fencing state (all inert while lease_ns == 0) ------
         #: Lease duration granted by the master at attach; 0 = leases off.
         self.lease_ns = 0
@@ -320,6 +349,7 @@ class GengarClient:
         self.m_lease_lapses = m.counter("pool.lease_lapses")
         self.m_stale_terms = m.counter("pool.stale_term_rejections")
         self.m_partition_suspected = m.counter("pool.partition_suspected")
+        self.m_shard_redirects = m.counter("pool.shard_redirects")
         self.m_prefetches = m.counter("pool.prefetches")
         self.h_read = m.histogram("pool.read_latency")
         self.h_write = m.histogram("pool.write_latency")
@@ -385,89 +415,150 @@ class GengarClient:
                         rpc: "RpcClient") -> None:
         self._conns[desc.server_id] = _ServerConn(desc=desc, data_qp=data_qp, rpc=rpc)
 
-    def add_master_conn(self, rpc: "RpcClient") -> None:
-        """Register a master control connection (active or standby).  The
-        first one registered becomes the active master; the rest are the
-        rotation order :meth:`_rotate_master` walks on failover."""
-        if self.master_rpc is None:
+    def add_master_conn(self, rpc: "RpcClient", shard: int = 0) -> None:
+        """Register a master control connection (active or standby) for one
+        shard.  The first one registered for a shard becomes that shard's
+        active master; the rest are the rotation order
+        :meth:`_rotate_master` walks on failover."""
+        rots = self._shard_rpcs.setdefault(shard, [])
+        if rpc not in rots:
+            rots.append(rpc)
+        if shard not in self._shard_active:
+            self._shard_active[shard] = rpc
+        if shard == 0 and self.master_rpc is None:
             self.master_rpc = rpc
-        if rpc not in self._master_rpcs:
-            self._master_rpcs.append(rpc)
 
-    def _rotate_master(self) -> None:
-        """Point the control plane at the next wired master (no-op without
-        standbys).  Stale-term protection makes this safe to do eagerly: if
-        the rotation lands on a deposed master, its replies carry a term
-        below the one we have seen and are rejected, rotating us onward."""
-        if len(self._master_rpcs) < 2:
+    def _rotate_master(self, shard: int = 0) -> None:
+        """Point the shard's control plane at its next wired master (no-op
+        without standbys).  Stale-term protection makes this safe to do
+        eagerly: if the rotation lands on a deposed master, its replies
+        carry a term below the one we have seen and are rejected, rotating
+        us onward."""
+        rots = self._shard_rpcs.get(shard, [])
+        if len(rots) < 2:
             return
         try:
-            i = self._master_rpcs.index(self.master_rpc)
+            i = rots.index(self._shard_active.get(shard))
         except ValueError:
             i = -1
-        self.master_rpc = self._master_rpcs[(i + 1) % len(self._master_rpcs)]
+        self._shard_active[shard] = rots[(i + 1) % len(rots)]
+        if shard == 0:
+            self.master_rpc = self._shard_active[0]
         if self.sim.tracer is not None:
             trace(self.sim, "failover", "rotated to next master",
-                  client=self.name)
+                  client=self.name, shard=shard)
 
-    def _master_call(self, method: str, payload) -> Generator[Any, Any, Any]:
-        """Call the master, mapping transport failures and the recovering
-        window into the retryable :class:`MasterUnavailableError` so the
-        resilience engine (and its auto master re-attach) can handle them.
+    def _learn_redirect(self, msg: str) -> tuple:
+        """Parse a "not my shard" rejection and fold the ownership it
+        reveals into the client-side shard map (newest map epoch wins).
+        Returns ``(owner_shard, map_epoch)`` — both None/stale-safe."""
+        m = _NOT_MY_SHARD_RE.search(msg)
+        if m is None:
+            return None, self._shard_map_epoch
+        sid, owner, _asked, epoch = (int(g) for g in m.groups())
+        if epoch >= self._shard_map_epoch:
+            self._shard_map[sid] = owner
+            self._shard_map_epoch = epoch
+        return owner, epoch
+
+    def _master_call(self, method: str, payload,
+                     shard: int = 0) -> Generator[Any, Any, Any]:
+        """Call one master shard, mapping transport failures and the
+        recovering window into the retryable
+        :class:`MasterUnavailableError` so the resilience engine (and its
+        auto master re-attach) can handle them.
 
         With ``master_terms`` the reply rides a ``{"t": term, "r": result}``
         envelope: the term is compared against the highest this client has
-        observed, and a reply below it is a deposed master's echo —
-        rejected with :class:`StaleTermError` rather than trusted.  A
-        streak of pure transport failures upgrades the verdict to
-        :class:`PartitionSuspected`: not one lost RPC, a dead path.
+        observed *from this shard*, and a reply below it is a deposed
+        master's echo — rejected with :class:`StaleTermError` rather than
+        trusted.  A streak of pure transport failures upgrades the verdict
+        to :class:`PartitionSuspected`: not one lost RPC, a dead path.
+        A shard that no longer owns the addressed server answers "not my
+        shard"; that surfaces as :class:`NotMyShard` after correcting the
+        cached shard map, so the retry dials the owner.
+
+        Every raised error is tagged with the shard it came from
+        (``exc.shard``) so the resilience engine re-attaches the right
+        control-plane connection.
         """
+        rpc = self._shard_active.get(shard) or self.master_rpc
         try:
-            result = yield from self.master_rpc.call(method, payload)
+            result = yield from rpc.call(method, payload)
         except RpcError as exc:
             msg = str(exc)
+            if "not my shard" in msg:
+                owner, epoch = self._learn_redirect(msg)
+                self.m_shard_redirects.add()
+                if self.sim.tracer is not None:
+                    trace(self.sim, "shard", f"{method} redirected",
+                          client=self.name, shard=shard, owner=owner)
+                raise NotMyShard(
+                    f"{method}: {msg}", shard_id=shard, owner_shard=owner,
+                    map_epoch=epoch) from exc
             if "master deposed" in msg or "stale master term" in msg:
                 self.m_stale_terms.add()
                 if self.sim.tracer is not None:
                     trace(self.sim, "term", f"{method} hit a deposed master",
-                          client=self.name)
-                raise StaleTermError(
-                    f"{method}: {msg}", known_term=self._master_term) from exc
+                          client=self.name, shard=shard)
+                err = StaleTermError(
+                    f"{method}: {msg}",
+                    known_term=self._master_terms.get(shard, 0))
+                err.shard = shard
+                raise err from exc
             if "transport failed" in msg:
-                self._master_fail_streak += 1
-                if self._master_fail_streak >= _SUSPECT_STREAK:
+                streak = self._master_fail_streaks.get(shard, 0) + 1
+                self._master_fail_streaks[shard] = streak
+                if streak >= _SUSPECT_STREAK:
                     self.m_partition_suspected.add()
                     if self.sim.tracer is not None:
                         trace(self.sim, "partition",
                               "master path suspected partitioned",
-                              client=self.name,
-                              failures=self._master_fail_streak)
-                    raise PartitionSuspected(
-                        f"{method}: {self._master_fail_streak} consecutive "
-                        f"master transport failures ({msg})") from exc
-                raise MasterUnavailableError(f"{method}: {msg}") from exc
+                              client=self.name, shard=shard,
+                              failures=streak)
+                    err = PartitionSuspected(
+                        f"{method}: {streak} consecutive "
+                        f"master transport failures ({msg})")
+                    err.shard = shard
+                    raise err from exc
+                err = MasterUnavailableError(f"{method}: {msg}")
+                err.shard = shard
+                raise err from exc
             if "master recovering" in msg:
-                raise MasterUnavailableError(f"{method}: {msg}") from exc
+                err = MasterUnavailableError(f"{method}: {msg}")
+                err.shard = shard
+                raise err from exc
             raise
-        self._master_fail_streak = 0
+        self._master_fail_streaks[shard] = 0
         if (isinstance(result, dict) and len(result) == 2
                 and "t" in result and "r" in result):
             # Term envelope (checked structurally: attach learns the config
             # *from* this reply, so the flag may not be known yet).
             term = result["t"]
-            if term < self._master_term:
+            known = self._master_terms.get(shard, 0)
+            if term < known:
                 self.m_stale_terms.add()
                 if self.sim.tracer is not None:
                     trace(self.sim, "term", f"{method} reply term stale",
-                          client=self.name, reply_term=term,
-                          known_term=self._master_term)
-                raise StaleTermError(
+                          client=self.name, shard=shard, reply_term=term,
+                          known_term=known)
+                err = StaleTermError(
                     f"{method}: reply term {term} below observed "
-                    f"{self._master_term}", reply_term=term,
-                    known_term=self._master_term)
-            self._master_term = term
+                    f"{known}", reply_term=term, known_term=known)
+                err.shard = shard
+                raise err
+            self._master_terms[shard] = term
             result = result["r"]
         return result
+
+    def _resolve_shard(self, gaddr: int) -> int:
+        """Which shard owns ``gaddr``'s home server, per the client-side
+        shard map (default: server id mod shard count, the bootstrap
+        layout, until a redirect teaches us better)."""
+        if self._num_shards <= 1:
+            return 0
+        sid = server_of(gaddr)
+        return self._shard_map.get(sid, sid % self._num_shards)
 
     def attach(self) -> Generator[Any, Any, None]:
         """Join the pool: fetch config from the master, set up proxy rings."""
@@ -479,6 +570,32 @@ class GengarClient:
         self.fence_epoch = info.get("epoch", 0)
         self.lease_ns = info.get("lease_ns", 0)
         self.retry_policy = RetryPolicy.from_config(self.config)
+        servers = list(info["servers"])
+        self._num_shards = max(1, self.config.num_master_shards)
+        if self._num_shards > 1:
+            # Phase the allocation round-robin by our (master-issued,
+            # sequential) uid: with every client starting its cursor at 0,
+            # the fleet sweeps the shards in lockstep — each instant all
+            # allocs converge on ONE shard and the others idle, which is
+            # single-master queueing with extra steps.
+            self._alloc_rr = self.uid
+            # Multi-shard attach: shard 0 minted our uid; present it to the
+            # other shards so they adopt the same identity (and lease us).
+            # Each shard's reply lists only the servers it owns — the union
+            # is the pool, and which shard answered IS the shard map.
+            for desc in info["servers"]:
+                self._shard_map[desc.server_id] = 0
+            for shard in range(1, self._num_shards):
+                extra = yield from self._master_call(
+                    "attach",
+                    {"client": self.name, "uid": self.uid,
+                     "epoch": self.fence_epoch},
+                    shard=shard)
+                self.fence_epoch = max(self.fence_epoch,
+                                       extra.get("epoch", 0))
+                for desc in extra["servers"]:
+                    self._shard_map[desc.server_id] = shard
+                servers.extend(extra["servers"])
         if self.lease_ns:
             self.lease_deadline = self.sim.now + self.lease_ns
             self._last_renew_ns = self.sim.now
@@ -501,7 +618,7 @@ class GengarClient:
                 and self.config.metadata_cache):
             self._predictor = AccessPredictor(depth=self.config.prefetch_depth)
 
-        for desc in info["servers"]:
+        for desc in servers:
             conn = self._conns.get(desc.server_id)
             if conn is None:
                 raise FatalError(
@@ -526,8 +643,17 @@ class GengarClient:
         """
         self._require_attached()
         req_id = self._next_req_id()
-        meta = yield from self._resilient(
-            "gmalloc", lambda: self._gmalloc_once(size, req_id))
+        if self._num_shards > 1:
+            # Spread allocations round-robin across shards; the memo pins
+            # every retry of this req_id to one shard so its dedup entry
+            # is consulted where it lives.
+            self._req_shards[req_id] = self._alloc_rr % self._num_shards
+            self._alloc_rr += 1
+        try:
+            meta = yield from self._resilient(
+                "gmalloc", lambda: self._gmalloc_once(size, req_id))
+        finally:
+            self._req_shards.pop(req_id, None)
         return meta.gaddr
 
     def _next_req_id(self) -> int:
@@ -538,8 +664,18 @@ class GengarClient:
         return (self.uid << 32) | self._req_seq
 
     def _gmalloc_once(self, size: int, req_id: int = 0) -> Generator[Any, Any, ObjectMeta]:
-        meta = yield from self._master_call(
-            "gmalloc", {"size": size, "client": self.name, "req_id": req_id})
+        shard = self._req_shards.get(req_id, 0)
+        try:
+            meta = yield from self._master_call(
+                "gmalloc", {"size": size, "client": self.name,
+                            "req_id": req_id}, shard=shard)
+        except NotMyShard as exc:
+            # A reshard moved the allocation's home mid-retry: chase the
+            # dedup entry to the owning shard so the retry observes the
+            # original outcome instead of double-allocating.
+            if exc.owner_shard is not None:
+                self._req_shards[req_id] = exc.owner_shard
+            raise
         if self.config.metadata_cache:
             self._store_meta(meta)
         return meta
@@ -552,7 +688,8 @@ class GengarClient:
         req_id = self._next_req_id()
         yield from self._resilient(
             "gfree", lambda: self._master_call(
-                "gfree", {"gaddr": gaddr, "req_id": req_id}))
+                "gfree", {"gaddr": gaddr, "req_id": req_id},
+                shard=self._resolve_shard(gaddr)))
         self._invalidate_meta(gaddr)
         self._access_counts.pop(gaddr, None)
         self._touch_counts.pop(gaddr, None)
@@ -841,8 +978,8 @@ class GengarClient:
             conn.ring = new_ring
         return lost
 
-    def reattach_master(self) -> Generator[Any, Any, None]:
-        """Re-join a restarted (or fencing) master.
+    def reattach_master(self, shard: int = 0) -> Generator[Any, Any, None]:
+        """Re-join a restarted (or fencing) master shard.
 
         Presents the old uid so the master re-adopts this identity instead
         of minting a new one — cached metadata, lock attribution, and the
@@ -856,6 +993,7 @@ class GengarClient:
         info = yield from self._master_call(
             "attach",
             {"client": self.name, "uid": self.uid, "epoch": self.fence_epoch},
+            shard=shard,
         )
         self.uid = info["client_id"]
         self.fence_epoch = info.get("epoch", self.fence_epoch)
@@ -910,6 +1048,13 @@ class GengarClient:
             yield self.sim.timeout(interval)
             if self._crashed or self._fenced or not self.lease_ns:
                 return
+            # Secondary shards lease us independently and see piggybacked
+            # renewals only for objects they own, so renew them on every
+            # tick regardless of report recency.
+            for shard in range(1, self._num_shards):
+                yield from self._renew_shard(shard)
+                if self._fenced:
+                    return
             if self.sim.now - self._last_renew_ns < interval:
                 continue  # a piggybacked report renewed recently
             try:
@@ -937,6 +1082,43 @@ class GengarClient:
                 trace(self.sim, "fence", "heartbeat fenced", client=self.name,
                       reason=reason)
             return
+
+    def _renew_shard(self, shard: int) -> Generator[Any, Any, None]:
+        """One standalone renewal against a secondary shard; failures are
+        swallowed (the next tick tries again), a ``fenced`` verdict sets
+        the global fenced flag — the epoch is retired everywhere."""
+        try:
+            reply = yield from self._master_call(
+                "renew", {"client": self.name, "epoch": self.fence_epoch},
+                shard=shard)
+        except StaleTermError:
+            if self.config.auto_reattach:
+                yield from self._reattach_shard_quietly(shard)
+            return
+        except (RetryableError, RpcError):
+            return
+        if reply.get("ok"):
+            return
+        if reply.get("reason") == "unknown" and self.config.auto_reattach:
+            # A restarted shard forgot us: re-adopt our identity there.
+            yield from self._reattach_shard_quietly(shard)
+            return
+        self._fenced = True
+        self.m_fence_rejections.add()
+        if self.sim.tracer is not None:
+            trace(self.sim, "fence", "heartbeat fenced", client=self.name,
+                  shard=shard)
+
+    def _reattach_shard_quietly(self, shard: int) -> Generator[Any, Any, None]:
+        """Re-adopt our identity at one shard, swallowing failures.
+
+        The heartbeat loop is the only thing keeping N-1 other leases
+        alive — one shard's reattach failing (still recovering, dropped
+        on a lossy link) must cost a tick, not the whole loop."""
+        try:
+            yield from self._auto_reattach_master(shard)
+        except (RetryableError, RpcError):
+            pass  # next tick retries; the lease has 3 ticks of slack
 
     def _note_renewal(self, lease_ns: int) -> None:
         self._last_renew_ns = self.sim.now
@@ -996,9 +1178,11 @@ class GengarClient:
                                              PartitionSuspected,
                                              StaleTermError))):
                     # All three mean "the control plane, not this op, is the
-                    # problem": re-attach (rotating to a standby master if
-                    # wired) before burning the next attempt.
-                    yield from self._auto_reattach_master()
+                    # problem": re-attach the shard that failed (rotating to
+                    # a standby master if wired) before burning the next
+                    # attempt.
+                    yield from self._auto_reattach_master(
+                        getattr(exc, "shard", 0))
                 rec = self.sim.spans
                 t_wait = self.sim.now if rec is not None else 0
                 yield self.sim.sleep(
@@ -1115,35 +1299,40 @@ class GengarClient:
             f"{op}: lease lapsed and the master fenced this epoch; "
             "reattach_master() to rejoin")
 
-    def _auto_reattach_master(self) -> Generator[Any, Any, None]:
+    def _auto_reattach_master(self, shard: int = 0) -> Generator[Any, Any, None]:
         """Coalesced master re-attach, mirroring :meth:`_auto_reattach`:
-        the first op to hit a dead/recovering master runs the handshake,
-        concurrent failures wait on its gate.  Failure is swallowed — the
-        caller backs off and retries."""
-        gate = self._reattach_master_gate
+        the first op to hit a dead/recovering master shard runs the
+        handshake, concurrent failures against the SAME shard wait on its
+        gate (other shards re-attach independently).  Failure is
+        swallowed — the caller backs off and retries."""
+        gate = self._reattach_master_gates.get(shard)
         if gate is not None:
             yield gate
             return
-        gate = self.sim.event(name=f"{self.name}.reattach_master")
-        self._reattach_master_gate = gate
+        gate = self.sim.event(
+            name=f"{self.name}.reattach_master" + (f"_s{shard}" if shard else ""))
+        self._reattach_master_gates[shard] = gate
         try:
             try:
-                yield from self.reattach_master()
+                yield from self.reattach_master(shard)
             except (RetryableError, RpcError) as exc:
                 if self.sim.tracer is not None:
                     trace(self.sim, "failover", "master re-attach failed",
-                          client=self.name, cause=type(exc).__name__)
-                # Next retry tries the next wired master (no-op without
-                # standbys): an unreachable or deposed master should not
-                # absorb the whole retry budget when a live one exists.
-                self._rotate_master()
+                          client=self.name, shard=shard,
+                          cause=type(exc).__name__)
+                # Next retry tries the shard's next wired master (no-op
+                # without standbys): an unreachable or deposed master
+                # should not absorb the whole retry budget when a live one
+                # exists.
+                self._rotate_master(shard)
             else:
                 self.m_master_failovers.add()
                 if self.sim.tracer is not None:
                     trace(self.sim, "failover", "re-attached to master",
-                          client=self.name, epoch=self.fence_epoch)
+                          client=self.name, shard=shard,
+                          epoch=self.fence_epoch)
         finally:
-            self._reattach_master_gate = None
+            self._reattach_master_gates.pop(shard, None)
             gate.succeed()
 
     def _check_wc(self, wc, what: str, conn: _ServerConn,
@@ -1691,7 +1880,8 @@ class GengarClient:
             return meta
         rec = self.sim.spans
         t0 = self.sim.now if rec is not None else 0
-        meta = yield from self._master_call("lookup", {"gaddr": gaddr})
+        meta = yield from self._master_call(
+            "lookup", {"gaddr": gaddr}, shard=self._resolve_shard(gaddr))
         self.m_lookups.add()
         if rec is not None:
             rec.record(self.name, "phase.meta_lookup", t0, op=span_op,
@@ -2065,34 +2255,49 @@ class GengarClient:
             entries.append((gaddr, reads, writes, bool(believed and believed.cached)))
         self._access_counts.clear()
         self._ops_since_report = 0
-        request: Dict[str, Any] = {"entries": entries}
         piggyback = bool(self.lease_ns and not self._fenced and not self._crashed)
-        if piggyback:
-            # Every report doubles as a lease heartbeat for free.
-            request["client"] = self.name
-            request["epoch"] = self.fence_epoch
+        if self._num_shards > 1:
+            # Each shard scores only the objects it owns: split the batch
+            # along the shard map (one RPC per shard with entries).
+            groups: Dict[int, list] = {}
+            for entry in entries:
+                groups.setdefault(self._resolve_shard(entry[0]),
+                                  []).append(entry)
+        else:
+            groups = {0: entries}
         try:
-            try:
-                reply = yield from self._master_call("report", request)
-            except (MasterUnavailableError, RpcError):
-                return  # hotness reports are advisory; drop on the floor
-            if piggyback:
-                updates = reply["updates"]
-                verdict = reply["lease"]
-                if verdict == "ok":
-                    self._note_renewal(self.lease_ns)
-                elif verdict == "fenced":
-                    self._fenced = True
-                    self.m_fence_rejections.add()
-                    if self.sim.tracer is not None:
-                        trace(self.sim, "fence", "report fenced",
-                              client=self.name)
-            else:
-                updates = reply
-            for gaddr, cached, cache_offset in updates:
-                meta = self._cached_meta(gaddr)
-                if meta is not None:
-                    self._store_meta(meta.with_cache(cached, cache_offset))
+            for shard, group in groups.items():
+                request: Dict[str, Any] = {"entries": group}
+                if piggyback:
+                    # Every report doubles as a lease heartbeat for free.
+                    request["client"] = self.name
+                    request["epoch"] = self.fence_epoch
+                try:
+                    reply = yield from self._master_call("report", request,
+                                                         shard=shard)
+                except (MasterUnavailableError, NotMyShard, RpcError):
+                    continue  # hotness reports are advisory; drop on the floor
+                if piggyback:
+                    updates = reply["updates"]
+                    verdict = reply["lease"]
+                    if verdict == "ok" and shard == 0:
+                        # _last_renew_ns gates only the shard-0 standalone
+                        # renew; a report that renewed a secondary shard
+                        # must not silence it, or an access pattern that
+                        # never touches shard 0's objects starves its lease.
+                        self._note_renewal(self.lease_ns)
+                    elif verdict == "fenced":
+                        self._fenced = True
+                        self.m_fence_rejections.add()
+                        if self.sim.tracer is not None:
+                            trace(self.sim, "fence", "report fenced",
+                                  client=self.name)
+                else:
+                    updates = reply
+                for gaddr, cached, cache_offset in updates:
+                    meta = self._cached_meta(gaddr)
+                    if meta is not None:
+                        self._store_meta(meta.with_cache(cached, cache_offset))
         finally:
             self._report_inflight = False
 
@@ -2172,14 +2377,30 @@ class GengarClient:
                             continue
                         self._prefetch_requested.add(g)
                         entries.append((g, self._touch_counts.get(g, 1)))
-                try:
-                    updates = yield from self._master_call(
-                        "prefetch", {"entries": entries, "client": self.name})
-                except (MasterUnavailableError, RpcError):
-                    for g, _reads in entries:
-                        self._prefetch_requested.discard(g)
+                if self._num_shards > 1:
+                    groups: Dict[int, list] = {}
+                    for entry in entries:
+                        groups.setdefault(self._resolve_shard(entry[0]),
+                                          []).append(entry)
+                else:
+                    groups = {0: entries}
+                updates = []
+                sent = 0
+                for shard, group in groups.items():
+                    try:
+                        part = yield from self._master_call(
+                            "prefetch",
+                            {"entries": group, "client": self.name},
+                            shard=shard)
+                    except (MasterUnavailableError, NotMyShard, RpcError):
+                        for g, _reads in group:
+                            self._prefetch_requested.discard(g)
+                        continue
+                    updates.extend(part)
+                    sent += len(group)
+                if not sent:
                     return
-                self.m_prefetches.add(len(entries))
+                self.m_prefetches.add(sent)
                 promoted = 0
                 for gaddr, cached, cache_offset in updates:
                     meta = self._cached_meta(gaddr)

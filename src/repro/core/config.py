@@ -177,6 +177,20 @@ class GengarConfig:
     #: op-deadline behaviour byte-identical.
     lock_acquire_timeout_ns: int = 0
 
+    # ---- control-plane sharding ------------------------------------------
+    #: Master shards.  Object metadata is partitioned by home server
+    #: (``shard_of(gaddr) = server_of(gaddr) % num_master_shards``); each
+    #: shard owns the directory entries, allocator spans, journals, term,
+    #: lease sweep, txn-intent recovery scan, and epoch/hotness planner for
+    #: its server subset, and a cross-shard aggregation step keeps the DRAM
+    #: cache budget globally coherent.  1 (the default) builds exactly the
+    #: single-master control plane: no shard map in the attach reply, no
+    #: aggregation loop, protocol bytes and virtual time identical.
+    num_master_shards: int = 1
+    #: Cross-shard hotness aggregation period; 0 derives ``epoch_ns``.
+    #: Only meaningful with more than one shard.
+    shard_aggregation_ns: int = 0
+
     def __post_init__(self) -> None:
         if self.cache_capacity < 0:
             raise ValueError("cache_capacity must be non-negative")
@@ -230,6 +244,11 @@ class GengarConfig:
         if self.lock_acquire_timeout_ns < 0:
             raise ValueError("lock_acquire_timeout_ns must be non-negative "
                              "(0 disables)")
+        if self.num_master_shards < 1:
+            raise ValueError("num_master_shards must be at least 1")
+        if self.shard_aggregation_ns < 0:
+            raise ValueError("shard_aggregation_ns must be non-negative "
+                             "(0 derives epoch_ns)")
 
     # Wire compatibility ---------------------------------------------------
     # The attach reply ships this object whole, so its pickled size is
@@ -247,6 +266,8 @@ class GengarConfig:
         "txn_intent_entries": 64,
         "txn_intent_slot_bytes": 4096,
         "lock_acquire_timeout_ns": 0,
+        "num_master_shards": 1,
+        "shard_aggregation_ns": 0,
     }
 
     def __getstate__(self) -> dict:

@@ -132,3 +132,28 @@ class Directory:
     def cached_bytes(self, server_id: int) -> int:
         """Bytes of objects currently cached on ``server_id``."""
         return self._cached_bytes.get(server_id, 0)
+
+    # ------------------------------------------------------------------
+    def take_server(self, server_id: int) -> list:
+        """Remove and return every record homed on ``server_id``.
+
+        Reshard export: the records leave with their cached/pinned state
+        intact (the adopting directory re-accounts them), and this
+        directory's cached-bytes ledger for the server drops to zero.
+        """
+        taken = [r for r in self._objects.values() if r.server_id == server_id]
+        for record in taken:
+            del self._objects[record.gaddr]
+        self._cached_bytes.pop(server_id, None)
+        return taken
+
+    def adopt(self, record: ObjectRecord) -> None:
+        """Insert a record exported by another directory, preserving its
+        cached-bytes accounting (reshard adoption)."""
+        if record.gaddr in self._objects:
+            raise DirectoryError(f"object {record.gaddr:#x} already exists")
+        self._objects[record.gaddr] = record
+        if record.cached:
+            self._cached_bytes[record.server_id] = (
+                self._cached_bytes.get(record.server_id, 0) + record.size
+            )

@@ -116,6 +116,27 @@ class StaleTermError(RetryableError):
         self.known_term = known_term
 
 
+class NotMyShard(RetryableError):
+    """A control RPC landed on a master shard that does not own the
+    object (the client's cached shard map is stale — the pool was
+    resharded, or a routing bug sent the op astray).
+
+    Retryable: the owning shard rejected the op *before* applying it, so
+    the client invalidates its shard map, re-resolves ownership at the
+    current map epoch, and reissues against the right shard.  Carries the
+    rejecting shard, the owner it named (if known), and the map epoch the
+    reply was stamped with so the client can fast-forward without a full
+    re-attach.
+    """
+
+    def __init__(self, message: str, shard_id: int = 0,
+                 owner_shard: Optional[int] = None, map_epoch: int = 0):
+        super().__init__(message)
+        self.shard_id = shard_id
+        self.owner_shard = owner_shard
+        self.map_epoch = map_epoch
+
+
 class PartitionSuspected(RetryableError):
     """Control-plane traffic is failing in a pattern that looks like a
     network partition (repeated heartbeat failures), not a crashed master.

@@ -139,6 +139,14 @@ class EpochDecayPolicy:
     def stats_for(self, gaddr: int) -> Optional[ObjectStats]:
         return self._stats.get(gaddr)
 
+    def hot_bytes(self) -> int:
+        """Bytes this policy would promote if capacity allowed: the total
+        size of uncached objects at or above the promote threshold.  Feeds
+        the cross-shard DRAM-budget aggregation (a demand signal, so it
+        deliberately ignores capacity)."""
+        return sum(s.size for s in self._stats.values()
+                   if not s.cached and s.score >= self.promote_threshold)
+
     # ------------------------------------------------------------------
     def plan(self, capacity: int, used: int) -> PlacementPlan:
         """Advance one epoch and emit promotion/demotion decisions.

@@ -71,11 +71,35 @@ class Master:
     """Runtime state of the Gengar master."""
 
     def __init__(self, node: "Node", config: GengarConfig, policy_factory=None,
-                 standby: bool = False):
+                 standby: bool = False, shard_id: int = 0, num_shards: int = 1):
         self.node = node
         self.sim = node.sim
         self.config = config
         self.directory = Directory()
+        #: Which control-plane shard this master is (0 in the single-master
+        #: topology).  A shard *owns* the servers registered with
+        #: ``add_server(owned=True)`` — its directory, allocator spans,
+        #: journal, lease sweep, txn-intent scan, and planner cover exactly
+        #: that subset, so the PR 3/7 failover machinery generalizes
+        #: per-shard without cloning.
+        self.shard_id = shard_id
+        self.num_shards = max(1, num_shards)
+        #: server_id -> owning shard, kept in lockstep across shards by the
+        #: pool (reshard bumps :attr:`map_epoch` everywhere).  Clients cache
+        #: this map and invalidate it on the epoch, mirroring the metadata
+        #: cache's epoch-invalidation shape.
+        self.shard_map: Dict[int, int] = {}
+        self.map_epoch = 0
+        #: Per-server DRAM-cache budget set by the cross-shard hotness
+        #: aggregation (empty = every server gets ``config.cache_capacity``,
+        #: the single-master behaviour).
+        self._cache_budget: Dict[int, int] = {}
+        #: Shard 0's control connections to the peer shards (aggregation).
+        self._peer_shards: Dict[int, "RpcClient"] = {}
+        #: Every wired server handle, owned or not.  Non-owned handles carry
+        #: only a control connection: the txn-intent roll-forward uses them
+        #: to apply a cross-shard write-set without forfeiting the intent.
+        self._all_servers: Dict[int, _ServerHandle] = {}
         self._servers: Dict[int, _ServerHandle] = {}
         self._alloc_policy: Optional[PoolAllocationPolicy] = None
         if policy_factory is None:
@@ -113,6 +137,12 @@ class Master:
             if config.master_terms:
                 handler = self._with_term(handler)
             self.rpc.register(method, handler)
+        # Shard-to-shard plumbing (advisory, so deliberately outside the
+        # term envelope): demand stats out, budgets in, and the map fetch
+        # clients use to heal a stale shard map without a full re-attach.
+        self.rpc.register("shard_stats", self._handle_shard_stats)
+        self.rpc.register("set_budget", self._handle_set_budget)
+        self.rpc.register("shard_map", self._handle_shard_map)
 
         #: Lease bookkeeping (empty unless ``config.client_lease_ns``):
         #: client name -> absolute expiry time / current fencing epoch.
@@ -180,18 +210,35 @@ class Master:
     # Wiring (called by the deployment bootstrap)
     # ------------------------------------------------------------------
     def add_server(self, descriptor: ServerDescriptor, rpc_client: "RpcClient",
-                   data_capacity: int) -> None:
-        """Register a memory server with its control-plane connection."""
+                   data_capacity: int, owned: bool = True) -> None:
+        """Register a memory server with its control-plane connection.
+
+        ``owned=False`` wires the connection without taking metadata
+        ownership: the handle is reachable for cross-shard txn-intent
+        applies (and as the landing pad for a later reshard adoption) but
+        never allocated from, journaled to, or planned for.
+        """
         sid = descriptor.server_id
-        if sid in self._servers:
+        if sid in self._all_servers:
             raise MasterError(f"server {sid} already registered")
-        self._servers[sid] = _ServerHandle(
+        handle = _ServerHandle(
             descriptor, rpc_client, data_capacity, self.config.lock_table_entries
         )
+        self._all_servers[sid] = handle
+        if not owned:
+            return
+        self._servers[sid] = handle
         self._policies[sid] = self._policy_factory()
+        self._rebuild_alloc_policy()
+
+    def _rebuild_alloc_policy(self) -> None:
         self._alloc_policy = PoolAllocationPolicy(
             {s: h.allocator for s, h in self._servers.items()}
-        )
+        ) if self._servers else None
+
+    def add_peer_shard(self, shard_id: int, rpc_client: "RpcClient") -> None:
+        """Wire shard 0's control connection to a peer shard (aggregation)."""
+        self._peer_shards[shard_id] = rpc_client
 
     def serve_control(self, qp: "QueuePair") -> None:
         """Start serving a client's control connection."""
@@ -211,14 +258,74 @@ class Master:
         return self._carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc-client")
 
     def start_planner(self) -> None:
-        """Launch the periodic promotion/demotion planner."""
+        """Launch the periodic promotion/demotion planner (and, on shard 0
+        of a multi-shard pool, the cross-shard hotness aggregator)."""
         if not self._planner_started and self.config.enable_cache:
             self._planner_started = True
-            self.sim.spawn(self._planner_loop(), name="master.planner")
+            self.sim.spawn(self._planner_loop(),
+                           name=f"{self.node.name}.planner")
+            if self.num_shards > 1 and self.shard_id == 0 and self._peer_shards:
+                self.sim.spawn(self._aggregation_loop(),
+                               name=f"{self.node.name}.aggregation")
 
     @property
     def servers(self) -> Dict[int, ServerDescriptor]:
         return {sid: h.descriptor for sid, h in self._servers.items()}
+
+    # ------------------------------------------------------------------
+    # Shard routing and dedup scoping
+    # ------------------------------------------------------------------
+    def _dedup_key(self, req_id: int) -> Tuple[int, int]:
+        """Idempotency keys are ``(client uid, req_id)`` *inside the owning
+        shard*, not the bare req_id.  The req_id already embeds the uid in
+        its high 32 bits, but keying by the explicit pair makes the scope
+        collision-proof: two clients' sequence numbers can never alias, and
+        a reshard moves exactly the owning shard's entries — a retry that
+        crosses a shard failover still finds (or is redirected to) the one
+        entry that matches its issuer."""
+        return (req_id >> 32, req_id)
+
+    def _check_owner(self, gaddr: int) -> None:
+        """Refuse ops on objects whose home server another shard owns.
+
+        Raised *before* any state is touched, so a client with a stale
+        shard map gets a typed redirect (it parses the owner and map epoch
+        out of the message) and the misrouted op is never applied here.
+        """
+        if self.num_shards <= 1:
+            return
+        sid = server_of(gaddr)
+        if sid in self._servers:
+            return
+        owner = self.shard_map.get(sid, sid % self.num_shards)
+        raise MasterError(
+            f"not my shard: server {sid} is owned by shard {owner}, "
+            f"not shard {self.shard_id} (map epoch {self.map_epoch})")
+
+    def _handle_shard_stats(self, request: dict) -> dict:
+        """Per-server cache demand for the cross-shard aggregator."""
+        self._check_serving()
+        return {"demand": {sid: self._server_demand(sid)
+                           for sid in sorted(self._servers)}}
+
+    def _handle_set_budget(self, request: dict) -> bool:
+        """Adopt the aggregator's per-server DRAM budgets (advisory)."""
+        for sid, budget in request["budgets"].items():
+            if sid in self._servers:
+                self._cache_budget[sid] = budget
+        return True
+
+    def _handle_shard_map(self, request: dict) -> dict:
+        """Current server->shard map; clients heal a stale map from any
+        live shard without a full re-attach."""
+        return {"map": dict(self.shard_map), "epoch": self.map_epoch}
+
+    def _server_demand(self, sid: int) -> int:
+        """Bytes this server's working set wants in DRAM: what is cached
+        now plus what the policy would promote if capacity allowed."""
+        policy = self._policies[sid]
+        hot = getattr(policy, "hot_bytes", None)
+        return self.directory.cached_bytes(sid) + (hot() if hot else 0)
 
     # ------------------------------------------------------------------
     # RPC handlers
@@ -250,14 +357,30 @@ class Master:
         size = request["size"]
         if size <= 0:
             raise MasterError(f"gmalloc size must be positive, got {size}")
-        if self._alloc_policy is None:
-            raise MasterError("no memory servers registered")
         req_id = request.get("req_id", 0)
-        if req_id and req_id in self._alloc_replies:
+        if req_id and self._dedup_key(req_id) in self._alloc_replies:
             # Retry of an RPC that executed but whose reply was lost:
             # return the original allocation instead of leaking a second.
+            # If the object was resharded away after the original executed,
+            # its dedup entry travelled with it — redirect the retry to the
+            # owner (which replies from its copy) instead of answering from
+            # a directory that no longer holds the record.
+            gaddr = self._alloc_replies[self._dedup_key(req_id)]
+            self._check_owner(gaddr)
             self.dup_rpcs.add()
-            return self.directory.get(self._alloc_replies[req_id]).to_meta()
+            return self.directory.get(gaddr).to_meta()
+        if self._alloc_policy is None:
+            # Resharded down to zero servers: redirect the alloc to a shard
+            # that owns one (same wire format as the object redirect — the
+            # client learns that server's owner and re-routes the request).
+            for sid in sorted(self.shard_map):
+                owner = self.shard_map[sid]
+                if owner != self.shard_id:
+                    raise MasterError(
+                        f"not my shard: server {sid} is owned by shard "
+                        f"{owner}, not shard {self.shard_id} "
+                        f"(map epoch {self.map_epoch})")
+            raise MasterError("no memory servers registered")
         yield from self.node.cpu_work()
         preferred = None
         if self.config.placement == "rack-local":
@@ -277,7 +400,7 @@ class Master:
                 "gaddr": record.gaddr, "size": size, "req_id": req_id,
             })
         if req_id:
-            self._alloc_replies[req_id] = record.gaddr
+            self._alloc_replies[self._dedup_key(req_id)] = record.gaddr
         return record.to_meta()
 
     def _journal_append(self, handle: _ServerHandle,
@@ -308,9 +431,10 @@ class Master:
         self._check_serving()
         gaddr = request["gaddr"]
         req_id = request.get("req_id", 0)
-        if req_id and req_id in self._freed_reqs:
+        if req_id and self._dedup_key(req_id) in self._freed_reqs:
             self.dup_rpcs.add()
             return True  # retry of a free that already executed
+        self._check_owner(gaddr)
         yield from self.node.cpu_work()
         record = self.directory.remove(gaddr)
         handle = self._servers[record.server_id]
@@ -330,11 +454,12 @@ class Master:
         handle.free_lock_idx(record.lock_idx)
         self._policies[record.server_id].on_freed(gaddr)
         if req_id:
-            self._freed_reqs.add(req_id)
+            self._freed_reqs.add(self._dedup_key(req_id))
         return True
 
     def _handle_lookup(self, request: dict) -> Generator[Any, Any, ObjectMeta]:
         self._check_serving()
+        self._check_owner(request["gaddr"])
         yield from self.node.cpu_work()
         return self.directory.get(request["gaddr"]).to_meta()
 
@@ -559,7 +684,8 @@ class Master:
     def _start_lease_sweeper(self) -> None:
         if not self._lease_sweeper_started:
             self._lease_sweeper_started = True
-            self.sim.spawn(self._lease_sweeper_loop(), name="master.leases")
+            self.sim.spawn(self._lease_sweeper_loop(),
+                           name=f"{self.node.name}.leases")
 
     def _lease_sweeper_loop(self) -> Generator[Any, Any, None]:
         check = self.config.lease_check_ns or max(1, self.config.client_lease_ns // 4)
@@ -689,7 +815,7 @@ class Master:
         # their intent append roll *back* implicitly: the buffered write-set
         # died with the client, so force-unlock alone erases them.
         if self.config.enable_txn:
-            yield from self._txn_recover(owners=[uid])
+            yield from self._txn_recover(owners=[uid], scan_all=True)
         recovered = 0
         for record in list(self.directory.objects()):
             handle = self._servers[record.server_id]
@@ -739,7 +865,8 @@ class Master:
                 continue  # server (or its journal) down: try the next one
 
     def _txn_recover(self, owners: Optional[list] = None,
-                     exclude: Optional[list] = None) -> Generator[Any, Any, int]:
+                     exclude: Optional[list] = None,
+                     scan_all: bool = False) -> Generator[Any, Any, int]:
         """Roll committed-but-unapplied transactions forward from their
         durable intent records (see ``repro.txn``).
 
@@ -756,9 +883,18 @@ class Master:
         rec = self.sim.spans
         t0 = self.sim.now if rec is not None else 0
         completed = 0
-        for sid in sorted(self._servers):
+        # ``scan_all`` widens the scan past this shard's owned servers: a
+        # dead client's intent lives on its *coordinator* server, which may
+        # belong to another shard even when the write-set targets ours.
+        # Fencing must find it before force-unlocking, or the cleared lock
+        # admits a new writer whose bytes the owning shard's later
+        # roll-forward would clobber.  (Post-failover exclude-scans stay
+        # per-shard: every shard runs its own.)
+        scan = self._all_servers if scan_all and self._all_servers \
+            else self._servers
+        for sid in sorted(scan):
             try:
-                records = yield from self._servers[sid].rpc.call(
+                records = yield from scan[sid].rpc.call(
                     "txn_intent_scan", {"owners": owners, "exclude": exclude})
             except RpcError:
                 continue  # coordinator down: its intents wait for it
@@ -768,7 +904,12 @@ class Master:
                     by_server.setdefault(server_of(entry[0]), []).append(entry)
                 applied = True
                 for tsid in sorted(by_server):
-                    handle = self._servers.get(tsid)
+                    # A committed write-set may span servers other shards
+                    # own — the coordinator's shard still rolls the whole
+                    # intent forward via its non-owned control connections
+                    # (applies are idempotent absolute writes, so racing
+                    # the owning shard's own sweep converges).
+                    handle = self._servers.get(tsid) or self._all_servers.get(tsid)
                     if handle is None:
                         applied = False
                         continue
@@ -780,7 +921,7 @@ class Master:
                 if not applied:
                     continue  # retry whole-txn on a later sweep
                 try:
-                    yield from self._servers[sid].rpc.call(
+                    yield from scan[sid].rpc.call(
                         "txn_intent_clear", {"txn": record["txn"]})
                 except RpcError:
                     continue  # re-applying later is harmless (idempotent)
@@ -851,6 +992,7 @@ class Master:
         self.directory = Directory()
         self._alloc_replies = {}
         self._freed_reqs = set()
+        self._cache_budget = {}
         for sid, handle in self._servers.items():
             handle.allocator = ExtentAllocator(handle.allocator.capacity)
             handle._lock_free = []
@@ -897,14 +1039,15 @@ class Master:
                     self._policies[sid].track(rec["gaddr"], rec["size"])
                     live_locks.add(rec["lock_idx"])
                     if rec.get("req_id"):
-                        self._alloc_replies[rec["req_id"]] = rec["gaddr"]
+                        self._alloc_replies[
+                            self._dedup_key(rec["req_id"])] = rec["gaddr"]
                 else:  # free
                     self.directory.remove(rec["gaddr"])
                     handle.allocator.free(offset_of(rec["gaddr"]))
                     self._policies[sid].on_freed(rec["gaddr"])
                     live_locks.discard(rec["lock_idx"])
                     if rec.get("req_id"):
-                        self._freed_reqs.add(rec["req_id"])
+                        self._freed_reqs.add(self._dedup_key(rec["req_id"]))
             # Lock-index bookkeeping: everything below the high-water mark
             # that is not live goes back on the free list.
             used = [rec["lock_idx"] for rec in records
@@ -913,6 +1056,80 @@ class Master:
             handle._lock_next = high
             handle._lock_free = [i for i in range(high) if i not in live_locks]
         return len(self.directory)
+
+    # ------------------------------------------------------------------
+    # Resharding (admin handover, driven by GengarPool.reshard)
+    # ------------------------------------------------------------------
+    def export_server(self, sid: int) -> dict:
+        """Strip ownership of server ``sid`` and hand its metadata to the
+        caller for adoption by another shard.
+
+        Instant in virtual time (no yields), so the pool can swap
+        ownership atomically — no op ever observes a server owned by
+        nobody.  The handle itself stays wired (demoted to the non-owned
+        set) for cross-shard txn applies.  Dedup entries for the server's
+        objects travel with it *and* stay behind: a retry landing on
+        either side gets the original outcome or a typed redirect, never
+        a double execution.
+        """
+        if sid not in self._servers:
+            raise MasterError(
+                f"shard {self.shard_id} does not own server {sid}")
+        handle = self._servers.pop(sid)
+        policy = self._policies.pop(sid)
+        self._rebuild_alloc_policy()
+        self._cache_budget.pop(sid, None)
+        alloc_replies = {key: gaddr for key, gaddr in self._alloc_replies.items()
+                         if server_of(gaddr) == sid}
+        return {
+            "server_id": sid,
+            "term": self.term,
+            "records": self.directory.take_server(sid),
+            "allocator": handle.allocator,
+            "lock_free": list(handle._lock_free),
+            "lock_next": handle._lock_next,
+            "alloc_replies": alloc_replies,
+            # Freed objects left no directory trace to attribute a server
+            # to, so the whole set rides along (a dup free is just "True").
+            "freed_reqs": set(self._freed_reqs),
+            "policy": policy,
+        }
+
+    def adopt_server(self, state: dict) -> None:
+        """Adopt a server another shard exported (reshard handover).
+
+        Grafts the exported allocator, lock bookkeeping, directory
+        records, and dedup entries onto *our own* pre-wired handle — the
+        exporter's RPC client belongs to its node and is never reused.
+        """
+        sid = state["server_id"]
+        handle = self._all_servers.get(sid)
+        if handle is None:
+            raise MasterError(
+                f"shard {self.shard_id} has no connection to server {sid}")
+        if sid in self._servers:
+            raise MasterError(
+                f"shard {self.shard_id} already owns server {sid}")
+        handle.allocator = state["allocator"]
+        handle._lock_free = list(state["lock_free"])
+        handle._lock_next = state["lock_next"]
+        self._servers[sid] = handle
+        self._policies[sid] = state["policy"]
+        self._rebuild_alloc_policy()
+        for record in state["records"]:
+            self.directory.adopt(record)
+        self._alloc_replies.update(state["alloc_replies"])
+        self._freed_reqs |= state["freed_reqs"]
+        # Term floor handover: the server's journal rejects appends below
+        # the max term it has seen, which includes the exporter's — serve
+        # at least there or our first journaled op would depose us.
+        self.term = max(self.term, state["term"])
+
+    def apply_shard_map(self, new_map: Dict[int, int]) -> None:
+        """Install a new server->shard map and bump the map epoch (the
+        pool calls this on every shard in the same virtual instant)."""
+        self.shard_map = dict(new_map)
+        self.map_epoch += 1
 
     # ------------------------------------------------------------------
     # Master crash / failover
@@ -995,7 +1212,8 @@ class Master:
             trace(self.sim, "failover", "master recovered", objects=recovered,
                   journal=self.config.metadata_journal)
         if self.config.client_lease_ns:
-            self.sim.spawn(self._orphan_lock_sweep(), name="master.orphan_sweep")
+            self.sim.spawn(self._orphan_lock_sweep(),
+                           name=f"{self.node.name}.orphan_sweep")
         return recovered
 
     def _claim_term(self, scan: bool = False) -> Generator[Any, Any, None]:
@@ -1188,13 +1406,83 @@ class Master:
             for sid in sorted(self._servers):
                 yield from self._plan_server(sid)
 
+    def _aggregation_loop(self) -> Generator[Any, Any, None]:
+        """Shard 0's cross-shard hotness aggregation.
+
+        Each round pulls every shard's per-server cache demand (what is
+        cached plus what its policy wants promoted), splits the pool-wide
+        DRAM budget across *all* servers, and pushes each shard the slice
+        covering the servers it owns.  Shards plan independently against
+        their budgets, so the global cache budget stays coherent without
+        any shard seeing another's directory.  A shard that is down or
+        mid-failover keeps its last budgets — advisory end to end.
+        """
+        period = self.config.shard_aggregation_ns or self.config.epoch_ns
+        while True:
+            yield self.sim.timeout(period)
+            if not self.node.endpoint.alive or self._recovering or self._deposed:
+                continue
+            demand: Dict[int, int] = {sid: self._server_demand(sid)
+                                      for sid in self._servers}
+            reached: List[int] = []
+            for shard in sorted(self._peer_shards):
+                try:
+                    stats = yield from self._peer_shards[shard].call(
+                        "shard_stats", {})
+                except RpcError:
+                    continue  # shard down/mid-failover: keeps last budgets
+                demand.update(stats["demand"])
+                reached.append(shard)
+            budgets = self._split_budget(demand)
+            for sid, budget in budgets.items():
+                if sid in self._servers:
+                    self._cache_budget[sid] = budget
+            for shard in reached:
+                share = {sid: b for sid, b in budgets.items()
+                         if self.shard_map.get(sid, sid % self.num_shards)
+                         == shard}
+                try:
+                    yield from self._peer_shards[shard].call(
+                        "set_budget", {"budgets": share})
+                except RpcError:
+                    continue  # lost the push: next round re-delivers
+
+    def _split_budget(self, demand: Dict[int, int]) -> Dict[int, int]:
+        """Split the pool-wide DRAM budget across servers by demand.
+
+        Every server keeps a floor (a quarter of its nominal capacity) so
+        a cold server can still warm up; the remainder of the pool budget
+        is divided proportionally to observed demand — equal split while
+        nobody is hot yet — and clamped at the server's physical capacity
+        (a server cannot spend a neighbour's DRAM).
+        """
+        cap = self.config.cache_capacity
+        sids = sorted(demand)
+        if not sids:
+            return {}
+        floor = cap // 4
+        pool = (cap - floor) * len(sids)
+        total = sum(demand.values())
+        budgets: Dict[int, int] = {}
+        for sid in sids:
+            if total:
+                extra = pool * demand[sid] // total
+            else:
+                extra = pool // len(sids)
+            budgets[sid] = min(cap, floor + extra)
+        return budgets
+
     def _plan_server(self, sid: int) -> Generator[Any, Any, None]:
         policy = self._policies[sid]
         handle = self._servers[sid]
+        # The aggregator's budget (when sharded) caps this server below its
+        # nominal capacity so the pool-wide DRAM budget stays coherent; a
+        # server nobody aggregated for keeps the full capacity.
+        budget = self._cache_budget.get(sid, self.config.cache_capacity)
         # Account the per-slot tag overhead against capacity so the server's
         # slot allocator cannot be overcommitted by the plan.
         plan = policy.plan(
-            capacity=max(0, self.config.cache_capacity - self._tag_overhead(sid)),
+            capacity=max(0, budget - self._tag_overhead(sid)),
             used=self.directory.cached_bytes(sid),
         )
         if plan.is_noop:
@@ -1209,7 +1497,7 @@ class Master:
         for gaddr in plan.promotions:
             yield from self._promote(handle, policy, gaddr)
         if rec is not None:
-            rec.record("master", "master.plan_epoch", t0, server=sid,
+            rec.record(self.node.name, "master.plan_epoch", t0, server=sid,
                        promotions=len(plan.promotions),
                        demotions=len(plan.demotions))
 

@@ -192,6 +192,19 @@ def lock_is_free(word: int) -> bool:
 
 
 # ---------------------------------------------------------------------------
+# Control-plane sharding
+# ---------------------------------------------------------------------------
+def default_shard_map(server_ids, num_shards: int) -> dict:
+    """The bootstrap shard layout: server ``sid`` is owned by shard
+    ``sid % num_shards`` (the same modulus :func:`~repro.core.addressing.
+    shard_of` applies to addresses).  Resharding moves entries away from
+    this layout; every divergence is announced by a map-epoch bump."""
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    return {sid: sid % num_shards for sid in server_ids}
+
+
+# ---------------------------------------------------------------------------
 # Object metadata exchanged over RPC (plain dataclass; pickled by the RPC
 # layer with realistic size accounting).
 # ---------------------------------------------------------------------------

@@ -231,7 +231,11 @@ class MemoryServer:
             #: deposed master out of the pool's write path.  Volatile, but
             #: re-learned from TERM records on the first post-restart
             #: journal_read — which every recovering master issues before
-            #: claiming.
+            #: claiming.  One scalar stays correct under control-plane
+            #: sharding because a server is owned by exactly one shard at a
+            #: time and a reshard handover raises the adopting master's term
+            #: to at least the exporter's (``Master.adopt_server``) — so the
+            #: floor never has to distinguish which shard set it.
             self._term_max = 0
         else:
             self.journal_base = None

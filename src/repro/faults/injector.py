@@ -99,6 +99,7 @@ class FaultInjector:
                  fabric: Optional["Fabric"] = None,
                  servers: Optional[Dict[int, "MemoryServer"]] = None,
                  master: Optional["Master"] = None,
+                 masters: Optional[List["Master"]] = None,
                  clients: Optional[Dict[str, "GengarClient"]] = None,
                  rng_name: str = "faults"):
         self.sim = sim
@@ -106,6 +107,12 @@ class FaultInjector:
         self.fabric = fabric
         self.servers = servers or {}
         self.master = master
+        #: All control-plane shards, indexed by shard id; [master] when the
+        #: caller wired only the single-master form.
+        self.masters: List["Master"] = (
+            list(masters) if masters else ([master] if master else []))
+        if self.master is None and self.masters:
+            self.master = self.masters[0]
         self.clients = clients or {}
         self._rng = sim.rng.stream(rng_name)
         self._windows: List[_Window] = []
@@ -128,9 +135,13 @@ class FaultInjector:
                         f"plan names server {f.server_id} but only "
                         f"{sorted(self.servers)} are wired")
             elif isinstance(f, (MasterCrash, MasterRecover)):
-                if self.master is None:
+                if not self.masters:
                     raise FaultPlanError(
                         f"plan has master faults but no master was wired: {f!r}")
+                if f.shard >= len(self.masters):
+                    raise FaultPlanError(
+                        f"plan names master shard {f.shard} but only "
+                        f"{len(self.masters)} shard(s) are wired")
             else:  # ClientCrash / ClientRecover
                 if f.client not in self.clients:
                     raise FaultPlanError(
@@ -147,6 +158,7 @@ class FaultInjector:
                    fabric=pool.cluster.fabric,
                    servers=pool.servers,
                    master=pool.master,
+                   masters=getattr(pool, "masters", None),
                    clients={c.name: c for c in pool.clients},
                    rng_name=rng_name)
 
@@ -176,10 +188,11 @@ class FaultInjector:
                 timed.append((f.at_ns - now, self._do_recover,
                               (f.server_id, f.reconcile)))
             elif isinstance(f, MasterCrash):
-                timed.append((f.at_ns - now, self._do_master_crash, ()))
+                timed.append((f.at_ns - now, self._do_master_crash,
+                              (f.shard,)))
             elif isinstance(f, MasterRecover):
                 timed.append((f.at_ns - now, self._do_master_recover,
-                              (f.rebuild,)))
+                              (f.rebuild, f.shard)))
             elif isinstance(f, ClientCrash):
                 timed.append((f.at_ns - now, self._do_client_crash,
                               (f.client, f.tear_inflight)))
@@ -256,8 +269,13 @@ class FaultInjector:
             trace(self.sim, "fault", "injecting server recovery",
                   server=server_id)
         self.servers[server_id].recover()
-        if reconcile and self.master is not None:
-            self.master.on_server_recovered(server_id)
+        if reconcile:
+            # Reconcile through the master that OWNS the server — on a
+            # sharded control plane shard 0 may know nothing about it.
+            owner = next((m for m in self.masters
+                          if server_id in m._servers), self.master)
+            if owner is not None:
+                owner.on_server_recovered(server_id)
         self.recoveries_injected.add()
 
     def _do_stall(self, server_id: int, duration_ns: int) -> None:
@@ -267,22 +285,23 @@ class FaultInjector:
         self.servers[server_id].stall_drains(duration_ns)
         self.stalls_injected.add()
 
-    def _do_master_crash(self) -> None:
+    def _do_master_crash(self, shard: int = 0) -> None:
         if self.sim.tracer is not None:
-            trace(self.sim, "fault", "injecting master crash")
-        self.master.crash()
+            trace(self.sim, "fault", "injecting master crash", shard=shard)
+        self.masters[shard].crash()
         self.master_crashes_injected.add()
 
-    def _do_master_recover(self, rebuild: bool) -> None:
+    def _do_master_recover(self, rebuild: bool, shard: int = 0) -> None:
         if self.sim.tracer is not None:
             trace(self.sim, "fault", "injecting master recovery",
-                  rebuild=rebuild)
-        self.master.recover()
+                  rebuild=rebuild, shard=shard)
+        target = self.masters[shard]
+        target.recover()
         # recovery_process must ALWAYS run: it is the only thing that
         # clears the "recovering" gate.  rebuild=False just means it
         # reopens with an empty directory instead of replaying journals.
-        self.sim.spawn(self.master.recovery_process(rebuild=rebuild),
-                       name="master.recovery")
+        self.sim.spawn(target.recovery_process(rebuild=rebuild),
+                       name=f"{target.node.name}.recovery")
         self.master_recoveries_injected.add()
 
     def _do_client_crash(self, client_name: str, tear_inflight: bool) -> None:

@@ -61,11 +61,14 @@ class ServerRecover:
 
 @dataclass(frozen=True)
 class MasterCrash:
-    """Kill the metadata master at ``at_ns``: volatile state (directory,
+    """Kill one metadata master at ``at_ns``: volatile state (directory,
     hotness scores, leases, client table) is lost; the NVM metadata journal
-    on the servers survives."""
+    on the servers survives.  ``shard`` picks which master on a sharded
+    control plane (0, the default, is the only master of an unsharded
+    pool)."""
 
     at_ns: int
+    shard: int = 0
 
     def shifted(self, delta: int) -> "MasterCrash":
         return dataclasses.replace(self, at_ns=self.at_ns + delta)
@@ -76,10 +79,12 @@ class MasterRecover:
     """Restart a crashed master at ``at_ns``.  With ``rebuild=True`` the
     directory is rebuilt from the NVM metadata journal (the production
     failover sequence); disable it to test clients against a master that
-    forgot everything."""
+    forgot everything.  ``shard`` picks which master on a sharded control
+    plane."""
 
     at_ns: int
     rebuild: bool = True
+    shard: int = 0
 
     def shifted(self, delta: int) -> "MasterRecover":
         return dataclasses.replace(self, at_ns=self.at_ns + delta)
@@ -223,6 +228,9 @@ class FaultPlan:
                     raise FaultPlanError(f"stall needs a positive duration: {f!r}")
                 if isinstance(f, (ClientCrash, ClientRecover)) and not f.client:
                     raise FaultPlanError(f"client fault needs a client name: {f!r}")
+                if (isinstance(f, (MasterCrash, MasterRecover))
+                        and f.shard < 0):
+                    raise FaultPlanError(f"negative master shard: {f!r}")
             else:
                 if f.start_ns < 0 or f.end_ns <= f.start_ns:
                     raise FaultPlanError(f"empty or negative window: {f!r}")

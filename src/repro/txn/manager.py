@@ -27,6 +27,17 @@ writes died with it — rollback); a client that dies *after* leaves a
 durable record the sweep rolls *forward* (idempotent byte-level applies)
 before force-unlocking, so the committed write-set becomes fully visible
 exactly once.  No interleaving makes a partial write-set durable.
+
+With a sharded control plane (``config.num_master_shards > 1``) nothing
+here changes shape — locks, stamps, intents, and applies are all *server*
+ops, and the few master round trips (metadata lookups, the renew-verdict
+probe inside the resilience engine) ride the client's per-shard routing.
+What does change is recovery ownership: the coordinator server that holds
+a dead client's intent may belong to a different shard than the servers
+its write-set targets, so any shard fencing that client scans *all*
+reachable intent regions (not just its own servers') and rolls the intent
+forward before force-unlocking.  Applies are idempotent absolute writes,
+so several shards racing the same roll-forward converge.
 """
 
 from __future__ import annotations
@@ -153,6 +164,7 @@ class TxnManager:
         self.m_aborts = m.counter("pool.txn_aborts")
         self.m_wait_die = m.counter("pool.txn_wait_die")
         self.m_handoffs = m.counter("pool.txn_handoffs")
+        self.m_cross_shard = m.counter("pool.txn_cross_shard_commits")
 
     # ------------------------------------------------------------------
     # Plumbing
@@ -393,6 +405,13 @@ class TxnManager:
         by_server: Dict[int, list] = {}
         for entry in writes:
             by_server.setdefault(server_of(entry[0]), []).append(entry)
+        if client._num_shards > 1 and len(
+                {client._resolve_shard(g) for g, _, _ in writes}) > 1:
+            # The write-set spans shards: if this client dies mid-apply,
+            # roll-forward responsibility falls to whichever shard fences
+            # it first, applying across shard boundaries.  Counted so the
+            # chaos soak can assert that path was actually exercised.
+            self.m_cross_shard.add()
         handed_off = False
         first = True
         for sid in sorted(by_server):
