@@ -161,13 +161,16 @@ class ChaosSoak:
                  check_linearizable: bool = False,
                  kill_mid_commit: bool = False,
                  check_serializable: bool = False,
-                 shards: int = 1):
+                 shards: int = 1, fanout_clients: int = 0):
         self.seed = seed
         self.smoke = smoke
         self.kill_clients = kill_clients
         self.crash_master = crash_master
         self.prefetch = prefetch
         self.shards = shards
+        self.fanout_clients = fanout_clients
+        #: High-fanout phase outcome (None unless --clients armed it).
+        self.fanout_report: Optional[Dict[str, Any]] = None
         # Sharded runs route the consistency audit through the shard-kill
         # phase instead of the (single-master) standby-promotion nemesis.
         self.nemesis = (nemesis or check_linearizable) and shards == 1
@@ -1144,6 +1147,94 @@ class ChaosSoak:
                     self.violations.append(f"serializability-check: {v}")
 
     # ------------------------------------------------------------------
+    def fanout_phase(self) -> None:
+        """High-fanout crash reclamation: N clients hammer the control
+        plane (alloc/write/read/free, one control RPC per alloc and free)
+        while a quarter of them are killed mid-run under credit pressure.
+
+        Runs in its own simulator/pool — the soak's 2-3-client world can't
+        express a 32-client fanout, and fresh node names avoid clashing
+        with the shared sim.  The audit is the shared-receive-pool
+        accounting: after the lease sweep fences every victim, each pool's
+        outstanding slots must equal its live serve loops exactly (one
+        posted receive per live QP, zero for parked ones) — a victim whose
+        in-flight slot never returned would show up as a leak here, and
+        enough leaks wedge the pool for every surviving client.
+        """
+        n = self.fanout_clients
+        config = soak_config(self.smoke, kill_clients=True)
+        sim = Simulator(seed=self.seed + 104729)
+        pool = GengarPool.build(sim, num_servers=4, num_clients=n,
+                                config=config, dram=TEST_DRAM, nvm=TEST_NVM)
+        lease = config.client_lease_ns
+        t0 = sim.now
+        victims = pool.clients[::4][:max(1, n // 4)]  # every 4th client
+        injector = pool.inject_faults(
+            FaultPlan.of(*[
+                ClientCrash(at_ns=t0 + 20_000 + 3_000 * i, client=v.name)
+                for i, v in enumerate(victims)
+            ]),
+            rng_name="faults.fanout")
+        ops = 12 if self.smoke else 30
+        value = b"\xe5" * 128
+        typed = {"count": 0}
+
+        def worker(client):
+            for _ in range(ops):
+                if client.crashed:
+                    return  # the crash killed this process with its client
+                try:
+                    gaddr = yield from client.gmalloc(256)
+                    yield from client.gwrite(gaddr, value)
+                    data = yield from client.gread(gaddr, length=len(value))
+                    if not client.crashed and bytes(data) != value:
+                        self.violations.append(
+                            f"fanout: {client.name} read back wrong bytes")
+                    yield from client.gfree(gaddr)
+                except (DeadlineExceededError, RetryableError):
+                    typed["count"] += 1  # congestion on a survivor: fine
+                except ClientError:
+                    if client.crashed or client.fenced:
+                        return
+                    raise
+
+        pool.run(*[worker(c) for c in pool.clients])
+        # Let every victim's lease lapse and the fence sweep run the
+        # reclamation path (master + per-server retire/reclaim).
+        sim.run(until=sim.now + 6 * lease)
+        injector.uninstall()
+
+        rpcs = [("master", pool.master.rpc)]
+        rpcs += [(f"server{sid}", s.rpc)
+                 for sid, s in sorted(pool.servers.items())]
+        pools: Dict[str, Any] = {}
+        for label, rpc in rpcs:
+            stats = rpc.pool_stats()
+            pools[label] = stats
+            live = stats["qps"] - stats["parked"]
+            if stats["outstanding"] != live:
+                self.violations.append(
+                    f"fanout: {label} leaked receive slots: outstanding "
+                    f"{stats['outstanding']} != live loops {live}")
+        reclaims = sum(rpc.reclaims.count for _, rpc in rpcs)
+        if reclaims < len(victims):
+            self.violations.append(
+                f"fanout: only {reclaims} slot reclaims for "
+                f"{len(victims)} dead clients")
+        grows = sum(p["grows"] for p in pools.values())
+        if grows < 1:
+            self.violations.append(
+                f"fanout: no pool grew under a {n}-client fanout — the "
+                f"elastic path never engaged")
+        self.fanout_report = {
+            "clients": n,
+            "victims": len(victims),
+            "reclaims": reclaims,
+            "typed_failures": typed["count"],
+            "pools": pools,
+        }
+
+    # ------------------------------------------------------------------
     def run(self) -> Dict[str, Any]:
         self.load()
         t0 = self.sim.now
@@ -1174,6 +1265,8 @@ class ChaosSoak:
             self.shard_phase()
         if self.kill_mid_commit:
             self.txn_phase()
+        if self.fanout_clients:
+            self.fanout_phase()
 
         m = self.sim.metrics
         counters = {
@@ -1256,6 +1349,7 @@ class ChaosSoak:
             "txn_history_ops": (len(self.txn_history_recorder.ops)
                                 if self.txn_history_recorder is not None
                                 else 0),
+            "fanout": self.fanout_report,
             "counters": counters,
             "violations": self.violations,
         }
@@ -1267,7 +1361,7 @@ def run_soak(seed: int = 7, smoke: bool = False,
              nemesis: bool = False, check_linearizable: bool = False,
              kill_mid_commit: bool = False,
              check_serializable: bool = False,
-             shards: int = 1,
+             shards: int = 1, fanout_clients: int = 0,
              trace_out: Optional[str] = None,
              span_log: Optional[str] = None,
              history_out: Optional[str] = None,
@@ -1279,7 +1373,7 @@ def run_soak(seed: int = 7, smoke: bool = False,
                      check_linearizable=check_linearizable,
                      kill_mid_commit=kill_mid_commit,
                      check_serializable=check_serializable,
-                     shards=shards,
+                     shards=shards, fanout_clients=fanout_clients,
                      record_spans=bool(trace_out or span_log))
     report = soak.run()
     if history_out:
@@ -1356,6 +1450,13 @@ def main(argv=None) -> int:
                              "crashed mid-YCSB and must journal-rebuild "
                              "while the others keep serving (combine with "
                              "--check-linearizable to audit the phase)")
+    parser.add_argument("--clients", type=int, default=0,
+                        help="add the high-fanout phase: N clients hammer "
+                             "the control plane in a fresh pool while a "
+                             "quarter of them are killed mid-run; audits "
+                             "the elastic RPC receive pools for leaked "
+                             "slots after the lease sweep reclaims the "
+                             "victims")
     parser.add_argument("--check-serializable", action="store_true",
                         help="record the transaction phase and audit it "
                              "for atomicity + strict serializability "
@@ -1378,7 +1479,7 @@ def main(argv=None) -> int:
                       check_linearizable=args.check_linearizable,
                       kill_mid_commit=args.kill_mid_commit,
                       check_serializable=args.check_serializable,
-                      shards=args.shards,
+                      shards=args.shards, fanout_clients=args.clients,
                       trace_out=args.trace_out, span_log=args.span_log,
                       history_out=args.history_out,
                       counterexample_out=args.counterexample_out)
@@ -1390,11 +1491,11 @@ def main(argv=None) -> int:
                           check_linearizable=args.check_linearizable,
                           kill_mid_commit=args.kill_mid_commit,
                           check_serializable=args.check_serializable,
-                          shards=args.shards)
+                          shards=args.shards, fanout_clients=args.clients)
         keys = ["virtual_end_ns", "ops_ok", "ops_typed_failures",
                 "lost_reports", "tainted_keys", "linearizable",
                 "history_ops", "serializable", "bank_total_ok",
-                "txn_history_ops", "counters", "violations"]
+                "txn_history_ops", "fanout", "counters", "violations"]
         mismatched = [k for k in keys if report[k] != second[k]]
         if mismatched:
             report["violations"].append(
@@ -1422,6 +1523,12 @@ def main(argv=None) -> int:
     if report["bank_total_ok"] is not None:
         print(f"  bank conservation: "
               f"{'PASS' if report['bank_total_ok'] else 'FAIL'}")
+    if report.get("fanout"):
+        fo = report["fanout"]
+        print(f"  fanout: {fo['clients']} clients, {fo['victims']} killed, "
+              f"{fo['reclaims']} slot reclaims, "
+              f"master pool {fo['pools']['master']['capacity']} slots "
+              f"({fo['pools']['master']['grows']} grows)")
     for name, value in sorted(report["counters"].items()):
         print(f"  {name}: {value}")
     if "determinism" in report:

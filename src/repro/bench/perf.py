@@ -12,7 +12,12 @@ repo root:
   Gengar deployment at two scales;
 * **control-plane scale-out** — virtual metadata throughput and p99 vs
   the number of master shards (1/2/4/8), the scaling record for the
-  sharded control plane.
+  sharded control plane;
+* **client-fanout scale-out** — YCSB-B virtual throughput vs the number
+  of attached clients (16/32/64/128 over 8 servers x 4 shards), the
+  scaling record for the elastic shared receive pool, plus a legacy pin
+  (fixed 16-slot rings, credits off) that must stay byte-identical to
+  the committed ``ycsb_medium`` virtual time.
 
 Alongside each wall-clock figure the harness records the run's *virtual*
 results (final virtual time, simulated throughput).  Optimisations must be
@@ -364,6 +369,88 @@ def bench_scaleout(shard_counts=(1, 2, 4, 8), num_servers: int = 8,
     }
 
 
+def bench_scaleout_clients(client_counts=(16, 32, 64, 128),
+                           num_servers: int = 8, shards: int = 4,
+                           record_count: int = 256, ops_per_worker: int = 20,
+                           seed: int = 61,
+                           legacy_pin: bool = True) -> Dict[str, Any]:
+    """YCSB-B throughput vs *attached-client* count (the E3c fanout axis).
+
+    Every client attaches a control QP to every master shard and every
+    server, so the binding resource is the servers' RPC receive pools.
+    With the elastic shared receive pool (``rpc_ring_slots="auto"``,
+    the default) each pool grows in powers of two as clients attach and
+    credit-based flow control bounds each client's outstanding requests,
+    so the sweep completes at every point; with the legacy fixed-depth
+    rings the >=16-client points wedge (see
+    ``tests/rdma/test_ring_elastic.py``).  All recorded figures are
+    virtual (simulated ns) and therefore deterministic.
+
+    Each point also snapshots the first master shard's
+    :meth:`RpcServer.pool_stats` so the growth trajectory (capacity,
+    grow count, peak occupancy) is part of the committed record.
+
+    ``legacy_pin`` additionally re-runs the 2-client ``ycsb_medium``
+    shape with the elastic ring and credits *disabled*
+    (``rpc_ring_slots=16, rpc_credits=False``) and records its final
+    virtual time.  That figure must stay byte-identical to the committed
+    ``ycsb_medium`` virtual time: at depths the fixed rings can serve,
+    the elastic data plane is a no-op on the event schedule.
+    """
+    from dataclasses import replace
+
+    points = []
+    for n in client_counts:
+        sim = Simulator(seed=seed)
+        system = build_system(
+            "gengar", sim, num_servers=num_servers, num_clients=n,
+            config_overrides=lambda c: replace(c, num_master_shards=shards))
+        spec = WORKLOAD_B.scaled(record_count=record_count, value_size=128)
+        runner = YcsbRunner(system, spec, num_workers=n,
+                            ops_per_worker=ops_per_worker)
+        runner.load()
+        t0 = time.perf_counter()
+        result = runner.run()
+        dt = time.perf_counter() - t0
+        stats = system.pool.master.rpc.pool_stats()
+        points.append({
+            "clients": n,
+            "total_ops": result.total_ops,
+            "virtual_time_ns": sim.now,
+            "ops_per_sec_virtual": result.throughput_ops_s,
+            "seconds": dt,
+            "master_pool": {
+                "qps": stats["qps"],
+                "capacity": stats["capacity"],
+                "grows": stats["grows"],
+                "peak_occupancy": stats["peak_occupancy"],
+            },
+        })
+    out: Dict[str, Any] = {
+        "num_servers": num_servers,
+        "shards": shards,
+        "record_count": record_count,
+        "ops_per_worker": ops_per_worker,
+        "points": points,
+    }
+    if legacy_pin:
+        sim = Simulator(seed=42)
+        system = build_system(
+            "gengar", sim, num_servers=2, num_clients=2,
+            config_overrides=lambda c: replace(c, rpc_ring_slots=16,
+                                               rpc_credits=False))
+        spec = WORKLOAD_B.scaled(record_count=1000, value_size=128)
+        runner = YcsbRunner(system, spec, num_workers=8, ops_per_worker=500)
+        runner.load()
+        runner.run()
+        out["legacy_pin"] = {
+            "rpc_ring_slots": 16,
+            "rpc_credits": False,
+            "virtual_time_ns": sim.now,
+        }
+    return out
+
+
 # ----------------------------------------------------------------------
 # Transaction commit microbenchmark
 # ----------------------------------------------------------------------
@@ -478,6 +565,9 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         scaleout = bench_scaleout(shard_counts=(1, 2), num_servers=2,
                                   num_clients=2, num_workers=8,
                                   ops_per_worker=20)
+        scaleout_clients = bench_scaleout_clients(
+            client_counts=(4, 8), num_servers=2, shards=2,
+            record_count=64, ops_per_worker=10, legacy_pin=False)
         ycsb_small = bench_ycsb(record_count=64, num_workers=2, ops_per_worker=50)
         ycsb_medium = None
     else:
@@ -486,6 +576,7 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         doorbell = bench_doorbell()
         txn = bench_txn(repeats=2)
         scaleout = bench_scaleout()
+        scaleout_clients = bench_scaleout_clients()
         ycsb_small = bench_ycsb(record_count=200, num_workers=4,
                                 ops_per_worker=250, repeats=2)
         ycsb_medium = bench_ycsb(record_count=1000, num_workers=8,
@@ -499,6 +590,7 @@ def measure(smoke: bool = False) -> Dict[str, Any]:
         "doorbell": doorbell,
         "txn": txn,
         "scaleout": scaleout,
+        "scaleout_clients": scaleout_clients,
         "ycsb_small": ycsb_small,
     }
     if ycsb_medium is not None:
@@ -630,6 +722,42 @@ def run_guard(guard_path: Path) -> int:
               f"{[f'{v:,.0f}' for v in curve]} "
               f"{'MONOTONIC' if ok else 'NOT MONOTONIC'}")
         checks.append(ok)
+    # Client-fanout guard: the E3c sweep along the attached-client axis.
+    # All-virtual again, so three exact checks: per-point virtual times,
+    # YCSB throughput monotonic 16->32->64 clients (the elastic receive
+    # pool must keep scaling; 128 is recorded but past the NIC knee), and
+    # the legacy pin — with elastic rings and credits disabled the
+    # 2-client medium shape must stay byte-identical to the committed
+    # ycsb_medium virtual time.
+    want_fanout = (ref.get("scaleout_clients") or {}).get("points")
+    if want_fanout:
+        fanout = bench_scaleout_clients()
+        by_clients = {p["clients"]: p for p in fanout["points"]}
+        for want in want_fanout:
+            got = by_clients.get(want["clients"])
+            if got is None:
+                continue
+            ok = got["virtual_time_ns"] == want["virtual_time_ns"]
+            print(f"perf-guard scaleout_clients {want['clients']} client(s) "
+                  f"virtual_time_ns: {got['virtual_time_ns']} vs committed "
+                  f"{want['virtual_time_ns']} {'OK' if ok else 'ORDERING DRIFT'}")
+            checks.append(ok)
+        curve = [p["ops_per_sec_virtual"] for p in fanout["points"]
+                 if p["clients"] <= 64]
+        ok = all(b > a for a, b in zip(curve, curve[1:]))
+        print(f"perf-guard scaleout_clients ops/s 16->64 clients: "
+              f"{[f'{v:,.0f}' for v in curve]} "
+              f"{'MONOTONIC' if ok else 'NOT MONOTONIC'}")
+        checks.append(ok)
+        pin = fanout.get("legacy_pin")
+        want_pin = ((ref.get("scaleout_clients") or {}).get("legacy_pin")
+                    or {}).get("virtual_time_ns") or want_vt
+        if pin and want_pin:
+            ok = pin["virtual_time_ns"] == want_pin
+            print(f"perf-guard legacy-pin (rpc_ring_slots=16, credits off) "
+                  f"virtual_time_ns: {pin['virtual_time_ns']} vs committed "
+                  f"{want_pin} {'OK' if ok else 'ORDERING DRIFT'}")
+            checks.append(ok)
     print(f"perf-guard ycsb_medium cache_hit_ratio: "
           f"{medium['cache_hit_ratio']:.4f}, "
           f"read_pipeline_depth: {medium['read_pipeline_depth']}")
@@ -688,6 +816,17 @@ def main(argv=None) -> int:
             print(f"scaleout {pt['shards']} shard(s): "
                   f"{pt['ops_per_sec_virtual']:,.0f} metadata ops/s virtual, "
                   f"p99 {pt['p99_latency_ns']:,} ns")
+    if cur.get("scaleout_clients"):
+        for pt in cur["scaleout_clients"]["points"]:
+            mp = pt["master_pool"]
+            print(f"scaleout {pt['clients']} client(s): "
+                  f"{pt['ops_per_sec_virtual']:,.0f} YCSB ops/s virtual, "
+                  f"pool {mp['capacity']} slots ({mp['grows']} grows, "
+                  f"peak occupancy {mp['peak_occupancy']:.0f})")
+        pin = cur["scaleout_clients"].get("legacy_pin")
+        if pin:
+            print(f"legacy pin (fixed rings, credits off): "
+                  f"virtual_time_ns {pin['virtual_time_ns']}")
     for scale in ("ycsb_small", "ycsb_medium"):
         if cur.get(scale):
             print(f"{scale}: {cur[scale]['ops_per_sec_wallclock']:,.1f} ops/s "

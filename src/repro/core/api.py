@@ -48,10 +48,13 @@ from repro.hardware.specs import (
     NicSpec,
 )
 from repro.rdma.endpoint import connect
-from repro.rdma.rpc import RpcClient
+from repro.rdma.rpc import DEFAULT_BUFFER_SIZE, RpcClient
 
-#: DRAM reserved on clients/master for each RPC connection's rings.
-_RPC_SPAN = 2 * 16 * 4096
+
+def _rpc_span(config: GengarConfig) -> int:
+    """DRAM reserved on clients/masters for one RPC connection's rings
+    (receive + send), derived from the config's single ring-depth knob."""
+    return 2 * config.rpc_initial_ring_slots * DEFAULT_BUFFER_SIZE
 
 
 class GengarPool:
@@ -155,11 +158,13 @@ class GengarPool:
             m.shard_map = dict(shard_map)
             for sid, server in servers.items():
                 qp_m, qp_s = connect(m.node.endpoint, server.node.endpoint)
-                server.serve_control(qp_s)
+                server.serve_control(qp_s, peer=m.node.name)
                 rpc_base = m.carve_rpc_span()
                 rpc = RpcClient(m.node.endpoint, qp_m, m.node.dram,
                                 base=rpc_base,
-                                name=f"{m.node.name}->server{sid}")
+                                num_buffers=config.rpc_initial_ring_slots,
+                                name=f"{m.node.name}->server{sid}",
+                                credits=config.rpc_credits)
                 m.add_server(server.descriptor(), rpc,
                              data_capacity=server.data_capacity,
                              owned=shard_map[sid] == m.shard_id)
@@ -168,10 +173,12 @@ class GengarPool:
         # aggregation: demand stats out, budgets back).
         for m in masters[1:]:
             qp_0, qp_k = connect(master_node.endpoint, m.node.endpoint)
-            m.serve_control(qp_k)
+            m.serve_control(qp_k, peer=master_node.name)
             rpc = RpcClient(master_node.endpoint, qp_0, master_node.dram,
                             base=master.carve_rpc_span(),
-                            name=f"master->{m.node.name}")
+                            num_buffers=config.rpc_initial_ring_slots,
+                            name=f"master->{m.node.name}",
+                            credits=config.rpc_credits)
             master.add_peer_shard(m.shard_id, rpc)
 
         # Warm standby for shard 0: wired to every server (for the journal
@@ -186,10 +193,12 @@ class GengarPool:
             standby.shard_map = dict(shard_map)
             for sid, server in servers.items():
                 qp_m, qp_s = connect(standby_node.endpoint, server.node.endpoint)
-                server.serve_control(qp_s)
+                server.serve_control(qp_s, peer=standby_node.name)
                 rpc = RpcClient(standby_node.endpoint, qp_m, standby_node.dram,
                                 base=standby.carve_rpc_span(),
-                                name=f"master1->server{sid}")
+                                num_buffers=config.rpc_initial_ring_slots,
+                                name=f"master1->server{sid}",
+                                credits=config.rpc_credits)
                 standby.add_server(server.descriptor(), rpc,
                                    data_capacity=server.data_capacity,
                                    owned=shard_map[sid] == 0)
@@ -199,30 +208,37 @@ class GengarPool:
         for cid in range(num_clients):
             client_node = cluster.node(f"client{cid}")
             client = GengarClient(client_node, name=f"client{cid}")
+            span = _rpc_span(config)
             for m in masters:
                 qp_c, qp_m = connect(client_node.endpoint, m.node.endpoint)
-                m.serve_control(qp_m)
+                m.serve_control(qp_m, peer=client.name)
                 client.add_master_conn(RpcClient(
                     client_node.endpoint, qp_c, client_node.dram,
-                    base=client.carve_dram(_RPC_SPAN, f"rpc.{m.node.name}"),
+                    base=client.carve_dram(span, f"rpc.{m.node.name}"),
+                    num_buffers=config.rpc_initial_ring_slots,
                     name=f"{client.name}->{m.node.name}",
+                    credits=config.rpc_credits,
                 ), shard=m.shard_id)
             if standby is not None:
                 qp_c2, qp_m2 = connect(client_node.endpoint,
                                        standby.node.endpoint)
-                standby.serve_control(qp_m2)
+                standby.serve_control(qp_m2, peer=client.name)
                 client.add_master_conn(RpcClient(
                     client_node.endpoint, qp_c2, client_node.dram,
-                    base=client.carve_dram(_RPC_SPAN, "rpc.master1"),
+                    base=client.carve_dram(span, "rpc.master1"),
+                    num_buffers=config.rpc_initial_ring_slots,
                     name=f"{client.name}->master1",
+                    credits=config.rpc_credits,
                 ))
             for sid, server in servers.items():
                 ctrl_c, ctrl_s = connect(client_node.endpoint, server.node.endpoint)
-                server.serve_control(ctrl_s)
+                server.serve_control(ctrl_s, peer=client.name)
                 server_rpc = RpcClient(
                     client_node.endpoint, ctrl_c, client_node.dram,
-                    base=client.carve_dram(_RPC_SPAN, f"rpc.server{sid}"),
+                    base=client.carve_dram(span, f"rpc.server{sid}"),
+                    num_buffers=config.rpc_initial_ring_slots,
                     name=f"{client.name}->server{sid}",
+                    credits=config.rpc_credits,
                 )
                 data_c, _data_s = connect(client_node.endpoint, server.node.endpoint)
                 client.add_server_conn(server.descriptor(), data_c, server_rpc)

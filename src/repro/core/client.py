@@ -47,6 +47,7 @@ from repro.core.errors import (
     NotMyShard,
     PartitionSuspected,
     RetryableError,
+    RingSaturatedError,
     ServerUnavailableError,
     StaleRingError,
     StaleTermError,
@@ -85,6 +86,7 @@ __all__ = [
     "RetryableError",
     "ServerUnavailableError",
     "MasterUnavailableError",
+    "RingSaturatedError",
     "StaleRingError",
     "FencedError",
     "DeadlineExceededError",

@@ -19,6 +19,7 @@ from repro.core.addressing import server_of
 from repro.core.allocator import ExtentAllocator, OutOfMemory, PoolAllocationPolicy
 from repro.core.config import GengarConfig
 from repro.core.directory import Directory
+from repro.core.errors import RingSaturatedError
 from repro.core.hotness import EpochDecayPolicy, NeverCachePolicy
 from repro.core.layout import DramCarver
 from repro.core.protocol import (
@@ -34,7 +35,9 @@ from repro.core.protocol import (
 from repro.rdma.rpc import RpcError, RpcServer
 from repro.sim.trace import trace
 
-_RPC_BUFFERS = 16
+#: RPC buffer size; ring depth comes from GengarConfig
+#: (``rpc_initial_ring_slots``), the single source of truth shared with
+#: servers and clients.
 _RPC_BUFFER_SIZE = 4096
 
 
@@ -115,12 +118,16 @@ class Master:
         self._policies: Dict[int, Any] = {}
 
         carver = DramCarver(node.dram)
-        rpc_base = carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc")
+        rpc_slots = config.rpc_initial_ring_slots
+        rpc_base = carver.carve(2 * rpc_slots * _RPC_BUFFER_SIZE, "rpc")
         self._carver = carver
         self.rpc = RpcServer(
             node.endpoint, node.dram, base=rpc_base,
-            num_buffers=_RPC_BUFFERS, buffer_size=_RPC_BUFFER_SIZE,
+            num_buffers=rpc_slots, buffer_size=_RPC_BUFFER_SIZE,
             name=f"{node.name}.rpc",
+            grow_cb=(lambda nbytes: carver.carve(nbytes, "rpc-grow"))
+            if config.rpc_elastic else None,
+            credits=config.rpc_credits,
         )
         self._client_uids: Dict[str, int] = {}
         self._next_uid = 1
@@ -240,9 +247,24 @@ class Master:
         """Wire shard 0's control connection to a peer shard (aggregation)."""
         self._peer_shards[shard_id] = rpc_client
 
-    def serve_control(self, qp: "QueuePair") -> None:
-        """Start serving a client's control connection."""
-        self.rpc.serve(qp)
+    def serve_control(self, qp: "QueuePair", peer: Optional[str] = None) -> None:
+        """Start serving a client's control connection.
+
+        ``peer`` (the client's node name) enables slot reclamation when the
+        lease sweep later fences that client.
+
+        With elastic pools disabled (``rpc_ring_slots`` fixed), an attach
+        that would claim the last free receive slot is rejected up front:
+        a fully-committed fixed ring wedges silently under concurrent
+        load, and a typed error at attach time beats a deadlock mid-run.
+        """
+        if self.rpc.would_overcommit():
+            raise RingSaturatedError(
+                f"{self.node.name}: fixed RPC receive pool "
+                f"({self.rpc.pool_stats()['capacity']} slots) cannot admit "
+                f"another control QP; use rpc_ring_slots='auto' or raise "
+                f"the fixed depth")
+        self.rpc.serve(qp, peer=peer)
 
     def _corack_servers(self, client_name: str) -> list:
         """Server ids sharing the client's rack ([] on a flat fabric)."""
@@ -255,7 +277,8 @@ class Master:
 
     def carve_rpc_span(self) -> int:
         """Reserve master DRAM for one outbound RPC client's buffer rings."""
-        return self._carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc-client")
+        slots = self.config.rpc_initial_ring_slots
+        return self._carver.carve(2 * slots * _RPC_BUFFER_SIZE, "rpc-client")
 
     def start_planner(self) -> None:
         """Launch the periodic promotion/demotion planner (and, on shard 0
@@ -839,6 +862,10 @@ class Master:
                     "retire_ring", {"client": name})
             except RpcError:
                 pass  # dead server: its DRAM (and the ring) are gone anyway
+        # The fenced client's posted control-RPC slot goes back to this
+        # master's shared receive pool (servers reclaim theirs inside
+        # retire_ring); the serve loop re-arms only on a re-attach.
+        self.rpc.reclaim_peer(name)
         self.lock_recoveries.add(recovered)
         if self.sim.tracer is not None:
             trace(self.sim, "lease", "client fenced", client=name,
@@ -1349,6 +1376,11 @@ class Master:
                     "retire_rings_except", {"known": survivors})
             except RpcError:
                 continue  # dead server: its DRAM (and the rings) are gone
+        # Orphans' posted RPC slots return to this master's shared pool
+        # too — on a restarted master _peer_qps is empty, so this is a
+        # no-op there (the old QPs died with the process).
+        for name in sorted(set(retired)):
+            self.rpc.reclaim_peer(name)
         self.lock_recoveries.add(recovered)
         if self.sim.tracer is not None:
             trace(self.sim, "lease", "post-failover orphan sweep done",

@@ -17,7 +17,7 @@ from __future__ import annotations
 
 import pickle
 from dataclasses import dataclass
-from typing import TYPE_CHECKING, Any, Dict, Generator
+from typing import TYPE_CHECKING, Any, Dict, Generator, Optional
 
 if TYPE_CHECKING:  # pragma: no cover
     from repro.cluster.node import Node
@@ -26,6 +26,7 @@ if TYPE_CHECKING:  # pragma: no cover
 from repro.core.addressing import make_gaddr, offset_of, server_of
 from repro.core.allocator import ExtentAllocator, OutOfMemory
 from repro.core.config import GengarConfig
+from repro.core.errors import RingSaturatedError
 from repro.core.layout import DramCarver
 from repro.core.protocol import (
     CACHE_TAG_BYTES,
@@ -66,8 +67,8 @@ class _ClientRing:
     client: str = ""  # owning client's name (span/trace attribution)
 
 
-#: RPC footprint: buffers for control traffic (attach/promote/demote).
-_RPC_BUFFERS = 16
+#: RPC buffer size for control traffic (attach/promote/demote); ring depth
+#: comes from GengarConfig (``rpc_initial_ring_slots``).
 _RPC_BUFFER_SIZE = 4096
 
 
@@ -171,12 +172,18 @@ class MemoryServer:
         carver = DramCarver(node.dram)
         self._carver = carver
 
-        # Control plane.
-        rpc_base = carver.carve(2 * _RPC_BUFFERS * _RPC_BUFFER_SIZE, "rpc")
+        # Control plane.  With rpc_ring_slots="auto" the receive/response
+        # rings form an elastic shared pool that grows with attached QPs,
+        # carving further DRAM chunks on demand.
+        rpc_slots = config.rpc_initial_ring_slots
+        rpc_base = carver.carve(2 * rpc_slots * _RPC_BUFFER_SIZE, "rpc")
         self.rpc = RpcServer(
             node.endpoint, node.dram, base=rpc_base,
-            num_buffers=_RPC_BUFFERS, buffer_size=_RPC_BUFFER_SIZE,
+            num_buffers=rpc_slots, buffer_size=_RPC_BUFFER_SIZE,
             name=f"{node.name}.rpc",
+            grow_cb=(lambda nbytes: carver.carve(nbytes, "rpc-grow"))
+            if config.rpc_elastic else None,
+            credits=config.rpc_credits,
         )
         self.rpc.register("promote", self._handle_promote)
         self.rpc.register("demote", self._handle_demote)
@@ -324,9 +331,24 @@ class MemoryServer:
             lock_rkey=self.lock_mr.rkey,
         )
 
-    def serve_control(self, qp: "QueuePair") -> None:
-        """Start serving RPC on a control connection (master or client)."""
-        self.rpc.serve(qp)
+    def serve_control(self, qp: "QueuePair", peer: Optional[str] = None) -> None:
+        """Start serving RPC on a control connection (master or client).
+
+        ``peer`` (the remote's node name) enables slot reclamation for that
+        connection when the peer is later fenced or crashes.
+
+        With elastic pools disabled (``rpc_ring_slots`` fixed), an attach
+        that would claim the last free receive slot is rejected up front:
+        a fully-committed fixed ring wedges silently under concurrent
+        load, and a typed error at attach time beats a deadlock mid-run.
+        """
+        if self.rpc.would_overcommit():
+            raise RingSaturatedError(
+                f"{self.node.name}: fixed RPC receive pool "
+                f"({self.rpc.pool_stats()['capacity']} slots) cannot admit "
+                f"another control QP; use rpc_ring_slots='auto' or raise "
+                f"the fixed depth")
+        self.rpc.serve(qp, peer=peer)
 
     # ------------------------------------------------------------------
     # RPC handlers (invoked by the master / clients)
@@ -808,6 +830,9 @@ class MemoryServer:
             qp.recv_cq.push(WorkCompletion(
                 wr_id=0, opcode=Opcode.RECV, context={"poison": True},
             ))
+        # Return the dead client's posted RPC receive slot to the shared
+        # pool; its serve loop re-arms only when the client re-attaches.
+        self.rpc.reclaim_peer(client_name)
         if self.sim.tracer is not None:
             trace(self.sim, "lease", "proxy ring retired",
                   server=self.node.name, client=client_name)

@@ -130,6 +130,9 @@ class Store:
         self._items: Deque[Any] = deque()
         self._getters: Deque[Event] = deque()
         self._putters: Deque[tuple[Event, Any]] = deque()
+        # Demand watchers (see :meth:`demand`); None until first used so the
+        # hot get() path pays a single falsy check.
+        self._demand_waiters: Optional[list] = None
 
     def __len__(self) -> int:
         return len(self._items)
@@ -152,6 +155,26 @@ class Store:
             self._admit_blocked_putter()
         else:
             self._getters.append(ev)
+            if self._demand_waiters:
+                waiters, self._demand_waiters = self._demand_waiters, None
+                for w in waiters:
+                    if not w.triggered:
+                        w.succeed(None)
+        return ev
+
+    def demand(self) -> Event:
+        """Event firing when a getter parks on the empty store — i.e. the
+        moment someone is actually *waiting* for an item (immediately, if
+        one already is).  Lets a producer that deliberately idles (e.g. a
+        parked RPC serve loop whose peer crashed) wake only on real demand
+        instead of polling or holding resources."""
+        ev = Event(self.sim, name=f"demand({self.name})")
+        if self._getters:
+            ev.succeed(None)
+        else:
+            if self._demand_waiters is None:
+                self._demand_waiters = []
+            self._demand_waiters.append(ev)
         return ev
 
     def try_get(self) -> tuple[bool, Any]:
